@@ -1,0 +1,71 @@
+"""Extension bench — SSF vs. the trivially time-aware heuristics.
+
+The paper never asks whether SSF's edge comes from the structure
+subgraph or merely from using timestamps at all.  This bench compares
+the SSF methods against the extension baselines that inject the same
+Eq. 2 decay into classic heuristics (tCN, tRA, tPA), plus temporal NMF
+and a spectral embedding, on two datasets with strong temporal signal.
+"""
+
+import pytest
+
+from conftest import bench_config, bench_network, write_result
+from repro.experiments.methods import EXTENDED_METHODS
+from repro.experiments.runner import LinkPredictionExperiment
+
+CORE_METHODS = ("CN", "SSFLR", "SSFNM")
+DATASETS = ("co-author", "digg")
+
+_cache: dict = {}
+
+
+def _run(name: str):
+    if name not in _cache:
+        experiment = LinkPredictionExperiment(bench_network(name), bench_config())
+        methods = CORE_METHODS + EXTENDED_METHODS
+        _cache[name] = {m: experiment.run_method(m) for m in methods}
+    return _cache[name]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_extended_method_comparison(benchmark, dataset):
+    results = benchmark.pedantic(_run, args=(dataset,), rounds=1, iterations=1)
+    lines = [f"{'method':9s} {'AUC':>7s} {'F1':>7s}   ({dataset})"]
+    for name, result in results.items():
+        lines.append(f"{name:9s} {result.auc:7.3f} {result.f1:7.3f}")
+    write_result(f"extended_methods_{dataset}.txt", "\n".join(lines))
+
+    for result in results.values():
+        assert 0.0 <= result.auc <= 1.0
+
+
+def test_temporal_heuristics_add_signal(benchmark):
+    """What the ablation establishes (and honestly, its limits):
+
+    * injecting the Eq. 2 decay into classic heuristics adds real signal
+      (tCN beats CN on at least one dataset) — so "uses timestamps" alone
+      explains part of SSF's advantage;
+    * on the clustered co-author family the trivially-temporal heuristics
+      are genuinely competitive with (at reduced benchmark scale, even
+      ahead of) SSF — the paper's framing that no simple feature family
+      is universal cuts both ways;
+    * on the hub-drift reply network (digg) the SSF models stay ahead of
+      every trivially-temporal heuristic.
+    """
+    all_results = benchmark.pedantic(
+        lambda: {name: _run(name) for name in DATASETS},
+        rounds=1, iterations=1,
+    )
+    improvements = 0
+    ssf_wins = 0
+    for name in DATASETS:
+        results = all_results[name]
+        if results["tCN"].auc > results["CN"].auc:
+            improvements += 1
+        best_trivial = max(results[m].auc for m in ("tCN", "tRA", "tPA"))
+        best_ssf = max(results[m].auc for m in ("SSFLR", "SSFNM"))
+        if best_ssf >= best_trivial:
+            ssf_wins += 1
+        assert best_ssf >= best_trivial - 0.15, name
+    assert improvements >= 1
+    assert ssf_wins >= 1

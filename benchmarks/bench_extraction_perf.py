@@ -1,0 +1,81 @@
+"""Microbenchmarks — the cost of the extraction pipeline stages.
+
+These ARE timing benchmarks (multiple rounds): per-link cost of
+Algorithm 1 (structure combination), Algorithm 2 (Palette-WL) and
+Algorithm 3 (full SSF extraction), plus the WLF baseline for comparison,
+on a mid-size dataset.
+"""
+
+import pytest
+
+from conftest import bench_network
+from repro.baselines.wlf import WLFExtractor
+from repro.core.feature import SSFConfig, SSFExtractor
+from repro.core.palette_wl import palette_wl_order
+from repro.core.structure import combine_structures
+from repro.core.subgraph import h_hop_node_set
+
+
+@pytest.fixture(scope="module")
+def network():
+    return bench_network("co-author")
+
+
+@pytest.fixture(scope="module")
+def sample_pairs(network):
+    return list(network.pair_iter())[:20]
+
+
+def test_perf_structure_combination(benchmark, network, sample_pairs):
+    node_sets = [
+        (a, b, h_hop_node_set(network, a, b, 1)) for a, b in sample_pairs
+    ]
+
+    def run():
+        for a, b, nodes in node_sets:
+            combine_structures(network, nodes, a, b)
+
+    benchmark(run)
+
+
+def test_perf_palette_wl(benchmark, network, sample_pairs):
+    subgraphs = [
+        combine_structures(network, h_hop_node_set(network, a, b, 1), a, b)
+        for a, b in sample_pairs
+    ]
+
+    def run():
+        for subgraph in subgraphs:
+            palette_wl_order(subgraph)
+
+    benchmark(run)
+
+
+def test_perf_ssf_extraction(benchmark, network, sample_pairs):
+    extractor = SSFExtractor(network, SSFConfig(k=10))
+
+    def run():
+        for a, b in sample_pairs:
+            extractor.extract(a, b)
+
+    benchmark(run)
+
+
+def test_perf_ssf_multi_mode_shares_extraction(benchmark, network, sample_pairs):
+    extractor = SSFExtractor(network, SSFConfig(k=10))
+
+    def run():
+        for a, b in sample_pairs:
+            extractor.extract_multi(a, b, ("temporal", "count"))
+
+    benchmark(run)
+
+
+def test_perf_wlf_extraction(benchmark, network, sample_pairs):
+    extractor = WLFExtractor(network, k=10)
+
+    def run():
+        for a, b in sample_pairs:
+            extractor.extract(a, b)
+
+    benchmark(run)

@@ -1,0 +1,43 @@
+"""Fig. 1 — the motivating celebrity/fan example.
+
+Scores the two target links (A–B between celebrities, X–Y between common
+fans) with every heuristic from Fig. 1(b) and with SSF, and checks the
+figure's narrative: the heuristics tie or mis-rank, SSF separates.
+"""
+
+from conftest import write_result
+from repro.experiments.motivating import (
+    TARGET_CELEBRITY,
+    TARGET_FANS,
+    build_celebrity_network,
+    format_motivating_table,
+    motivating_comparison,
+)
+
+
+def test_fig1_motivating_example(benchmark):
+    comparison = benchmark.pedantic(
+        motivating_comparison, kwargs={"k": 6}, rounds=1, iterations=1
+    )
+    write_result("fig1.txt", format_motivating_table(comparison))
+
+    heuristics = comparison["heuristics"]
+    # CN/AA/RA/rWRA identical for both pairs (the figure's tie)
+    for name in ("CN", "AA", "RA", "rWRA"):
+        ab, xy = heuristics[name]
+        assert abs(ab - xy) < 1e-12, name
+    # PA prefers the celebrity pair, Jaccard mis-ranks toward the fans
+    assert heuristics["PA"][0] > heuristics["PA"][1]
+    assert heuristics["Jac."][1] > heuristics["Jac."][0]
+    # SSF separates
+    assert comparison["ssf_distinguishes"]
+
+
+def test_fig1_network_construction(benchmark):
+    network = benchmark.pedantic(build_celebrity_network, rounds=1, iterations=1)
+    a, b = TARGET_CELEBRITY
+    x, y = TARGET_FANS
+    # both targets share exactly the common neighbour C
+    static = network.static_projection()
+    assert static.common_neighbors(a, b) == {"C"}
+    assert static.common_neighbors(x, y) == {"C"}

@@ -1,0 +1,58 @@
+"""Fig. 6 — most frequent K-structure-subgraph patterns.
+
+Mines the patterns of randomly sampled links (the paper samples 2000 at
+K = 10) on the Facebook and Co-author stand-ins and renders the most
+frequent pattern of each, checking the figure's qualitative contrast:
+the co-author pattern is denser (well-connected research groups) than
+the hub-dominated Facebook pattern.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, bench_network, write_result
+from repro.experiments.figures import mine_frequent_pattern
+from repro.patterns.mining import mine_patterns, most_frequent_pattern
+
+N_SAMPLES = 300  # paper: 2000 at full scale
+
+
+_pattern_cache: dict = {}
+
+
+def _mine(name: str):
+    if name not in _pattern_cache:
+        _pattern_cache[name] = mine_patterns(
+            bench_network(name), n_samples=N_SAMPLES, k=10, seed=0
+        )
+    return _pattern_cache[name]
+
+
+@pytest.mark.parametrize("dataset", ["facebook", "co-author"])
+def test_fig6_pattern_mining(benchmark, dataset):
+    stats = benchmark.pedantic(_mine, args=(dataset,), rounds=1, iterations=1)
+    top = most_frequent_pattern(stats)
+    assert top.count >= 2  # a genuinely recurring pattern
+    _, rendering = mine_frequent_pattern(
+        bench_network(dataset), n_samples=N_SAMPLES, k=10, seed=0
+    )
+    write_result(f"fig6_{dataset}.txt", rendering)
+
+
+def test_fig6_density_contrast(benchmark):
+    """The Fig. 6 qualitative contrast: the co-author pattern contains
+    links BETWEEN non-end structure nodes (research groups interconnect)
+    while Facebook's frequent pattern is a pure double star — every
+    structure link attaches to one of the end nodes ("links are formed
+    with nodes with high degree")."""
+    fb, ca = benchmark.pedantic(
+        lambda: (
+            most_frequent_pattern(_mine("facebook")),
+            most_frequent_pattern(_mine("co-author")),
+        ),
+        rounds=1, iterations=1,
+    )
+
+    def cross_links(stats):
+        return sum(1 for m, n in stats.pattern if m > 2 and n > 2)
+
+    assert cross_links(ca) > cross_links(fb)

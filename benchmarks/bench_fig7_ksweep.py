@@ -1,0 +1,51 @@
+"""Fig. 7 — SSFNM performance across K ∈ {5, 10, 15, 20}.
+
+One panel per benchmarked dataset; the figure's claim is that moderate K
+suffices (most peaks at K <= 15) — large K mostly adds noise, not
+accuracy.
+"""
+
+import pytest
+
+from conftest import bench_config, bench_network, write_result
+from repro.experiments.figures import DEFAULT_K_VALUES, format_k_sweep, k_sweep
+
+SWEEP_DATASETS = ("co-author", "digg", "prosper")
+
+_sweep_cache: dict = {}
+
+
+def _sweep(name: str):
+    if name not in _sweep_cache:
+        _sweep_cache[name] = k_sweep(
+            bench_network(name),
+            config=bench_config(),
+            k_values=DEFAULT_K_VALUES,
+            method="SSFNM",
+        )
+    return _sweep_cache[name]
+
+
+@pytest.mark.parametrize("dataset", SWEEP_DATASETS)
+def test_fig7_k_sweep(benchmark, dataset):
+    results = benchmark.pedantic(_sweep, args=(dataset,), rounds=1, iterations=1)
+    write_result(f"fig7_{dataset}.txt", format_k_sweep(results, dataset))
+    assert set(results) == set(DEFAULT_K_VALUES)
+    for result in results.values():
+        assert 0.0 <= result.auc <= 1.0
+
+
+def test_fig7_moderate_k_suffices(benchmark):
+    """The best K is never *far* beyond 10: K=20 should not dominate
+    K<=15 across all panels (the paper's 'no very large K needed')."""
+    sweeps = benchmark.pedantic(
+        lambda: {name: _sweep(name) for name in SWEEP_DATASETS},
+        rounds=1, iterations=1,
+    )
+    advantage_of_20 = 0
+    for name in SWEEP_DATASETS:
+        results = sweeps[name]
+        best_small = max(results[k].auc for k in (5, 10, 15))
+        if results[20].auc > best_small + 0.02:
+            advantage_of_20 += 1
+    assert advantage_of_20 <= 1

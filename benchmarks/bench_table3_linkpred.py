@@ -1,0 +1,90 @@
+"""Table III — link prediction AUC/F1 of 15 methods on 7 datasets.
+
+Benchmark-scale regeneration (dataset ``scale`` and sample caps from
+``conftest``); the full-scale driver is ``results/run_table3.py``.
+The assertions encode the paper's *shape* claims that survive the
+synthetic-substrate substitution (see EXPERIMENTS.md):
+
+* SSF-based methods are top-class (within a small margin of the best) on
+  the sparse/medium networks;
+* the bipartite Prosper network breaks common-neighbour heuristics
+  (AUC ~0.5 or below) while SSF methods stay strong;
+* the neural SSF variants beat WLNM on the majority of datasets.
+"""
+
+import json
+
+import pytest
+
+from conftest import bench_config, bench_network, write_result
+from repro.experiments.runner import LinkPredictionExperiment
+from repro.experiments.tables import format_table3
+
+DATASET_NAMES = (
+    "eu-email",
+    "contact",
+    "facebook",
+    "co-author",
+    "prosper",
+    "slashdot",
+    "digg",
+)
+
+_results_cache: dict = {}
+
+
+def _run(name: str):
+    if name not in _results_cache:
+        experiment = LinkPredictionExperiment(bench_network(name), bench_config())
+        _results_cache[name] = experiment.run_methods()
+    return _results_cache[name]
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_table3_dataset_column(benchmark, dataset):
+    results = benchmark.pedantic(_run, args=(dataset,), rounds=1, iterations=1)
+    assert len(results) == 15
+    for result in results.values():
+        assert 0.0 <= result.auc <= 1.0
+
+
+def test_table3_render_and_shape(benchmark):
+    """Render the full table and check the cross-dataset shape claims."""
+    results = benchmark.pedantic(
+        lambda: {name: _run(name) for name in DATASET_NAMES},
+        rounds=1, iterations=1,
+    )
+    write_result("table3_bench.txt", format_table3(results))
+    write_result(
+        "table3_bench.json",
+        json.dumps(
+            {
+                d: {m: {"auc": r.auc, "f1": r.f1} for m, r in methods.items()}
+                for d, methods in results.items()
+            },
+            indent=1,
+        ),
+    )
+
+    # bipartite prosper: CN-family collapses, SSF stays strong
+    prosper = results["prosper"]
+    assert prosper["CN"].auc < 0.6
+    assert prosper["SSFLR"].auc > prosper["CN"].auc + 0.1
+    assert prosper["SSFNM"].auc > prosper["CN"].auc + 0.1
+
+    # SSF top-class on the sparse reply/wall networks
+    for name in ("facebook", "slashdot", "digg"):
+        column = results[name]
+        best = max(r.auc for r in column.values())
+        ssf_best = max(
+            column[m].auc for m in ("SSFNM", "SSFLR", "SSFNM-W", "SSFLR-W")
+        )
+        assert ssf_best >= best - 0.05, f"{name}: {ssf_best:.3f} vs {best:.3f}"
+
+    # structure combination helps: best SSF-NM variant >= WLNM on most sets
+    wins = sum(
+        max(results[d]["SSFNM"].auc, results[d]["SSFNM-W"].auc)
+        >= results[d]["WLNM"].auc - 1e-9
+        for d in DATASET_NAMES
+    )
+    assert wins >= 4

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run each experiment once (``pedantic`` with one round): the
+quantity of interest is the regenerated table/figure, not statistical
+timing of a hot loop.  Rendered outputs are written to ``results/`` so a
+benchmark run leaves the paper-comparison artefacts behind.
+
+Scale: benchmarks default to reduced dataset scale / sample caps so the
+whole suite stays in the minutes range.  ``results/run_table3.py`` is the
+full-scale Table III driver used for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.catalog import DATASETS
+from repro.experiments.config import ExperimentConfig
+
+#: benchmark-wide dataset scale (1.0 = the paper's Table II sizes)
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+#: cap on positive samples per dataset split
+BENCH_MAX_POSITIVES = int(os.environ.get("REPRO_BENCH_POSITIVES", "120"))
+#: neural-machine epochs in benchmark runs
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "60"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+_network_cache: dict = {}
+
+
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        epochs=BENCH_EPOCHS, max_positives=BENCH_MAX_POSITIVES, seed=0
+    )
+
+
+def bench_network(name: str, scale: "float | None" = None, seed: int = 0):
+    """Generate (and cache) one catalog dataset at benchmark scale."""
+    scale = BENCH_SCALE if scale is None else scale
+    key = (name, scale, seed)
+    if key not in _network_cache:
+        _network_cache[key] = DATASETS[name].generate(seed=seed, scale=scale)
+    return _network_cache[key]
+
+
+def write_result(filename: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def all_dataset_names():
+    return list(DATASETS)

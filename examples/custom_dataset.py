@@ -1,0 +1,56 @@
+"""Running the pipeline on your own timestamped edge list.
+
+Demonstrates the file-based workflow a downstream user follows with real
+data (KONECT dumps or plain TSVs): write/load a ``u v timestamp`` file,
+normalise timestamps onto the paper's integer grid, build the evaluation
+split, and compare methods.  Here the "custom" file is first synthesised
+so the example is self-contained.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.datasets import get_dataset, load_dataset_file
+from repro.experiments import ExperimentConfig, LinkPredictionExperiment
+from repro.graph.io import write_edge_list
+
+
+def make_demo_file(directory: Path) -> Path:
+    """Pretend this TSV came from a real measurement campaign."""
+    network = get_dataset("prosper").generate(seed=1, scale=0.4)
+    path = directory / "loans.tsv"
+    write_edge_list(network, path)
+    print(f"wrote demo edge list: {path} ({network.number_of_links()} events)")
+    return path
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = make_demo_file(Path(tmp))
+
+        # span=60 rescales raw timestamps onto 1..60, the paper's protocol
+        network = load_dataset_file(path, span=60)
+        print(
+            f"loaded: {network.number_of_nodes()} nodes, "
+            f"{network.number_of_links()} links, "
+            f"timestamps 1..{int(network.last_timestamp())}"
+        )
+
+        experiment = LinkPredictionExperiment(
+            network, ExperimentConfig(epochs=60, max_positives=150)
+        )
+        print(f"\n{'method':9s} {'AUC':>7s} {'F1':>7s}")
+        print("-" * 25)
+        for name in ("CN", "PA", "Katz", "RW", "SSFLR", "SSFNM"):
+            result = experiment.run_method(name)
+            print(f"{name:9s} {result.auc:7.3f} {result.f1:7.3f}")
+        print(
+            "\nNote how the common-neighbour heuristic collapses on this "
+            "bipartite loan network while SSF keeps working."
+        )
+
+
+if __name__ == "__main__":
+    main()

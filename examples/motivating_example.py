@@ -1,0 +1,43 @@
+"""The paper's Fig. 1 motivating scenario: celebrities vs. common fans.
+
+Builds the Twitter-style comment network of Fig. 1(a) and shows that the
+classic heuristics cannot separate the celebrity pair A-B from the fan
+pair X-Y, while the SSF vectors of the two links differ.
+
+Run:  python examples/motivating_example.py
+"""
+
+import numpy as np
+
+from repro.experiments.motivating import (
+    TARGET_CELEBRITY,
+    TARGET_FANS,
+    build_celebrity_network,
+    format_motivating_table,
+    motivating_comparison,
+)
+
+
+def main() -> None:
+    network = build_celebrity_network()
+    print(
+        f"network: {network.number_of_nodes()} users, "
+        f"{network.number_of_links()} comments"
+    )
+    a, b = TARGET_CELEBRITY
+    x, y = TARGET_FANS
+    print(f"target links: {a}-{b} (celebrities) vs {x}-{y} (common fans)\n")
+
+    comparison = motivating_comparison(k=6)
+    print(format_motivating_table(comparison))
+
+    print("\nSSF vectors (k=6):")
+    with np.printoptions(precision=3, suppress=True):
+        print(f"  {a}-{b}: {comparison['ssf_ab']}")
+        print(f"  {x}-{y}: {comparison['ssf_xy']}")
+    verdict = "DOES" if comparison["ssf_distinguishes"] else "does NOT"
+    print(f"\nSSF {verdict} distinguish the two target links.")
+
+
+if __name__ == "__main__":
+    main()

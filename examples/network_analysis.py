@@ -1,0 +1,43 @@
+"""Structural and temporal analysis of the seven dataset families.
+
+Uses the analysis toolkit to show how the synthetic stand-ins realise
+the paper's dataset diversity: dense bursty interaction networks,
+hub-dominated reply networks, a clustered co-author network and a
+bipartite loan network — the diversity that motivates a *universal*
+link feature.
+
+Run:  python examples/network_analysis.py
+"""
+
+from repro.analysis import network_report, temporal_activity
+from repro.datasets import DATASETS
+from repro.viz import sparkline
+
+
+def main() -> None:
+    print(
+        f"{'dataset':10s} {'avg deg':>8s} {'gini':>6s} {'clust':>6s} "
+        f"{'burst':>6s} {'lk/pair':>8s}  activity profile"
+    )
+    print("-" * 78)
+    for name, spec in DATASETS.items():
+        network = spec.generate(seed=0, scale=0.3)
+        report = network_report(network)
+        profile = sparkline(temporal_activity(network, bins=24))
+        print(
+            f"{name:10s} {report.avg_degree:8.1f} {report.degree_gini:6.3f} "
+            f"{report.clustering:6.3f} {report.burstiness:6.3f} "
+            f"{report.multiplicity_mean:8.2f}  {profile}"
+        )
+
+    print(
+        "\nReading the table: the email/contact families repeat partners"
+        "\n(links per pair >> 1), the reply networks concentrate links on"
+        "\nhubs (high Gini, low clustering), the co-author network clusters"
+        "\n(groups), and prosper's bipartite roles suppress clustering"
+        "\nentirely — no triangles can exist."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""K-structure-subgraph pattern mining (the paper's Fig. 6).
+
+Samples random links from two structurally different networks (hub-driven
+Facebook wall posts vs. community-driven co-authorship), mines the most
+frequent K-structure-subgraph pattern of each, and renders them —
+showing how the structure subgraph adapts its shape to the network
+family.
+
+Run:  python examples/pattern_mining.py
+"""
+
+from repro.datasets import get_dataset
+from repro.experiments.figures import mine_frequent_pattern
+
+
+def main() -> None:
+    for name in ("facebook", "co-author"):
+        network = get_dataset(name).generate(seed=0, scale=0.3)
+        stats, rendering = mine_frequent_pattern(
+            network, n_samples=400, k=10, seed=0
+        )
+        print(f"=== most frequent K-structure-subgraph pattern: {name} ===")
+        print(rendering)
+        print(
+            f"(pattern has {len(stats.pattern)} structure links; "
+            f"seen on {stats.count} of 400 sampled links)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Full Table III run used to fill EXPERIMENTS.md (also run by the bench)."""
+import json, time
+from repro.experiments import ExperimentConfig, run_table3
+from repro.experiments.tables import format_table3
+
+t0 = time.time()
+config = ExperimentConfig(epochs=120, max_positives=300, seed=0)
+results = run_table3(config=config, seed=0)
+print(format_table3(results))
+payload = {
+    d: {m: {"auc": r.auc, "f1": r.f1} for m, r in methods.items()}
+    for d, methods in results.items()
+}
+with open("/root/repo/results/table3.json", "w") as fh:
+    json.dump(payload, fh, indent=1)
+print(f"\ntotal {time.time()-t0:.0f}s")

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every artefact of the reproduction from scratch.
+#
+#   bash scripts/reproduce.sh          # tests + benches + full-scale drivers
+#   bash scripts/reproduce.sh quick    # tests + benches only (~2 min)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== install =="
+python setup.py develop -q
+
+echo "== test suite =="
+python -m pytest tests/ | tee test_output.txt
+
+echo "== benchmark harness (reduced scale, writes results/*.txt) =="
+python -m pytest benchmarks/ --benchmark-only | tee bench_output.txt
+
+if [ "${1:-full}" != "quick" ]; then
+  echo "== full-scale Table III =="
+  python results/run_table3.py | tee results/table3.txt
+  echo "== full-scale figures (6 and 7) =="
+  python results/run_figures.py | tee results/figures.txt
+fi
+
+echo "done; see EXPERIMENTS.md for the paper-vs-measured record."

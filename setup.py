@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+This offline environment lacks the `wheel` package, so `pip install -e .`
+(PEP 660) cannot build editable wheels; `python setup.py develop` installs
+the same editable package without it.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro - Structure Subgraph Feature (SSF) link prediction.
+
+A from-scratch reproduction of "A Universal Method Based on Structure
+Subgraph Feature for Link Prediction over Dynamic Networks"
+(Li, Liang, Zhang, Liu & Wu - ICDCS 2019).
+
+Quickstart::
+
+    from repro import DynamicNetwork, SSFExtractor, SSFConfig
+
+    g = DynamicNetwork([("a", "c", 1), ("b", "c", 2), ("c", "d", 3)])
+    feature = SSFExtractor(g, SSFConfig(k=10)).extract("a", "b")
+
+High-level evaluation::
+
+    from repro import LinkPredictionExperiment, ExperimentConfig
+    from repro.datasets import get_dataset
+
+    network = get_dataset("co-author").generate(seed=0)
+    experiment = LinkPredictionExperiment(network, ExperimentConfig())
+    print(experiment.run_method("SSFNM"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.feature import SSFConfig, SSFExtractor, ssf_feature_dim
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import LinkPredictionExperiment, run_dataset, run_table3
+from repro.graph.static import StaticGraph
+from repro.graph.temporal import DynamicNetwork, TemporalEdge
+from repro.models.linear import LinearRegressionModel
+from repro.models.neural import NeuralMachine
+from repro.sampling.splits import LinkPredictionTask, build_link_prediction_task
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicNetwork",
+    "TemporalEdge",
+    "StaticGraph",
+    "SSFConfig",
+    "SSFExtractor",
+    "ssf_feature_dim",
+    "NeuralMachine",
+    "LinearRegressionModel",
+    "LinkPredictionTask",
+    "build_link_prediction_task",
+    "ExperimentConfig",
+    "LinkPredictionExperiment",
+    "run_dataset",
+    "run_table3",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Network-analysis utilities: structural and temporal statistics."""
+
+from repro.analysis.statistics import (
+    NetworkReport,
+    burstiness,
+    clustering_coefficient,
+    degree_distribution,
+    degree_gini,
+    inter_event_times,
+    network_report,
+    temporal_activity,
+)
+
+__all__ = [
+    "degree_distribution",
+    "degree_gini",
+    "clustering_coefficient",
+    "inter_event_times",
+    "burstiness",
+    "temporal_activity",
+    "NetworkReport",
+    "network_report",
+]

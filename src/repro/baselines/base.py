@@ -1,0 +1,65 @@
+"""Common interface for unsupervised link scorers.
+
+Every scorer follows a two-phase protocol: :meth:`LinkScorer.fit` ingests
+the observed dynamic network (precomputing whatever the scorer needs —
+static projection, weight sums, sparse matrices), after which
+:meth:`LinkScorer.score` evaluates any candidate node pair.  Higher scores
+mean "more likely to emerge" for every scorer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.graph.static import StaticGraph
+from repro.graph.temporal import DynamicNetwork
+
+Node = Hashable
+
+
+class LinkScorer(abc.ABC):
+    """Base class for similarity/closeness link scorers."""
+
+    #: short name used in tables (subclasses override)
+    name: str = "scorer"
+
+    def __init__(self) -> None:
+        self._graph: "StaticGraph | None" = None
+
+    @property
+    def graph(self) -> StaticGraph:
+        """The fitted static projection (raises if :meth:`fit` not called)."""
+        if self._graph is None:
+            raise RuntimeError(f"{type(self).__name__} must be fit before scoring")
+        return self._graph
+
+    def fit(self, network: DynamicNetwork) -> "LinkScorer":
+        """Ingest the observed history; returns ``self`` for chaining."""
+        self._graph = network.static_projection()
+        self._prepare(network)
+        return self
+
+    def _prepare(self, network: DynamicNetwork) -> None:
+        """Hook for subclasses needing more than the static projection."""
+
+    @abc.abstractmethod
+    def score(self, u: Node, v: Node) -> float:
+        """Closeness score of the candidate link ``(u, v)``.
+
+        Pairs with unseen end nodes score 0 (no evidence either way).
+        """
+
+    def score_pairs(self, pairs: Sequence[tuple[Node, Node]]) -> np.ndarray:
+        """Vector of scores for many candidate links."""
+        return np.array([self.score(u, v) for u, v in pairs], dtype=np.float64)
+
+    def _both_known(self, u: Node, v: Node) -> bool:
+        g = self.graph
+        return g.has_node(u) and g.has_node(v)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fitted = "fitted" if self._graph is not None else "unfitted"
+        return f"{type(self).__name__}({fitted})"

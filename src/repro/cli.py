@@ -1,0 +1,334 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Every evaluation artefact of the paper is reachable from the terminal:
+
+=============  ============================================================
+command        regenerates
+=============  ============================================================
+``stats``      a structural/temporal report of one dataset (or file)
+``table1``     Table I + the Fig. 1 feature comparison
+``table2``     Table II dataset statistics
+``table3``     Table III link-prediction results
+``ksweep``     one Fig. 7 panel (AUC/F1 vs K)
+``patterns``   one Fig. 6 panel (most frequent K-structure pattern)
+``motivating`` the Fig. 1 celebrity/fan walkthrough
+``crossval``   rolling-origin temporal cross-validation (extension)
+``report``     a one-shot markdown report for one dataset (extension)
+``recommend``  top-N partner suggestions for one node (extension)
+``stream``     prequential test-then-train streaming evaluation (extension)
+=============  ============================================================
+
+Dataset selection: ``--dataset <name>`` for a synthetic catalog network
+(use ``--scale`` to shrink it) or ``--file <path>`` for a timestamped
+edge list (optionally ``--span`` to normalise the timestamps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import network_report
+from repro.datasets.catalog import DATASETS, dataset_statistics, get_dataset
+from repro.datasets.loaders import load_dataset_file
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import format_k_sweep, k_sweep, mine_frequent_pattern
+from repro.experiments.methods import METHOD_ORDER
+from repro.experiments.motivating import (
+    format_motivating_table,
+    motivating_comparison,
+)
+from repro.experiments.runner import LinkPredictionExperiment
+from repro.experiments.tables import format_table1, format_table2, format_table3
+from repro.graph.temporal import DynamicNetwork
+from repro.sampling.temporal_cv import cross_validate_method
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SSF link prediction over dynamic networks (ICDCS 2019 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dataset", choices=sorted(DATASETS), help="catalog dataset name"
+        )
+        sub.add_argument("--file", help="timestamped edge-list file instead")
+        sub.add_argument(
+            "--span", type=int, help="normalise file timestamps onto 1..SPAN"
+        )
+        sub.add_argument(
+            "--scale", type=float, default=1.0, help="dataset scale (0, 1]"
+        )
+        sub.add_argument("--seed", type=int, default=0, help="generation seed")
+
+    def add_experiment_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--epochs", type=int, default=120)
+        sub.add_argument("--k", type=int, default=10)
+        sub.add_argument(
+            "--max-positives",
+            type=int,
+            default=300,
+            help="cap on positive pairs (0 = no cap, the faithful protocol)",
+        )
+        sub.add_argument(
+            "--n-jobs",
+            type=int,
+            default=1,
+            help="worker processes for SSF feature extraction",
+        )
+
+    sub = commands.add_parser("stats", help="network statistics report")
+    add_dataset_args(sub)
+
+    commands.add_parser("table1", help="Table I feature comparison")
+
+    sub = commands.add_parser("table2", help="Table II dataset statistics")
+    sub.add_argument("--scale", type=float, default=1.0)
+    sub.add_argument("--seed", type=int, default=0)
+
+    sub = commands.add_parser("table3", help="Table III link prediction")
+    add_dataset_args(sub)
+    add_experiment_args(sub)
+    sub.add_argument(
+        "--methods",
+        nargs="+",
+        default=None,
+        metavar="METHOD",
+        help=f"subset of: {', '.join(METHOD_ORDER)} (plus LP/tCN/tRA/tPA)",
+    )
+
+    sub = commands.add_parser("ksweep", help="Fig. 7 panel: AUC/F1 vs K")
+    add_dataset_args(sub)
+    add_experiment_args(sub)
+    sub.add_argument("--method", default="SSFNM")
+    sub.add_argument(
+        "--ks", nargs="+", type=int, default=[5, 10, 15, 20], metavar="K"
+    )
+
+    sub = commands.add_parser("patterns", help="Fig. 6 panel: frequent pattern")
+    add_dataset_args(sub)
+    sub.add_argument("--samples", type=int, default=2000)
+    sub.add_argument("--k", type=int, default=10)
+
+    commands.add_parser("motivating", help="Fig. 1 walkthrough")
+
+    sub = commands.add_parser("crossval", help="temporal cross-validation")
+    add_dataset_args(sub)
+    add_experiment_args(sub)
+    sub.add_argument("--method", default="SSFNM")
+    sub.add_argument("--folds", type=int, default=3)
+
+    sub = commands.add_parser(
+        "report", help="full markdown report for one dataset"
+    )
+    add_dataset_args(sub)
+    add_experiment_args(sub)
+    sub.add_argument("--output", help="write the report to this file")
+
+    sub = commands.add_parser(
+        "recommend", help="top-N partner suggestions for one node"
+    )
+    add_dataset_args(sub)
+    sub.add_argument("--user", required=True, help="node to recommend for")
+    sub.add_argument("--top", type=int, default=10)
+    sub.add_argument("--k", type=int, default=10)
+    sub.add_argument(
+        "--model", choices=("linear", "neural"), default="linear"
+    )
+
+    sub = commands.add_parser(
+        "stream", help="prequential (test-then-train) streaming evaluation"
+    )
+    add_dataset_args(sub)
+    sub.add_argument("--k", type=int, default=10)
+    sub.add_argument("--model", choices=("linear", "neural"), default="linear")
+    sub.add_argument("--warmup", type=float, default=0.5)
+    sub.add_argument("--refit-every", type=int, default=2)
+
+    return parser
+
+
+def _load_network(args: argparse.Namespace) -> tuple[str, DynamicNetwork]:
+    if getattr(args, "file", None):
+        return args.file, load_dataset_file(args.file, span=args.span)
+    name = getattr(args, "dataset", None)
+    if not name:
+        raise SystemExit("error: provide --dataset or --file")
+    return name, get_dataset(name).generate(seed=args.seed, scale=args.scale)
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    max_positives = args.max_positives if args.max_positives > 0 else None
+    return ExperimentConfig(
+        k=args.k,
+        epochs=args.epochs,
+        max_positives=max_positives,
+        n_jobs=getattr(args, "n_jobs", 1),
+    )
+
+
+def _cmd_stats(args: argparse.Namespace) -> str:
+    name, network = _load_network(args)
+    return network_report(network).format(name)
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    comparison = motivating_comparison()
+    return format_table1() + "\n\n" + format_motivating_table(comparison)
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    rows = {
+        name: dataset_statistics(
+            spec.generate(seed=args.seed, scale=args.scale), spec.span
+        )
+        for name, spec in DATASETS.items()
+    }
+    return format_table2(rows)
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    config = _config(args)
+    if args.dataset or args.file:
+        names_networks = [_load_network(args)]
+    else:
+        names_networks = [
+            (name, spec.generate(seed=args.seed, scale=args.scale))
+            for name, spec in DATASETS.items()
+        ]
+    results = {}
+    for name, network in names_networks:
+        experiment = LinkPredictionExperiment(network, config)
+        results[name] = experiment.run_methods(args.methods)
+    return format_table3(results, methods=args.methods)
+
+
+def _cmd_ksweep(args: argparse.Namespace) -> str:
+    from repro.viz import line_chart
+
+    name, network = _load_network(args)
+    results = k_sweep(
+        network, config=_config(args), k_values=args.ks, method=args.method
+    )
+    table = format_k_sweep(results, dataset=name)
+    chart = line_chart(
+        {
+            "AUC": [(k, results[k].auc) for k in sorted(results)],
+            "F1": [(k, results[k].f1) for k in sorted(results)],
+        },
+        width=48,
+        height=10,
+    )
+    return table + "\n\n" + chart
+
+
+def _cmd_patterns(args: argparse.Namespace) -> str:
+    name, network = _load_network(args)
+    _, rendering = mine_frequent_pattern(
+        network, n_samples=args.samples, k=args.k, seed=args.seed
+    )
+    return f"most frequent pattern on {name}:\n{rendering}"
+
+
+def _cmd_motivating(args: argparse.Namespace) -> str:
+    return format_motivating_table(motivating_comparison())
+
+
+def _cmd_crossval(args: argparse.Namespace) -> str:
+    name, network = _load_network(args)
+    result = cross_validate_method(
+        network,
+        args.method,
+        config=_config(args),
+        n_folds=args.folds,
+        seed=args.seed,
+    )
+    return f"{name}: {result}"
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.experiments.report import generate_report
+
+    name, network = _load_network(args)
+    report = generate_report(network, name=name, config=_config(args))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        return f"report written to {args.output}"
+    return report
+
+
+def _cmd_recommend(args: argparse.Namespace) -> str:
+    from repro.core.feature import SSFConfig
+    from repro.recommend import LinkRecommender
+
+    name, network = _load_network(args)
+    recommender = LinkRecommender.fit(
+        network, config=SSFConfig(k=args.k), model=args.model, seed=args.seed
+    )
+    # node labels are strings after file IO; try both forms for catalogs
+    user = args.user
+    if not network.has_node(user):
+        try:
+            candidate = int(user)
+        except ValueError:
+            candidate = None
+        if candidate is not None and network.has_node(candidate):
+            user = candidate
+        else:
+            raise SystemExit(f"error: node {args.user!r} not in {name}")
+    suggestions = recommender.recommend(user, top_n=args.top)
+    lines = [f"top {args.top} suggestions for {user!r} on {name}:"]
+    lines.extend(f"  {s.node!r}  score={s.score:.3f}" for s in suggestions)
+    return "\n".join(lines)
+
+
+def _cmd_stream(args: argparse.Namespace) -> str:
+    from repro.core.feature import SSFConfig
+    from repro.streaming import StreamingSSFPredictor, prequential_evaluate
+
+    name, network = _load_network(args)
+    predictor = StreamingSSFPredictor(
+        SSFConfig(k=args.k),
+        model=args.model,
+        refit_every=args.refit_every,
+        seed=args.seed,
+    )
+    result = prequential_evaluate(
+        network, predictor, warmup_fraction=args.warmup
+    )
+    lines = [f"prequential streaming on {name}: mean AUC={result.mean_auc:.3f}"]
+    lines.extend(
+        f"  t={stamp:6.0f}  AUC={auc:.3f}"
+        for stamp, auc in zip(result.timestamps, result.aucs)
+    )
+    return "\n".join(lines)
+
+
+_HANDLERS = {
+    "stats": _cmd_stats,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "ksweep": _cmd_ksweep,
+    "patterns": _cmd_patterns,
+    "motivating": _cmd_motivating,
+    "crossval": _cmd_crossval,
+    "report": _cmd_report,
+    "recommend": _cmd_recommend,
+    "stream": _cmd_stream,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_HANDLERS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

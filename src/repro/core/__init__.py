@@ -1,0 +1,41 @@
+"""The paper's contribution: the Structure Subgraph Feature (SSF) pipeline.
+
+Pipeline stages (Secs. IV–V of the paper):
+
+1. :mod:`repro.core.distance` — node-to-target-link distances (Eq. 1).
+2. :mod:`repro.core.subgraph` — h-hop subgraph extraction (Def. 3).
+3. :mod:`repro.core.structure` — structure combination, Algorithm 1
+   (Defs. 4–6).
+4. :mod:`repro.core.palette_wl` — Palette-WL ordering, Algorithm 2.
+5. :mod:`repro.core.kstructure` — K-structure subgraph (Def. 7).
+6. :mod:`repro.core.influence` — exponential decay and normalized
+   influence (Defs. 8–9).
+7. :mod:`repro.core.feature` — SSF vector extraction, Algorithm 3
+   (Def. 10).
+"""
+
+from repro.core.distance import distances_to_link, node_link_distance
+from repro.core.feature import SSFConfig, SSFExtractor, ssf_feature_dim
+from repro.core.influence import link_influence, normalized_influence
+from repro.core.kstructure import KStructureSubgraph, extract_k_structure_subgraph
+from repro.core.palette_wl import palette_wl_order
+from repro.core.structure import StructureNode, StructureSubgraph, combine_structures
+from repro.core.subgraph import extract_h_hop_subgraph, h_hop_node_set
+
+__all__ = [
+    "distances_to_link",
+    "node_link_distance",
+    "extract_h_hop_subgraph",
+    "h_hop_node_set",
+    "StructureNode",
+    "StructureSubgraph",
+    "combine_structures",
+    "palette_wl_order",
+    "KStructureSubgraph",
+    "extract_k_structure_subgraph",
+    "link_influence",
+    "normalized_influence",
+    "SSFConfig",
+    "SSFExtractor",
+    "ssf_feature_dim",
+]

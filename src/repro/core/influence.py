@@ -1,0 +1,62 @@
+"""Temporal influence of links — Definitions 8–9 and Eq. 2–3 of the paper.
+
+A historical link that emerged at time ``l_s`` retains influence
+
+    f(l_t, l_s) = exp(-θ (l_t - l_s))                       (Eq. 2)
+
+at the prediction time ``l_t``, with damping factor ``θ ∈ (0, 1)``
+(the paper fixes ``θ = 0.5``).  All links collected by one structure link
+sum into a single **normalized influence** (Eq. 3), which becomes the
+adjacency-matrix entry of the normalized K-structure subgraph (Eq. 4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+DEFAULT_THETA = 0.5
+
+
+def link_influence(present_time: float, link_time: float, theta: float = DEFAULT_THETA) -> float:
+    """Remaining influence ``f(l_t, l_s)`` of one link (Eq. 2).
+
+    Args:
+        present_time: the prediction time ``l_t``.
+        link_time: the link's emergence time ``l_s`` (must not exceed
+            ``present_time`` — influence does not flow backwards).
+        theta: damping factor in ``(0, 1]``; larger decays faster.
+    """
+    _check_theta(theta)
+    if link_time > present_time:
+        raise ValueError(
+            f"link time {link_time} is after the present time {present_time}"
+        )
+    return math.exp(-theta * (present_time - link_time))
+
+
+def normalized_influence(
+    timestamps: Iterable[float],
+    present_time: float,
+    theta: float = DEFAULT_THETA,
+) -> float:
+    """Normalized influence of a structure link (Eq. 3).
+
+    Sums the decayed influence of every member-level link between two
+    structure nodes.  Empty ``timestamps`` yield 0, matching the zero
+    entry for absent structure links (Eq. 4).
+    """
+    _check_theta(theta)
+    total = 0.0
+    for ts in timestamps:
+        if ts > present_time:
+            raise ValueError(
+                f"link time {ts} is after the present time {present_time}"
+            )
+        total += math.exp(-theta * (present_time - ts))
+    return total
+
+
+def _check_theta(theta: float) -> None:
+    if not (0.0 < theta <= 1.0) or not math.isfinite(theta):
+        raise ValueError(f"theta must be in (0, 1], got {theta}")

@@ -1,0 +1,152 @@
+"""K-structure subgraph extraction — Definition 7 / Algorithm 3 (lines 1–8).
+
+Starting from ``h = 1``, the h-hop structure subgraph is grown until it
+contains at least ``K`` structure nodes (or the whole reachable component
+has been absorbed), Palette-WL orders are assigned, and the top-K
+structure nodes are selected.  The result is a fixed-size, canonically
+ordered view that the SSF adjacency matrix is read off from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.core.distance import distances_to_link
+from repro.core.palette_wl import palette_wl_order
+from repro.core.structure import StructureNode, StructureSubgraph, combine_structures
+from repro.graph.temporal import DynamicNetwork
+
+Node = Hashable
+
+
+@dataclass
+class KStructureSubgraph:
+    """The ordered top-K slice of an h-hop structure subgraph.
+
+    Attributes:
+        source: the h-hop structure subgraph the selection came from.
+        k: the requested number of structure nodes.
+        h: the hop radius at which the growth loop stopped.
+        selected: structure-node indices in order; ``selected[p]`` is the
+            structure node with Palette-WL order ``p + 1``.  May be shorter
+            than ``k`` when the whole reachable component holds fewer
+            structure nodes (the SSF matrix is then zero-padded).
+        distances: hop distance of each selected structure node to the
+            target link, aligned with ``selected``.
+    """
+
+    source: StructureSubgraph
+    k: int
+    h: int
+    selected: list[int]
+    distances: list[int]
+
+    def __post_init__(self) -> None:
+        if len(self.selected) < 2:
+            raise ValueError("selection must include both end structure nodes")
+        if self.selected[0] != 0 or self.selected[1] != 1:
+            raise ValueError("end structure nodes must hold orders 1 and 2")
+
+    def number_selected(self) -> int:
+        return len(self.selected)
+
+    def node(self, order: int) -> StructureNode:
+        """The structure node holding 1-based Palette-WL ``order``."""
+        return self.source.nodes[self.selected[order - 1]]
+
+    def has_link(self, order_m: int, order_n: int) -> bool:
+        """Whether a structure link connects the nodes at these orders."""
+        return self.source.has_structure_link(
+            self.selected[order_m - 1], self.selected[order_n - 1]
+        )
+
+    def link_timestamps(self, order_m: int, order_n: int) -> tuple[float, ...]:
+        """All member-level link timestamps between two selected nodes."""
+        return self.source.link_timestamps(
+            self.selected[order_m - 1], self.selected[order_n - 1]
+        )
+
+    def link_count(self, order_m: int, order_n: int) -> int:
+        return len(self.link_timestamps(order_m, order_n))
+
+
+def extract_k_structure_subgraph(
+    network: DynamicNetwork,
+    a: Node,
+    b: Node,
+    k: int,
+    max_hop: "int | None" = None,
+    edge_length: "Callable[[StructureSubgraph, int, int], float] | None" = None,
+    tie_break: "Callable[[StructureSubgraph], list[float]] | None" = None,
+    initial_scores: "Callable[[StructureSubgraph], list[float]] | None" = None,
+) -> KStructureSubgraph:
+    """Grow ``h`` until the structure subgraph holds >= ``k`` structure
+    nodes, order it with Palette-WL, and select the top ``k``.
+
+    Args:
+        network: the observed network ``G_[tp, tq)``.
+        a: first end node of the target link (must be in ``network``).
+        b: second end node.
+        k: number of structure nodes to select (>= 2).
+        max_hop: optional cap on the growth radius; defaults to growing
+            until the whole reachable component is absorbed.
+        edge_length: optional structure-link length function
+            ``(subgraph, i, j) -> float`` used by the Palette-WL initial
+            ordering; the paper's footnote 1 uses reciprocal normalized
+            influence (see :class:`~repro.core.feature.SSFExtractor`).
+            ``None`` uses unit (hop) lengths.
+        tie_break: optional ``subgraph -> per-node scores`` (lower =
+            earlier) ordering WL-tied structure nodes, e.g. by influence
+            strength toward the end nodes.
+        initial_scores: optional ``subgraph -> per-node scores``
+            overriding the Palette-WL initial ordering entirely
+            (Algorithm 2 line 1); takes precedence over ``edge_length``.
+
+    Returns:
+        The ordered selection; ``len(selected) < k`` only when the
+        component around the target link is too small.
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+
+    member_distances = distances_to_link(network, a, b, max_hop=max_hop)
+    reachable = len(member_distances)
+    max_distance = max(member_distances.values())
+
+    h = 0
+    subgraph: "StructureSubgraph | None" = None
+    while True:
+        h += 1
+        node_set = {n for n, d in member_distances.items() if d <= h}
+        subgraph = combine_structures(network, node_set, a, b)
+        enough = subgraph.number_of_structure_nodes() >= k
+        exhausted = len(node_set) == reachable or h >= max_distance
+        if enough or exhausted:
+            break
+
+    bound_length = None
+    if edge_length is not None:
+        final_subgraph = subgraph
+
+        def bound_length(i: int, j: int) -> float:
+            return edge_length(final_subgraph, i, j)
+
+    tie_break_scores = tie_break(subgraph) if tie_break is not None else None
+    scores = initial_scores(subgraph) if initial_scores is not None else None
+    order = palette_wl_order(
+        subgraph,
+        initial_scores=scores,
+        edge_length=bound_length,
+        tie_break=tie_break_scores,
+    )
+    by_order = sorted(range(len(order)), key=lambda i: order[i])
+    selected = by_order[: min(k, len(by_order))]
+    structure_distances = subgraph.distances_to_target()
+    return KStructureSubgraph(
+        source=subgraph,
+        k=k,
+        h=h,
+        selected=selected,
+        distances=[structure_distances[i] for i in selected],
+    )

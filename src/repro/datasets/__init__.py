@@ -1,0 +1,25 @@
+"""Dynamic-network datasets: synthetic generators and file loaders.
+
+The paper evaluates on 7 public dynamic networks (Table II).  Those files
+are not available offline, so :mod:`repro.datasets.synthetic` provides a
+temporal event-model generator whose knobs (partner repetition, triadic
+closure, preferential attachment, community structure, final-burst mass)
+reproduce each network's topological family, and
+:mod:`repro.datasets.catalog` pins one calibrated configuration per
+dataset.  :mod:`repro.datasets.loaders` runs the same pipeline on real
+KONECT/TSV files when they are present.
+"""
+
+from repro.datasets.catalog import DATASETS, DatasetSpec, dataset_statistics, get_dataset
+from repro.datasets.loaders import load_dataset_file
+from repro.datasets.synthetic import EventModelConfig, generate_event_network
+
+__all__ = [
+    "EventModelConfig",
+    "generate_event_network",
+    "DatasetSpec",
+    "DATASETS",
+    "get_dataset",
+    "dataset_statistics",
+    "load_dataset_file",
+]

@@ -1,0 +1,58 @@
+"""Loading real dataset files through the same pipeline.
+
+When the paper's actual network dumps are available (KONECT ``out.*``
+files or plain ``u v timestamp`` TSVs), :func:`load_dataset_file` reads
+them into a :class:`~repro.graph.temporal.DynamicNetwork` with the paper's
+timestamp normalisation: raw (usually UNIX-epoch) timestamps are rescaled
+onto the integers ``1..span`` (Sec. VI-A: "the number of different
+timestamps of these networks are normalized according to the time span").
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro.graph.io import read_edge_list
+from repro.graph.temporal import DynamicNetwork
+
+
+def normalize_timestamps(network: DynamicNetwork, span: int) -> DynamicNetwork:
+    """Rescale raw timestamps onto the integer grid ``1..span``.
+
+    The earliest link maps to 1 and the latest to ``span``; intermediate
+    stamps are binned proportionally, reproducing the paper's "803 hours →
+    timestamps in [1, 803]" convention.
+    """
+    if span < 1:
+        raise ValueError(f"span must be >= 1, got {span}")
+    if network.number_of_links() == 0:
+        return network.copy()
+    first = network.first_timestamp()
+    last = network.last_timestamp()
+    width = last - first
+    out = DynamicNetwork()
+    for u, v, ts in network.edges():
+        if width == 0:
+            stamp = span
+        else:
+            stamp = 1 + math.floor((ts - first) / width * (span - 1) + 0.5)
+        out.add_edge(u, v, float(min(max(stamp, 1), span)))
+    return out
+
+
+def load_dataset_file(
+    path: "str | os.PathLike[str]",
+    span: "int | None" = None,
+) -> DynamicNetwork:
+    """Load a timestamped edge list, optionally normalising timestamps.
+
+    Args:
+        path: TSV (``u v ts``) or KONECT (``u v w ts``) file.
+        span: when given, rescale timestamps onto ``1..span`` (use the
+            Table II time-span values to match the paper's protocol).
+    """
+    network = read_edge_list(path)
+    if span is not None:
+        network = normalize_timestamps(network, span)
+    return network

@@ -1,0 +1,44 @@
+"""Experiment harness: the paper's evaluation (Tables I–III, Figs. 1/6/7)."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import (
+    FEATURE_METHODS,
+    METHOD_ORDER,
+    RANKING_METHODS,
+    MethodResult,
+)
+from repro.experiments.runner import (
+    LinkPredictionExperiment,
+    run_dataset,
+    run_table3,
+)
+from repro.experiments.figures import k_sweep, mine_frequent_pattern
+from repro.experiments.motivating import (
+    build_celebrity_network,
+    motivating_comparison,
+)
+from repro.experiments.tables import (
+    TABLE1_ROWS,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "MethodResult",
+    "METHOD_ORDER",
+    "RANKING_METHODS",
+    "FEATURE_METHODS",
+    "LinkPredictionExperiment",
+    "run_dataset",
+    "run_table3",
+    "k_sweep",
+    "mine_frequent_pattern",
+    "build_celebrity_network",
+    "motivating_comparison",
+    "TABLE1_ROWS",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+]

@@ -1,0 +1,60 @@
+"""Figure regenerators: the Fig. 7 K sweep and the Fig. 6 pattern report."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import MethodResult
+from repro.experiments.runner import LinkPredictionExperiment
+from repro.graph.temporal import DynamicNetwork
+from repro.patterns.mining import PatternStatistics, mine_patterns, most_frequent_pattern
+from repro.patterns.render import render_pattern
+
+#: the K values swept in Fig. 7
+DEFAULT_K_VALUES: tuple[int, ...] = (5, 10, 15, 20)
+
+
+def k_sweep(
+    network: DynamicNetwork,
+    *,
+    config: "ExperimentConfig | None" = None,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    method: str = "SSFNM",
+) -> dict[int, MethodResult]:
+    """AUC/F1 of one SSF method across K values (Fig. 7).
+
+    The split is held fixed (same seed) so only K varies.
+    """
+    base = config or ExperimentConfig()
+    out: dict[int, MethodResult] = {}
+    for k in k_values:
+        experiment = LinkPredictionExperiment(network, base.with_k(k))
+        out[k] = experiment.run_method(method)
+    return out
+
+
+def format_k_sweep(results: Mapping[int, MethodResult], dataset: str = "") -> str:
+    """Render a K sweep as one text block (one Fig. 7 panel)."""
+    title = f"K sweep{' on ' + dataset if dataset else ''}"
+    lines = [title, f"{'K':>4s} {'AUC':>7s} {'F1':>7s}"]
+    for k in sorted(results):
+        result = results[k]
+        lines.append(f"{k:4d} {result.auc:7.3f} {result.f1:7.3f}")
+    return "\n".join(lines)
+
+
+def mine_frequent_pattern(
+    network: DynamicNetwork,
+    *,
+    n_samples: int = 2000,
+    k: int = 10,
+    seed: int = 0,
+) -> tuple[PatternStatistics, str]:
+    """The most frequent K-structure-subgraph pattern plus its rendering.
+
+    This is one panel of Fig. 6 (the paper shows Facebook and Co-author).
+    """
+    stats = mine_patterns(network, n_samples=n_samples, k=k, seed=seed)
+    top = most_frequent_pattern(stats)
+    return top, render_pattern(top, k)

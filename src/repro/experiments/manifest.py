@@ -1,0 +1,101 @@
+"""Reproducibility manifests for experiment runs.
+
+A manifest freezes everything needed to re-obtain a result: the library
+version, the numeric-stack versions, the experiment configuration, the
+dataset fingerprint and the split summary.  Attach one to any saved
+result file and a later session can verify it is comparing like with
+like.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict
+from typing import Any
+
+from repro.experiments.config import ExperimentConfig
+from repro.graph.hashing import network_fingerprint
+from repro.graph.temporal import DynamicNetwork
+from repro.sampling.splits import LinkPredictionTask
+
+MANIFEST_VERSION = 1
+
+
+def build_manifest(
+    network: DynamicNetwork,
+    config: ExperimentConfig,
+    task: "LinkPredictionTask | None" = None,
+    extra: "dict[str, Any] | None" = None,
+) -> dict:
+    """Collect the reproducibility record for one experiment run."""
+    import numpy
+    import scipy
+
+    import repro
+
+    manifest: dict[str, Any] = {
+        "manifest_version": MANIFEST_VERSION,
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "config": asdict(config),
+        "network": {
+            "fingerprint": network_fingerprint(network),
+            "nodes": network.number_of_nodes(),
+            "links": network.number_of_links(),
+        },
+    }
+    if task is not None:
+        manifest["task"] = task.summary()
+        manifest["task"]["metadata"] = dict(task.metadata)
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def write_manifest(manifest: dict, path) -> None:
+    """Write a manifest as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True, default=str)
+        fh.write("\n")
+
+
+def verify_manifest(manifest: dict, network: DynamicNetwork) -> list[str]:
+    """Check a stored manifest against the present environment/network.
+
+    Returns:
+        Human-readable mismatch descriptions (empty = everything checks
+        out).  Version drifts are reported but — unlike a fingerprint
+        mismatch — usually benign.
+    """
+    import numpy
+
+    import repro
+
+    problems: list[str] = []
+    if manifest.get("manifest_version") != MANIFEST_VERSION:
+        problems.append(
+            f"manifest version {manifest.get('manifest_version')!r} "
+            f"!= supported {MANIFEST_VERSION}"
+        )
+        return problems
+    expected = manifest.get("network", {}).get("fingerprint")
+    actual = network_fingerprint(network)
+    if expected != actual:
+        problems.append(
+            f"network fingerprint mismatch: stored {expected!r:.20}..., "
+            f"present {actual!r:.20}..."
+        )
+    if manifest.get("repro_version") != repro.__version__:
+        problems.append(
+            f"repro version drift: stored {manifest.get('repro_version')}, "
+            f"running {repro.__version__}"
+        )
+    if manifest.get("numpy") != numpy.__version__:
+        problems.append(
+            f"numpy version drift: stored {manifest.get('numpy')}, "
+            f"running {numpy.__version__}"
+        )
+    return problems

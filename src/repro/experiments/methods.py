@@ -1,0 +1,123 @@
+"""The 15 link-prediction methods of Table III, as a registry.
+
+Three families (Sec. VI-C1):
+
+* ranking methods — an unsupervised :class:`~repro.baselines.base.LinkScorer`
+  calibrated by :class:`~repro.models.ranking.ThresholdClassifier`
+  (CN, Jac., PA, AA, RA, rWRA, Katz, RW, NMF),
+* linear-regression feature methods — WLLR, SSFLR-W, SSFLR,
+* neural-machine feature methods — WLNM, SSFNM-W, SSFNM.
+
+Feature methods are declared as ``(feature_kind, model_kind)``; the
+runner resolves feature kinds to cached feature matrices so SSF variants
+share one subgraph extraction per link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines import (
+    AdamicAdar,
+    CommonNeighbors,
+    Jaccard,
+    Katz,
+    LinkScorer,
+    LocalPath,
+    LocalRandomWalk,
+    NMFLinkPredictor,
+    PreferentialAttachment,
+    RecentActivity,
+    ReliableWeightedResourceAllocation,
+    ResourceAllocation,
+    SpectralEmbedding,
+    TemporalNMF,
+    TemporalCommonNeighbors,
+    TemporalResourceAllocation,
+)
+from repro.experiments.config import ExperimentConfig
+
+#: Table III row order.
+METHOD_ORDER: tuple[str, ...] = (
+    "CN",
+    "Jac.",
+    "PA",
+    "AA",
+    "RA",
+    "rWRA",
+    "Katz",
+    "RW",
+    "NMF",
+    "WLLR",
+    "SSFLR-W",
+    "WLNM",
+    "SSFNM-W",
+    "SSFLR",
+    "SSFNM",
+)
+
+#: ranking-model methods: name -> scorer factory taking the config
+RANKING_METHODS: dict[str, Callable[[ExperimentConfig], LinkScorer]] = {
+    "CN": lambda cfg: CommonNeighbors(),
+    "Jac.": lambda cfg: Jaccard(),
+    "PA": lambda cfg: PreferentialAttachment(),
+    "AA": lambda cfg: AdamicAdar(),
+    "RA": lambda cfg: ResourceAllocation(),
+    "rWRA": lambda cfg: ReliableWeightedResourceAllocation(),
+    "Katz": lambda cfg: Katz(beta=cfg.katz_beta),
+    "RW": lambda cfg: LocalRandomWalk(steps=cfg.rw_steps),
+    "NMF": lambda cfg: NMFLinkPredictor(
+        rank=cfg.nmf_rank, max_iter=cfg.nmf_iterations, seed=cfg.seed
+    ),
+    # ---- extensions beyond the paper's Table III (ablations) ----
+    "LP": lambda cfg: LocalPath(),
+    "tCN": lambda cfg: TemporalCommonNeighbors(theta=cfg.theta),
+    "tRA": lambda cfg: TemporalResourceAllocation(theta=cfg.theta),
+    "tPA": lambda cfg: RecentActivity(theta=cfg.theta),
+    "tNMF": lambda cfg: TemporalNMF(
+        rank=cfg.nmf_rank, theta=cfg.theta, max_iter=cfg.nmf_iterations,
+        seed=cfg.seed,
+    ),
+    "Spectral": lambda cfg: SpectralEmbedding(rank=cfg.nmf_rank),
+}
+
+#: extension methods NOT in the paper's Table III (see baselines.temporal)
+EXTENDED_METHODS: tuple[str, ...] = ("LP", "tCN", "tRA", "tPA", "tNMF", "Spectral")
+
+#: feature-model methods: name -> (feature kind, model kind)
+#: feature kinds: "wlf" | "ssf" (influence entries) | "ssf_w" (count entries)
+#: model kinds: "linear" | "neural"
+FEATURE_METHODS: dict[str, tuple[str, str]] = {
+    "WLLR": ("wlf", "linear"),
+    "WLNM": ("wlf", "neural"),
+    "SSFLR": ("ssf", "linear"),
+    "SSFNM": ("ssf", "neural"),
+    "SSFLR-W": ("ssf_w", "linear"),
+    "SSFNM-W": ("ssf_w", "neural"),
+}
+
+
+@dataclass
+class MethodResult:
+    """AUC/F1 of one method on one dataset (one Table III cell pair)."""
+
+    method: str
+    auc: float
+    f1: float
+    extras: dict = field(default_factory=dict)
+
+    def as_row(self) -> tuple[str, float, float]:
+        return (self.method, round(self.auc, 3), round(self.f1, 3))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.method}: AUC={self.auc:.3f} F1={self.f1:.3f}"
+
+
+def validate_method_name(name: str) -> str:
+    """Raise with the available names when ``name`` is unknown."""
+    if name not in RANKING_METHODS and name not in FEATURE_METHODS:
+        raise KeyError(
+            f"unknown method {name!r}; available: {', '.join(METHOD_ORDER)}"
+        )
+    return name

@@ -1,0 +1,222 @@
+"""Running methods on datasets — the engine behind Table III and Fig. 7.
+
+:class:`LinkPredictionExperiment` owns one dataset's split and a feature
+cache; methods are evaluated on demand.  Feature kinds map to extractor
+runs, and the two SSF variants ("ssf" influence entries, "ssf_w" count
+entries) share a single K-structure-subgraph extraction per link via
+:meth:`~repro.core.feature.SSFExtractor.extract_multi`.
+
+Module-level helpers :func:`run_dataset` and :func:`run_table3` regenerate
+entire table columns / the full table.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines import WLFExtractor
+from repro.core.feature import SSFConfig, SSFExtractor
+from repro.datasets.catalog import DatasetSpec, get_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import (
+    FEATURE_METHODS,
+    METHOD_ORDER,
+    RANKING_METHODS,
+    MethodResult,
+    validate_method_name,
+)
+from repro.graph.temporal import DynamicNetwork
+from repro.metrics.classification import f1_score, roc_auc_score
+from repro.models.linear import LinearRegressionModel
+from repro.models.neural import NeuralMachine
+from repro.models.ranking import ThresholdClassifier
+from repro.sampling.splits import LinkPredictionTask, build_link_prediction_task
+
+#: the feature kinds the cache understands
+_FEATURE_KINDS = ("wlf", "ssf", "ssf_w")
+
+
+class LinkPredictionExperiment:
+    """One dataset, one split, all methods.
+
+    Example:
+        >>> from repro.datasets import get_dataset
+        >>> net = get_dataset("co-author").generate(seed=0, scale=0.2)
+        >>> exp = LinkPredictionExperiment(net, ExperimentConfig().fast())
+        >>> result = exp.run_method("CN")
+        >>> 0.0 <= result.auc <= 1.0
+        True
+    """
+
+    def __init__(
+        self,
+        network: DynamicNetwork,
+        config: "ExperimentConfig | None" = None,
+        task: "LinkPredictionTask | None" = None,
+    ) -> None:
+        """Args:
+        network: the full dynamic network (history + final timestamp).
+        config: hyper-parameters; defaults to :class:`ExperimentConfig`.
+        task: a pre-built split (otherwise built from ``network`` with
+            the config's split settings).
+        """
+        self.config = config or ExperimentConfig()
+        self.network = network
+        self.task = task or build_link_prediction_task(
+            network,
+            train_fraction=self.config.train_fraction,
+            negative_ratio=self.config.negative_ratio,
+            exclude_history_negatives=self.config.exclude_history_negatives,
+            max_positives=self.config.max_positives,
+            seed=self.config.seed,
+        )
+        self._feature_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # feature extraction (cached)
+    # ------------------------------------------------------------------
+    def feature_matrices(self, kind: str) -> tuple[np.ndarray, np.ndarray]:
+        """(train, test) feature matrices for a feature kind.
+
+        ``"ssf"`` and ``"ssf_w"`` are computed together on first request.
+        """
+        if kind not in _FEATURE_KINDS:
+            raise ValueError(f"unknown feature kind {kind!r}; one of {_FEATURE_KINDS}")
+        cached = self._feature_cache.get(kind)
+        if cached is not None:
+            return cached
+
+        if kind == "wlf":
+            extractor = WLFExtractor(self.task.history, k=self.config.k)
+            self._feature_cache["wlf"] = (
+                extractor.extract_batch(self.task.train_pairs),
+                extractor.extract_batch(self.task.test_pairs),
+            )
+        else:
+            self._extract_ssf_features()
+        return self._feature_cache[kind]
+
+    def _extract_ssf_features(self) -> None:
+        """Fill the cache for both SSF variants with shared extraction."""
+        from repro.core.parallel import parallel_extract_batch
+
+        config = SSFConfig(k=self.config.k, theta=self.config.theta)
+        # "temporal" entries are the SSF default (see repro.core.feature);
+        # "count" entries are the static SSF-W variant's 0/k encoding.
+        modes = ("temporal", "count")
+
+        def batch(pairs: Sequence[tuple]) -> dict[str, np.ndarray]:
+            return parallel_extract_batch(
+                self.task.history,
+                config,
+                pairs,
+                present_time=self.task.present_time,
+                modes=modes,
+                workers=self.config.n_jobs,
+            )
+
+        train = batch(self.task.train_pairs)
+        test = batch(self.task.test_pairs)
+        self._feature_cache["ssf"] = (train["temporal"], test["temporal"])
+        self._feature_cache["ssf_w"] = (train["count"], test["count"])
+
+    # ------------------------------------------------------------------
+    # method evaluation
+    # ------------------------------------------------------------------
+    def run_method(self, name: str) -> MethodResult:
+        """Evaluate one Table III method on this experiment's split."""
+        validate_method_name(name)
+        if name in RANKING_METHODS:
+            return self._run_ranking(name)
+        return self._run_feature_model(name)
+
+    def run_methods(
+        self, names: "Sequence[str] | None" = None
+    ) -> dict[str, MethodResult]:
+        """Evaluate several methods (defaults to the full Table III set)."""
+        return {name: self.run_method(name) for name in (names or METHOD_ORDER)}
+
+    def _run_ranking(self, name: str) -> MethodResult:
+        scorer = RANKING_METHODS[name](self.config)
+        classifier = ThresholdClassifier(scorer).fit(
+            self.task.history, self.task.train_pairs, self.task.train_labels
+        )
+        scores = classifier.decision_scores(self.task.test_pairs)
+        predictions = classifier.predict(self.task.test_pairs)
+        return self._result(name, scores, predictions, threshold=classifier.threshold)
+
+    def _run_feature_model(self, name: str) -> MethodResult:
+        feature_kind, model_kind = FEATURE_METHODS[name]
+        x_train, x_test = self.feature_matrices(feature_kind)
+        if model_kind == "linear":
+            model = LinearRegressionModel().fit(x_train, self.task.train_labels)
+        else:
+            model = NeuralMachine(
+                input_dim=x_train.shape[1],
+                learning_rate=self.config.learning_rate,
+                batch_size=self.config.batch_size,
+                epochs=self.config.epochs,
+                seed=self.config.seed,
+            ).fit(x_train, self.task.train_labels)
+        scores = model.decision_scores(x_test)
+        predictions = model.predict(x_test)
+        return self._result(name, scores, predictions)
+
+    def _result(
+        self,
+        name: str,
+        scores: np.ndarray,
+        predictions: np.ndarray,
+        **extras,
+    ) -> MethodResult:
+        labels = self.task.test_labels
+        return MethodResult(
+            method=name,
+            auc=roc_auc_score(labels, scores),
+            f1=f1_score(labels, predictions),
+            # raw test scores feed the significance testing downstream
+            extras=dict(extras, test_scores=scores),
+        )
+
+
+def run_dataset(
+    dataset: "str | DatasetSpec | DynamicNetwork",
+    *,
+    config: "ExperimentConfig | None" = None,
+    methods: "Sequence[str] | None" = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> dict[str, MethodResult]:
+    """All (or selected) methods on one dataset.
+
+    ``dataset`` may be a catalog name, a :class:`DatasetSpec`, or an
+    already-built network.
+    """
+    if isinstance(dataset, DynamicNetwork):
+        network = dataset
+    else:
+        spec = get_dataset(dataset) if isinstance(dataset, str) else dataset
+        network = spec.generate(seed=seed, scale=scale)
+    experiment = LinkPredictionExperiment(network, config)
+    return experiment.run_methods(methods)
+
+
+def run_table3(
+    datasets: "Sequence[str] | None" = None,
+    *,
+    config: "ExperimentConfig | None" = None,
+    methods: "Sequence[str] | None" = None,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> dict[str, dict[str, MethodResult]]:
+    """Regenerate Table III: ``{dataset: {method: result}}``."""
+    from repro.datasets.catalog import DATASETS
+
+    out: dict[str, dict[str, MethodResult]] = {}
+    for name in datasets or list(DATASETS):
+        out[name] = run_dataset(
+            name, config=config, methods=methods, seed=seed, scale=scale
+        )
+    return out

@@ -1,0 +1,135 @@
+"""Paired-bootstrap significance testing for method comparisons.
+
+Single-split AUC differences of a few points (most of Table III's
+margins) can be noise.  The paired bootstrap quantifies that: resample
+the *same* test items for both methods, recompute the AUC difference per
+resample, and read off a confidence interval and a two-sided p-value for
+"method A beats method B".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import LinkPredictionExperiment
+from repro.metrics.classification import roc_auc_score
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of one paired-bootstrap comparison (A minus B)."""
+
+    method_a: str
+    method_b: str
+    auc_a: float
+    auc_b: float
+    delta: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+    n_bootstrap: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI of the difference excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "significant" if self.significant else "not significant"
+        return (
+            f"{self.method_a} vs {self.method_b}: "
+            f"ΔAUC={self.delta:+.3f} "
+            f"[{self.ci_low:+.3f}, {self.ci_high:+.3f}] "
+            f"p={self.p_value:.3f} ({verdict})"
+        )
+
+
+def bootstrap_auc_difference(
+    labels: np.ndarray,
+    scores_a: np.ndarray,
+    scores_b: np.ndarray,
+    *,
+    n_bootstrap: int = 1000,
+    seed: "int | np.random.Generator | None" = 0,
+) -> tuple[float, float, float, float]:
+    """Paired bootstrap of ``AUC(a) - AUC(b)`` on a shared test set.
+
+    Returns:
+        ``(delta, ci_low, ci_high, p_value)`` — the observed difference,
+        its 95% percentile interval, and the two-sided bootstrap p-value.
+
+    Resamples that lose one of the classes are redrawn (they make AUC
+    undefined); pathological label vectors therefore still terminate.
+    """
+    labels = np.asarray(labels)
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if not (labels.shape == scores_a.shape == scores_b.shape):
+        raise ValueError("labels and both score arrays must align")
+    if n_bootstrap < 10:
+        raise ValueError(f"n_bootstrap must be >= 10, got {n_bootstrap}")
+    rng = ensure_rng(seed)
+
+    observed = roc_auc_score(labels, scores_a) - roc_auc_score(labels, scores_b)
+    n = len(labels)
+    deltas = np.empty(n_bootstrap)
+    filled = 0
+    attempts = 0
+    while filled < n_bootstrap:
+        attempts += 1
+        if attempts > 20 * n_bootstrap:
+            raise RuntimeError("bootstrap could not draw two-class resamples")
+        idx = rng.integers(0, n, size=n)
+        resampled = labels[idx]
+        if resampled.min() == resampled.max():
+            continue
+        deltas[filled] = roc_auc_score(resampled, scores_a[idx]) - roc_auc_score(
+            resampled, scores_b[idx]
+        )
+        filled += 1
+
+    ci_low, ci_high = np.percentile(deltas, (2.5, 97.5))
+    # two-sided p: how often the bootstrap difference crosses zero
+    tail = min((deltas <= 0).mean(), (deltas >= 0).mean())
+    p_value = min(1.0, 2.0 * tail)
+    return float(observed), float(ci_low), float(ci_high), float(p_value)
+
+
+def compare_methods(
+    experiment: LinkPredictionExperiment,
+    method_a: str,
+    method_b: str,
+    *,
+    n_bootstrap: int = 1000,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Run two methods on one experiment's test split and bootstrap the
+    AUC difference.
+
+    The runner records each method's raw test scores in
+    ``MethodResult.extras["test_scores"]``, which this reuses directly.
+    """
+    result_a = experiment.run_method(method_a)
+    result_b = experiment.run_method(method_b)
+    labels = experiment.task.test_labels
+    delta, lo, hi, p = bootstrap_auc_difference(
+        labels,
+        result_a.extras["test_scores"],
+        result_b.extras["test_scores"],
+        n_bootstrap=n_bootstrap,
+        seed=seed,
+    )
+    return ComparisonResult(
+        method_a=method_a,
+        method_b=method_b,
+        auc_a=result_a.auc,
+        auc_b=result_b.auc,
+        delta=delta,
+        ci_low=lo,
+        ci_high=hi,
+        p_value=p,
+        n_bootstrap=n_bootstrap,
+    )

@@ -1,0 +1,102 @@
+"""Text renderers for the paper's tables.
+
+* Table I — feature comparison (formulas, universal/dynamic flags),
+* Table II — dataset statistics,
+* Table III — AUC/F1 of every method on every dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.methods import METHOD_ORDER, MethodResult
+
+#: Table I rows: (name, formula, universal?, dynamic?).
+TABLE1_ROWS: tuple[tuple[str, str, bool, bool], ...] = (
+    ("CN", "|Γx ∩ Γy|", False, False),
+    ("PA", "|Γx| · |Γy|", False, False),
+    ("Jac.", "|Γx ∩ Γy| / |Γx ∪ Γy|", False, False),
+    ("AA", "Σ_z 1/log|Γz|", False, False),
+    ("RA", "Σ_z 1/|Γz|", False, False),
+    ("RW", "p_x^t = M^T p_x^{t-1}", False, False),
+    ("Katz", "Σ_l β^l (A^l)_xy", False, False),
+    ("rWRA", "Σ_z Wxz·Wyz / Sz", False, True),
+    ("WLF", "link feature vector", True, False),
+    ("SSF (our work)", "link feature vector", True, True),
+)
+
+
+def format_table1() -> str:
+    """Render Table I (static metadata; the flags are the paper's claim)."""
+    lines = [f"{'feature':16s} {'formula':28s} {'universal':>9s} {'dynamic':>8s}"]
+    lines.append("-" * 64)
+    for name, formula, universal, dynamic in TABLE1_ROWS:
+        lines.append(
+            f"{name:16s} {formula:28s} {_flag(universal):>9s} {_flag(dynamic):>8s}"
+        )
+    return "\n".join(lines)
+
+
+def _flag(value: bool) -> str:
+    return "yes" if value else "no"
+
+
+def format_table2(rows: Mapping[str, Mapping]) -> str:
+    """Render Table II from ``{dataset: statistics-dict}`` rows.
+
+    Statistics dicts are the output of
+    :func:`repro.datasets.catalog.dataset_statistics`.
+    """
+    lines = [
+        f"{'dataset':10s} {'|V|':>6s} {'|E|':>8s} {'avg deg':>8s} {'span':>6s}"
+    ]
+    lines.append("-" * 44)
+    for name, stats in rows.items():
+        lines.append(
+            f"{name:10s} {stats['nodes']:6d} {stats['links']:8d} "
+            f"{stats['avg_degree']:8.2f} {stats['time_span']:6d}"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(
+    results: Mapping[str, Mapping[str, MethodResult]],
+    methods: "Sequence[str] | None" = None,
+) -> str:
+    """Render Table III from ``{dataset: {method: MethodResult}}``.
+
+    Datasets become column pairs (AUC, F1); methods become rows in the
+    paper's order.  The best AUC and F1 per dataset are marked ``*``.
+    """
+    datasets = list(results)
+    requested = list(methods or METHOD_ORDER)
+    # canonical Table III row order; extension methods follow, as given
+    canonical = {name: i for i, name in enumerate(METHOD_ORDER)}
+    requested.sort(key=lambda m: canonical.get(m, len(canonical)))
+    method_names = [
+        m for m in requested if all(m in results[d] for d in datasets)
+    ]
+    if not method_names:
+        raise ValueError("no method evaluated on every dataset")
+
+    best_auc = {
+        d: max(results[d][m].auc for m in method_names) for d in datasets
+    }
+    best_f1 = {d: max(results[d][m].f1 for m in method_names) for d in datasets}
+
+    header = f"{'method':9s}"
+    for d in datasets:
+        header += f" | {d[:13]:>13s}"
+    sub = f"{'':9s}"
+    for _ in datasets:
+        sub += f" | {'AUC':>6s} {'F1':>6s}"
+    lines = [header, sub, "-" * len(sub)]
+    for m in method_names:
+        row = f"{m:9s}"
+        for d in datasets:
+            result = results[d][m]
+            auc_mark = "*" if result.auc == best_auc[d] else " "
+            f1_mark = "*" if result.f1 == best_f1[d] else " "
+            row += f" | {result.auc:5.3f}{auc_mark}{result.f1:5.3f}{f1_mark}"
+        lines.append(row)
+    return "\n".join(lines)

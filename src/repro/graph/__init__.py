@@ -1,0 +1,7 @@
+"""Graph substrate: temporal multigraphs (Def. 1), static projections, IO."""
+
+from repro.graph.hashing import network_fingerprint
+from repro.graph.static import StaticGraph
+from repro.graph.temporal import DynamicNetwork, TemporalEdge
+
+__all__ = ["DynamicNetwork", "TemporalEdge", "StaticGraph", "network_fingerprint"]

@@ -1,0 +1,38 @@
+"""Content hashing of dynamic networks.
+
+A stable fingerprint over the (node, node, timestamp) multiset lets
+experiment manifests record exactly which network produced a result, and
+lets caches detect staleness.  The hash is invariant to node insertion
+order and edge direction, and sensitive to multiplicities and
+timestamps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.graph.temporal import DynamicNetwork
+
+
+def network_fingerprint(network: DynamicNetwork) -> str:
+    """A hex SHA-256 over the canonicalised edge multiset.
+
+    Canonical form: every link rendered as ``repr(u)|repr(v)|ts`` with
+    the endpoint reprs sorted within the link, the whole list sorted.
+    Two networks compare equal under ``==`` iff their fingerprints match
+    (up to repr collisions between distinct node objects, which the
+    substrate's label conventions avoid).
+    """
+    lines = []
+    for u, v, ts in network.edges():
+        a, b = sorted((repr(u), repr(v)))
+        lines.append(f"{a}|{b}|{ts!r}")
+    for node in network.nodes:
+        if network.simple_degree(node) == 0:
+            lines.append(f"isolated|{node!r}")
+    lines.sort()
+    digest = hashlib.sha256()
+    for line in lines:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()

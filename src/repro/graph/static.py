@@ -1,0 +1,175 @@
+"""Simple undirected graph used by the static baselines.
+
+The paper evaluates eight heuristic baselines (CN, Jaccard, PA, AA, RA,
+rWRA, Katz, RW) and NMF on the "static version" of each dynamic network:
+timestamps are ignored and multi-links collapse to a single edge
+(Sec. VI-C2).  :class:`StaticGraph` is that projection, with the dense
+linear-algebra exports (adjacency matrix, node indexing) the path-based
+baselines need.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+Node = Hashable
+
+
+class StaticGraph:
+    """Simple undirected graph backed by neighbour sets.
+
+    Example:
+        >>> g = StaticGraph()
+        >>> g.add_edge(1, 2)
+        >>> g.add_edge(2, 3)
+        >>> sorted(g.neighbors(2))
+        [1, 3]
+        >>> g.degree(2)
+        2
+    """
+
+    def __init__(self, edges: "Iterable[tuple[Node, Node]] | None" = None) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the edge ``u — v`` (idempotent; self-loops rejected)."""
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (node {u!r})")
+        row_u = self._adj.setdefault(u, set())
+        row_v = self._adj.setdefault(v, set())
+        if v not in row_u:
+            row_u.add(v)
+            row_v.add(u)
+            self._num_edges += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        if v not in self._adj.get(u, ()):
+            raise KeyError(f"no edge between {u!r} and {v!r}")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return v in self._adj.get(u, ())
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._adj)
+
+    def number_of_nodes(self) -> int:
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        return self._num_edges
+
+    def neighbors(self, node: Node) -> set[Node]:
+        """The open neighbourhood ``Γ(node)``; a defensive copy."""
+        try:
+            return set(self._adj[node])
+        except KeyError:
+            raise KeyError(f"node {node!r} not in graph") from None
+
+    def neighbor_view(self, node: Node) -> frozenset[Node]:
+        """Zero-copy read of ``Γ(node)`` (callers must not mutate)."""
+        try:
+            return self._adj[node]  # type: ignore[return-value]
+        except KeyError:
+            raise KeyError(f"node {node!r} not in graph") from None
+
+    def degree(self, node: Node) -> int:
+        return len(self.neighbor_view(node))
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate each edge exactly once."""
+        visited: set[Node] = set()
+        for u, row in self._adj.items():
+            for v in row:
+                if v not in visited:
+                    yield (u, v)
+            visited.add(u)
+
+    def common_neighbors(self, u: Node, v: Node) -> set[Node]:
+        """``Γ(u) ∩ Γ(v)`` — the ingredient of CN/AA/RA/Jaccard."""
+        return self.neighbor_view(u) & self.neighbor_view(v)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: Node, max_depth: "int | None" = None) -> dict[Node, int]:
+        """Hop distances from ``source`` to every reachable node.
+
+        Args:
+            max_depth: stop expanding beyond this depth when given.
+        """
+        if source not in self._adj:
+            raise KeyError(f"node {source!r} not in graph")
+        dist = {source: 0}
+        frontier = [source]
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            depth += 1
+            nxt: list[Node] = []
+            for node in frontier:
+                for nb in self._adj[node]:
+                    if nb not in dist:
+                        dist[nb] = depth
+                        nxt.append(nb)
+            frontier = nxt
+        return dist
+
+    def connected_component(self, source: Node) -> set[Node]:
+        """All nodes reachable from ``source`` (including itself)."""
+        return set(self.bfs_distances(source))
+
+    # ------------------------------------------------------------------
+    # linear-algebra exports
+    # ------------------------------------------------------------------
+    def node_index(self) -> dict[Node, int]:
+        """Stable node → row-index mapping (insertion order)."""
+        return {node: i for i, node in enumerate(self._adj)}
+
+    def adjacency_matrix(self, index: "dict[Node, int] | None" = None) -> np.ndarray:
+        """Dense symmetric 0/1 adjacency matrix.
+
+        Args:
+            index: node → row mapping; defaults to :meth:`node_index`.
+        """
+        if index is None:
+            index = self.node_index()
+        n = len(index)
+        mat = np.zeros((n, n), dtype=np.float64)
+        for u, v in self.edges():
+            i, j = index[u], index[v]
+            mat[i, j] = 1.0
+            mat[j, i] = 1.0
+        return mat
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticGraph(nodes={len(self._adj)}, edges={self._num_edges})"

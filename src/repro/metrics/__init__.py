@@ -1,0 +1,33 @@
+"""Classification metrics (AUC and F1 per Sec. VI-C2, plus companions)."""
+
+from repro.metrics.ranking import (
+    average_precision,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.metrics.classification import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_recall_curve,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+__all__ = [
+    "roc_auc_score",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "accuracy_score",
+    "confusion_matrix",
+    "roc_curve",
+    "precision_recall_curve",
+    "average_precision",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+]

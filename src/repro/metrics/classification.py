@@ -1,0 +1,160 @@
+"""Binary-classification metrics, implemented from their definitions.
+
+AUC uses the Mann–Whitney rank statistic (ties contribute ½), equivalent
+to the trapezoidal area under the ROC curve and robust to constant-score
+degeneracies.  All functions accept 0/1 label arrays and raise on
+malformed input rather than guessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_binary(labels: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size and not np.isin(arr, (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1 values")
+    return arr.astype(np.int64)
+
+
+def _check_aligned(y_true: np.ndarray, other: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(other, dtype=np.float64)
+    if arr.shape != y_true.shape:
+        raise ValueError(
+            f"{name} must align with y_true: {arr.shape} vs {y_true.shape}"
+        )
+    return arr
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann–Whitney U statistic.
+
+    ``AUC = P(score⁺ > score⁻) + ½ P(score⁺ = score⁻)`` over random
+    positive/negative pairs.
+
+    Raises:
+        ValueError: if only one class is present (AUC undefined).
+    """
+    true = _check_binary(y_true, "y_true")
+    score = _check_aligned(true, y_score, "y_score")
+    n_pos = int(true.sum())
+    n_neg = len(true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score needs both classes present")
+
+    order = np.argsort(score, kind="mergesort")
+    ranks = np.empty(len(score), dtype=np.float64)
+    sorted_scores = score[order]
+    # Midranks for ties.
+    i = 0
+    position = 1
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        midrank = (position + position + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = midrank
+        position += j - i + 1
+        i = j + 1
+
+    rank_sum_pos = ranks[true == 1].sum()
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2×2 matrix ``[[tn, fp], [fn, tp]]``."""
+    true = _check_binary(y_true, "y_true")
+    pred = _check_binary(y_pred, "y_pred")
+    if pred.shape != true.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {true.shape}")
+    tp = int(((true == 1) & (pred == 1)).sum())
+    tn = int(((true == 0) & (pred == 0)).sum())
+    fp = int(((true == 0) & (pred == 1)).sum())
+    fn = int(((true == 1) & (pred == 0)).sum())
+    return np.array([[tn, fp], [fn, tp]], dtype=np.int64)
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """``tp / (tp + fp)``; 0 when nothing was predicted positive."""
+    (_, fp), (_, tp) = confusion_matrix(y_true, y_pred)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """``tp / (tp + fn)``; 0 when there are no positives."""
+    (_, _), (fn, tp) = confusion_matrix(y_true, y_pred)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall; 0 when both are 0."""
+    (_, fp), (fn, tp) = confusion_matrix(y_true, y_pred)
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom else 0.0
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    matrix = confusion_matrix(y_true, y_pred)
+    total = matrix.sum()
+    if total == 0:
+        raise ValueError("accuracy undefined on empty input")
+    return float((matrix[0, 0] + matrix[1, 1]) / total)
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC points ``(fpr, tpr, thresholds)``, thresholds descending.
+
+    Each threshold is a distinct score value; predictions are
+    ``score >= threshold``.  The curve starts at (0, 0) with an infinite
+    threshold and ends at (1, 1).
+    """
+    true = _check_binary(y_true, "y_true")
+    score = _check_aligned(true, y_score, "y_score")
+    n_pos = int(true.sum())
+    n_neg = len(true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve needs both classes present")
+
+    order = np.argsort(-score, kind="mergesort")
+    sorted_true = true[order]
+    sorted_score = score[order]
+    distinct = np.where(np.diff(sorted_score))[0]
+    cut_indices = np.concatenate([distinct, [len(sorted_true) - 1]])
+
+    tps = np.cumsum(sorted_true)[cut_indices]
+    fps = (cut_indices + 1) - tps
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_score[cut_indices]])
+    return fpr, tpr, thresholds
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision/recall points over descending score thresholds."""
+    true = _check_binary(y_true, "y_true")
+    score = _check_aligned(true, y_score, "y_score")
+    n_pos = int(true.sum())
+    if n_pos == 0:
+        raise ValueError("precision_recall_curve needs at least one positive")
+
+    order = np.argsort(-score, kind="mergesort")
+    sorted_true = true[order]
+    sorted_score = score[order]
+    distinct = np.where(np.diff(sorted_score))[0]
+    cut_indices = np.concatenate([distinct, [len(sorted_true) - 1]])
+
+    tps = np.cumsum(sorted_true)[cut_indices]
+    predicted = cut_indices + 1
+    precision = tps / predicted
+    recall = tps / n_pos
+    thresholds = sorted_score[cut_indices]
+    return precision, recall, thresholds

@@ -1,0 +1,70 @@
+"""Ranking metrics: average precision, precision@k, reciprocal rank.
+
+The paper evaluates with AUC and F1; link-prediction systems in
+deployment are usually consumed as rankings ("recommend the top-k most
+likely links"), so the library also ships the standard ranking metrics.
+All functions take 0/1 labels and real-valued scores; ties are broken
+pessimistically (by treating tied negatives as ranked above positives
+would be unstable — instead ties are resolved by stable sort order, and
+the tests pin the behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.classification import _check_aligned, _check_binary
+
+
+def _ranked_labels(y_true: np.ndarray, y_score: np.ndarray) -> np.ndarray:
+    true = _check_binary(y_true, "y_true")
+    score = _check_aligned(true, y_score, "y_score")
+    order = np.argsort(-score, kind="mergesort")
+    return true[order]
+
+
+def precision_at_k(y_true: np.ndarray, y_score: np.ndarray, k: int) -> float:
+    """Fraction of positives among the ``k`` highest-scored items.
+
+    Raises:
+        ValueError: if ``k`` exceeds the number of items or is < 1.
+    """
+    ranked = _ranked_labels(y_true, y_score)
+    if not 1 <= k <= len(ranked):
+        raise ValueError(f"k must be in [1, {len(ranked)}], got {k}")
+    return float(ranked[:k].mean())
+
+
+def recall_at_k(y_true: np.ndarray, y_score: np.ndarray, k: int) -> float:
+    """Fraction of all positives found within the top ``k``."""
+    ranked = _ranked_labels(y_true, y_score)
+    if not 1 <= k <= len(ranked):
+        raise ValueError(f"k must be in [1, {len(ranked)}], got {k}")
+    n_pos = int(ranked.sum())
+    if n_pos == 0:
+        raise ValueError("recall@k needs at least one positive")
+    return float(ranked[:k].sum() / n_pos)
+
+
+def average_precision(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the precision-recall curve (step interpolation).
+
+    ``AP = Σ_i P@rank(i) / n_pos`` over the positive items ``i``.
+    """
+    ranked = _ranked_labels(y_true, y_score)
+    n_pos = int(ranked.sum())
+    if n_pos == 0:
+        raise ValueError("average precision needs at least one positive")
+    cumulative = np.cumsum(ranked)
+    positions = np.flatnonzero(ranked) + 1
+    precisions = cumulative[positions - 1] / positions
+    return float(precisions.mean())
+
+
+def reciprocal_rank(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """``1 / rank`` of the highest-ranked positive item."""
+    ranked = _ranked_labels(y_true, y_score)
+    hits = np.flatnonzero(ranked)
+    if len(hits) == 0:
+        raise ValueError("reciprocal rank needs at least one positive")
+    return float(1.0 / (hits[0] + 1))

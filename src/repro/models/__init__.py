@@ -1,0 +1,36 @@
+"""Prediction models: linear regression, the neural machine, ranking.
+
+The paper evaluates every feature through one of three model families
+(Sec. VI-C1/C2):
+
+* unsupervised heuristics → :class:`repro.models.ranking.ThresholdClassifier`
+  (train set picks the classification threshold),
+* linear regression → :class:`repro.models.linear.LinearRegressionModel`
+  (WLLR, SSFLR, SSFLR-W),
+* the "neural machine" → :class:`repro.models.neural.NeuralMachine`
+  (WLNM, SSFNM, SSFNM-W): a fully-connected 32-32-16 ReLU network with a
+  softmax output, built from scratch on numpy in :mod:`repro.models.layers`.
+"""
+
+from repro.models.layers import Dense, ReLU, Sequential
+from repro.models.linear import LinearRegressionModel
+from repro.models.losses import SoftmaxCrossEntropy
+from repro.models.neural import NeuralMachine
+from repro.models.optim import SGD, Adam
+from repro.models.persistence import load_model, save_model
+from repro.models.ranking import ThresholdClassifier, best_f1_threshold
+
+__all__ = [
+    "Dense",
+    "ReLU",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "SGD",
+    "Adam",
+    "NeuralMachine",
+    "LinearRegressionModel",
+    "ThresholdClassifier",
+    "best_f1_threshold",
+    "save_model",
+    "load_model",
+]

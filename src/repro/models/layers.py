@@ -1,0 +1,126 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+A deliberately small autodiff-free stack: each layer caches what its
+backward pass needs, gradients flow by explicit chain-rule calls.  This is
+all the paper's neural machine requires (three dense ReLU layers and a
+softmax head), and keeping it explicit makes the gradient checks in the
+test suite straightforward.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class Layer(abc.ABC):
+    """A differentiable module mapping (batch, in) → (batch, out)."""
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute outputs, caching anything backward will need."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), accumulate parameter grads and return dL/d(input)."""
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable arrays (shared, mutated in place by optimizers)."""
+        return []
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients aligned with :attr:`parameters`."""
+        return []
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b`` with He-normal initialisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("layer dimensions must be >= 1")
+        rng = ensure_rng(seed)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: "np.ndarray | None" = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weight.shape[0]:
+            raise ValueError(
+                f"expected input of shape (batch, {self.weight.shape[0]}), "
+                f"got {x.shape}"
+            )
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight[...] = self._input.T @ grad_output
+        self.grad_bias[...] = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weight, self.grad_bias]
+
+
+class ReLU(Layer):
+    """Elementwise ``max(0, x)``."""
+
+    def __init__(self) -> None:
+        self._mask: "np.ndarray | None" = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class Sequential(Layer):
+    """Chain of layers applied in order."""
+
+    def __init__(self, layers: Iterable[Layer]) -> None:
+        self.layers = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential needs at least one layer")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients]

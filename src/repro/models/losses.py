@@ -1,0 +1,49 @@
+"""Loss functions (softmax + cross-entropy, fused for stability)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilised by max subtraction."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy head.
+
+    The fused form gives the well-conditioned gradient
+    ``(softmax(logits) - onehot) / batch`` instead of chaining two
+    numerically delicate backward passes.
+    """
+
+    def __init__(self) -> None:
+        self._probs: "np.ndarray | None" = None
+        self._labels: "np.ndarray | None" = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy of integer ``labels`` under ``logits``."""
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({logits.shape[0]},), got {labels.shape}"
+            )
+        if labels.size == 0:
+            raise ValueError("cannot compute a loss over an empty batch")
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        picked = probs[np.arange(len(labels)), labels]
+        return float(-np.log(np.maximum(picked, 1e-15)).mean())
+
+    def backward(self) -> np.ndarray:
+        """dLoss/dLogits for the most recent :meth:`forward` call."""
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        grad[np.arange(len(self._labels)), self._labels] -= 1.0
+        return grad / len(self._labels)

@@ -1,0 +1,91 @@
+"""Optimizers operating in place on shared parameter arrays."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+
+class Optimizer(abc.ABC):
+    """Updates parameters from aligned gradient arrays."""
+
+    def __init__(self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
+        if len(parameters) != len(gradients):
+            raise ValueError("parameters and gradients must align")
+        for p, g in zip(parameters, gradients):
+            if p.shape != g.shape:
+                raise ValueError(f"shape mismatch: {p.shape} vs {g.shape}")
+        self._params = list(parameters)
+        self._grads = list(gradients)
+
+    @abc.abstractmethod
+    def step(self) -> None:
+        """Apply one update using the current gradient values."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[np.ndarray],
+        gradients: Sequence[np.ndarray],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, gradients)
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in self._params]
+
+    def step(self) -> None:
+        for param, grad, vel in zip(self._params, self._grads, self._velocity):
+            if self.momentum:
+                vel *= self.momentum
+                vel -= self.lr * grad
+                param += vel
+            else:
+                param -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Sequence[np.ndarray],
+        gradients: Sequence[np.ndarray],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, gradients)
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in self._params]
+        self._v = [np.zeros_like(p) for p in self._params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, grad, m, v in zip(self._params, self._grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            param -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

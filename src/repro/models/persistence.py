@@ -1,0 +1,132 @@
+"""Saving and loading trained models (``.npz`` archives).
+
+Both predictors serialise to a single numpy archive holding the
+hyper-parameters (as a JSON string) and the learned arrays, so a trained
+SSFLR/SSFNM model can be shipped and reused without retraining:
+
+    save_model(model, "ssfnm.npz")
+    model = load_model("ssfnm.npz")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.models.layers import Dense
+from repro.models.linear import LinearRegressionModel
+from repro.models.neural import NeuralMachine
+
+_FORMAT_VERSION = 1
+
+
+def save_model(
+    model: "NeuralMachine | LinearRegressionModel",
+    path: "str | os.PathLike[str]",
+) -> None:
+    """Serialise a trained model to ``path`` (``.npz``).
+
+    Raises:
+        RuntimeError: if the model has not been fit.
+        TypeError: for unsupported model types.
+    """
+    if isinstance(model, LinearRegressionModel):
+        _save_linear(model, path)
+    elif isinstance(model, NeuralMachine):
+        _save_neural(model, path)
+    else:
+        raise TypeError(f"cannot serialise {type(model).__name__}")
+
+
+def load_model(path: "str | os.PathLike[str]") -> "NeuralMachine | LinearRegressionModel":
+    """Reload a model saved by :func:`save_model`."""
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format {meta.get('format')!r} in {path}"
+            )
+        kind = meta["kind"]
+        if kind == "linear":
+            return _load_linear(meta, archive)
+        if kind == "neural":
+            return _load_neural(meta, archive)
+        raise ValueError(f"unknown model kind {kind!r} in {path}")
+
+
+# ----------------------------------------------------------------------
+# linear
+# ----------------------------------------------------------------------
+
+
+def _save_linear(model: LinearRegressionModel, path) -> None:
+    if model.weights is None:
+        raise RuntimeError("cannot save an unfitted model")
+    meta = {
+        "format": _FORMAT_VERSION,
+        "kind": "linear",
+        "ridge": model.ridge,
+        "bias": model.bias,
+    }
+    np.savez(path, meta=json.dumps(meta), weights=model.weights)
+
+
+def _load_linear(meta: dict, archive) -> LinearRegressionModel:
+    model = LinearRegressionModel(ridge=float(meta["ridge"]))
+    model.weights = archive["weights"].copy()
+    model.bias = float(meta["bias"])
+    return model
+
+
+# ----------------------------------------------------------------------
+# neural
+# ----------------------------------------------------------------------
+
+
+def _save_neural(model: NeuralMachine, path) -> None:
+    if model._mean is None or model._std is None:
+        raise RuntimeError("cannot save an unfitted model")
+    meta = {
+        "format": _FORMAT_VERSION,
+        "kind": "neural",
+        "input_dim": model.input_dim,
+        "hidden": list(model.hidden),
+        "learning_rate": model.learning_rate,
+        "batch_size": model.batch_size,
+        "epochs": model.epochs,
+        "optimizer": model.optimizer_name,
+        "weight_decay": model.weight_decay,
+        "validation_fraction": model.validation_fraction,
+        "patience": model.patience,
+    }
+    arrays = {"meta": json.dumps(meta), "mean": model._mean, "std": model._std}
+    for index, layer in enumerate(_dense_layers(model)):
+        arrays[f"weight_{index}"] = layer.weight
+        arrays[f"bias_{index}"] = layer.bias
+    np.savez(path, **arrays)
+
+
+def _load_neural(meta: dict, archive) -> NeuralMachine:
+    model = NeuralMachine(
+        input_dim=int(meta["input_dim"]),
+        hidden=tuple(meta["hidden"]),
+        learning_rate=float(meta["learning_rate"]),
+        batch_size=int(meta["batch_size"]),
+        epochs=int(meta["epochs"]),
+        optimizer=str(meta["optimizer"]),
+        weight_decay=float(meta["weight_decay"]),
+        validation_fraction=float(meta["validation_fraction"]),
+        patience=int(meta["patience"]),
+    )
+    model._mean = archive["mean"].copy()
+    model._std = archive["std"].copy()
+    for index, layer in enumerate(_dense_layers(model)):
+        layer.weight[...] = archive[f"weight_{index}"]
+        layer.bias[...] = archive[f"bias_{index}"]
+    return model
+
+
+def _dense_layers(model: NeuralMachine) -> list[Dense]:
+    return [layer for layer in model.network.layers if isinstance(layer, Dense)]

@@ -1,0 +1,20 @@
+"""K-structure-subgraph pattern mining and rendering (Fig. 6)."""
+
+from repro.patterns.mining import (
+    PatternStatistics,
+    canonical_pattern,
+    mine_patterns,
+    most_frequent_pattern,
+)
+from repro.patterns.dot import k_structure_to_dot, pattern_to_dot
+from repro.patterns.render import render_pattern
+
+__all__ = [
+    "canonical_pattern",
+    "mine_patterns",
+    "most_frequent_pattern",
+    "PatternStatistics",
+    "render_pattern",
+    "k_structure_to_dot",
+    "pattern_to_dot",
+]

@@ -1,0 +1,47 @@
+"""Text rendering of mined K-structure-subgraph patterns.
+
+The paper's Fig. 6 is a node-link drawing; in a terminal we render the
+same information as an annotated adjacency grid: ``#`` marks connected
+order pairs, ``*`` marks the (excluded) target link position, and side
+tables report the per-link average multiplicity (Fig. 6 line thickness)
+and per-node average member count (node size).
+"""
+
+from __future__ import annotations
+
+from repro.patterns.mining import PatternStatistics
+
+
+def render_pattern(stats: PatternStatistics, k: int) -> str:
+    """Render one pattern's grid and statistics as a multi-line string."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    lines: list[str] = []
+    lines.append(f"pattern frequency: {stats.count} sampled link(s)")
+    header = "    " + " ".join(f"{n:2d}" for n in range(1, k + 1))
+    lines.append(header)
+    pattern = stats.pattern
+    for m in range(1, k + 1):
+        row = [f"{m:2d} |"]
+        for n in range(1, k + 1):
+            if m == n:
+                cell = " ."
+            elif (m, n) in ((1, 2), (2, 1)):
+                cell = " *"
+            else:
+                key = (m, n) if m < n else (n, m)
+                cell = " #" if key in pattern else "  "
+            row.append(cell)
+        lines.append("".join(row))
+    lines.append("")
+    lines.append("structure links (order pair: avg combined links):")
+    for m, n in sorted(pattern):
+        lines.append(
+            f"  ({m:2d},{n:2d}): {stats.average_link_multiplicity(m, n):6.2f}"
+        )
+    lines.append("structure nodes (order: avg member count):")
+    for order in range(1, k + 1):
+        size = stats.average_node_size(order)
+        if size > 0:
+            lines.append(f"  {order:2d}: {size:6.2f}")
+    return "\n".join(lines)

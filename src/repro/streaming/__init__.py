@@ -1,0 +1,13 @@
+"""Streaming (prequential) evaluation of link predictors."""
+
+from repro.streaming.prequential import (
+    PrequentialResult,
+    StreamingSSFPredictor,
+    prequential_evaluate,
+)
+
+__all__ = [
+    "StreamingSSFPredictor",
+    "prequential_evaluate",
+    "PrequentialResult",
+]

@@ -1,0 +1,295 @@
+"""Prequential ("test-then-train") evaluation over the link stream.
+
+Sec. III frames a dynamic network as a *stream* of timestamped links.
+The paper evaluates one frozen split; a streaming system would instead
+interleave prediction and learning: at every timestamp ``t`` the model —
+trained on everything before ``t`` — predicts which pairs link at ``t``,
+is scored, and then absorbs timestamp ``t``'s links before moving on.
+This module provides that protocol:
+
+* :class:`StreamingSSFPredictor` — an online SSF model: it maintains the
+  growing history network, refits its downstream model (linear or
+  neural) every ``refit_every`` timestamps on a sliding window of
+  labelled pairs, and answers ``score(pairs)`` at any point of the
+  stream.
+* :func:`prequential_evaluate` — drives any scorer factory through the
+  stream, collecting per-timestamp AUC and the running mean.
+
+This is an extension beyond the paper (its natural deployment mode for a
+systems venue) and doubles as a harder robustness test: the model is
+evaluated on *every* prediction time, not one cherry-picked split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.feature import SSFConfig, SSFExtractor
+from repro.graph.temporal import DynamicNetwork
+from repro.metrics.classification import roc_auc_score
+from repro.models.linear import LinearRegressionModel
+from repro.models.neural import NeuralMachine
+from repro.utils.rng import ensure_rng
+
+Node = Hashable
+Pair = tuple[Node, Node]
+
+
+class StreamingSSFPredictor:
+    """An SSF link predictor that learns as the stream advances.
+
+    Lifecycle: ``observe(edges_of_t)`` per timestamp; ``score(pairs)``
+    may be called at any time and uses the model trained on the history
+    seen so far.  Training pairs are harvested online: each observed
+    timestamp contributes its new positive pairs plus matched random
+    negatives, kept in a sliding window of the most recent
+    ``window_size`` labelled pairs.
+
+    Args:
+        config: SSF hyper-parameters.
+        model: ``"linear"`` (cheap, default for streams) or ``"neural"``.
+        refit_every: refit the downstream model after this many observed
+            timestamps (1 = every timestamp).
+        window_size: labelled-pair memory; older pairs are dropped so the
+            model tracks drift.
+        epochs: neural-machine epochs per refit (ignored for linear).
+        seed: RNG for negative harvesting and model init.
+    """
+
+    def __init__(
+        self,
+        config: "SSFConfig | None" = None,
+        *,
+        model: str = "linear",
+        refit_every: int = 1,
+        window_size: int = 600,
+        epochs: int = 30,
+        seed: int = 0,
+    ) -> None:
+        if model not in ("linear", "neural"):
+            raise ValueError(f"model must be 'linear' or 'neural', got {model!r}")
+        if refit_every < 1:
+            raise ValueError(f"refit_every must be >= 1, got {refit_every}")
+        if window_size < 10:
+            raise ValueError(f"window_size must be >= 10, got {window_size}")
+        self.config = config or SSFConfig()
+        self.model_kind = model
+        self.refit_every = refit_every
+        self.window_size = window_size
+        self.epochs = epochs
+        self._rng = ensure_rng(seed)
+        self._seed = seed
+
+        self.history = DynamicNetwork()
+        self._window_pairs: list[Pair] = []
+        self._window_labels: list[int] = []
+        self._window_features: list[np.ndarray] = []
+        self._model: "LinearRegressionModel | NeuralMachine | None" = None
+        self._observed_stamps = 0
+        self._current_time: "float | None" = None
+
+    # ------------------------------------------------------------------
+    # stream ingestion
+    # ------------------------------------------------------------------
+    def observe(self, edges: Sequence[tuple[Node, Node, float]]) -> None:
+        """Absorb one timestamp's batch of links (test-then-train order:
+        call :meth:`score` for this timestamp *before* observing it)."""
+        if not edges:
+            return
+        stamps = {float(ts) for _, _, ts in edges}
+        if len(stamps) != 1:
+            raise ValueError("observe() expects links of a single timestamp")
+        stamp = stamps.pop()
+        if self._current_time is not None and stamp <= self._current_time:
+            raise ValueError(
+                f"stream must advance: got {stamp} after {self._current_time}"
+            )
+
+        # Harvest labelled pairs BEFORE updating the history, so their
+        # features reflect exactly the pre-stamp knowledge.
+        positives = self._new_positive_pairs(edges)
+        if positives and self.history.number_of_links():
+            negatives = self._sample_negatives(len(positives), positives)
+            extractor = SSFExtractor(
+                self.history, self.config, present_time=stamp
+            )
+            for pair, label in [(p, 1) for p in positives] + [
+                (n, 0) for n in negatives
+            ]:
+                self._window_pairs.append(pair)
+                self._window_labels.append(label)
+                self._window_features.append(extractor.extract(*pair))
+            overflow = len(self._window_pairs) - self.window_size
+            if overflow > 0:
+                del self._window_pairs[:overflow]
+                del self._window_labels[:overflow]
+                del self._window_features[:overflow]
+
+        for u, v, ts in edges:
+            self.history.add_edge(u, v, ts)
+        self._current_time = stamp
+        self._observed_stamps += 1
+        if self._observed_stamps % self.refit_every == 0:
+            self._refit()
+
+    def _new_positive_pairs(self, edges) -> list[Pair]:
+        seen: set[frozenset] = set()
+        out: list[Pair] = []
+        for u, v, _ in edges:
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                out.append((u, v))
+        return out
+
+    def _sample_negatives(self, count: int, positives: list[Pair]) -> list[Pair]:
+        nodes = self.history.nodes
+        if len(nodes) < 3:
+            return []
+        forbidden = {frozenset(p) for p in positives}
+        out: list[Pair] = []
+        attempts = 0
+        while len(out) < count and attempts < 50 * count:
+            attempts += 1
+            i, j = self._rng.integers(len(nodes)), self._rng.integers(len(nodes))
+            if i == j:
+                continue
+            u, v = nodes[int(i)], nodes[int(j)]
+            key = frozenset((u, v))
+            if key in forbidden:
+                continue
+            forbidden.add(key)
+            out.append((u, v))
+        return out
+
+    def _refit(self) -> None:
+        labels = np.array(self._window_labels)
+        if len(labels) < 10 or len(set(labels.tolist())) < 2:
+            return
+        features = np.stack(self._window_features)
+        if self.model_kind == "linear":
+            self._model = LinearRegressionModel().fit(features, labels)
+        else:
+            self._model = NeuralMachine(
+                input_dim=features.shape[1],
+                epochs=self.epochs,
+                seed=self._seed,
+            ).fit(features, labels)
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    @property
+    def is_ready(self) -> bool:
+        """Whether at least one refit has produced a usable model."""
+        return self._model is not None
+
+    def score(self, pairs: Sequence[Pair]) -> np.ndarray:
+        """Scores for candidate pairs at the current stream position.
+
+        Before the first refit every pair scores 0 (no model yet).
+        """
+        if not pairs:
+            return np.zeros(0)
+        if self._model is None or self.history.number_of_links() == 0:
+            return np.zeros(len(pairs))
+        present = (
+            self._current_time + 1.0 if self._current_time is not None else 1.0
+        )
+        extractor = SSFExtractor(self.history, self.config, present_time=present)
+        features = extractor.extract_batch(list(pairs))
+        return self._model.decision_scores(features)
+
+
+@dataclass
+class PrequentialResult:
+    """Per-timestamp AUCs of one prequential run."""
+
+    timestamps: list[float] = field(default_factory=list)
+    aucs: list[float] = field(default_factory=list)
+    skipped: list[float] = field(default_factory=list)
+
+    @property
+    def mean_auc(self) -> float:
+        return float(np.mean(self.aucs)) if self.aucs else float("nan")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"prequential AUC={self.mean_auc:.3f} over {len(self.aucs)} "
+            f"timestamps ({len(self.skipped)} skipped)"
+        )
+
+
+def prequential_evaluate(
+    network: DynamicNetwork,
+    predictor: StreamingSSFPredictor,
+    *,
+    warmup_fraction: float = 0.5,
+    min_positives: int = 5,
+    negative_ratio: float = 1.0,
+    seed: int = 0,
+) -> PrequentialResult:
+    """Drive ``predictor`` through ``network``'s stream, test-then-train.
+
+    The first ``warmup_fraction`` of timestamps are only observed; each
+    later timestamp with at least ``min_positives`` new positive pairs is
+    scored (positives vs. random negatives) before being absorbed.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    rng = ensure_rng(seed)
+    stamps = sorted(network.timestamp_set())
+    if len(stamps) < 2:
+        raise ValueError("need at least two timestamps to stream")
+    by_stamp: dict[float, list[tuple]] = {s: [] for s in stamps}
+    for u, v, ts in network.edges():
+        by_stamp[ts].append((u, v, ts))
+
+    warmup_end = stamps[int(len(stamps) * warmup_fraction)]
+    result = PrequentialResult()
+    all_nodes = network.nodes
+    for stamp in stamps:
+        edges = by_stamp[stamp]
+        if stamp > warmup_end and predictor.is_ready:
+            positives = predictor._new_positive_pairs(edges)
+            positives = [
+                (u, v)
+                for u, v in positives
+                if predictor.history.has_node(u) and predictor.history.has_node(v)
+            ]
+            if len(positives) >= min_positives:
+                negatives = _random_negatives(
+                    all_nodes,
+                    int(len(positives) * negative_ratio),
+                    {frozenset(p) for p in positives},
+                    rng,
+                )
+                pairs = positives + negatives
+                labels = np.array([1] * len(positives) + [0] * len(negatives))
+                scores = predictor.score(pairs)
+                result.timestamps.append(stamp)
+                result.aucs.append(roc_auc_score(labels, scores))
+            else:
+                result.skipped.append(stamp)
+        predictor.observe(edges)
+    return result
+
+
+def _random_negatives(nodes, count, forbidden, rng) -> list[Pair]:
+    out: list[Pair] = []
+    attempts = 0
+    while len(out) < count and attempts < 100 * max(count, 1):
+        attempts += 1
+        i, j = rng.integers(len(nodes)), rng.integers(len(nodes))
+        if i == j:
+            continue
+        u, v = nodes[int(i)], nodes[int(j)]
+        key = frozenset((u, v))
+        if key in forbidden:
+            continue
+        forbidden.add(key)
+        out.append((u, v))
+    return out

@@ -1,0 +1,20 @@
+"""Shared low-level utilities: prime tables, RNG helpers, validation."""
+
+from repro.utils.primes import nth_prime, primes_up_to_count
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "nth_prime",
+    "primes_up_to_count",
+    "ensure_rng",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+]

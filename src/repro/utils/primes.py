@@ -1,0 +1,75 @@
+"""Prime number utilities for the Palette-WL ordering (Algorithm 2).
+
+The Palette-WL hash of a structure node mixes the logarithms of the primes
+indexed by the current orders of its neighbours, ``log(P(C(N)))`` where
+``P(n)`` is the n-th prime.  Orders are small (bounded by the number of
+structure nodes in a subgraph), so a growable cached sieve is sufficient.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+# Cached ascending list of primes, extended on demand.  Module-level cache is
+# intentional: every SSF extraction re-uses the same small prefix.
+_PRIME_CACHE: list[int] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+
+
+def _extend_cache(count: int) -> None:
+    """Grow the prime cache until it holds at least ``count`` primes."""
+    if count <= len(_PRIME_CACHE):
+        return
+    # Upper bound for the n-th prime (Rosser's theorem, n >= 6):
+    # p_n < n (ln n + ln ln n).  Add slack for small n.
+    n = max(count, 6)
+    limit = int(n * (math.log(n) + math.log(math.log(n)))) + 10
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0:2] = b"\x00\x00"
+    for p in range(2, int(limit**0.5) + 1):
+        if sieve[p]:
+            sieve[p * p :: p] = b"\x00" * len(range(p * p, limit + 1, p))
+    _PRIME_CACHE[:] = [i for i in range(limit + 1) if sieve[i]]
+    if len(_PRIME_CACHE) < count:  # pragma: no cover - bound is proven safe
+        raise RuntimeError("prime sieve bound too small; this is a bug")
+
+
+def nth_prime(n: int) -> int:
+    """Return the ``n``-th prime, 1-indexed (``nth_prime(1) == 2``).
+
+    Raises:
+        ValueError: if ``n`` is not a positive integer.
+    """
+    if n < 1:
+        raise ValueError(f"prime index must be >= 1, got {n}")
+    _extend_cache(n)
+    return _PRIME_CACHE[n - 1]
+
+
+def primes_up_to_count(count: int) -> list[int]:
+    """Return the first ``count`` primes as a list."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return []
+    _extend_cache(count)
+    return _PRIME_CACHE[:count]
+
+
+def log_prime(n: int) -> float:
+    """Return ``log(P(n))``, the natural log of the n-th prime.
+
+    This is the hashing ingredient used by Algorithm 2 (Palette-WL).
+    """
+    return math.log(nth_prime(n))
+
+
+def is_prime(value: int) -> bool:
+    """Primality test backed by the shared cache (exact for any value)."""
+    if value < 2:
+        return False
+    _extend_cache(12)
+    while _PRIME_CACHE[-1] < value:
+        _extend_cache(len(_PRIME_CACHE) * 2)
+    idx = bisect_right(_PRIME_CACHE, value)
+    return idx > 0 and _PRIME_CACHE[idx - 1] == value

@@ -1,0 +1,41 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library (dataset generators, negative
+sampling, model initialisation) accepts either a seed or a ready
+``numpy.random.Generator``; this module provides the single conversion
+point so behaviour is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    Args:
+        seed: ``None`` (fresh entropy), an integer seed, or an existing
+            generator (returned unchanged so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Useful when an experiment needs decoupled streams (e.g. dataset
+    generation vs. negative sampling) that stay stable when one consumer
+    changes how many draws it makes.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    root = ensure_rng(seed)
+    seed_seq = getattr(root.bit_generator, "seed_seq", None)
+    if seed_seq is not None:
+        return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+    return [np.random.default_rng(int(root.integers(0, 2**63))) for _ in range(count)]

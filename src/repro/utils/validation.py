@@ -1,0 +1,52 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_positive(value: Any, name: str) -> float:
+    """Validate that ``value`` is a finite number > 0 and return it as float."""
+    out = _check_finite_number(value, name)
+    if out <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return out
+
+
+def check_non_negative(value: Any, name: str) -> float:
+    """Validate that ``value`` is a finite number >= 0 and return it as float."""
+    out = _check_finite_number(value, name)
+    if out < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return out
+
+
+def check_fraction(value: Any, name: str, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` (or ``(0, 1)``)."""
+    out = _check_finite_number(value, name)
+    if inclusive:
+        if not 0.0 <= out <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < out < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return out
+
+
+def _check_finite_number(value: Any, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    out = float(value)
+    if not math.isfinite(out):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return out

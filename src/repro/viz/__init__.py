@@ -1,0 +1,5 @@
+"""Terminal visualisation: ASCII line charts and bars (no matplotlib)."""
+
+from repro.viz.ascii_plot import bar_chart, line_chart, sparkline
+
+__all__ = ["line_chart", "bar_chart", "sparkline"]

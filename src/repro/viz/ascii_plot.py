@@ -1,0 +1,120 @@
+"""ASCII charts for terminals (the offline stand-in for Fig. 7 plots).
+
+Three primitives:
+
+* :func:`line_chart` — multi-series line chart on a character grid with
+  y-axis labels and a legend (one marker character per series),
+* :func:`bar_chart` — labelled horizontal bars,
+* :func:`sparkline` — a one-line eight-level profile (▁▂▃▄▅▆▇█).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compress a series into one line of block characters."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if math.isclose(lo, hi):
+        return _SPARK_LEVELS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        level = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def bar_chart(
+    items: Mapping[str, float],
+    *,
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """Horizontal bars scaled to the maximum value.
+
+    Example::
+
+        CN     | ############                0.72
+        SSFNM  | ####################        0.89
+    """
+    if not items:
+        return ""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    label_width = max(len(k) for k in items)
+    peak = max(abs(v) for v in items.values()) or 1.0
+    lines = []
+    for key, value in items.items():
+        bar = fill * max(0, int(round(abs(value) / peak * width)))
+        lines.append(f"{key:<{label_width}s} | {bar:<{width}s} {value:8.3f}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 15,
+    y_label: str = "",
+) -> str:
+    """Plot one or more ``(x, y)`` series on a character grid.
+
+    Each series gets a distinct marker; a legend line maps markers to
+    series names.  Axis ranges cover all points of all series.
+    """
+    if not series:
+        return ""
+    if width < 10 or height < 4:
+        raise ValueError("width must be >= 10 and height >= 4")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = marker
+
+    label_hi = f"{y_hi:.3f}"
+    label_lo = f"{y_lo:.3f}"
+    margin = max(len(label_hi), len(label_lo), len(y_label)) + 1
+    lines = []
+    if y_label:
+        lines.append(f"{y_label:>{margin}s}")
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = f"{label_hi:>{margin}s}"
+        elif index == height - 1:
+            prefix = f"{label_lo:>{margin}s}"
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append(
+        " " * margin
+        + f" {x_lo:<{width // 2 - 1}.6g}{x_hi:>{width // 2}.6g}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * margin + " " + legend)
+    return "\n".join(lines)

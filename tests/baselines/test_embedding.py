@@ -1,0 +1,62 @@
+"""Tests for the TemporalNMF and SpectralEmbedding scorers."""
+
+import pytest
+
+from repro.baselines.embedding import SpectralEmbedding, TemporalNMF
+from repro.graph.temporal import DynamicNetwork
+
+
+def _two_blocks(with_recency=False) -> DynamicNetwork:
+    """Two dense 6-node blocks; optionally one block is recent."""
+    g = DynamicNetwork()
+    ts_a = 9 if with_recency else 1
+    for block, base_ts in (("a", ts_a), ("b", 1)):
+        nodes = [f"{block}{i}" for i in range(6)]
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                if (i + len(v)) % 4 != 0:  # leave holes to predict
+                    g.add_edge(u, v, base_ts)
+    return g
+
+
+class TestTemporalNMF:
+    def test_block_structure_recovered(self):
+        scorer = TemporalNMF(rank=4, max_iter=60).fit(_two_blocks())
+        assert scorer.score("a0", "a1") > scorer.score("a0", "b1")
+
+    def test_recent_block_weighted_up(self):
+        g = _two_blocks(with_recency=True)
+        scorer = TemporalNMF(rank=4, max_iter=60).fit(g)
+        # within-block affinity of the recent block dominates the stale one
+        assert scorer.score("a0", "a1") > scorer.score("b0", "b1")
+
+    def test_unknown_nodes(self):
+        scorer = TemporalNMF(rank=2).fit(_two_blocks())
+        assert scorer.score("a0", "nope") == 0.0
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            TemporalNMF(theta=0.0)
+
+
+class TestSpectralEmbedding:
+    def test_block_structure_recovered(self):
+        scorer = SpectralEmbedding(rank=4).fit(_two_blocks())
+        assert scorer.score("a0", "a1") > scorer.score("a0", "b1")
+
+    def test_rank_capped(self):
+        g = DynamicNetwork([("a", "b", 1), ("b", "c", 2)])
+        scorer = SpectralEmbedding(rank=100).fit(g)
+        assert scorer._embedding.shape[1] <= 2
+
+    def test_symmetric_scores(self):
+        scorer = SpectralEmbedding(rank=4).fit(_two_blocks())
+        assert scorer.score("a0", "a1") == pytest.approx(scorer.score("a1", "a0"))
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            SpectralEmbedding(rank=0)
+
+    def test_unknown_nodes(self):
+        scorer = SpectralEmbedding(rank=2).fit(_two_blocks())
+        assert scorer.score("zzz", "a0") == 0.0

@@ -1,0 +1,108 @@
+"""Tests for the local-neighbourhood heuristics (CN, Jaccard, PA, AA, RA)."""
+
+import math
+
+import pytest
+
+from repro.baselines.local import (
+    AdamicAdar,
+    CommonNeighbors,
+    Jaccard,
+    PreferentialAttachment,
+    ResourceAllocation,
+)
+from repro.graph.temporal import DynamicNetwork
+
+
+@pytest.fixture
+def star_pair() -> DynamicNetwork:
+    """u and v share z1, z2; z1 has degree 2, z2 degree 3 (extra leaf w)."""
+    return DynamicNetwork(
+        [
+            ("u", "z1", 1),
+            ("v", "z1", 2),
+            ("u", "z2", 3),
+            ("v", "z2", 4),
+            ("z2", "w", 5),
+        ]
+    )
+
+
+class TestCommonNeighbors:
+    def test_value(self, star_pair):
+        scorer = CommonNeighbors().fit(star_pair)
+        assert scorer.score("u", "v") == 2.0
+
+    def test_no_common(self, star_pair):
+        scorer = CommonNeighbors().fit(star_pair)
+        # z1's neighbours {u, v} and w's {z2} are disjoint
+        assert scorer.score("z1", "w") == 0.0
+
+    def test_unknown_node_zero(self, star_pair):
+        scorer = CommonNeighbors().fit(star_pair)
+        assert scorer.score("u", "ghost") == 0.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CommonNeighbors().score("u", "v")
+
+    def test_ignores_multiplicity(self):
+        g = DynamicNetwork([("u", "z", 1), ("u", "z", 2), ("v", "z", 3)])
+        assert CommonNeighbors().fit(g).score("u", "v") == 1.0
+
+
+class TestJaccard:
+    def test_value(self, star_pair):
+        scorer = Jaccard().fit(star_pair)
+        # |{z1,z2}| / |{z1,z2}| = 1.0
+        assert scorer.score("u", "v") == 1.0
+
+    def test_partial_overlap(self):
+        # u's neighbours {z, x}, v's {z}: intersection 1, union 2
+        g = DynamicNetwork([("u", "z", 1), ("v", "z", 2), ("u", "x", 3)])
+        assert Jaccard().fit(g).score("u", "v") == pytest.approx(1 / 2)
+
+    def test_isolated_pair(self):
+        g = DynamicNetwork([("u", "z", 1)])
+        g.add_node("p")
+        g.add_node("q")
+        assert Jaccard().fit(g).score("p", "q") == 0.0
+
+
+class TestPreferentialAttachment:
+    def test_value(self, star_pair):
+        scorer = PreferentialAttachment().fit(star_pair)
+        assert scorer.score("u", "v") == 4.0  # 2 * 2
+
+    def test_hub(self, star_pair):
+        scorer = PreferentialAttachment().fit(star_pair)
+        assert scorer.score("z2", "z1") == 6.0  # 3 * 2
+
+
+class TestAdamicAdar:
+    def test_value(self, star_pair):
+        scorer = AdamicAdar().fit(star_pair)
+        expected = 1 / math.log(2) + 1 / math.log(3)
+        assert scorer.score("u", "v") == pytest.approx(expected)
+
+    def test_score_pairs_vectorised(self, star_pair):
+        scorer = AdamicAdar().fit(star_pair)
+        scores = scorer.score_pairs([("u", "v"), ("u", "w")])
+        assert scores.shape == (2,)
+        assert scores[0] > scores[1]
+
+
+class TestResourceAllocation:
+    def test_value(self, star_pair):
+        scorer = ResourceAllocation().fit(star_pair)
+        assert scorer.score("u", "v") == pytest.approx(1 / 2 + 1 / 3)
+
+    def test_penalises_hubs(self):
+        small_hub = DynamicNetwork([("u", "z", 1), ("v", "z", 2)])
+        big_hub = small_hub.copy()
+        for i in range(10):
+            big_hub.add_edge("z", f"extra{i}", 5 + i)
+        assert (
+            ResourceAllocation().fit(small_hub).score("u", "v")
+            > ResourceAllocation().fit(big_hub).score("u", "v")
+        )

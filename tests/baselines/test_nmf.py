@@ -1,0 +1,97 @@
+"""Tests for the NMF factorisation and link predictor."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.nmf import NMFLinkPredictor, nmf_factorize
+from repro.graph.temporal import DynamicNetwork
+
+
+def _low_rank_matrix(n=20, r=3, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.random((n, r))
+    h = rng.random((n, r))
+    return w @ h.T
+
+
+class TestFactorize:
+    @pytest.mark.parametrize("method", ["pg", "mu"])
+    def test_reconstructs_low_rank(self, method):
+        a = _low_rank_matrix()
+        w, h = nmf_factorize(a, rank=3, method=method, max_iter=300, tol=1e-10)
+        err = np.linalg.norm(a - w @ h.T) / np.linalg.norm(a)
+        assert err < 0.05
+
+    @pytest.mark.parametrize("method", ["pg", "mu"])
+    def test_factors_nonnegative(self, method):
+        a = _low_rank_matrix()
+        w, h = nmf_factorize(a, rank=3, method=method, max_iter=50)
+        assert (w >= 0).all()
+        assert (h >= 0).all()
+
+    def test_sparse_input(self):
+        a = sp.random(30, 30, density=0.2, random_state=0)
+        a = a + a.T
+        w, h = nmf_factorize(a, rank=5, max_iter=30)
+        assert w.shape == (30, 5)
+        assert h.shape == (30, 5)
+
+    def test_deterministic_given_seed(self):
+        a = _low_rank_matrix()
+        w1, h1 = nmf_factorize(a, rank=3, max_iter=10, seed=1)
+        w2, h2 = nmf_factorize(a, rank=3, max_iter=10, seed=1)
+        assert np.allclose(w1, w2)
+        assert np.allclose(h1, h2)
+
+    def test_negative_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            nmf_factorize(np.array([[-1.0, 0.0], [0.0, 1.0]]), rank=1)
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ValueError):
+            nmf_factorize(np.eye(3), rank=0)
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValueError):
+            nmf_factorize(np.eye(3), rank=1, method="bogus")
+
+    def test_objective_decreases_mu(self):
+        from repro.baselines.nmf import _multiplicative_step, _objective
+
+        a = sp.csr_matrix(_low_rank_matrix())
+        rng = np.random.default_rng(0)
+        w, h = rng.random((20, 3)) + 0.1, rng.random((20, 3)) + 0.1
+        losses = []
+        for _ in range(10):
+            losses.append(_objective(a, w, h))
+            w, h = _multiplicative_step(a, w, h)
+        assert losses == sorted(losses, reverse=True)
+
+
+class TestNMFLinkPredictor:
+    def test_predicts_structure(self):
+        # two dense blocks; within-block pairs should outscore cross-block
+        g = DynamicNetwork()
+        block_a = [f"a{i}" for i in range(6)]
+        block_b = [f"b{i}" for i in range(6)]
+        ts = 1
+        for block in (block_a, block_b):
+            for i, u in enumerate(block):
+                for v in block[i + 1 :]:
+                    if (hash(u + v) % 4) != 0:  # drop a few to leave holes
+                        g.add_edge(u, v, ts)
+                        ts += 1
+        scorer = NMFLinkPredictor(rank=4, max_iter=60).fit(g)
+        within = scorer.score("a0", "a1")
+        across = scorer.score("a0", "b1")
+        assert within > across
+
+    def test_unknown_node(self):
+        g = DynamicNetwork([("a", "b", 1)])
+        assert NMFLinkPredictor(rank=2).fit(g).score("a", "ghost") == 0.0
+
+    def test_rank_capped_to_graph_size(self):
+        g = DynamicNetwork([("a", "b", 1), ("b", "c", 2)])
+        scorer = NMFLinkPredictor(rank=100, max_iter=5).fit(g)
+        assert scorer._w.shape[1] <= 2

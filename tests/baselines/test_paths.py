@@ -1,0 +1,66 @@
+"""Tests for Katz and Local Path scorers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.paths import Katz, LocalPath
+from repro.graph.temporal import DynamicNetwork
+
+
+@pytest.fixture
+def kite() -> DynamicNetwork:
+    """u-z-v plus a longer path u-p-q-v."""
+    return DynamicNetwork(
+        [("u", "z", 1), ("z", "v", 2), ("u", "p", 3), ("p", "q", 4), ("q", "v", 5)]
+    )
+
+
+class TestKatz:
+    def test_counts_weighted_walks(self, kite):
+        scorer = Katz(beta=0.1, max_length=3).fit(kite)
+        # one 2-walk (u-z-v) and one 3-walk (u-p-q-v)
+        expected = 0.1**2 * 1 + 0.1**3 * 1
+        assert scorer.score("u", "v") == pytest.approx(expected)
+
+    def test_direct_edge_dominates(self, kite):
+        scorer = Katz(beta=0.01).fit(kite)
+        assert scorer.score("u", "z") > scorer.score("u", "v")
+
+    def test_symmetric(self, kite):
+        scorer = Katz().fit(kite)
+        assert scorer.score("u", "v") == pytest.approx(scorer.score("v", "u"))
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            Katz(beta=0.0)
+        with pytest.raises(ValueError):
+            Katz(beta=1.0)
+
+    def test_max_length_validation(self):
+        with pytest.raises(ValueError):
+            Katz(max_length=1)
+
+    def test_walk_cache_reused(self, kite):
+        scorer = Katz().fit(kite)
+        scorer.score("u", "v")
+        counts = scorer._walk_cache["u"]
+        scorer.score("u", "z")
+        assert scorer._walk_cache["u"] is counts
+
+    def test_unknown_node(self, kite):
+        assert Katz().fit(kite).score("u", "ghost") == 0.0
+
+    def test_longer_truncation_monotone(self, kite):
+        short = Katz(beta=0.1, max_length=2).fit(kite).score("u", "v")
+        long = Katz(beta=0.1, max_length=5).fit(kite).score("u", "v")
+        assert long >= short
+
+
+class TestLocalPath:
+    def test_two_and_three_paths(self, kite):
+        scorer = LocalPath(epsilon=0.5).fit(kite)
+        assert scorer.score("u", "v") == pytest.approx(1 + 0.5 * 1)
+
+    def test_reduces_to_cn_when_epsilon_zero(self, kite):
+        scorer = LocalPath(epsilon=0.0).fit(kite)
+        assert scorer.score("u", "v") == pytest.approx(1.0)  # (A^2)_{uv}

@@ -1,0 +1,49 @@
+"""Tests for the local random walk scorer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.randomwalk import LocalRandomWalk
+from repro.graph.temporal import DynamicNetwork
+
+
+@pytest.fixture
+def line() -> DynamicNetwork:
+    return DynamicNetwork([("a", "b", 1), ("b", "c", 2), ("c", "d", 3)])
+
+
+class TestLocalRandomWalk:
+    def test_distribution_sums_to_one(self, line):
+        scorer = LocalRandomWalk(steps=3).fit(line)
+        dist = scorer._distribution("a")
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_one_step_exact(self, line):
+        scorer = LocalRandomWalk(steps=1).fit(line)
+        dist = scorer._distribution("b")
+        idx = scorer._index
+        assert dist[idx["a"]] == pytest.approx(0.5)
+        assert dist[idx["c"]] == pytest.approx(0.5)
+
+    def test_symmetric_definition(self, line):
+        scorer = LocalRandomWalk(steps=3).fit(line)
+        assert scorer.score("a", "c") == pytest.approx(scorer.score("c", "a"))
+
+    def test_near_beats_far(self, line):
+        scorer = LocalRandomWalk(steps=3).fit(line)
+        assert scorer.score("a", "b") > scorer.score("a", "d")
+
+    def test_steps_validation(self):
+        with pytest.raises(ValueError):
+            LocalRandomWalk(steps=0)
+
+    def test_unknown_node(self, line):
+        assert LocalRandomWalk().fit(line).score("a", "ghost") == 0.0
+
+    def test_detailed_balance(self, line):
+        """q_x p_x^t[y] == q_y p_y^t[x] for an unweighted graph."""
+        scorer = LocalRandomWalk(steps=2).fit(line)
+        idx = scorer._index
+        lhs = scorer._initial_weight["a"] * scorer._distribution("a")[idx["c"]]
+        rhs = scorer._initial_weight["c"] * scorer._distribution("c")[idx["a"]]
+        assert lhs == pytest.approx(rhs)

@@ -1,0 +1,97 @@
+"""Tests for the time-aware heuristic scorers."""
+
+import pytest
+
+from repro.baselines.temporal import (
+    RecentActivity,
+    TemporalCommonNeighbors,
+    TemporalResourceAllocation,
+)
+from repro.core.influence import normalized_influence
+from repro.graph.temporal import DynamicNetwork
+
+
+@pytest.fixture
+def recency_pair() -> DynamicNetwork:
+    """u-z-v recent; p-w-q identical but old."""
+    return DynamicNetwork(
+        [
+            ("u", "z", 9),
+            ("v", "z", 9),
+            ("p", "w", 1),
+            ("q", "w", 1),
+        ]
+    )
+
+
+class TestTemporalCommonNeighbors:
+    def test_recent_beats_old(self, recency_pair):
+        scorer = TemporalCommonNeighbors().fit(recency_pair)
+        assert scorer.score("u", "v") > scorer.score("p", "q")
+
+    def test_value_matches_definition(self, recency_pair):
+        scorer = TemporalCommonNeighbors().fit(recency_pair)
+        present = recency_pair.last_timestamp() + 1.0
+        expected = min(
+            normalized_influence([9], present),
+            normalized_influence([9], present),
+        )
+        assert scorer.score("u", "v") == pytest.approx(expected)
+
+    def test_min_coupling(self):
+        # a fresh link on one side cannot compensate a stale other side
+        g = DynamicNetwork([("u", "z", 9), ("v", "z", 1)])
+        scorer = TemporalCommonNeighbors().fit(g)
+        present = g.last_timestamp() + 1.0
+        assert scorer.score("u", "v") == pytest.approx(
+            normalized_influence([1], present)
+        )
+
+    def test_no_common_neighbours(self):
+        g = DynamicNetwork([("u", "x", 1), ("v", "y", 2)])
+        assert TemporalCommonNeighbors().fit(g).score("u", "v") == 0.0
+
+    def test_unknown_node(self, recency_pair):
+        assert TemporalCommonNeighbors().fit(recency_pair).score("u", "no") == 0.0
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            TemporalCommonNeighbors(theta=0.0)
+
+
+class TestTemporalResourceAllocation:
+    def test_recent_beats_old(self, recency_pair):
+        scorer = TemporalResourceAllocation().fit(recency_pair)
+        assert scorer.score("u", "v") > scorer.score("p", "q")
+
+    def test_busy_hub_penalised(self):
+        quiet = DynamicNetwork([("u", "z", 9), ("v", "z", 9)])
+        busy = quiet.copy()
+        for i in range(8):
+            busy.add_edge("z", f"extra{i}", 9)
+        s_quiet = TemporalResourceAllocation().fit(quiet).score("u", "v")
+        s_busy = TemporalResourceAllocation().fit(busy).score("u", "v")
+        assert s_quiet > s_busy
+
+
+class TestRecentActivity:
+    def test_active_pair_scores_higher(self, recency_pair):
+        scorer = RecentActivity().fit(recency_pair)
+        assert scorer.score("u", "v") > scorer.score("p", "q")
+
+    def test_zero_for_unknown(self, recency_pair):
+        assert RecentActivity().fit(recency_pair).score("zz", "u") == 0.0
+
+
+class TestRegistryIntegration:
+    def test_extended_methods_runnable(self, small_dataset):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.methods import EXTENDED_METHODS
+        from repro.experiments.runner import LinkPredictionExperiment
+
+        experiment = LinkPredictionExperiment(
+            small_dataset, ExperimentConfig().fast()
+        )
+        for name in EXTENDED_METHODS:
+            result = experiment.run_method(name)
+            assert 0.0 <= result.auc <= 1.0, name

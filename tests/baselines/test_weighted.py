@@ -1,0 +1,46 @@
+"""Tests for rWRA (reliable weighted resource allocation)."""
+
+import pytest
+
+from repro.baselines.weighted import ReliableWeightedResourceAllocation
+from repro.graph.temporal import DynamicNetwork
+
+
+class TestRWRA:
+    def test_single_links_match_definition(self):
+        g = DynamicNetwork([("u", "z", 1), ("v", "z", 2), ("z", "w", 3)])
+        scorer = ReliableWeightedResourceAllocation().fit(g)
+        # W(u,z)=W(v,z)=1, S(z)=3
+        assert scorer.score("u", "v") == pytest.approx(1 / 3)
+
+    def test_multi_links_increase_score(self):
+        base = DynamicNetwork([("u", "z", 1), ("v", "z", 2)])
+        multi = base.copy()
+        multi.add_edge("u", "z", 5)
+        s_base = ReliableWeightedResourceAllocation().fit(base).score("u", "v")
+        s_multi = ReliableWeightedResourceAllocation().fit(multi).score("u", "v")
+        # numerator doubles (W(u,z)=2) but S(z) grows 2->3
+        assert s_multi == pytest.approx(2 / 3)
+        assert s_base == pytest.approx(1 / 2)
+        assert s_multi > s_base
+
+    def test_no_common_neighbours(self):
+        g = DynamicNetwork([("u", "x", 1), ("v", "y", 2)])
+        assert ReliableWeightedResourceAllocation().fit(g).score("u", "v") == 0.0
+
+    def test_unknown_nodes(self):
+        g = DynamicNetwork([("u", "z", 1)])
+        assert ReliableWeightedResourceAllocation().fit(g).score("u", "nope") == 0.0
+
+    def test_dynamic_aware_vs_cn(self):
+        """rWRA uses multiplicity, unlike CN (Table I's 'dynamic' flag)."""
+        from repro.baselines.local import CommonNeighbors
+
+        g1 = DynamicNetwork([("u", "z", 1), ("v", "z", 2)])
+        g2 = DynamicNetwork([("u", "z", 1), ("u", "z", 2), ("v", "z", 3)])
+        cn1 = CommonNeighbors().fit(g1).score("u", "v")
+        cn2 = CommonNeighbors().fit(g2).score("u", "v")
+        assert cn1 == cn2
+        r1 = ReliableWeightedResourceAllocation().fit(g1).score("u", "v")
+        r2 = ReliableWeightedResourceAllocation().fit(g2).score("u", "v")
+        assert r1 != r2

@@ -1,0 +1,66 @@
+"""Shared fixtures: small hand-analysable networks used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.temporal import DynamicNetwork
+
+
+@pytest.fixture
+def fig3_network() -> DynamicNetwork:
+    """The paper's Fig. 3 example around target link A–B.
+
+    A has leaf fans G, H, I (same structure -> one structure node),
+    B has leaf fans D, E, and C is the common neighbour (with its own
+    extra neighbour F at distance 2).
+    """
+    return DynamicNetwork(
+        [
+            ("A", "G", 1),
+            ("A", "H", 2),
+            ("A", "I", 3),
+            ("A", "C", 4),
+            ("B", "C", 5),
+            ("B", "D", 6),
+            ("B", "E", 7),
+            ("C", "F", 8),
+        ]
+    )
+
+
+@pytest.fixture
+def triangle_network() -> DynamicNetwork:
+    """Three nodes, a multi-link on one pair."""
+    return DynamicNetwork([("x", "y", 1), ("y", "z", 2), ("x", "z", 3), ("x", "y", 4)])
+
+
+@pytest.fixture
+def path_network() -> DynamicNetwork:
+    """A 6-node path a-b-c-d-e-f with increasing timestamps."""
+    return DynamicNetwork(
+        [("a", "b", 1), ("b", "c", 2), ("c", "d", 3), ("d", "e", 4), ("e", "f", 5)]
+    )
+
+
+@pytest.fixture
+def two_components() -> DynamicNetwork:
+    """Two disjoint edges — for unreachable-node paths."""
+    return DynamicNetwork([("a", "b", 1), ("c", "d", 2)])
+
+
+@pytest.fixture
+def small_dataset() -> DynamicNetwork:
+    """A small but non-trivial generated network for pipeline tests."""
+    from repro.datasets.synthetic import EventModelConfig, generate_event_network
+
+    config = EventModelConfig(
+        n_nodes=60,
+        n_links=600,
+        span=20,
+        repeat_prob=0.3,
+        closure_prob=0.25,
+        pa_prob=0.25,
+        final_fraction=0.1,
+    )
+    return generate_event_network(config, seed=7)

@@ -1,0 +1,59 @@
+"""Tests for node-to-target-link distances (Eq. 1)."""
+
+import pytest
+
+from repro.core.distance import distances_to_link, node_link_distance
+
+
+class TestDistancesToLink:
+    def test_endpoints_at_zero(self, fig3_network):
+        dist = distances_to_link(fig3_network, "A", "B")
+        assert dist["A"] == 0
+        assert dist["B"] == 0
+
+    def test_min_over_both_ends(self, fig3_network):
+        dist = distances_to_link(fig3_network, "A", "B")
+        assert dist["G"] == 1  # neighbour of A
+        assert dist["D"] == 1  # neighbour of B
+        assert dist["C"] == 1  # common neighbour
+        assert dist["F"] == 2  # via C
+
+    def test_max_hop_truncates(self, fig3_network):
+        dist = distances_to_link(fig3_network, "A", "B", max_hop=1)
+        assert "F" not in dist
+        assert dist["C"] == 1
+
+    def test_unreachable_excluded(self, two_components):
+        dist = distances_to_link(two_components, "a", "b")
+        assert "c" not in dist
+
+    def test_path_distances(self, path_network):
+        dist = distances_to_link(path_network, "a", "b")
+        # c is adjacent to b -> 1; f is 4 hops from b
+        assert dist["c"] == 1
+        assert dist["f"] == 4
+
+    def test_historical_target_links_traversed(self):
+        from repro.graph.temporal import DynamicNetwork
+
+        g = DynamicNetwork([("a", "b", 1), ("b", "c", 2)])
+        dist = distances_to_link(g, "a", "b")
+        assert dist["c"] == 1  # via b
+
+    def test_missing_endpoint_raises(self, fig3_network):
+        with pytest.raises(KeyError):
+            distances_to_link(fig3_network, "A", "nope")
+        with pytest.raises(KeyError):
+            distances_to_link(fig3_network, "nope", "B")
+
+    def test_identical_endpoints_rejected(self, fig3_network):
+        with pytest.raises(ValueError):
+            distances_to_link(fig3_network, "A", "A")
+
+
+class TestNodeLinkDistance:
+    def test_known(self, fig3_network):
+        assert node_link_distance(fig3_network, "F", "A", "B") == 2
+
+    def test_unreachable_returns_none(self, two_components):
+        assert node_link_distance(two_components, "c", "a", "b") is None

@@ -1,0 +1,190 @@
+"""Tests for SSF extraction (Algorithm 3, Def. 10)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.feature import ENTRY_MODES, SSFConfig, SSFExtractor, ssf_feature_dim
+from repro.graph.temporal import DynamicNetwork
+
+
+class TestFeatureDim:
+    @pytest.mark.parametrize("k,expected", [(3, 2), (5, 9), (10, 44), (20, 189)])
+    def test_formula(self, k, expected):
+        assert ssf_feature_dim(k) == expected
+
+    def test_k_too_small(self):
+        with pytest.raises(ValueError):
+            ssf_feature_dim(1)
+
+
+class TestSSFConfig:
+    def test_defaults(self):
+        config = SSFConfig()
+        assert config.k == 10
+        assert config.theta == 0.5
+        assert config.entry_mode == "temporal"
+        assert config.feature_dim == 44
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 2},
+            {"theta": 0.0},
+            {"theta": 1.5},
+            {"entry_mode": "bogus"},
+            {"ordering": "bogus"},
+            {"max_hop": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SSFConfig(**kwargs)
+
+
+class TestAdjacencyMatrix:
+    def test_symmetric_with_zero_diagonal(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        mat = ext.adjacency_matrix("A", "B")
+        assert np.allclose(mat, mat.T)
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_target_entry_zero(self):
+        # even with historical a-b links, A(1,2) is forced to 0 (Eq. 4)
+        g = DynamicNetwork([("a", "b", 1), ("a", "c", 2), ("b", "c", 3)])
+        ext = SSFExtractor(g, SSFConfig(k=3))
+        mat = ext.adjacency_matrix("a", "b")
+        assert mat[0, 1] == 0.0
+        assert mat[1, 0] == 0.0
+
+    def test_influence_values(self, fig3_network):
+        config = SSFConfig(k=5, entry_mode="influence", compress=False)
+        ext = SSFExtractor(fig3_network, config)
+        present = ext.present_time
+        mat = ext.adjacency_matrix("A", "B")
+        # A(1, c) where c is the order of C: the single A-C link at ts=4
+        expected = math.exp(-0.5 * (present - 4.0))
+        assert np.isclose(mat[0], expected).any()
+
+    def test_zero_padding_small_component(self):
+        g = DynamicNetwork([("x", "y", 1)])
+        ext = SSFExtractor(g, SSFConfig(k=6))
+        assert np.allclose(ext.adjacency_matrix("x", "y"), 0.0)
+
+    def test_unknown_nodes_zero(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        assert np.allclose(ext.adjacency_matrix("A", "zzz"), 0.0)
+
+
+class TestExtract:
+    def test_length(self, fig3_network):
+        for k in (4, 5, 8):
+            ext = SSFExtractor(fig3_network, SSFConfig(k=k))
+            assert ext.extract("A", "B").shape == (ssf_feature_dim(k),)
+
+    def test_unfolding_matches_matrix(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        mat = ext.adjacency_matrix("A", "B")
+        vec = ext.extract("A", "B")
+        expected = []
+        for n in range(3, 6):  # 1-based columns
+            expected.extend(mat[: n - 1, n - 1])
+        assert np.allclose(vec, expected)
+
+    def test_deterministic(self, small_dataset):
+        ext = SSFExtractor(small_dataset, SSFConfig(k=8))
+        pairs = list(small_dataset.pair_iter())[:5]
+        for a, b in pairs:
+            assert np.allclose(ext.extract(a, b), ext.extract(a, b))
+
+    def test_batch_stacks(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        batch = ext.extract_batch([("A", "B"), ("A", "C")])
+        assert batch.shape == (2, 9)
+        assert np.allclose(batch[0], ext.extract("A", "B"))
+
+    def test_batch_empty(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        assert ext.extract_batch([]).shape == (0, 9)
+
+
+class TestEntryModes:
+    def test_count_mode_counts(self, fig3_network):
+        ext = SSFExtractor(
+            fig3_network, SSFConfig(k=5, entry_mode="count", compress=False)
+        )
+        vec = ext.extract("A", "B")
+        assert 3.0 in vec  # the {G,H,I}-A structure link combines 3 links
+
+    def test_compress_applies_log1p(self, fig3_network):
+        raw = SSFExtractor(
+            fig3_network, SSFConfig(k=5, entry_mode="count", compress=False)
+        ).extract("A", "B")
+        squashed = SSFExtractor(
+            fig3_network, SSFConfig(k=5, entry_mode="count", compress=True)
+        ).extract("A", "B")
+        assert np.allclose(squashed, np.log1p(raw))
+
+    def test_binary_mode(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5, entry_mode="binary"))
+        vec = ext.extract("A", "B")
+        assert set(np.unique(vec)) <= {0.0, 1.0}
+
+    def test_distance_entries_bounded(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=6, entry_mode="distance"))
+        vec = ext.extract("A", "B")
+        assert vec.max() <= 1.0
+        assert vec.min() >= 0.0
+
+    def test_temporal_mode_lower_bounded_when_present(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5, entry_mode="temporal"))
+        mat = ext.adjacency_matrix("A", "B")
+        present_entries = mat[mat > 0]
+        # (1 + log1p(inf)) / d >= 1/d >= 1/diameter > 0
+        assert present_entries.min() > 0.2
+
+    def test_extract_multi_consistent(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        multi = ext.extract_multi("A", "B", ("temporal", "count", "binary"))
+        assert np.allclose(multi["temporal"], ext.extract("A", "B"))
+        count_ext = SSFExtractor(fig3_network, SSFConfig(k=5, entry_mode="count"))
+        assert np.allclose(multi["count"], count_ext.extract("A", "B"))
+
+    def test_extract_multi_unknown_mode(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        with pytest.raises(ValueError):
+            ext.extract_multi("A", "B", ("bogus",))
+
+    def test_extract_multi_unseen_nodes(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        out = ext.extract_multi("A", "zzz", ("temporal", "count"))
+        for vec in out.values():
+            assert np.allclose(vec, 0.0)
+
+    def test_all_modes_run(self, fig3_network):
+        for mode in ENTRY_MODES:
+            ext = SSFExtractor(fig3_network, SSFConfig(k=5, entry_mode=mode))
+            assert ext.extract("A", "B").shape == (9,)
+
+
+class TestTemporalSensitivity:
+    def test_recent_links_increase_entries(self):
+        old = DynamicNetwork([("a", "c", 1), ("b", "c", 1)])
+        recent = DynamicNetwork([("a", "c", 9), ("b", "c", 9)])
+        cfg = SSFConfig(k=3, entry_mode="influence", compress=False)
+        v_old = SSFExtractor(old, cfg, present_time=10).extract("a", "b")
+        v_recent = SSFExtractor(recent, cfg, present_time=10).extract("a", "b")
+        assert v_recent.sum() > v_old.sum()
+
+    def test_ssf_w_ignores_time(self):
+        old = DynamicNetwork([("a", "c", 1), ("b", "c", 1)])
+        recent = DynamicNetwork([("a", "c", 9), ("b", "c", 9)])
+        cfg = SSFConfig(k=3, entry_mode="count")
+        v_old = SSFExtractor(old, cfg, present_time=10).extract("a", "b")
+        v_recent = SSFExtractor(recent, cfg, present_time=10).extract("a", "b")
+        assert np.allclose(v_old, v_recent)
+
+    def test_default_present_time_is_after_last(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        assert ext.present_time == fig3_network.last_timestamp() + 1.0

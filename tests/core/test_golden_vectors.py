@@ -1,0 +1,87 @@
+"""Golden-value regression tests for the SSF pipeline.
+
+These pin the exact numeric outputs of the extraction pipeline on the
+Fig. 3 network.  Any change to merging, ordering, influence or
+unfolding semantics trips them — deliberately: semantic drift in the
+feature definition must be a conscious decision (update the values AND
+the DESIGN.md decision log together).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.feature import SSFConfig, SSFExtractor
+
+
+@pytest.fixture
+def extractor(fig3_network):
+    # present time pinned explicitly so the goldens are self-contained
+    return lambda **kw: SSFExtractor(
+        fig3_network, SSFConfig(k=5, **kw), present_time=9.0
+    )
+
+
+class TestGoldenVectors:
+    """Selection order (pinned below): 1=A, 2=B, 3=C, 4={G,H,I}, 5={D,E}.
+
+    Column-major unfolding gives positions
+    [A(1,3), A(2,3), A(1,4), A(2,4), A(3,4), A(1,5), A(2,5), A(3,5), A(4,5)]
+    = [A–C, B–C, A–{GHI}, 0, 0, 0, B–{DE}, 0, 0].
+    """
+
+    def test_count_vector(self, extractor):
+        vec = extractor(entry_mode="count", compress=False).extract("A", "B")
+        assert vec.tolist() == [1.0, 1.0, 3.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0]
+
+    def test_binary_vector(self, extractor):
+        vec = extractor(entry_mode="binary").extract("A", "B")
+        assert vec.tolist() == [1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]
+
+    def test_influence_vector(self, extractor):
+        vec = extractor(entry_mode="influence", compress=False).extract("A", "B")
+        def f(ts):
+            return math.exp(-0.5 * (9.0 - ts))
+        expected = [
+            f(4),                # A–C at ts 4
+            f(5),                # B–C at ts 5
+            f(1) + f(2) + f(3),  # A–{G,H,I} at ts 1,2,3
+            0.0,
+            0.0,
+            0.0,
+            f(6) + f(7),         # B–{D,E} at ts 6,7
+            0.0,
+            0.0,
+        ]
+        assert np.allclose(vec, expected)
+
+    def test_temporal_vector(self, extractor):
+        vec = extractor(entry_mode="temporal").extract("A", "B")
+        def f(ts):
+            return math.exp(-0.5 * (9.0 - ts))
+        def temporal(influence, dist=1):
+            return (1.0 + math.log1p(influence)) / dist
+        expected = [
+            temporal(f(4)),
+            temporal(f(5)),
+            temporal(f(1) + f(2) + f(3)),
+            0.0,
+            0.0,
+            0.0,
+            temporal(f(6) + f(7)),
+            0.0,
+            0.0,
+        ]
+        assert np.allclose(vec, expected)
+
+    def test_selection_order_pinned(self, extractor):
+        ks = extractor().k_structure_subgraph("A", "B")
+        members = [frozenset(ks.node(o).members) for o in range(1, 6)]
+        assert members == [
+            frozenset({"A"}),
+            frozenset({"B"}),
+            frozenset({"C"}),
+            frozenset({"G", "H", "I"}),
+            frozenset({"D", "E"}),
+        ]

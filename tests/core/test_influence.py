@@ -1,0 +1,59 @@
+"""Tests for temporal influence (Eq. 2–3, Defs. 8–9)."""
+
+import math
+
+import pytest
+
+from repro.core.influence import link_influence, normalized_influence
+
+
+class TestLinkInfluence:
+    def test_no_decay_at_present(self):
+        assert link_influence(10, 10) == 1.0
+
+    def test_exponential_form(self):
+        assert link_influence(10, 8, theta=0.5) == pytest.approx(math.exp(-1.0))
+
+    def test_monotone_in_age(self):
+        values = [link_influence(100, t) for t in (99, 90, 50, 1)]
+        assert values == sorted(values, reverse=True)
+
+    def test_theta_controls_speed(self):
+        slow = link_influence(10, 5, theta=0.1)
+        fast = link_influence(10, 5, theta=0.9)
+        assert slow > fast
+
+    def test_future_link_rejected(self):
+        with pytest.raises(ValueError):
+            link_influence(10, 11)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5, math.nan])
+    def test_bad_theta(self, bad):
+        with pytest.raises(ValueError):
+            link_influence(10, 5, theta=bad)
+
+
+class TestNormalizedInfluence:
+    def test_empty_is_zero(self):
+        assert normalized_influence([], 10) == 0.0
+
+    def test_sums_individual_influences(self):
+        stamps = [8, 9, 10]
+        expected = sum(link_influence(10, s) for s in stamps)
+        assert normalized_influence(stamps, 10) == pytest.approx(expected)
+
+    def test_multiple_links_beat_single(self):
+        single = normalized_influence([9], 10)
+        multiple = normalized_influence([9, 9], 10)
+        assert multiple == pytest.approx(2 * single)
+
+    def test_recent_beats_old(self):
+        assert normalized_influence([9], 10) > normalized_influence([2], 10)
+
+    def test_future_stamp_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_influence([11], 10)
+
+    def test_bounded_by_count(self):
+        stamps = [1, 5, 9]
+        assert normalized_influence(stamps, 10) <= len(stamps)

@@ -1,0 +1,87 @@
+"""Tests for K-structure subgraph extraction (Def. 7)."""
+
+import pytest
+
+from repro.core.kstructure import extract_k_structure_subgraph
+from repro.graph.temporal import DynamicNetwork
+
+
+class TestGrowth:
+    def test_fig3_k5_uses_one_hop(self, fig3_network):
+        ks = extract_k_structure_subgraph(fig3_network, "A", "B", 5)
+        assert ks.h == 1
+        assert ks.number_selected() == 5
+
+    def test_grows_h_when_needed(self, fig3_network):
+        # 1-hop structure subgraph has 5 structure nodes; asking for 6
+        # forces h=2 which brings in F.
+        ks = extract_k_structure_subgraph(fig3_network, "A", "B", 6)
+        assert ks.h == 2
+        assert ks.number_selected() == 6
+
+    def test_small_component_stops_early(self):
+        g = DynamicNetwork([("x", "y", 1)])
+        ks = extract_k_structure_subgraph(g, "x", "y", 10)
+        assert ks.number_selected() == 2
+
+    def test_path_growth(self, path_network):
+        ks = extract_k_structure_subgraph(path_network, "a", "b", 6)
+        assert ks.number_selected() == 6
+
+    def test_max_hop_cap(self, path_network):
+        ks = extract_k_structure_subgraph(path_network, "a", "b", 6, max_hop=1)
+        assert ks.number_selected() < 6
+
+
+class TestSelection:
+    def test_endpoints_first(self, fig3_network):
+        ks = extract_k_structure_subgraph(fig3_network, "A", "B", 5)
+        assert ks.node(1).members == frozenset({"A"})
+        assert ks.node(2).members == frozenset({"B"})
+
+    def test_truncation_keeps_lowest_orders(self, fig3_network):
+        full = extract_k_structure_subgraph(fig3_network, "A", "B", 5)
+        trimmed = extract_k_structure_subgraph(fig3_network, "A", "B", 3)
+        assert trimmed.number_selected() == 3
+        for order in range(1, 4):
+            assert trimmed.node(order).members == full.node(order).members
+
+    def test_distances_aligned(self, fig3_network):
+        ks = extract_k_structure_subgraph(fig3_network, "A", "B", 5)
+        assert ks.distances[0] == 0 and ks.distances[1] == 0
+        assert all(d >= 1 for d in ks.distances[2:])
+
+
+class TestLinkQueries:
+    def test_has_link_and_timestamps(self, fig3_network):
+        ks = extract_k_structure_subgraph(fig3_network, "A", "B", 5)
+        # find the order of the common neighbour C
+        c_order = next(
+            o
+            for o in range(1, 6)
+            if ks.node(o).members == frozenset({"C"})
+        )
+        assert ks.has_link(1, c_order)
+        assert ks.has_link(2, c_order)
+        assert ks.link_count(1, c_order) == 1
+        assert ks.link_timestamps(1, c_order) == (4.0,)
+
+    def test_historical_target_link_visible_at_structure_level(self):
+        g = DynamicNetwork([("a", "b", 1), ("a", "c", 2), ("b", "c", 3)])
+        ks = extract_k_structure_subgraph(g, "a", "b", 3)
+        assert ks.has_link(1, 2)  # the history a-b link exists as structure
+        assert ks.link_timestamps(1, 2) == (1.0,)
+
+
+class TestValidation:
+    def test_k_too_small(self, fig3_network):
+        with pytest.raises(ValueError):
+            extract_k_structure_subgraph(fig3_network, "A", "B", 1)
+
+    def test_missing_node(self, fig3_network):
+        with pytest.raises(KeyError):
+            extract_k_structure_subgraph(fig3_network, "A", "nope", 5)
+
+    def test_disconnected_endpoints(self, two_components):
+        ks = extract_k_structure_subgraph(two_components, "a", "b", 4)
+        assert ks.number_selected() == 2  # only the two end nodes reachable

@@ -1,0 +1,88 @@
+"""Palette-WL behaviour on crafted symmetric and regular graphs."""
+
+import pytest
+
+from repro.core.palette_wl import _dense_rank, _initial_colors, palette_wl_order
+from repro.core.structure import combine_structures
+from repro.core.subgraph import h_hop_node_set
+from repro.graph.temporal import DynamicNetwork
+
+
+def _order(network, a, b, h=3):
+    nodes = h_hop_node_set(network, a, b, h)
+    sub = combine_structures(network, nodes, a, b)
+    return sub, palette_wl_order(sub)
+
+
+class TestRegularGraphs:
+    def test_cycle_graph(self):
+        """On a cycle every non-end node pair equidistant from the link is
+        symmetric; orders must still be a valid anchored permutation."""
+        n = 8
+        g = DynamicNetwork(
+            [(f"c{i}", f"c{(i + 1) % n}", i + 1) for i in range(n)]
+        )
+        sub, order = _order(g, "c0", "c1")
+        assert sorted(order) == list(range(1, len(order) + 1))
+        assert order[0] == 1 and order[1] == 2
+
+    def test_cycle_symmetric_nodes_rank_adjacent(self):
+        """The two distance-1 neighbours (c7 and c2) are mirror images;
+        WL cannot split them, so they take the next two orders (3, 4) in
+        tie-break order."""
+        n = 8
+        g = DynamicNetwork(
+            [(f"c{i}", f"c{(i + 1) % n}", i + 1) for i in range(n)]
+        )
+        sub, order = _order(g, "c0", "c1")
+        o_c7 = order[sub.structure_node_of("c7")]
+        o_c2 = order[sub.structure_node_of("c2")]
+        assert {o_c7, o_c2} == {3, 4}
+
+    def test_complete_bipartite(self):
+        """K_{3,3} minus the target link: heavy symmetry, must terminate."""
+        g = DynamicNetwork()
+        ts = 1
+        for u in ("u1", "u2", "u3"):
+            for v in ("v1", "v2", "v3"):
+                if (u, v) != ("u1", "v1"):
+                    g.add_edge(u, v, ts)
+                    ts += 1
+        sub, order = _order(g, "u1", "v1")
+        assert sorted(order) == list(range(1, len(order) + 1))
+
+    def test_petersen_like_regular(self):
+        """3-regular circulant graph: WL ties abound, result is stable."""
+        n = 10
+        g = DynamicNetwork()
+        for i in range(n):
+            g.add_edge(f"p{i}", f"p{(i + 1) % n}", 1)
+            g.add_edge(f"p{i}", f"p{(i + 2) % n}", 2)
+        sub1, order1 = _order(g, "p0", "p1")
+        sub2, order2 = _order(g, "p0", "p1")
+        assert order1 == order2
+
+
+class TestRefinementInternals:
+    def test_dense_rank_ties(self):
+        assert _dense_rank([3.0, 1.0, 3.0, 2.0]) == [3, 1, 3, 2]
+
+    def test_dense_rank_tolerance(self):
+        ranks = _dense_rank([1.0, 1.0 + 1e-12, 2.0])
+        assert ranks[0] == ranks[1]
+
+    def test_initial_colors_band_structure(self):
+        colors = _initial_colors([0.0, 0.0, 2.0, 2.0, 3.0, -1.0])
+        assert colors[:2] == [1, 2]
+        assert colors[2] == colors[3]
+        assert colors[4] > colors[2]
+        assert colors[5] > colors[4]  # unreachable last
+
+    def test_refinement_splits_distance_ties(self, fig3_network):
+        """{G,H,I} (order-1 fans of A) and {D,E} (fans of B) and C all sit
+        in the same distance band yet receive distinct final orders."""
+        nodes = h_hop_node_set(fig3_network, "A", "B", 1)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        order = palette_wl_order(sub)
+        non_end = [order[i] for i in range(2, len(order))]
+        assert len(set(non_end)) == len(non_end)

@@ -1,0 +1,93 @@
+"""Tests for multiprocess feature extraction (determinism + fallbacks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature import SSFConfig, SSFExtractor
+from repro.core.parallel import MIN_PAIRS_FOR_POOL, parallel_extract_batch
+
+
+@pytest.fixture(scope="module")
+def case():
+    from repro.datasets.catalog import get_dataset
+    from repro.sampling.splits import build_link_prediction_task
+
+    network = get_dataset("co-author").generate(seed=0, scale=0.25)
+    task = build_link_prediction_task(network, max_positives=60, seed=0)
+    return task.history, task.present_time, list(task.train_pairs)
+
+
+class TestSequentialPath:
+    def test_matches_extractor(self, case):
+        history, present, pairs = case
+        config = SSFConfig(k=6)
+        via_parallel = parallel_extract_batch(
+            history, config, pairs, present_time=present, workers=1
+        )
+        direct = SSFExtractor(history, config, present_time=present).extract_batch(
+            pairs
+        )
+        assert np.array_equal(via_parallel, direct)
+
+    def test_small_batch_never_pools(self, case):
+        history, present, pairs = case
+        few = pairs[: MIN_PAIRS_FOR_POOL - 1]
+        out = parallel_extract_batch(
+            history, SSFConfig(k=6), few, present_time=present, workers=8
+        )
+        assert out.shape[0] == len(few)
+
+    def test_empty_batch(self, case):
+        history, present, _ = case
+        out = parallel_extract_batch(
+            history, SSFConfig(k=6), [], present_time=present, workers=2
+        )
+        assert out.shape == (0, SSFConfig(k=6).feature_dim)
+
+    def test_multi_mode_shapes(self, case):
+        history, present, pairs = case
+        out = parallel_extract_batch(
+            history,
+            SSFConfig(k=6),
+            pairs[:10],
+            present_time=present,
+            modes=("temporal", "count"),
+            workers=1,
+        )
+        assert set(out) == {"temporal", "count"}
+        assert out["temporal"].shape == (10, SSFConfig(k=6).feature_dim)
+
+
+class TestPooledPath:
+    def test_workers_bit_identical(self, case):
+        history, present, pairs = case
+        config = SSFConfig(k=6)
+        sequential = parallel_extract_batch(
+            history, config, pairs, present_time=present, workers=1
+        )
+        pooled = parallel_extract_batch(
+            history, config, pairs, present_time=present, workers=2
+        )
+        assert np.array_equal(sequential, pooled)
+
+    def test_workers_multi_mode_identical(self, case):
+        history, present, pairs = case
+        config = SSFConfig(k=6)
+        kwargs = dict(present_time=present, modes=("temporal", "count"))
+        sequential = parallel_extract_batch(
+            history, config, pairs, workers=1, **kwargs
+        )
+        pooled = parallel_extract_batch(
+            history, config, pairs, workers=2, **kwargs
+        )
+        for mode in sequential:
+            assert np.array_equal(sequential[mode], pooled[mode])
+
+
+class TestConfigIntegration:
+    def test_n_jobs_threads_through_runner(self, case):
+        from repro.experiments.config import ExperimentConfig
+
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_jobs=0)
+        assert ExperimentConfig(n_jobs=2).n_jobs == 2

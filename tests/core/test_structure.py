@@ -1,0 +1,219 @@
+"""Tests for structure combination (Algorithm 1, Defs. 4–6)."""
+
+import math
+
+import pytest
+
+from repro.core.structure import StructureNode, combine_structures
+from repro.core.subgraph import h_hop_node_set
+from repro.graph.temporal import DynamicNetwork
+
+
+def _members(subgraph):
+    return {frozenset(node.members) for node in subgraph.nodes}
+
+
+class TestStructureNode:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StructureNode(frozenset())
+
+    def test_len_contains(self):
+        node = StructureNode(frozenset({"a", "b"}))
+        assert len(node) == 2
+        assert "a" in node
+        assert "z" not in node
+
+    def test_representative_deterministic(self):
+        node = StructureNode(frozenset({"b", "a", "c"}))
+        assert node.representative() == "a"
+
+
+class TestCombineStructuresFig3:
+    """The paper's own worked example (Fig. 3)."""
+
+    def test_fig3_merge(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 1)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        assert _members(sub) == {
+            frozenset({"A"}),
+            frozenset({"B"}),
+            frozenset({"G", "H", "I"}),
+            frozenset({"D", "E"}),
+            frozenset({"C"}),
+        }
+
+    def test_endpoints_pinned_first(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 1)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        assert sub.nodes[0].members == frozenset({"A"})
+        assert sub.nodes[1].members == frozenset({"B"})
+
+    def test_structure_links(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 1)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        leaves_a = next(
+            i for i, n in enumerate(sub.nodes) if n.members == {"G", "H", "I"}
+        )
+        assert sub.has_structure_link(0, leaves_a)
+        assert not sub.has_structure_link(1, leaves_a)
+        # all G/H/I - A timestamps collected
+        assert sub.link_timestamps(0, leaves_a) == (1.0, 2.0, 3.0)
+        assert sub.link_count(0, leaves_a) == 3
+
+
+class TestMergeSemantics:
+    def test_endpoint_not_merged_with_twin(self):
+        # x has exactly the same neighbourhood as end node a, but stays apart
+        g = DynamicNetwork([("a", "c", 1), ("x", "c", 2), ("b", "c", 3)])
+        sub = combine_structures(g, {"a", "b", "c", "x"}, "a", "b")
+        assert frozenset({"a"}) in _members(sub)
+        assert frozenset({"x"}) in _members(sub)
+
+    def test_hub_merge(self):
+        g = DynamicNetwork(
+            [
+                ("a", "h1", 1),
+                ("a", "h2", 2),
+                ("b", "h1", 3),
+                ("b", "h2", 4),
+                ("l1", "a", 5),
+                ("l2", "b", 6),
+            ]
+        )
+        sub = combine_structures(
+            g, {"a", "b", "h1", "h2", "l1", "l2"}, "a", "b"
+        )
+        # h1, h2 share {a, b} -> merged; l1 ({a}) vs l2 ({b}) differ.
+        assert frozenset({"h1", "h2"}) in _members(sub)
+
+    def test_second_round_merge(self):
+        # Leaves l1/l2 hang off hubs h1/h2.  Round 1 cannot merge them
+        # (neighbourhoods {h1} vs {h2} differ as raw node sets) but after
+        # h1/h2 merge, l1 and l2 see the same structure-level
+        # neighbourhood and must merge in round 2.
+        g = DynamicNetwork(
+            [
+                ("a", "h1", 1),
+                ("a", "h2", 2),
+                ("b", "h1", 3),
+                ("b", "h2", 4),
+                ("l1", "h1", 5),
+                ("l2", "h2", 6),
+            ]
+        )
+        # NOTE: with the leaves attached, h1 nbrs {a,b,l1} != h2 nbrs
+        # {a,b,l2}, so h1/h2 do NOT merge and neither do the leaves —
+        # the fixed point is all-singletons.  This documents the exact
+        # (conservative) semantics of Algorithm 1.
+        sub = combine_structures(
+            g, {"a", "b", "h1", "h2", "l1", "l2"}, "a", "b"
+        )
+        assert frozenset({"h1"}) in _members(sub)
+        assert frozenset({"l1"}) in _members(sub)
+
+    def test_merged_nodes_share_neighbourhood(self, small_dataset):
+        pairs = list(small_dataset.pair_iter())
+        a, b = pairs[0]
+        nodes = h_hop_node_set(small_dataset, a, b, 1)
+        sub = combine_structures(small_dataset, nodes, a, b)
+        for node in sub.nodes:
+            neighbourhoods = {
+                frozenset(m for m in small_dataset.neighbor_view(member) if m in nodes)
+                for member in node.members
+            }
+            assert len(neighbourhoods) == 1
+
+    def test_no_two_nonend_nodes_share_structure(self, small_dataset):
+        """Fixed point: no further merge is possible (Algorithm 1's goal)."""
+        pairs = list(small_dataset.pair_iter())
+        a, b = pairs[3]
+        nodes = h_hop_node_set(small_dataset, a, b, 1)
+        sub = combine_structures(small_dataset, nodes, a, b)
+        adjacency_sets = [frozenset(sub.adjacency(i)) for i in range(len(sub.nodes))]
+        non_end = adjacency_sets[2:]
+        assert len(set(non_end)) == len(non_end)
+
+    def test_topology_conserved(self, fig3_network):
+        """Member-level adjacency is recoverable from the structure level."""
+        nodes = h_hop_node_set(fig3_network, "A", "B", 1)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        for i, j in sub.structure_link_pairs():
+            assert sub.link_count(i, j) > 0
+        # total member links across structure links == induced subgraph links
+        total = sum(sub.link_count(i, j) for i, j in sub.structure_link_pairs())
+        induced = fig3_network.subgraph(nodes).number_of_links()
+        assert total == induced
+
+
+class TestValidation:
+    def test_endpoints_must_be_in_node_set(self, fig3_network):
+        with pytest.raises(ValueError):
+            combine_structures(fig3_network, {"A", "C"}, "A", "B")
+
+    def test_distinct_endpoints(self, fig3_network):
+        with pytest.raises(ValueError):
+            combine_structures(fig3_network, {"A", "C"}, "A", "A")
+
+    def test_structure_node_of(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 1)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        assert sub.structure_node_of("A") == 0
+        idx = sub.structure_node_of("G")
+        assert sub.nodes[idx].members == frozenset({"G", "H", "I"})
+        with pytest.raises(KeyError):
+            sub.structure_node_of("F")
+
+    def test_internal_link_query_rejected(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 1)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        with pytest.raises(ValueError):
+            sub.link_timestamps(0, 0)
+
+
+class TestDistances:
+    def test_distances_to_target(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 2)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        dist = sub.distances_to_target()
+        assert dist[0] == 0 and dist[1] == 0
+        f_idx = sub.structure_node_of("F")
+        assert dist[f_idx] == 2
+
+    def test_unreachable_marked(self, two_components):
+        sub = combine_structures(two_components, {"a", "b", "c", "d"}, "a", "b")
+        dist = sub.distances_to_target()
+        c_idx = sub.structure_node_of("c")
+        assert dist[c_idx] == -1
+
+    def test_distances_from_endpoint(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 2)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        from_a = sub.distances_from(0)
+        leaves_b = sub.structure_node_of("D")
+        # D is 2 hops from A (via... A-C-B? no: A-C, C-B, B-D -> 3)
+        assert from_a[leaves_b] == 3
+
+    def test_weighted_distances(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 2)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        dist = sub.weighted_distances_from(0, lambda i, j: 0.5)
+        c_idx = sub.structure_node_of("C")
+        assert dist[c_idx] == pytest.approx(0.5)
+
+    def test_weighted_distances_unreachable(self, two_components):
+        sub = combine_structures(two_components, {"a", "b", "c", "d"}, "a", "b")
+        dist = sub.weighted_distances_from(0, lambda i, j: 1.0)
+        assert math.isinf(dist[sub.structure_node_of("c")])
+
+    def test_weighted_rejects_bad_length(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 1)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        with pytest.raises(ValueError):
+            sub.weighted_distances_from(0, lambda i, j: 0.0)
+
+    def test_bad_start_index(self, fig3_network):
+        nodes = h_hop_node_set(fig3_network, "A", "B", 1)
+        sub = combine_structures(fig3_network, nodes, "A", "B")
+        with pytest.raises(IndexError):
+            sub.distances_from(99)

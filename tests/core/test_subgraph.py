@@ -1,0 +1,45 @@
+"""Tests for h-hop subgraph extraction (Def. 3)."""
+
+import pytest
+
+from repro.core.subgraph import extract_h_hop_subgraph, h_hop_node_set
+
+
+class TestHHopNodeSet:
+    def test_zero_hop_is_endpoints(self, fig3_network):
+        assert h_hop_node_set(fig3_network, "A", "B", 0) == {"A", "B"}
+
+    def test_one_hop(self, fig3_network):
+        expected = {"A", "B", "C", "D", "E", "G", "H", "I"}
+        assert h_hop_node_set(fig3_network, "A", "B", 1) == expected
+
+    def test_two_hop_includes_f(self, fig3_network):
+        assert "F" in h_hop_node_set(fig3_network, "A", "B", 2)
+
+    def test_negative_hop_rejected(self, fig3_network):
+        with pytest.raises(ValueError):
+            h_hop_node_set(fig3_network, "A", "B", -1)
+
+
+class TestExtractHHopSubgraph:
+    def test_induced_links_kept(self, fig3_network):
+        sub = extract_h_hop_subgraph(fig3_network, "A", "B", 1)
+        assert sub.has_edge("A", "C")
+        assert sub.has_edge("B", "D")
+        # C-F leaves the 1-hop set, so the link is dropped with F
+        assert not sub.has_node("F")
+
+    def test_timestamps_preserved(self, fig3_network):
+        sub = extract_h_hop_subgraph(fig3_network, "A", "B", 1)
+        assert sub.timestamps("A", "C") == fig3_network.timestamps("A", "C")
+
+    def test_multiplicities_preserved(self, triangle_network):
+        sub = extract_h_hop_subgraph(triangle_network, "x", "z", 1)
+        assert sub.multiplicity("x", "y") == 2
+
+    def test_historical_target_links_kept(self):
+        from repro.graph.temporal import DynamicNetwork
+
+        g = DynamicNetwork([("a", "b", 1), ("a", "b", 2), ("a", "c", 3)])
+        sub = extract_h_hop_subgraph(g, "a", "b", 1)
+        assert sub.multiplicity("a", "b") == 2

@@ -1,0 +1,84 @@
+"""Tests for the named dataset catalog (Table II calibration)."""
+
+import pytest
+
+from repro.datasets.catalog import DATASETS, dataset_statistics, get_dataset
+from repro.graph.temporal import DynamicNetwork
+
+
+class TestCatalog:
+    def test_seven_datasets(self):
+        assert len(DATASETS) == 7
+        assert set(DATASETS) == {
+            "eu-email",
+            "contact",
+            "facebook",
+            "co-author",
+            "prosper",
+            "slashdot",
+            "digg",
+        }
+
+    def test_get_dataset_case_insensitive(self):
+        assert get_dataset("Co-Author").name == "co-author"
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_dataset("bogus")
+
+    def test_table2_statistics_pinned(self):
+        expected = {
+            "eu-email": (309, 61046, 803),
+            "contact": (274, 28245, 96),
+            "facebook": (4313, 42346, 366),
+            "co-author": (744, 7034, 20),
+            "prosper": (1264, 8874, 60),
+            "slashdot": (2680, 9904, 240),
+            "digg": (3215, 9618, 240),
+        }
+        for name, (nodes, links, span) in expected.items():
+            spec = DATASETS[name]
+            assert (spec.n_nodes, spec.n_links, spec.span) == (nodes, links, span)
+
+    def test_paper_average_degree(self):
+        spec = get_dataset("co-author")
+        assert spec.paper_average_degree == pytest.approx(18.91, abs=0.01)
+
+
+class TestGeneration:
+    def test_scaled_generation_matches_config(self):
+        spec = get_dataset("co-author")
+        net = spec.generate(seed=0, scale=0.2)
+        assert net.number_of_links() == spec.config(0.2).n_links
+        assert net.last_timestamp() == spec.span
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            get_dataset("digg").config(scale=0.0)
+        with pytest.raises(ValueError):
+            get_dataset("digg").config(scale=1.5)
+
+    def test_generation_deterministic(self):
+        spec = get_dataset("slashdot")
+        assert spec.generate(seed=5, scale=0.1) == spec.generate(seed=5, scale=0.1)
+
+    def test_full_scale_link_counts(self):
+        # cheap datasets only; the full sweep lives in the benchmarks
+        for name in ("co-author", "prosper"):
+            spec = get_dataset(name)
+            net = spec.generate(seed=0)
+            assert net.number_of_links() == spec.n_links
+            assert net.number_of_nodes() <= spec.n_nodes
+
+
+class TestStatistics:
+    def test_statistics_keys(self):
+        net = get_dataset("co-author").generate(seed=0, scale=0.1)
+        stats = dataset_statistics(net, 20)
+        assert set(stats) == {"nodes", "links", "pairs", "avg_degree", "time_span"}
+        assert stats["time_span"] == 20
+
+    def test_statistics_empty_network(self):
+        stats = dataset_statistics(DynamicNetwork())
+        assert stats["nodes"] == 0
+        assert stats["time_span"] == 0

@@ -1,0 +1,54 @@
+"""Tests for file loading and timestamp normalisation."""
+
+import pytest
+
+from repro.datasets.loaders import load_dataset_file, normalize_timestamps
+from repro.graph.temporal import DynamicNetwork
+
+
+class TestNormalizeTimestamps:
+    def test_maps_to_grid(self):
+        g = DynamicNetwork([("a", "b", 1000), ("b", "c", 2000), ("c", "d", 3000)])
+        out = normalize_timestamps(g, span=5)
+        assert out.timestamps("a", "b") == (1.0,)
+        assert out.timestamps("c", "d") == (5.0,)
+        assert out.timestamps("b", "c") == (3.0,)
+
+    def test_constant_timestamps(self):
+        g = DynamicNetwork([("a", "b", 7), ("b", "c", 7)])
+        out = normalize_timestamps(g, span=10)
+        assert out.timestamp_set() == {10.0}
+
+    def test_preserves_multiplicity(self):
+        g = DynamicNetwork([("a", "b", 10), ("a", "b", 20)])
+        out = normalize_timestamps(g, span=3)
+        assert out.multiplicity("a", "b") == 2
+
+    def test_empty_network(self):
+        out = normalize_timestamps(DynamicNetwork(), span=5)
+        assert out.number_of_links() == 0
+
+    def test_bad_span(self):
+        with pytest.raises(ValueError):
+            normalize_timestamps(DynamicNetwork(), span=0)
+
+
+class TestLoadDatasetFile:
+    def test_load_with_normalisation(self, tmp_path):
+        path = tmp_path / "net.tsv"
+        path.write_text("a b 1000000\nb c 1500000\nc d 2000000\n")
+        net = load_dataset_file(path, span=10)
+        assert net.first_timestamp() == 1.0
+        assert net.last_timestamp() == 10.0
+
+    def test_load_raw(self, tmp_path):
+        path = tmp_path / "net.tsv"
+        path.write_text("a b 5\n")
+        net = load_dataset_file(path)
+        assert net.timestamps("a", "b") == (5.0,)
+
+    def test_konect_file(self, tmp_path):
+        path = tmp_path / "out.loans"
+        path.write_text("% directed\n1 2 1 100\n3 4 -1 200\n")
+        net = load_dataset_file(path, span=4)
+        assert net.number_of_links() == 2

@@ -1,0 +1,156 @@
+"""Tests for the temporal event-model generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import EventModelConfig, generate_event_network
+
+
+def _config(**overrides):
+    base = dict(n_nodes=50, n_links=400, span=20)
+    base.update(overrides)
+    return EventModelConfig(**base)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_nodes": 2},
+            {"n_links": 0},
+            {"span": 1},
+            {"repeat_prob": 1.1},
+            {"repeat_prob": 0.6, "closure_prob": 0.5},
+            {"activity_exponent": -1},
+            {"community_count": -1},
+            {"community_bias": 2.0},
+            {"final_fraction": 1.0},
+            {"recency_bias": -0.1},
+            {"recency_window": 0},
+            {"group_event_prob": 1.5},
+            {"group_size": 2},
+            {"bipartite_fraction": 1.0},
+            {"bipartite_fraction": 0.3, "closure_prob": 0.1},
+            {"bipartite_fraction": 0.3, "closure_prob": 0.0, "group_event_prob": 0.5},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            _config(**kwargs)
+
+
+class TestGeneration:
+    def test_exact_link_count(self):
+        net = generate_event_network(_config(), seed=0)
+        assert net.number_of_links() == 400
+
+    def test_deterministic(self):
+        a = generate_event_network(_config(), seed=3)
+        b = generate_event_network(_config(), seed=3)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = generate_event_network(_config(), seed=1)
+        b = generate_event_network(_config(), seed=2)
+        assert a != b
+
+    def test_timestamps_within_span(self):
+        net = generate_event_network(_config(span=15), seed=0)
+        assert net.first_timestamp() >= 1
+        assert net.last_timestamp() == 15
+
+    def test_final_fraction_mass(self):
+        net = generate_event_network(_config(final_fraction=0.2), seed=0)
+        at_final = sum(1 for _, _, ts in net.edges() if ts == 20)
+        assert at_final == pytest.approx(0.2 * 400, abs=2)
+
+    def test_no_self_loops(self):
+        net = generate_event_network(_config(), seed=0)
+        assert all(u != v for u, v, _ in net.edges())
+
+    def test_repeats_create_multilinks(self):
+        net = generate_event_network(
+            _config(repeat_prob=0.9, closure_prob=0.0, pa_prob=0.05), seed=0
+        )
+        assert net.number_of_links() > net.number_of_pairs()
+
+    def test_closure_creates_triangles(self):
+        closed = generate_event_network(
+            _config(repeat_prob=0.0, closure_prob=0.6, pa_prob=0.1), seed=0
+        )
+        open_ = generate_event_network(
+            _config(repeat_prob=0.0, closure_prob=0.0, pa_prob=0.1), seed=0
+        )
+        assert _triangle_count(closed) > _triangle_count(open_)
+
+    def test_pa_skews_degrees(self):
+        hubby = generate_event_network(
+            _config(repeat_prob=0.0, closure_prob=0.0, pa_prob=0.9,
+                    activity_exponent=0.0),
+            seed=0,
+        )
+        flat = generate_event_network(
+            _config(repeat_prob=0.0, closure_prob=0.0, pa_prob=0.0,
+                    activity_exponent=0.0),
+            seed=0,
+        )
+        assert _max_degree(hubby) > _max_degree(flat)
+
+    def test_bipartite_has_no_odd_structure(self):
+        net = generate_event_network(
+            _config(bipartite_fraction=0.4, closure_prob=0.0,
+                    group_event_prob=0.0),
+            seed=0,
+        )
+        assert _triangle_count(net) == 0
+
+    def test_group_events_create_cliques(self):
+        # a sparse regime, so incidental random triangles are rare
+        sparse = dict(
+            n_nodes=300, n_links=500, repeat_prob=0.1, closure_prob=0.0,
+            pa_prob=0.1,
+        )
+        grouped = generate_event_network(
+            _config(group_event_prob=0.6, **sparse), seed=0
+        )
+        plain = generate_event_network(_config(**sparse), seed=0)
+        assert _triangle_count(grouped) > _triangle_count(plain)
+
+    def test_communities_localise_links(self):
+        # with strong communities, modular structure appears: a random
+        # node's neighbours share community assignment more often.
+        net = generate_event_network(
+            _config(
+                n_nodes=100,
+                n_links=800,
+                repeat_prob=0.0,
+                closure_prob=0.0,
+                pa_prob=0.0,
+                community_count=5,
+                community_bias=1.0,
+            ),
+            seed=0,
+        )
+        # 5 communities at bias 1.0 -> graph splits into >= 2 components
+        # of community-local links far denser than random (20 per comm).
+        static = net.static_projection()
+        components = set()
+        for node in static.nodes:
+            components.add(frozenset(static.connected_component(node)))
+        assert len(components) >= 2
+
+
+def _triangle_count(net) -> int:
+    g = net.static_projection()
+    total = 0
+    for u in g.nodes:
+        nbrs = list(g.neighbor_view(u))
+        for i in range(len(nbrs)):
+            for j in range(i + 1, len(nbrs)):
+                if g.has_edge(nbrs[i], nbrs[j]):
+                    total += 1
+    return total // 3
+
+
+def _max_degree(net) -> int:
+    return max(net.simple_degree(n) for n in net.nodes)

@@ -1,0 +1,61 @@
+"""Tests for multi-seed aggregation."""
+
+import pytest
+
+from repro.experiments.aggregate import (
+    AggregatedResult,
+    format_aggregated,
+    run_repeated,
+)
+from repro.experiments.config import ExperimentConfig
+
+
+class TestAggregatedResult:
+    def test_statistics(self):
+        result = AggregatedResult(
+            method="CN", auc_values=(0.8, 0.9), f1_values=(0.7, 0.7)
+        )
+        assert result.auc_mean == pytest.approx(0.85)
+        assert result.auc_std == pytest.approx(0.05)
+        assert result.f1_std == 0.0
+
+    def test_str(self):
+        result = AggregatedResult("CN", (0.8,), (0.7,))
+        assert "CN" in str(result) and "1 seeds" in str(result)
+
+
+class TestRunRepeated:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_repeated(
+            "co-author",
+            methods=("CN", "PA"),
+            config=ExperimentConfig().fast(),
+            n_seeds=2,
+            scale=0.2,
+        )
+
+    def test_all_methods_present(self, results):
+        assert set(results) == {"CN", "PA"}
+
+    def test_seed_count(self, results):
+        assert len(results["CN"].auc_values) == 2
+
+    def test_values_in_range(self, results):
+        for result in results.values():
+            assert all(0.0 <= v <= 1.0 for v in result.auc_values)
+
+    def test_seeds_vary_results(self, results):
+        # two independent generations virtually never tie exactly
+        aucs = results["CN"].auc_values
+        assert aucs[0] != aucs[1]
+
+    def test_format(self, results):
+        text = format_aggregated(results)
+        assert "CN" in text and "±" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_repeated("co-author", methods=(), n_seeds=1)
+        with pytest.raises(ValueError):
+            run_repeated("co-author", methods=("CN",), n_seeds=0)

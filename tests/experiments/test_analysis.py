@@ -1,0 +1,113 @@
+"""Tests for the network-analysis statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    burstiness,
+    clustering_coefficient,
+    degree_distribution,
+    degree_gini,
+    inter_event_times,
+    network_report,
+    temporal_activity,
+)
+from repro.graph.temporal import DynamicNetwork
+
+
+@pytest.fixture
+def triangle_plus_leaf() -> DynamicNetwork:
+    return DynamicNetwork(
+        [("a", "b", 1), ("b", "c", 2), ("a", "c", 3), ("c", "d", 4)]
+    )
+
+
+class TestDegreeStatistics:
+    def test_distribution_sorted(self, triangle_plus_leaf):
+        degrees = degree_distribution(triangle_plus_leaf)
+        assert list(degrees) == sorted(degrees)
+        assert degrees.sum() == 2 * 4  # link endpoints
+
+    def test_simple_vs_multigraph(self):
+        g = DynamicNetwork([("a", "b", 1), ("a", "b", 2)])
+        assert degree_distribution(g).max() == 2
+        assert degree_distribution(g, simple=True).max() == 1
+
+    def test_gini_zero_for_regular(self):
+        ring = DynamicNetwork(
+            [("a", "b", 1), ("b", "c", 2), ("c", "d", 3), ("d", "a", 4)]
+        )
+        assert degree_gini(ring) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_positive_for_star(self):
+        star = DynamicNetwork([("hub", f"leaf{i}", i + 1) for i in range(10)])
+        assert degree_gini(star) > 0.3
+
+    def test_gini_empty(self):
+        assert degree_gini(DynamicNetwork()) == 0.0
+
+
+class TestClustering:
+    def test_triangle_value(self, triangle_plus_leaf):
+        # a, b fully clustered (1.0); c has 3 nbrs, 1 link of 3 (1/3); d < 2 nbrs
+        expected = (1.0 + 1.0 + 1 / 3 + 0.0) / 4
+        assert clustering_coefficient(triangle_plus_leaf) == pytest.approx(expected)
+
+    def test_tree_is_zero(self, path_network):
+        assert clustering_coefficient(path_network) == 0.0
+
+    def test_empty(self):
+        assert clustering_coefficient(DynamicNetwork()) == 0.0
+
+    def test_max_nodes_cap(self, triangle_plus_leaf):
+        value = clustering_coefficient(triangle_plus_leaf, max_nodes=2)
+        assert 0.0 <= value <= 1.0
+
+
+class TestTemporalStatistics:
+    def test_inter_event_times(self):
+        g = DynamicNetwork([("a", "b", 1), ("a", "b", 4), ("a", "b", 6)])
+        assert sorted(inter_event_times(g)) == [2.0, 3.0]
+
+    def test_no_repeats_no_gaps(self, path_network):
+        assert len(inter_event_times(path_network)) == 0
+
+    def test_burstiness_regular_negative(self):
+        g = DynamicNetwork([("a", "b", t) for t in range(1, 20, 2)])
+        assert burstiness(g) == pytest.approx(-1.0)
+
+    def test_burstiness_bursty_positive(self):
+        stamps = [1, 1.1, 1.2, 1.3, 50, 50.1, 50.2, 99]
+        g = DynamicNetwork([("a", "b", t) for t in stamps])
+        assert burstiness(g) > 0.0
+
+    def test_temporal_activity_bins(self):
+        g = DynamicNetwork([("a", "b", t) for t in (1, 1, 1, 10)])
+        counts = temporal_activity(g, bins=2)
+        assert counts.tolist() == [3, 1]
+
+    def test_temporal_activity_empty(self):
+        assert temporal_activity(DynamicNetwork(), bins=3).tolist() == [0, 0, 0]
+
+    def test_temporal_activity_validation(self, path_network):
+        with pytest.raises(ValueError):
+            temporal_activity(path_network, bins=0)
+
+
+class TestNetworkReport:
+    def test_report_fields(self, small_dataset):
+        report = network_report(small_dataset)
+        assert report.nodes == small_dataset.number_of_nodes()
+        assert report.links == small_dataset.number_of_links()
+        assert report.multiplicity_mean >= 1.0
+        assert 0.0 <= report.clustering <= 1.0
+
+    def test_format(self, small_dataset):
+        text = network_report(small_dataset).format("demo")
+        assert "demo" in text
+        assert "burstiness" in text
+
+    def test_empty_network(self):
+        report = network_report(DynamicNetwork())
+        assert report.nodes == 0
+        assert report.time_span == 0.0

@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        out = _run(capsys, "table1")
+        assert "SSF (our work)" in out
+        assert "A-B" in out
+
+    def test_motivating(self, capsys):
+        out = _run(capsys, "motivating")
+        assert "SSF" in out
+
+    def test_stats_dataset(self, capsys):
+        out = _run(capsys, "stats", "--dataset", "co-author", "--scale", "0.1")
+        assert "avg degree" in out
+
+    def test_stats_file(self, capsys, tmp_path):
+        path = tmp_path / "net.tsv"
+        path.write_text("a b 1\nb c 2\na c 3\n")
+        out = _run(capsys, "stats", "--file", str(path))
+        assert "nodes" in out
+
+    def test_stats_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+    def test_table3_single_dataset(self, capsys):
+        out = _run(
+            capsys,
+            "table3",
+            "--dataset", "co-author",
+            "--scale", "0.15",
+            "--epochs", "5",
+            "--max-positives", "30",
+            "--methods", "CN", "PA",
+        )
+        assert "CN" in out and "PA" in out
+
+    def test_ksweep(self, capsys):
+        out = _run(
+            capsys,
+            "ksweep",
+            "--dataset", "co-author",
+            "--scale", "0.15",
+            "--epochs", "5",
+            "--max-positives", "30",
+            "--method", "SSFLR",
+            "--ks", "5", "6",
+        )
+        assert "K sweep" in out
+
+    def test_patterns(self, capsys):
+        out = _run(
+            capsys,
+            "patterns",
+            "--dataset", "co-author",
+            "--scale", "0.15",
+            "--samples", "20",
+            "--k", "6",
+        )
+        assert "pattern frequency" in out
+
+    def test_crossval(self, capsys):
+        out = _run(
+            capsys,
+            "crossval",
+            "--dataset", "co-author",
+            "--scale", "0.2",
+            "--epochs", "5",
+            "--max-positives", "30",
+            "--method", "CN",
+            "--folds", "2",
+        )
+        assert "AUC" in out
+
+
+class TestStreamCommand:
+    def test_stream(self, capsys):
+        out = _run(
+            capsys,
+            "stream",
+            "--dataset", "co-author",
+            "--scale", "0.2",
+            "--k", "5",
+        )
+        assert "prequential" in out and "AUC" in out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        out = _run(
+            capsys,
+            "report",
+            "--dataset", "co-author",
+            "--scale", "0.15",
+            "--epochs", "5",
+            "--max-positives", "30",
+        )
+        assert "# Link-prediction report" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        out = _run(
+            capsys,
+            "report",
+            "--dataset", "co-author",
+            "--scale", "0.15",
+            "--epochs", "5",
+            "--max-positives", "30",
+            "--output", str(path),
+        )
+        assert "written to" in out
+        assert path.read_text().startswith("# Link-prediction report")
+
+
+class TestRecommendCommand:
+    def test_recommend(self, capsys):
+        out = _run(
+            capsys,
+            "recommend",
+            "--dataset", "co-author",
+            "--scale", "0.15",
+            "--user", "5",
+            "--top", "3",
+            "--k", "5",
+        )
+        assert "suggestions" in out and "score=" in out
+
+    def test_unknown_user(self):
+        with pytest.raises(SystemExit):
+            main([
+                "recommend",
+                "--dataset", "co-author",
+                "--scale", "0.15",
+                "--user", "definitely-not-a-node",
+            ])

@@ -1,0 +1,47 @@
+"""Tests for ExperimentConfig."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.k == 10
+        assert config.theta == 0.5
+        assert config.learning_rate == 1e-3
+        assert config.batch_size == 10
+        assert config.train_fraction == 0.7
+        assert config.katz_beta == 0.001
+
+    def test_paper_settings_epochs(self):
+        assert ExperimentConfig.paper_settings().epochs == 2000
+
+    def test_with_k(self):
+        config = ExperimentConfig().with_k(15)
+        assert config.k == 15
+        assert config.theta == 0.5  # everything else preserved
+
+    def test_fast_variant(self):
+        fast = ExperimentConfig().fast()
+        assert fast.epochs < ExperimentConfig().epochs
+        assert fast.max_positives is not None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 2},
+            {"theta": 0.0},
+            {"epochs": 0},
+            {"train_fraction": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_frozen(self):
+        config = ExperimentConfig()
+        with pytest.raises(AttributeError):
+            config.k = 20

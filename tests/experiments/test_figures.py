@@ -1,0 +1,43 @@
+"""Tests for the figure regenerators (K sweep, pattern report)."""
+
+import pytest
+
+from repro.datasets.catalog import get_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import format_k_sweep, k_sweep, mine_frequent_pattern
+
+
+@pytest.fixture(scope="module")
+def network():
+    return get_dataset("co-author").generate(seed=0, scale=0.25)
+
+
+class TestKSweep:
+    def test_sweep_shape(self, network):
+        results = k_sweep(
+            network,
+            config=ExperimentConfig().fast(),
+            k_values=(5, 8),
+            method="SSFLR",
+        )
+        assert set(results) == {5, 8}
+        for result in results.values():
+            assert 0.0 <= result.auc <= 1.0
+
+    def test_format(self, network):
+        results = k_sweep(
+            network,
+            config=ExperimentConfig().fast(),
+            k_values=(5,),
+            method="SSFLR",
+        )
+        text = format_k_sweep(results, dataset="demo")
+        assert "demo" in text
+        assert "   5" in text
+
+
+class TestFrequentPattern:
+    def test_mining_report(self, network):
+        stats, rendering = mine_frequent_pattern(network, n_samples=40, k=6, seed=0)
+        assert stats.count >= 1
+        assert "pattern frequency" in rendering

@@ -1,0 +1,64 @@
+"""Tests for reproducibility manifests."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.manifest import (
+    build_manifest,
+    verify_manifest,
+    write_manifest,
+)
+from repro.sampling.splits import build_link_prediction_task
+
+
+class TestBuildManifest:
+    def test_fields(self, small_dataset):
+        manifest = build_manifest(small_dataset, ExperimentConfig())
+        assert manifest["manifest_version"] == 1
+        assert manifest["config"]["k"] == 10
+        assert manifest["network"]["links"] == small_dataset.number_of_links()
+        assert len(manifest["network"]["fingerprint"]) == 64
+
+    def test_with_task_and_extra(self, small_dataset):
+        task = build_link_prediction_task(small_dataset, seed=0)
+        manifest = build_manifest(
+            small_dataset,
+            ExperimentConfig(),
+            task=task,
+            extra={"note": "unit test"},
+        )
+        assert manifest["task"]["train_positive"] > 0
+        assert manifest["extra"]["note"] == "unit test"
+
+    def test_json_round_trip(self, small_dataset, tmp_path):
+        manifest = build_manifest(small_dataset, ExperimentConfig())
+        path = tmp_path / "manifest.json"
+        write_manifest(manifest, path)
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(manifest, default=str)
+        )
+
+
+class TestVerifyManifest:
+    def test_clean_verification(self, small_dataset):
+        manifest = build_manifest(small_dataset, ExperimentConfig())
+        assert verify_manifest(manifest, small_dataset) == []
+
+    def test_detects_network_change(self, small_dataset):
+        manifest = build_manifest(small_dataset, ExperimentConfig())
+        changed = small_dataset.copy()
+        changed.add_edge("ghost1", "ghost2", 1)
+        problems = verify_manifest(manifest, changed)
+        assert any("fingerprint" in p for p in problems)
+
+    def test_detects_version_drift(self, small_dataset):
+        manifest = build_manifest(small_dataset, ExperimentConfig())
+        manifest["repro_version"] = "0.0.1"
+        problems = verify_manifest(manifest, small_dataset)
+        assert any("version drift" in p for p in problems)
+
+    def test_unsupported_manifest_version(self, small_dataset):
+        problems = verify_manifest({"manifest_version": 99}, small_dataset)
+        assert problems and "manifest version" in problems[0]

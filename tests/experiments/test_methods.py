@@ -1,0 +1,53 @@
+"""Tests for the method registry."""
+
+import pytest
+
+from repro.baselines.base import LinkScorer
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import (
+    FEATURE_METHODS,
+    METHOD_ORDER,
+    RANKING_METHODS,
+    MethodResult,
+    validate_method_name,
+)
+
+
+class TestRegistry:
+    def test_fifteen_methods(self):
+        assert len(METHOD_ORDER) == 15
+
+    def test_every_method_registered(self):
+        for name in METHOD_ORDER:
+            assert name in RANKING_METHODS or name in FEATURE_METHODS
+
+    def test_no_overlap(self):
+        assert not set(RANKING_METHODS) & set(FEATURE_METHODS)
+
+    def test_ranking_factories_build_scorers(self):
+        config = ExperimentConfig()
+        for name, factory in RANKING_METHODS.items():
+            scorer = factory(config)
+            assert isinstance(scorer, LinkScorer), name
+
+    def test_feature_method_kinds(self):
+        kinds = {kind for kind, _ in FEATURE_METHODS.values()}
+        assert kinds == {"wlf", "ssf", "ssf_w"}
+        models = {model for _, model in FEATURE_METHODS.values()}
+        assert models == {"linear", "neural"}
+
+    def test_config_threading(self):
+        config = ExperimentConfig(katz_beta=0.05, rw_steps=7)
+        assert RANKING_METHODS["Katz"](config).beta == 0.05
+        assert RANKING_METHODS["RW"](config).steps == 7
+
+    def test_validate_method_name(self):
+        assert validate_method_name("SSFNM") == "SSFNM"
+        with pytest.raises(KeyError, match="SSFNM"):
+            validate_method_name("bogus")
+
+
+class TestMethodResult:
+    def test_as_row_rounds(self):
+        result = MethodResult(method="CN", auc=0.87654, f1=0.65432)
+        assert result.as_row() == ("CN", 0.877, 0.654)

@@ -1,0 +1,49 @@
+"""Tests for the Fig. 1 motivating example."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.motivating import (
+    build_celebrity_network,
+    format_motivating_table,
+    motivating_comparison,
+)
+
+
+class TestNetworkConstruction:
+    def test_celebrities_have_fans(self):
+        net = build_celebrity_network(fans_per_celebrity=5)
+        assert net.simple_degree("A") == 6  # 5 fans + C
+        assert net.simple_degree("C") == 9  # 5 fans + A, B, X, Y
+
+    def test_common_users_only_know_c(self):
+        net = build_celebrity_network()
+        assert net.neighbors("X") == {"C"}
+        assert net.neighbors("Y") == {"C"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_celebrity_network(fans_per_celebrity=0)
+
+
+class TestComparison:
+    def test_fig1b_reproduced(self):
+        comparison = motivating_comparison()
+        # CN, AA, RA, rWRA cannot separate A-B from X-Y...
+        assert set(comparison["undistinguished"]) == {"CN", "AA", "RA", "rWRA"}
+        # ...PA and Jaccard can, and so can SSF.
+        pa_ab, pa_xy = comparison["heuristics"]["PA"]
+        assert pa_ab > pa_xy
+        assert comparison["ssf_distinguishes"]
+
+    def test_jaccard_prefers_fans(self):
+        """Jaccard actually ranks X-Y above A-B — the paper's point that
+        differing is not the same as being right."""
+        comparison = motivating_comparison()
+        jac_ab, jac_xy = comparison["heuristics"]["Jac."]
+        assert jac_xy > jac_ab
+
+    def test_format(self):
+        text = format_motivating_table(motivating_comparison())
+        assert "SSF" in text
+        assert "A-B" in text

@@ -1,0 +1,93 @@
+"""Tests for the noise-injection experiments."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.noise import (
+    format_noise_sweep,
+    noise_sweep,
+    perturb_network,
+)
+from repro.graph.temporal import DynamicNetwork
+
+
+class TestPerturbNetwork:
+    def test_missing_drops_links(self, small_dataset):
+        noisy = perturb_network(small_dataset, missing_fraction=0.3, seed=0)
+        assert noisy.number_of_links() < small_dataset.number_of_links()
+        assert noisy.number_of_links() == pytest.approx(
+            0.7 * small_dataset.number_of_links(), rel=0.1
+        )
+
+    def test_false_adds_links(self, small_dataset):
+        noisy = perturb_network(small_dataset, false_fraction=0.2, seed=0)
+        added = noisy.number_of_links() - small_dataset.number_of_links()
+        assert added == pytest.approx(0.2 * small_dataset.number_of_links(), rel=0.1)
+
+    def test_false_links_use_existing_timestamps(self, small_dataset):
+        noisy = perturb_network(small_dataset, false_fraction=0.2, seed=0)
+        assert noisy.timestamp_set() <= small_dataset.timestamp_set()
+
+    def test_nodes_preserved(self, small_dataset):
+        noisy = perturb_network(small_dataset, missing_fraction=0.5, seed=0)
+        assert set(noisy.nodes) == set(small_dataset.nodes)
+
+    def test_zero_noise_is_identity(self, small_dataset):
+        assert perturb_network(small_dataset) == small_dataset
+
+    def test_deterministic(self, small_dataset):
+        a = perturb_network(small_dataset, missing_fraction=0.3, seed=5)
+        b = perturb_network(small_dataset, missing_fraction=0.3, seed=5)
+        assert a == b
+
+    def test_empty_network(self):
+        assert perturb_network(DynamicNetwork()).number_of_links() == 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"missing_fraction": 1.0}, {"false_fraction": -0.1}]
+    )
+    def test_validation(self, small_dataset, kwargs):
+        with pytest.raises(ValueError):
+            perturb_network(small_dataset, **kwargs)
+
+
+class TestNoiseSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.datasets.synthetic import EventModelConfig, generate_event_network
+
+        network = generate_event_network(
+            EventModelConfig(
+                n_nodes=60,
+                n_links=600,
+                span=20,
+                repeat_prob=0.3,
+                closure_prob=0.25,
+                pa_prob=0.25,
+                final_fraction=0.1,
+            ),
+            seed=7,
+        )
+        return noise_sweep(
+            network,
+            methods=("CN", "SSFLR"),
+            noise_levels=(0.0, 0.3),
+            kind="missing",
+            config=ExperimentConfig().fast(),
+        )
+
+    def test_levels_present(self, sweep):
+        assert set(sweep) == {0.0, 0.3}
+
+    def test_noise_hurts_or_ties(self, sweep):
+        # heavy missing-link noise should not *improve* CN markedly
+        assert sweep[0.3]["CN"].auc <= sweep[0.0]["CN"].auc + 0.1
+
+    def test_format(self, sweep):
+        text = format_noise_sweep(sweep, kind="missing")
+        assert "missing noise" in text
+        assert "SSFLR" in text
+
+    def test_kind_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            noise_sweep(small_dataset, kind="bogus")

@@ -1,0 +1,76 @@
+"""Tests for the link recommender."""
+
+import pytest
+
+from repro.recommend import LinkRecommender, Suggestion, hit_rate_at_n
+
+
+@pytest.fixture(scope="module")
+def network():
+    from repro.datasets.catalog import get_dataset
+
+    return get_dataset("co-author").generate(seed=0, scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def recommender(network):
+    return LinkRecommender.fit(network, model="linear", max_positives=60, seed=0)
+
+
+class TestCandidates:
+    def test_excludes_current_partners_and_self(self, network, recommender):
+        user = max(network.nodes, key=network.degree)
+        pool = recommender.candidates(user)
+        partners = network.neighbors(user)
+        assert user not in pool
+        assert not partners & set(pool)
+
+    def test_includes_friends_of_friends(self, network, recommender):
+        user = max(network.nodes, key=network.degree)
+        partners = network.neighbors(user)
+        two_hop = set()
+        for p in partners:
+            two_hop |= network.neighbors(p)
+        two_hop -= partners | {user}
+        if two_hop:
+            assert two_hop & set(recommender.candidates(user))
+
+    def test_unknown_user(self, recommender):
+        with pytest.raises(KeyError):
+            recommender.candidates("nope")
+
+
+class TestRecommend:
+    def test_top_n_sorted(self, network, recommender):
+        user = max(network.nodes, key=network.degree)
+        suggestions = recommender.recommend(user, top_n=5)
+        assert len(suggestions) <= 5
+        assert all(isinstance(s, Suggestion) for s in suggestions)
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic(self, network, recommender):
+        user = max(network.nodes, key=network.degree)
+        a = recommender.recommend(user, top_n=5)
+        b = recommender.recommend(user, top_n=5)
+        assert [s.node for s in a] == [s.node for s in b]
+
+    def test_top_n_validation(self, network, recommender):
+        user = network.nodes[0]
+        with pytest.raises(ValueError):
+            recommender.recommend(user, top_n=0)
+
+    def test_model_validation(self, network):
+        with pytest.raises(ValueError):
+            LinkRecommender.fit(network, model="bogus")
+
+
+class TestHitRate:
+    def test_in_unit_interval_and_better_than_nothing(self, network):
+        rate = hit_rate_at_n(network, top_n=10, n_users=15, seed=0)
+        assert 0.0 <= rate <= 1.0
+
+    def test_larger_n_never_hurts(self, network):
+        small = hit_rate_at_n(network, top_n=3, n_users=15, seed=0)
+        large = hit_rate_at_n(network, top_n=30, n_users=15, seed=0)
+        assert large >= small

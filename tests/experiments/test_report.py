@@ -1,0 +1,80 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import (
+    compute_report_sections,
+    generate_report,
+    render_report,
+)
+
+
+@pytest.fixture(scope="module")
+def sections():
+    from repro.datasets.catalog import get_dataset
+
+    network = get_dataset("co-author").generate(seed=0, scale=0.25)
+    return compute_report_sections(
+        network,
+        name="demo",
+        config=ExperimentConfig().fast(),
+        methods=("CN", "SSFLR"),
+        k_values=(5, 8),
+        pattern_samples=40,
+    )
+
+
+class TestComputeSections:
+    def test_all_ingredients(self, sections):
+        assert sections.name == "demo"
+        assert set(sections.methods) == {"CN", "SSFLR"}
+        assert set(sections.sweep) == {5, 8}
+        assert "pattern frequency" in sections.pattern_rendering
+        assert sections.task_summary["train_positive"] > 0
+
+    def test_extension_methods_allowed(self):
+        from repro.datasets.catalog import get_dataset
+
+        network = get_dataset("co-author").generate(seed=0, scale=0.2)
+        out = compute_report_sections(
+            network,
+            config=ExperimentConfig().fast(),
+            methods=("tCN",),
+            k_values=(5,),
+            pattern_samples=20,
+        )
+        assert "tCN" in out.methods
+
+
+class TestRender:
+    def test_markdown_structure(self, sections):
+        text = render_report(sections)
+        assert text.startswith("# Link-prediction report: demo")
+        for heading in (
+            "## Network statistics",
+            "## Method comparison",
+            "## SSFLR across K",
+            "## Most frequent K-structure-subgraph pattern",
+        ):
+            assert heading in text
+
+    def test_method_table(self, sections):
+        text = render_report(sections)
+        assert "| method | AUC | F1 |" in text
+        assert "| CN |" in text
+
+
+class TestGenerateReport:
+    def test_end_to_end(self):
+        from repro.datasets.catalog import get_dataset
+
+        network = get_dataset("co-author").generate(seed=0, scale=0.2)
+        text = generate_report(
+            network,
+            name="tiny",
+            config=ExperimentConfig().fast(),
+            methods=("CN",),
+        )
+        assert "tiny" in text
+        assert "CN" in text

@@ -1,0 +1,95 @@
+"""Tests for the paired-bootstrap significance machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.significance import (
+    ComparisonResult,
+    bootstrap_auc_difference,
+    compare_methods,
+)
+
+
+def _labelled(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    return rng, labels
+
+
+class TestBootstrapAucDifference:
+    def test_clearly_better_method_significant(self):
+        rng, labels = _labelled()
+        strong = labels + rng.normal(scale=0.3, size=len(labels))
+        weak = rng.normal(size=len(labels))
+        delta, lo, hi, p = bootstrap_auc_difference(
+            labels, strong, weak, n_bootstrap=300, seed=0
+        )
+        assert delta > 0.2
+        assert lo > 0.0
+        assert p < 0.05
+
+    def test_identical_scores_not_significant(self):
+        rng, labels = _labelled(seed=1)
+        scores = rng.normal(size=len(labels))
+        delta, lo, hi, p = bootstrap_auc_difference(
+            labels, scores, scores.copy(), n_bootstrap=100, seed=0
+        )
+        assert delta == 0.0
+        assert lo <= 0.0 <= hi
+
+    def test_antisymmetric(self):
+        rng, labels = _labelled(seed=2)
+        a = labels + rng.normal(scale=0.5, size=len(labels))
+        b = rng.normal(size=len(labels))
+        d_ab, *_ = bootstrap_auc_difference(labels, a, b, n_bootstrap=50, seed=0)
+        d_ba, *_ = bootstrap_auc_difference(labels, b, a, n_bootstrap=50, seed=0)
+        assert d_ab == pytest.approx(-d_ba)
+
+    def test_deterministic(self):
+        rng, labels = _labelled(seed=3)
+        a = rng.normal(size=len(labels))
+        b = rng.normal(size=len(labels))
+        first = bootstrap_auc_difference(labels, a, b, n_bootstrap=50, seed=9)
+        second = bootstrap_auc_difference(labels, a, b, n_bootstrap=50, seed=9)
+        assert first == second
+
+    def test_validation(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.arange(4.0)
+        with pytest.raises(ValueError):
+            bootstrap_auc_difference(labels, scores, scores[:3])
+        with pytest.raises(ValueError):
+            bootstrap_auc_difference(labels, scores, scores, n_bootstrap=5)
+
+
+class TestCompareMethods:
+    def test_end_to_end(self):
+        from repro.datasets.catalog import get_dataset
+        from repro.experiments.runner import LinkPredictionExperiment
+
+        network = get_dataset("co-author").generate(seed=0, scale=0.25)
+        experiment = LinkPredictionExperiment(network, ExperimentConfig().fast())
+        comparison = compare_methods(
+            experiment, "SSFLR", "PA", n_bootstrap=100, seed=0
+        )
+        assert comparison.method_a == "SSFLR"
+        assert comparison.delta == pytest.approx(
+            comparison.auc_a - comparison.auc_b
+        )
+        assert comparison.ci_low <= comparison.delta <= comparison.ci_high
+        assert 0.0 <= comparison.p_value <= 1.0
+        assert isinstance(comparison.significant, bool)
+        assert "ΔAUC" in str(comparison)
+
+
+class TestComparisonResult:
+    def test_significance_flag(self):
+        base = dict(
+            method_a="A", method_b="B", auc_a=0.9, auc_b=0.7,
+            delta=0.2, p_value=0.01, n_bootstrap=100,
+        )
+        sig = ComparisonResult(ci_low=0.1, ci_high=0.3, **base)
+        not_sig = ComparisonResult(ci_low=-0.05, ci_high=0.3, **base)
+        assert sig.significant
+        assert not not_sig.significant

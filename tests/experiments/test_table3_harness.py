@@ -1,0 +1,57 @@
+"""Tests for the top-level table harness helpers."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_table3
+from repro.experiments.tables import format_table3
+
+
+class TestRunTable3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_table3(
+            datasets=("co-author", "digg"),
+            config=ExperimentConfig().fast(),
+            methods=("CN", "SSFLR"),
+            seed=0,
+            scale=0.15,
+        )
+
+    def test_structure(self, results):
+        assert set(results) == {"co-author", "digg"}
+        for column in results.values():
+            assert set(column) == {"CN", "SSFLR"}
+
+    def test_renderable(self, results):
+        text = format_table3(results, methods=("CN", "SSFLR"))
+        assert "co-author" in text
+        assert "digg" in text
+        lines = text.splitlines()
+        assert any(line.startswith("CN") for line in lines)
+
+    def test_method_subset_order(self, results):
+        text = format_table3(results, methods=("SSFLR", "CN"))
+        # rendering respects METHOD_ORDER, not the requested order
+        assert text.index("CN ") < text.index("SSFLR")
+
+    def test_best_markers_present(self, results):
+        text = format_table3(results)
+        assert "*" in text
+
+
+class TestRunnerWithParallelConfig:
+    def test_n_jobs_smoke(self):
+        """n_jobs=2 produces the same AUC as sequential extraction."""
+        from repro.datasets.catalog import get_dataset
+        from repro.experiments.runner import LinkPredictionExperiment
+
+        network = get_dataset("co-author").generate(seed=0, scale=0.2)
+        seq = LinkPredictionExperiment(
+            network, ExperimentConfig(epochs=10, max_positives=80, n_jobs=1)
+        ).run_method("SSFLR")
+        par = LinkPredictionExperiment(
+            network, ExperimentConfig(epochs=10, max_positives=80, n_jobs=2)
+        ).run_method("SSFLR")
+        assert seq.auc == par.auc
+        assert seq.f1 == par.f1

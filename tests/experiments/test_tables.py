@@ -1,0 +1,71 @@
+"""Tests for the table renderers."""
+
+import pytest
+
+from repro.experiments.methods import MethodResult
+from repro.experiments.tables import (
+    TABLE1_ROWS,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+
+
+class TestTable1:
+    def test_ten_rows(self):
+        assert len(TABLE1_ROWS) == 10
+
+    def test_flags_match_paper(self):
+        flags = {name: (universal, dynamic) for name, _, universal, dynamic in TABLE1_ROWS}
+        assert flags["CN"] == (False, False)
+        assert flags["rWRA"] == (False, True)
+        assert flags["WLF"] == (True, False)
+        assert flags["SSF (our work)"] == (True, True)
+
+    def test_render(self):
+        text = format_table1()
+        assert "SSF (our work)" in text
+        assert "universal" in text
+
+
+class TestTable2:
+    def test_render(self):
+        rows = {
+            "demo": {
+                "nodes": 10,
+                "links": 55,
+                "pairs": 30,
+                "avg_degree": 11.0,
+                "time_span": 20,
+            }
+        }
+        text = format_table2(rows)
+        assert "demo" in text
+        assert "55" in text
+
+
+class TestTable3:
+    def _results(self):
+        return {
+            "d1": {
+                "CN": MethodResult("CN", auc=0.7, f1=0.6),
+                "SSFNM": MethodResult("SSFNM", auc=0.9, f1=0.8),
+            },
+            "d2": {
+                "CN": MethodResult("CN", auc=0.95, f1=0.9),
+                "SSFNM": MethodResult("SSFNM", auc=0.8, f1=0.7),
+            },
+        }
+
+    def test_best_marked(self):
+        text = format_table3(self._results())
+        lines = [line for line in text.splitlines() if line.startswith("SSFNM")]
+        assert "0.900*" in lines[0]
+
+    def test_method_order_respected(self):
+        text = format_table3(self._results())
+        assert text.index("CN") < text.index("SSFNM")
+
+    def test_no_common_methods(self):
+        with pytest.raises(ValueError):
+            format_table3({"d1": {"CN": MethodResult("CN", 0.5, 0.5)}, "d2": {}})

@@ -1,0 +1,70 @@
+"""Tests for the hyper-parameter grid search."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.tuning import GridSearchResult, grid_search
+
+
+@pytest.fixture(scope="module")
+def network():
+    from repro.datasets.catalog import get_dataset
+
+    return get_dataset("co-author").generate(seed=0, scale=0.3)
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def result(self, network):
+        return grid_search(
+            network,
+            "SSFLR",
+            {"k": (5, 8)},
+            base_config=ExperimentConfig().fast(),
+            n_folds=2,
+            min_positives=5,
+            seed=0,
+        )
+
+    def test_explores_whole_grid(self, result):
+        assert len(result.table) == 2
+        assert {params["k"] for params, _ in result.table} == {5, 8}
+
+    def test_best_is_table_maximum(self, result):
+        assert result.best_score == max(score for _, score in result.table)
+        assert result.best_params == result.table[0][0]
+
+    def test_scores_in_range(self, result):
+        assert all(0.0 <= score <= 1.0 for _, score in result.table)
+
+    def test_format(self, result):
+        text = result.format()
+        assert "SSFLR" in text and "best AUC" in text
+
+    def test_multi_dimensional_grid(self, network):
+        result = grid_search(
+            network,
+            "SSFLR",
+            {"k": (5,), "theta": (0.25, 0.5)},
+            base_config=ExperimentConfig().fast(),
+            n_folds=1,
+            min_positives=5,
+        )
+        assert len(result.table) == 2
+
+    def test_validation(self, network):
+        with pytest.raises(ValueError):
+            grid_search(network, "SSFLR", {})
+        with pytest.raises(ValueError):
+            grid_search(network, "SSFLR", {"bogus_field": (1,)})
+        with pytest.raises(ValueError):
+            grid_search(network, "SSFLR", {"k": ()})
+
+    def test_no_leakage_of_final_timestamp(self, network):
+        """Validation folds must predict strictly before the last stamp."""
+        from repro.sampling.temporal_cv import build_temporal_folds
+
+        last = network.last_timestamp()
+        development = network.slice(network.first_timestamp(), last)
+        folds = build_temporal_folds(development, n_folds=2, min_positives=5)
+        assert all(t < last for t in folds.prediction_times)

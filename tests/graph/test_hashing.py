@@ -1,0 +1,42 @@
+"""Tests for network fingerprinting."""
+
+from repro.graph.hashing import network_fingerprint
+from repro.graph.temporal import DynamicNetwork
+
+
+class TestNetworkFingerprint:
+    def test_insertion_order_invariant(self):
+        g1 = DynamicNetwork([("a", "b", 1), ("b", "c", 2)])
+        g2 = DynamicNetwork([("b", "c", 2), ("a", "b", 1)])
+        assert network_fingerprint(g1) == network_fingerprint(g2)
+
+    def test_direction_invariant(self):
+        g1 = DynamicNetwork([("a", "b", 1)])
+        g2 = DynamicNetwork([("b", "a", 1)])
+        assert network_fingerprint(g1) == network_fingerprint(g2)
+
+    def test_multiplicity_sensitive(self):
+        g1 = DynamicNetwork([("a", "b", 1)])
+        g2 = DynamicNetwork([("a", "b", 1), ("a", "b", 1)])
+        assert network_fingerprint(g1) != network_fingerprint(g2)
+
+    def test_timestamp_sensitive(self):
+        g1 = DynamicNetwork([("a", "b", 1)])
+        g2 = DynamicNetwork([("a", "b", 2)])
+        assert network_fingerprint(g1) != network_fingerprint(g2)
+
+    def test_isolated_nodes_counted(self):
+        g1 = DynamicNetwork([("a", "b", 1)])
+        g2 = DynamicNetwork([("a", "b", 1)])
+        g2.add_node("lonely")
+        assert network_fingerprint(g1) != network_fingerprint(g2)
+
+    def test_empty_network_stable(self):
+        assert network_fingerprint(DynamicNetwork()) == network_fingerprint(
+            DynamicNetwork()
+        )
+
+    def test_equal_networks_equal_hash(self, small_dataset):
+        assert network_fingerprint(small_dataset) == network_fingerprint(
+            small_dataset.copy()
+        )

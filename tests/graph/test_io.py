@@ -1,0 +1,59 @@
+"""Tests for edge-list reading/writing."""
+
+import pytest
+
+from repro.graph.io import EdgeListFormatError, read_edge_list, write_edge_list
+from repro.graph.temporal import DynamicNetwork
+
+
+class TestReadEdgeList:
+    def test_plain_tsv(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a b 1\nb c 2\na b 3\n")
+        g = read_edge_list(path)
+        assert g.number_of_links() == 3
+        assert g.multiplicity("a", "b") == 2
+
+    def test_konect_format(self, tmp_path):
+        path = tmp_path / "out.network"
+        path.write_text("% konect header\n1 2 1 86400\n2 3 1 172800\n")
+        g = read_edge_list(path)
+        assert g.number_of_links() == 2
+        assert g.timestamps("1", "2") == (86400.0,)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("# comment\n\n% other comment\na b 1\n")
+        assert read_edge_list(path).number_of_links() == 1
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a a 1\na b 2\n")
+        g = read_edge_list(path)
+        assert g.number_of_links() == 1
+
+    def test_self_loops_strict(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a a 1\n")
+        with pytest.raises(EdgeListFormatError):
+            read_edge_list(path, skip_self_loops=False)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a b\n")
+        with pytest.raises(EdgeListFormatError, match=":1:"):
+            read_edge_list(path)
+
+    def test_bad_timestamp(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a b xyz\n")
+        with pytest.raises(EdgeListFormatError, match="timestamp"):
+            read_edge_list(path)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        g = DynamicNetwork([("a", "b", 1), ("b", "c", 2.5), ("a", "b", 7)])
+        path = tmp_path / "round.tsv"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g

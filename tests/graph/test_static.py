@@ -1,0 +1,88 @@
+"""Tests for the StaticGraph projection substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph.static import StaticGraph
+
+
+@pytest.fixture
+def square() -> StaticGraph:
+    """4-cycle a-b-c-d-a."""
+    return StaticGraph([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+
+
+class TestEdges:
+    def test_add_idempotent(self):
+        g = StaticGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            StaticGraph([(1, 1)])
+
+    def test_remove(self, square):
+        square.remove_edge("a", "b")
+        assert not square.has_edge("a", "b")
+        assert square.number_of_edges() == 3
+
+    def test_remove_missing(self, square):
+        with pytest.raises(KeyError):
+            square.remove_edge("a", "c")
+
+    def test_edges_each_once(self, square):
+        assert len(list(square.edges())) == 4
+
+
+class TestNeighborhoods:
+    def test_neighbors_copy(self, square):
+        nbrs = square.neighbors("a")
+        nbrs.add("zzz")
+        assert "zzz" not in square.neighbors("a")
+
+    def test_common_neighbors(self, square):
+        assert square.common_neighbors("a", "c") == {"b", "d"}
+
+    def test_degree(self, square):
+        assert square.degree("a") == 2
+
+    def test_missing_node(self, square):
+        with pytest.raises(KeyError):
+            square.neighbors("nope")
+
+
+class TestTraversal:
+    def test_bfs_distances(self, square):
+        dist = square.bfs_distances("a")
+        assert dist == {"a": 0, "b": 1, "d": 1, "c": 2}
+
+    def test_bfs_max_depth(self, square):
+        dist = square.bfs_distances("a", max_depth=1)
+        assert dist == {"a": 0, "b": 1, "d": 1}
+
+    def test_connected_component(self):
+        g = StaticGraph([("a", "b"), ("c", "d")])
+        assert g.connected_component("a") == {"a", "b"}
+
+    def test_bfs_missing_source(self, square):
+        with pytest.raises(KeyError):
+            square.bfs_distances("nope")
+
+
+class TestLinearAlgebra:
+    def test_adjacency_matrix_symmetric(self, square):
+        mat = square.adjacency_matrix()
+        assert np.allclose(mat, mat.T)
+        assert mat.sum() == 8  # 4 edges * 2
+
+    def test_node_index_stable(self, square):
+        idx = square.node_index()
+        assert sorted(idx.values()) == [0, 1, 2, 3]
+
+    def test_adjacency_with_custom_index(self, square):
+        index = {n: i for i, n in enumerate(sorted(square.nodes))}
+        mat = square.adjacency_matrix(index)
+        assert mat[index["a"], index["b"]] == 1.0
+        assert mat[index["a"], index["c"]] == 0.0

@@ -1,0 +1,178 @@
+"""Tests for the DynamicNetwork temporal multigraph substrate."""
+
+import math
+
+import pytest
+
+from repro.graph.temporal import DynamicNetwork, TemporalEdge, average_degree
+
+
+class TestAddEdge:
+    def test_basic(self):
+        g = DynamicNetwork()
+        g.add_edge("a", "b", 1)
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "a")
+        assert g.number_of_links() == 1
+
+    def test_multi_links(self):
+        g = DynamicNetwork()
+        g.add_edge("a", "b", 1)
+        g.add_edge("a", "b", 5)
+        g.add_edge("b", "a", 3)
+        assert g.multiplicity("a", "b") == 3
+        assert g.timestamps("a", "b") == (1.0, 3.0, 5.0)
+
+    def test_same_timestamp_twice(self):
+        g = DynamicNetwork()
+        g.add_edge("a", "b", 2)
+        g.add_edge("a", "b", 2)
+        assert g.timestamps("a", "b") == (2.0, 2.0)
+
+    def test_self_loop_rejected(self):
+        g = DynamicNetwork()
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge("a", "a", 1)
+
+    def test_non_finite_timestamp_rejected(self):
+        g = DynamicNetwork()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", math.inf)
+
+    def test_constructor_edges(self):
+        g = DynamicNetwork([("a", "b", 1), ("b", "c", 2)])
+        assert g.number_of_links() == 2
+        assert set(g.nodes) == {"a", "b", "c"}
+
+
+class TestRemoveEdge:
+    def test_remove_latest(self):
+        g = DynamicNetwork([("a", "b", 1), ("a", "b", 5)])
+        g.remove_edge("a", "b")
+        assert g.timestamps("a", "b") == (1.0,)
+
+    def test_remove_specific(self):
+        g = DynamicNetwork([("a", "b", 1), ("a", "b", 5)])
+        g.remove_edge("a", "b", timestamp=1)
+        assert g.timestamps("a", "b") == (5.0,)
+
+    def test_remove_last_link_drops_pair(self):
+        g = DynamicNetwork([("a", "b", 1)])
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.number_of_links() == 0
+
+    def test_missing_raises(self):
+        g = DynamicNetwork([("a", "b", 1)])
+        with pytest.raises(KeyError):
+            g.remove_edge("a", "c")
+        with pytest.raises(KeyError):
+            g.remove_edge("a", "b", timestamp=9)
+
+
+class TestQueries:
+    def test_degrees(self, triangle_network):
+        # x: links to y (x2 incl. multi) and z
+        assert triangle_network.degree("x") == 3
+        assert triangle_network.simple_degree("x") == 2
+
+    def test_neighbors(self, triangle_network):
+        assert triangle_network.neighbors("x") == {"y", "z"}
+
+    def test_neighbors_missing_node(self, triangle_network):
+        with pytest.raises(KeyError):
+            triangle_network.neighbors("nope")
+
+    def test_counts(self, triangle_network):
+        assert triangle_network.number_of_nodes() == 3
+        assert triangle_network.number_of_links() == 4
+        assert triangle_network.number_of_pairs() == 3
+
+    def test_edges_iteration_counts_multiplicity(self, triangle_network):
+        edges = list(triangle_network.edges())
+        assert len(edges) == 4
+        assert all(isinstance(e, TemporalEdge) for e in edges)
+
+    def test_pair_iter_unique(self, triangle_network):
+        pairs = list(triangle_network.pair_iter())
+        assert len(pairs) == 3
+        assert len({frozenset(p) for p in pairs}) == 3
+
+    def test_contains_and_len(self, triangle_network):
+        assert "x" in triangle_network
+        assert "w" not in triangle_network
+        assert len(triangle_network) == 3
+
+    def test_isolated_node(self):
+        g = DynamicNetwork()
+        g.add_node("lonely")
+        assert g.has_node("lonely")
+        assert g.degree("lonely") == 0
+
+
+class TestTemporal:
+    def test_first_last_timestamp(self, triangle_network):
+        assert triangle_network.first_timestamp() == 1.0
+        assert triangle_network.last_timestamp() == 4.0
+
+    def test_timestamp_set(self, triangle_network):
+        assert triangle_network.timestamp_set() == {1.0, 2.0, 3.0, 4.0}
+
+    def test_slice_half_open(self, triangle_network):
+        sliced = triangle_network.slice(1, 4)  # drops the ts=4 multi-link
+        assert sliced.number_of_links() == 3
+        assert sliced.multiplicity("x", "y") == 1
+
+    def test_slice_drops_unlinked_nodes(self):
+        g = DynamicNetwork([("a", "b", 1), ("c", "d", 9)])
+        sliced = g.slice(1, 5)
+        assert set(sliced.nodes) == {"a", "b"}
+
+    def test_slice_empty_period_rejected(self, triangle_network):
+        with pytest.raises(ValueError):
+            triangle_network.slice(3, 3)
+
+
+class TestDerived:
+    def test_subgraph(self, fig3_network):
+        sub = fig3_network.subgraph({"A", "B", "C"})
+        assert set(sub.nodes) == {"A", "B", "C"}
+        assert sub.has_edge("A", "C")
+        assert sub.has_edge("B", "C")
+        assert not sub.has_edge("A", "B")
+
+    def test_subgraph_keeps_multiplicity(self, triangle_network):
+        sub = triangle_network.subgraph({"x", "y"})
+        assert sub.multiplicity("x", "y") == 2
+
+    def test_subgraph_missing_node_raises(self, fig3_network):
+        with pytest.raises(KeyError):
+            fig3_network.subgraph({"A", "nope"})
+
+    def test_static_projection(self, triangle_network):
+        static = triangle_network.static_projection()
+        assert static.number_of_edges() == 3
+        assert static.has_edge("x", "y")
+
+    def test_copy_equal_but_independent(self, triangle_network):
+        clone = triangle_network.copy()
+        assert clone == triangle_network
+        clone.add_edge("x", "y", 99)
+        assert clone != triangle_network
+
+    def test_equality_ignores_direction(self):
+        g1 = DynamicNetwork([("a", "b", 1)])
+        g2 = DynamicNetwork([("b", "a", 1)])
+        assert g1 == g2
+
+    def test_equality_other_type(self):
+        assert DynamicNetwork() != "not a network"
+
+
+class TestAverageDegree:
+    def test_empty(self):
+        assert average_degree(DynamicNetwork()) == 0.0
+
+    def test_counts_multiplicity(self, triangle_network):
+        # 2 * 4 links / 3 nodes
+        assert average_degree(triangle_network) == pytest.approx(8 / 3)

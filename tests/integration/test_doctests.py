@@ -1,0 +1,24 @@
+"""Run the docstring examples of the documented public modules."""
+
+import doctest
+
+import pytest
+
+import repro.core.feature
+import repro.graph.temporal
+import repro.models.linear
+import repro.models.neural
+
+MODULES = (
+    repro.graph.temporal,
+    repro.core.feature,
+    repro.models.linear,
+    repro.models.neural,
+)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {module.__name__}"
+    assert result.attempted > 0  # the examples actually exist

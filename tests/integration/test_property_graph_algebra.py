@@ -1,0 +1,149 @@
+"""Property-based tests: graph algebra and SSF temporal invariances."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feature import SSFConfig, SSFExtractor
+from repro.graph.temporal import DynamicNetwork
+
+_nodes = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def temporal_graphs(draw, min_edges=2, max_edges=30):
+    n_edges = draw(st.integers(min_edges, max_edges))
+    network = DynamicNetwork()
+    for _ in range(n_edges):
+        u = draw(_nodes)
+        v = draw(_nodes)
+        if u == v:
+            v = (v + 1) % 10
+        network.add_edge(u, v, draw(st.integers(1, 15)))
+    return network
+
+
+@st.composite
+def graph_and_target(draw):
+    network = draw(temporal_graphs())
+    nodes = network.nodes
+    a = nodes[0]
+    b = next((n for n in nodes if n != a), None)
+    if b is None:
+        network.add_edge(a, 99, 1)
+        b = 99
+    return network, a, b
+
+
+# --------------------------------------------------------------------------
+# graph algebra
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(temporal_graphs(), st.integers(1, 15), st.integers(1, 15))
+def test_slice_composition(network, t1, t2):
+    """Slicing twice equals slicing to the intersection of the windows."""
+    lo, hi = min(t1, t2), max(t1, t2) + 1
+    once = network.slice(lo, hi)
+    twice = network.slice(1, hi).slice(lo, hi)
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(temporal_graphs())
+def test_subgraph_idempotent(network):
+    nodes = set(network.nodes[: max(1, len(network.nodes) // 2)])
+    first = network.subgraph(nodes)
+    second = first.subgraph(nodes)
+    assert first == second
+
+
+@settings(max_examples=60, deadline=None)
+@given(temporal_graphs())
+def test_static_projection_commutes_with_subgraph(network):
+    nodes = set(network.nodes[: max(1, len(network.nodes) // 2)])
+    via_dynamic = network.subgraph(nodes).static_projection()
+    full_static = network.static_projection()
+    for u in nodes:
+        expected = {v for v in full_static.neighbor_view(u) if v in nodes}
+        assert via_dynamic.neighbor_view(u) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(temporal_graphs())
+def test_copy_roundtrip_and_counts(network):
+    clone = network.copy()
+    assert clone == network
+    assert clone.number_of_links() == network.number_of_links()
+    assert sum(network.degree(n) for n in network.nodes) == 2 * network.number_of_links()
+
+
+@settings(max_examples=60, deadline=None)
+@given(temporal_graphs())
+def test_pair_iter_matches_multiplicity_sum(network):
+    total = sum(network.multiplicity(u, v) for u, v in network.pair_iter())
+    assert total == network.number_of_links()
+
+
+# --------------------------------------------------------------------------
+# SSF temporal invariances
+# --------------------------------------------------------------------------
+
+
+def _shift(network: DynamicNetwork, delta: float) -> DynamicNetwork:
+    out = DynamicNetwork()
+    for node in network.nodes:
+        out.add_node(node)
+    for u, v, ts in network.edges():
+        out.add_edge(u, v, ts + delta)
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_and_target(), st.integers(1, 50))
+def test_ssf_time_translation_invariance(case, delta):
+    """Shifting every timestamp AND the present time leaves SSF unchanged
+    (Eq. 2 depends only on differences)."""
+    network, a, b = case
+    present = network.last_timestamp() + 1.0
+    base = SSFExtractor(network, SSFConfig(k=6), present_time=present)
+    shifted = SSFExtractor(
+        _shift(network, delta), SSFConfig(k=6), present_time=present + delta
+    )
+    assert np.allclose(base.extract(a, b), shifted.extract(a, b))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_and_target())
+def test_count_mode_ignores_timestamp_values(case):
+    """SSF-W depends only on WHICH links exist, not when."""
+    network, a, b = case
+    config = SSFConfig(k=6, entry_mode="count", ordering="hops")
+    scrambled = DynamicNetwork()
+    for u, v, ts in network.edges():
+        scrambled.add_edge(u, v, ((ts * 7) % 13) + 1)  # deterministic scramble
+    v1 = SSFExtractor(network, config).extract(a, b)
+    v2 = SSFExtractor(scrambled, config).extract(a, b)
+    assert np.allclose(v1, v2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_and_target(), st.floats(0.1, 0.9))
+def test_entries_monotone_in_theta(case, theta):
+    """Raw influence entries never grow when decay speeds up."""
+    network, a, b = case
+    slow = SSFExtractor(
+        network,
+        SSFConfig(k=6, entry_mode="influence", compress=False, theta=theta),
+    ).extract(a, b)
+    fast = SSFExtractor(
+        network,
+        SSFConfig(
+            k=6, entry_mode="influence", compress=False, theta=min(1.0, theta + 0.1)
+        ),
+    ).extract(a, b)
+    # orderings may differ between extractors; compare sorted multisets
+    assert np.sort(fast).sum() <= np.sort(slow).sum() + 1e-12

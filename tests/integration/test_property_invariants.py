@@ -1,0 +1,282 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Random temporal multigraphs are generated from edge-triple lists; the
+properties asserted here are the load-bearing guarantees of the pipeline:
+structure-combination soundness, Palette-WL anchoring/permutation, SSF
+shape/determinism, influence monotonicity and metric identities.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feature import SSFConfig, SSFExtractor, ssf_feature_dim
+from repro.core.influence import normalized_influence
+from repro.core.palette_wl import palette_wl_order
+from repro.core.structure import combine_structures
+from repro.core.subgraph import h_hop_node_set
+from repro.graph.temporal import DynamicNetwork
+from repro.metrics.classification import (
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+
+# --------------------------------------------------------------------------
+# strategies
+# --------------------------------------------------------------------------
+
+_nodes = st.integers(min_value=0, max_value=11)
+
+
+@st.composite
+def temporal_graphs(draw, min_edges=1, max_edges=40):
+    """A random DynamicNetwork with integer timestamps 1..20."""
+    n_edges = draw(st.integers(min_edges, max_edges))
+    network = DynamicNetwork()
+    for _ in range(n_edges):
+        u = draw(_nodes)
+        v = draw(_nodes)
+        if u == v:
+            v = (v + 1) % 12
+        ts = draw(st.integers(1, 20))
+        network.add_edge(u, v, ts)
+    return network
+
+
+@st.composite
+def graph_with_target(draw):
+    """A network plus a target pair whose ends both exist and differ."""
+    network = draw(temporal_graphs(min_edges=2))
+    nodes = network.nodes
+    a = draw(st.sampled_from(nodes))
+    b = draw(st.sampled_from(nodes))
+    if a == b:
+        others = [n for n in nodes if n != a]
+        if not others:
+            network.add_edge(a, 99, 1)
+            others = [99]
+        b = others[0]
+    return network, a, b
+
+
+# --------------------------------------------------------------------------
+# structure combination
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_target())
+def test_structure_partition_is_exact(case):
+    """Structure nodes partition V_h: disjoint, covering, endpoints pinned."""
+    network, a, b = case
+    node_set = h_hop_node_set(network, a, b, 2)
+    sub = combine_structures(network, node_set, a, b)
+    members = [set(n.members) for n in sub.nodes]
+    union = set().union(*members)
+    assert union == node_set
+    assert sum(len(m) for m in members) == len(node_set)
+    assert members[0] == {a} and members[1] == {b}
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_target())
+def test_merged_nodes_share_restricted_neighbourhood(case):
+    network, a, b = case
+    node_set = h_hop_node_set(network, a, b, 2)
+    sub = combine_structures(network, node_set, a, b)
+    for node in sub.nodes:
+        restricted = {
+            frozenset(m for m in network.neighbor_view(member) if m in node_set)
+            for member in node.members
+        }
+        assert len(restricted) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_target())
+def test_structure_links_conserve_all_links(case):
+    """Every induced link lands in exactly one structure link (Def. 5)."""
+    network, a, b = case
+    node_set = h_hop_node_set(network, a, b, 2)
+    sub = combine_structures(network, node_set, a, b)
+    total = sum(sub.link_count(i, j) for i, j in sub.structure_link_pairs())
+    induced = network.subgraph(node_set).number_of_links()
+    assert total == induced
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_target())
+def test_no_internal_structure_links(case):
+    """Members of a structure node are never adjacent (self-loop argument)."""
+    network, a, b = case
+    node_set = h_hop_node_set(network, a, b, 2)
+    sub = combine_structures(network, node_set, a, b)
+    for node in sub.nodes:
+        members = list(node.members)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                assert not network.has_edge(u, v)
+
+
+# --------------------------------------------------------------------------
+# palette-WL
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_target())
+def test_palette_wl_is_anchored_permutation(case):
+    network, a, b = case
+    node_set = h_hop_node_set(network, a, b, 2)
+    sub = combine_structures(network, node_set, a, b)
+    order = palette_wl_order(sub)
+    assert sorted(order) == list(range(1, len(order) + 1))
+    assert order[0] == 1 and order[1] == 2
+
+
+# --------------------------------------------------------------------------
+# SSF feature
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_with_target(), st.integers(3, 8))
+def test_ssf_shape_and_determinism(case, k):
+    network, a, b = case
+    extractor = SSFExtractor(network, SSFConfig(k=k))
+    vec = extractor.extract(a, b)
+    assert vec.shape == (ssf_feature_dim(k),)
+    assert np.isfinite(vec).all()
+    assert (vec >= 0).all()
+    assert np.allclose(vec, extractor.extract(a, b))
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_with_target())
+def test_ssf_matrix_symmetric_zero_target(case):
+    network, a, b = case
+    extractor = SSFExtractor(network, SSFConfig(k=6))
+    mat = extractor.adjacency_matrix(a, b)
+    assert np.allclose(mat, mat.T)
+    assert mat[0, 1] == 0.0
+    assert np.allclose(np.diag(mat), 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(temporal_graphs(min_edges=3))
+def test_ssf_invariant_to_member_relabelling(network):
+    """Renaming nodes (other than the target ends) leaves SSF unchanged
+    up to the tie-break on genuinely symmetric nodes — here we assert the
+    weaker, always-true property: sorted entry multiset is preserved."""
+    nodes = network.nodes
+    a, b = nodes[0], nodes[-1] if nodes[-1] != nodes[0] else None
+    if b is None:
+        return
+    mapping = {n: f"x{n}" for n in nodes if n not in (a, b)}
+    renamed = DynamicNetwork()
+    for u, v, ts in network.edges():
+        renamed.add_edge(mapping.get(u, u), mapping.get(v, v), ts)
+    v1 = SSFExtractor(network, SSFConfig(k=6)).extract(a, b)
+    v2 = SSFExtractor(renamed, SSFConfig(k=6)).extract(a, b)
+    assert np.allclose(np.sort(v1), np.sort(v2))
+
+
+# --------------------------------------------------------------------------
+# influence
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(st.floats(0, 100), min_size=0, max_size=20),
+    st.floats(0.01, 1.0),
+)
+def test_influence_bounds_and_monotonicity(stamps, theta):
+    present = 100.0
+    value = normalized_influence(stamps, present, theta)
+    assert 0.0 <= value <= len(stamps)
+    shifted = normalized_influence([s * 0.5 for s in stamps], present, theta)
+    assert shifted <= value + 1e-12  # older links never add influence
+
+
+@settings(max_examples=100)
+@given(st.lists(st.floats(0, 99), min_size=1, max_size=10))
+def test_influence_additive(stamps):
+    present = 100.0
+    total = normalized_influence(stamps, present)
+    parts = sum(normalized_influence([s], present) for s in stamps)
+    assert math.isclose(total, parts, rel_tol=1e-9)
+
+
+# --------------------------------------------------------------------------
+# metrics
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def labelled_scores(draw):
+    n = draw(st.integers(4, 60))
+    labels = draw(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n).filter(
+            lambda ls: 0 < sum(ls) < len(ls)
+        )
+    )
+    # A coarse 0.01 grid keeps monotone float transforms (exp below)
+    # injective — ultra-close doubles would otherwise collapse into ties.
+    scores = draw(
+        st.lists(st.integers(-1000, 1000), min_size=n, max_size=n)
+    )
+    return np.array(labels), np.array(scores, dtype=np.float64) / 100.0
+
+
+@settings(max_examples=80)
+@given(labelled_scores())
+def test_auc_complement_symmetry(case):
+    """AUC(scores) + AUC(-scores) == 1 (ties contribute half to both)."""
+    labels, scores = case
+    forward = roc_auc_score(labels, scores)
+    backward = roc_auc_score(labels, -scores)
+    assert math.isclose(forward + backward, 1.0, abs_tol=1e-9)
+
+
+@settings(max_examples=80)
+@given(labelled_scores())
+def test_auc_invariant_to_monotone_transform(case):
+    labels, scores = case
+    transformed = np.exp(scores / 5.0)
+    assert math.isclose(
+        roc_auc_score(labels, scores),
+        roc_auc_score(labels, transformed),
+        abs_tol=1e-9,
+    )
+
+
+@settings(max_examples=80)
+@given(labelled_scores())
+def test_f1_matches_precision_recall_identity(case):
+    labels, scores = case
+    predictions = (scores >= 0).astype(int)
+    p = precision_score(labels, predictions)
+    r = recall_score(labels, predictions)
+    f1 = f1_score(labels, predictions)
+    if p + r == 0:
+        assert f1 == 0.0
+    else:
+        assert math.isclose(f1, 2 * p * r / (p + r), abs_tol=1e-12)
+
+
+@settings(max_examples=80)
+@given(labelled_scores())
+def test_confusion_matrix_totals(case):
+    labels, scores = case
+    predictions = (scores >= 0).astype(int)
+    mat = confusion_matrix(labels, predictions)
+    assert mat.sum() == len(labels)
+    assert mat[1].sum() == labels.sum()

@@ -1,0 +1,135 @@
+"""Property-based tests for the model stack and the event generator."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import EventModelConfig, generate_event_network
+from repro.models.linear import LinearRegressionModel
+from repro.models.losses import softmax
+from repro.models.ranking import best_f1_threshold
+from repro.metrics.classification import f1_score
+
+# --------------------------------------------------------------------------
+# linear regression
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def linear_problems(draw):
+    n = draw(st.integers(10, 60))
+    dim = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, dim))
+    w = rng.normal(size=dim)
+    b = float(rng.normal())
+    return x, w, b
+
+
+@settings(max_examples=60, deadline=None)
+@given(linear_problems())
+def test_linear_recovers_exact_functions(problem):
+    """On noiseless targets, unregularised least squares is exact."""
+    x, w, b = problem
+    y = x @ w + b
+    model = LinearRegressionModel(ridge=0.0).fit(x, y)
+    assert np.allclose(model.decision_scores(x), y, atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(linear_problems(), st.floats(0.1, 100.0))
+def test_ridge_monotonically_shrinks(problem, ridge):
+    x, w, b = problem
+    y = x @ w + b
+    free = LinearRegressionModel(ridge=0.0).fit(x, y)
+    shrunk = LinearRegressionModel(ridge=ridge).fit(x, y)
+    assert (
+        np.linalg.norm(shrunk.weights) <= np.linalg.norm(free.weights) + 1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(linear_problems())
+def test_prediction_affine_in_inputs(problem):
+    """The fitted predictor is affine: f(ax) = a f(x) + (1-a) f(0)."""
+    x, w, b = problem
+    y = x @ w + b
+    model = LinearRegressionModel(ridge=0.0).fit(x, y)
+    zero = model.decision_scores(np.zeros((1, x.shape[1])))[0]
+    doubled = model.decision_scores(2 * x)
+    assert np.allclose(doubled, 2 * model.decision_scores(x) - zero, atol=1e-6)
+
+
+# --------------------------------------------------------------------------
+# softmax / thresholds
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.floats(-50, 50), min_size=3, max_size=3),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_softmax_is_distribution(rows):
+    logits = np.array(rows)
+    probs = softmax(logits)
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 5_000))
+def test_best_f1_threshold_is_optimal(seed):
+    """The chosen threshold's F1 dominates every other cut point."""
+    rng = np.random.default_rng(seed)
+    n = 40
+    labels = rng.integers(0, 2, size=n)
+    scores = rng.normal(size=n) + labels
+    threshold = best_f1_threshold(scores, labels)
+    best = f1_score(labels, (scores >= threshold).astype(int))
+    for cut in np.unique(scores):
+        for candidate in (cut - 1e-9, cut + 1e-9):
+            other = f1_score(labels, (scores >= candidate).astype(int))
+            assert best >= other - 1e-12
+
+
+# --------------------------------------------------------------------------
+# event generator
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def generator_configs(draw):
+    repeat = draw(st.floats(0.0, 0.5))
+    closure = draw(st.floats(0.0, 0.3))
+    pa = draw(st.floats(0.0, 0.3))
+    return EventModelConfig(
+        n_nodes=draw(st.integers(5, 40)),
+        n_links=draw(st.integers(10, 150)),
+        span=draw(st.integers(2, 25)),
+        repeat_prob=repeat,
+        closure_prob=closure,
+        pa_prob=pa,
+        activity_exponent=draw(st.floats(0.0, 1.5)),
+        final_fraction=draw(st.floats(0.0, 0.3)),
+        recency_bias=draw(st.floats(0.0, 1.0)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(generator_configs(), st.integers(0, 1_000))
+def test_generator_invariants(config, seed):
+    network = generate_event_network(config, seed=seed)
+    assert network.number_of_links() == config.n_links
+    assert network.number_of_nodes() <= config.n_nodes
+    assert network.first_timestamp() >= 1
+    assert network.last_timestamp() <= config.span
+    assert all(u != v for u, v, _ in network.edges())
+    # determinism
+    assert network == generate_event_network(config, seed=seed)

@@ -1,0 +1,125 @@
+"""Robustness: the full pipeline on adversarial/extreme topologies.
+
+Each case is a topology that historically breaks subgraph-extraction
+code: giant stars (huge merged structure nodes), long paths (deep h
+growth), complete graphs (no merging, dense ties), twin components,
+self-similar trees, and networks with exotic node labels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.wlf import WLFExtractor
+from repro.core.feature import SSFConfig, SSFExtractor, ssf_feature_dim
+from repro.core.kstructure import extract_k_structure_subgraph
+from repro.graph.temporal import DynamicNetwork
+
+
+def _extract_ok(network, a, b, k=10):
+    extractor = SSFExtractor(network, SSFConfig(k=k))
+    vec = extractor.extract(a, b)
+    assert vec.shape == (ssf_feature_dim(k),)
+    assert np.isfinite(vec).all()
+    return vec
+
+
+class TestExtremeTopologies:
+    def test_giant_star(self):
+        """10k leaves merge into ONE structure node; extraction stays fast."""
+        g = DynamicNetwork()
+        for i in range(10_000):
+            g.add_edge("hub", f"leaf{i}", (i % 50) + 1)
+        ks = extract_k_structure_subgraph(g, "leaf0", "leaf1", 5)
+        # hub + two end leaves + one merged leaf blob
+        assert ks.source.number_of_structure_nodes() == 4
+        _extract_ok(g, "leaf0", "leaf1", k=5)
+
+    def test_long_path_deep_growth(self):
+        g = DynamicNetwork(
+            [(f"n{i}", f"n{i+1}", i + 1) for i in range(200)]
+        )
+        ks = extract_k_structure_subgraph(g, "n0", "n1", 12)
+        assert ks.number_selected() == 12
+        assert ks.h >= 5  # had to grow far along the path
+        _extract_ok(g, "n0", "n1", k=12)
+
+    def test_complete_graph(self):
+        g = DynamicNetwork()
+        nodes = [f"v{i}" for i in range(20)]
+        ts = 1
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                g.add_edge(u, v, ts)
+                ts += 1
+        vec = _extract_ok(g, "v0", "v1")
+        assert (vec > 0).sum() > 10  # rich structure captured
+
+    def test_two_identical_components(self):
+        g = DynamicNetwork()
+        for prefix in ("a", "b"):
+            g.add_edge(f"{prefix}1", f"{prefix}2", 1)
+            g.add_edge(f"{prefix}2", f"{prefix}3", 2)
+        # target link across components: balls never meet
+        vec = _extract_ok(g, "a1", "b1", k=6)
+        ks = extract_k_structure_subgraph(g, "a1", "b1", 6)
+        distances = ks.source.distances_to_target()
+        assert all(d >= 0 for d in distances)  # both sides BFS-rooted
+
+    def test_binary_tree(self):
+        # node i has children 2i and 2i+1
+        g = DynamicNetwork()
+        for i in range(1, 32):
+            g.add_edge(f"t{i}", f"t{2 * i}", i)
+            g.add_edge(f"t{i}", f"t{2 * i + 1}", i)
+        _extract_ok(g, "t2", "t3")
+
+    def test_multigraph_extreme_multiplicity(self):
+        g = DynamicNetwork()
+        for i in range(500):
+            g.add_edge("a", "c", (i % 10) + 1)
+        g.add_edge("b", "c", 5)
+        vec = _extract_ok(g, "a", "b", k=3)
+        assert np.isfinite(vec).all()
+
+    def test_exotic_node_labels(self):
+        labels = [("tuple", 1), frozenset({"x"}), 3.5, "unicode-λ", b"bytes"]
+        g = DynamicNetwork()
+        for i, label in enumerate(labels[1:], start=1):
+            g.add_edge(labels[0], label, i)
+        _extract_ok(g, labels[1], labels[2], k=4)
+
+    def test_timestamps_with_float_jitter(self):
+        g = DynamicNetwork(
+            [("a", "c", 1.0000001), ("b", "c", 1.0000002), ("c", "d", 2.5)]
+        )
+        _extract_ok(g, "a", "b", k=4)
+
+
+class TestWLFRobustness:
+    def test_giant_star(self):
+        g = DynamicNetwork()
+        for i in range(2_000):
+            g.add_edge("hub", f"leaf{i}", (i % 50) + 1)
+        vec = WLFExtractor(g, k=6).extract("leaf0", "leaf1")
+        assert np.isfinite(vec).all()
+
+    def test_long_path(self):
+        g = DynamicNetwork([(f"n{i}", f"n{i+1}", i + 1) for i in range(100)])
+        vec = WLFExtractor(g, k=8).extract("n0", "n1")
+        assert np.isfinite(vec).all()
+
+
+class TestDeterminismUnderStress:
+    def test_repeated_extraction_identical(self):
+        g = DynamicNetwork()
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            u, v = rng.integers(0, 40, size=2)
+            if u != v:
+                g.add_edge(int(u), int(v), float(rng.integers(1, 20)))
+        extractor = SSFExtractor(g, SSFConfig(k=10))
+        pairs = list(g.pair_iter())[:10]
+        first = [extractor.extract(a, b) for a, b in pairs]
+        second = [extractor.extract(a, b) for a, b in pairs]
+        for x, y in zip(first, second):
+            assert np.array_equal(x, y)

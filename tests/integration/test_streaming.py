@@ -1,0 +1,117 @@
+"""Tests for the prequential streaming evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature import SSFConfig
+from repro.streaming import (
+    PrequentialResult,
+    StreamingSSFPredictor,
+    prequential_evaluate,
+)
+
+
+class TestStreamingPredictor:
+    def test_observe_builds_history(self):
+        predictor = StreamingSSFPredictor(SSFConfig(k=4))
+        predictor.observe([("a", "b", 1.0), ("b", "c", 1.0)])
+        predictor.observe([("c", "d", 2.0)])
+        assert predictor.history.number_of_links() == 3
+
+    def test_rejects_time_regression(self):
+        predictor = StreamingSSFPredictor(SSFConfig(k=4))
+        predictor.observe([("a", "b", 2.0)])
+        with pytest.raises(ValueError, match="advance"):
+            predictor.observe([("b", "c", 1.0)])
+
+    def test_rejects_mixed_timestamps(self):
+        predictor = StreamingSSFPredictor(SSFConfig(k=4))
+        with pytest.raises(ValueError, match="single timestamp"):
+            predictor.observe([("a", "b", 1.0), ("b", "c", 2.0)])
+
+    def test_scores_zero_before_model_ready(self):
+        predictor = StreamingSSFPredictor(SSFConfig(k=4))
+        predictor.observe([("a", "b", 1.0)])
+        assert not predictor.is_ready
+        assert np.allclose(predictor.score([("a", "b")]), 0.0)
+
+    def test_becomes_ready_with_data(self, small_dataset):
+        predictor = StreamingSSFPredictor(
+            SSFConfig(k=6), refit_every=1, seed=0
+        )
+        for stamp in sorted(small_dataset.timestamp_set()):
+            edges = [
+                (u, v, ts) for u, v, ts in small_dataset.edges() if ts == stamp
+            ]
+            predictor.observe(edges)
+        assert predictor.is_ready
+        scores = predictor.score(list(small_dataset.pair_iter())[:5])
+        assert scores.shape == (5,)
+
+    def test_window_bounded(self, small_dataset):
+        predictor = StreamingSSFPredictor(
+            SSFConfig(k=5), window_size=40, refit_every=5, seed=0
+        )
+        for stamp in sorted(small_dataset.timestamp_set()):
+            edges = [
+                (u, v, ts) for u, v, ts in small_dataset.edges() if ts == stamp
+            ]
+            predictor.observe(edges)
+        assert len(predictor._window_pairs) <= 40
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"model": "bogus"},
+            {"refit_every": 0},
+            {"window_size": 5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamingSSFPredictor(SSFConfig(k=4), **kwargs)
+
+
+class TestPrequentialEvaluate:
+    def test_beats_chance_on_easy_stream(self, small_dataset):
+        predictor = StreamingSSFPredictor(
+            SSFConfig(k=8), model="linear", refit_every=2, seed=0
+        )
+        result = prequential_evaluate(
+            small_dataset, predictor, warmup_fraction=0.5, min_positives=5
+        )
+        assert len(result.aucs) >= 3
+        assert result.mean_auc > 0.6
+
+    def test_warmup_skips_early_stamps(self, small_dataset):
+        predictor = StreamingSSFPredictor(SSFConfig(k=6), seed=0)
+        result = prequential_evaluate(
+            small_dataset, predictor, warmup_fraction=0.8, min_positives=5
+        )
+        stamps = sorted(small_dataset.timestamp_set())
+        cutoff = stamps[int(len(stamps) * 0.8)]
+        assert all(t > cutoff for t in result.timestamps)
+
+    def test_validation(self, small_dataset):
+        predictor = StreamingSSFPredictor(SSFConfig(k=4))
+        with pytest.raises(ValueError):
+            prequential_evaluate(small_dataset, predictor, warmup_fraction=1.0)
+
+    def test_empty_result_nan_mean(self):
+        assert np.isnan(PrequentialResult().mean_auc)
+
+
+class TestNeuralStreamingVariant:
+    def test_neural_model_stream(self, small_dataset):
+        predictor = StreamingSSFPredictor(
+            SSFConfig(k=5),
+            model="neural",
+            refit_every=5,
+            epochs=10,
+            seed=0,
+        )
+        result = prequential_evaluate(
+            small_dataset, predictor, warmup_fraction=0.6, min_positives=5
+        )
+        assert predictor.is_ready
+        assert all(0.0 <= auc <= 1.0 for auc in result.aucs)

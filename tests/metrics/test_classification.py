@@ -1,0 +1,116 @@
+"""Tests for the from-scratch classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.classification import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_recall_curve,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestRocAucScore:
+    def test_perfect(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_random_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_half_credit(self):
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_partial(self):
+        # one inversion among 4 pos-neg pairs: AUC = 3/4
+        assert roc_auc_score([0, 1, 0, 1], [0.1, 0.4, 0.5, 0.9]) == 0.75
+
+    def test_matches_trapezoidal_area(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=300)
+        scores = rng.random(300) + labels * 0.3
+        fpr, tpr, _ = roc_curve(labels, scores)
+        area = np.trapezoid(tpr, fpr)
+        assert roc_auc_score(labels, scores) == pytest.approx(area)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.5, 0.6])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([0, 2], [0.5, 0.6])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([0, 1], [0.5])
+
+
+class TestConfusionAndDerived:
+    def test_confusion_matrix(self):
+        mat = confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+        assert np.array_equal(mat, [[1, 1], [1, 2]])
+
+    def test_precision(self):
+        assert precision_score([0, 0, 1, 1, 1], [0, 1, 1, 1, 0]) == pytest.approx(2 / 3)
+
+    def test_recall(self):
+        assert recall_score([0, 0, 1, 1, 1], [0, 1, 1, 1, 0]) == pytest.approx(2 / 3)
+
+    def test_f1_harmonic_mean(self):
+        p = precision_score([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+        r = recall_score([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+        f1 = f1_score([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+        assert f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_zero_when_nothing_predicted(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_precision_zero_division(self):
+        assert precision_score([1, 0], [0, 0]) == 0.0
+
+    def test_recall_no_positives(self):
+        assert recall_score([0, 0], [0, 1]) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy_score([0, 1, 1], [0, 1, 0]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestCurves:
+    def test_roc_curve_endpoints(self):
+        fpr, tpr, thresholds = roc_curve([0, 1, 0, 1], [0.1, 0.9, 0.4, 0.6])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_roc_curve_monotone(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=100)
+        scores = rng.random(100)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+    def test_pr_curve_final_recall_one(self):
+        precision, recall, _ = precision_recall_curve(
+            [0, 1, 1], [0.2, 0.8, 0.4]
+        )
+        assert recall[-1] == 1.0
+
+    def test_pr_curve_needs_positive(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([0, 0], [0.2, 0.8])

@@ -1,0 +1,80 @@
+"""Tests for the ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ranking import (
+    average_precision,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+LABELS = np.array([1, 0, 1, 0, 0, 1])
+SCORES = np.array([0.9, 0.8, 0.7, 0.6, 0.5, 0.4])
+# ranking: pos, neg, pos, neg, neg, pos
+
+
+class TestPrecisionAtK:
+    def test_values(self):
+        assert precision_at_k(LABELS, SCORES, 1) == 1.0
+        assert precision_at_k(LABELS, SCORES, 2) == 0.5
+        assert precision_at_k(LABELS, SCORES, 3) == pytest.approx(2 / 3)
+        assert precision_at_k(LABELS, SCORES, 6) == 0.5
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(LABELS, SCORES, 0)
+        with pytest.raises(ValueError):
+            precision_at_k(LABELS, SCORES, 7)
+
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert precision_at_k(labels, scores, 2) == 1.0
+
+
+class TestRecallAtK:
+    def test_values(self):
+        assert recall_at_k(LABELS, SCORES, 1) == pytest.approx(1 / 3)
+        assert recall_at_k(LABELS, SCORES, 3) == pytest.approx(2 / 3)
+        assert recall_at_k(LABELS, SCORES, 6) == 1.0
+
+    def test_needs_positive(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros(3, dtype=int), np.arange(3), 1)
+
+
+class TestAveragePrecision:
+    def test_hand_computed(self):
+        # positives at ranks 1, 3, 6: AP = (1/1 + 2/3 + 3/6) / 3
+        expected = (1.0 + 2 / 3 + 0.5) / 3
+        assert average_precision(LABELS, SCORES) == pytest.approx(expected)
+
+    def test_perfect(self):
+        labels = np.array([0, 1, 1])
+        scores = np.array([0.1, 0.9, 0.8])
+        assert average_precision(labels, scores) == 1.0
+
+    def test_worst(self):
+        labels = np.array([1, 0, 0])
+        scores = np.array([0.1, 0.9, 0.8])
+        assert average_precision(labels, scores) == pytest.approx(1 / 3)
+
+    def test_needs_positive(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(3, dtype=int), np.arange(3))
+
+
+class TestReciprocalRank:
+    def test_first(self):
+        assert reciprocal_rank(LABELS, SCORES) == 1.0
+
+    def test_later(self):
+        labels = np.array([0, 0, 1])
+        scores = np.array([0.9, 0.8, 0.7])
+        assert reciprocal_rank(labels, scores) == pytest.approx(1 / 3)
+
+    def test_needs_positive(self):
+        with pytest.raises(ValueError):
+            reciprocal_rank(np.zeros(2, dtype=int), np.arange(2))

@@ -1,0 +1,129 @@
+"""Tests for the neural-network layers, including finite-difference checks."""
+
+import numpy as np
+import pytest
+
+from repro.models.layers import Dense, ReLU, Sequential
+from repro.models.losses import SoftmaxCrossEntropy
+
+
+def _numeric_gradient(fn, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn()
+        flat[i] = original - eps
+        minus = fn()
+        flat[i] = original
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, seed=0)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_values(self):
+        layer = Dense(2, 2, seed=0)
+        layer.weight[...] = np.array([[1.0, 2.0], [3.0, 4.0]])
+        layer.bias[...] = np.array([0.5, -0.5])
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        assert np.allclose(out, [[4.5, 5.5]])
+
+    def test_bad_input_shape(self):
+        layer = Dense(4, 3)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((5, 7)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.ones((1, 2)))
+
+    def test_weight_gradient_finite_difference(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 2, seed=1)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = _numeric_gradient(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-5)
+
+    def test_bias_gradient_finite_difference(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(3, 2, seed=1)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        numeric = _numeric_gradient(loss, layer.bias)
+        assert np.allclose(layer.grad_bias, numeric, atol=1e-5)
+
+    def test_input_gradient(self):
+        layer = Dense(3, 2, seed=2)
+        x = np.random.default_rng(2).normal(size=(4, 3))
+        out = layer.forward(x)
+        grad_in = layer.backward(np.ones_like(out))
+        assert np.allclose(grad_in, np.ones_like(out) @ layer.weight.T)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            Dense(0, 2)
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 0.5]]))
+        grad = relu.backward(np.array([[3.0, 3.0]]))
+        assert np.allclose(grad, [[0.0, 3.0]])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 2)))
+
+
+class TestSequential:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_parameters_collected(self):
+        net = Sequential([Dense(4, 3, seed=0), ReLU(), Dense(3, 2, seed=1)])
+        assert len(net.parameters) == 4  # 2 weights + 2 biases
+        assert len(net.gradients) == 4
+
+    def test_end_to_end_gradient(self):
+        """Full-network gradient check through softmax cross-entropy."""
+        rng = np.random.default_rng(3)
+        net = Sequential([Dense(4, 5, seed=0), ReLU(), Dense(5, 2, seed=1)])
+        loss = SoftmaxCrossEntropy()
+        x = rng.normal(size=(6, 4))
+        y = rng.integers(0, 2, size=6)
+
+        def value():
+            return loss.forward(net.forward(x), y)
+
+        value()
+        net.backward(loss.backward())
+        for param, grad in zip(net.parameters, net.gradients):
+            numeric = _numeric_gradient(value, param)
+            assert np.allclose(grad, numeric, atol=1e-5)

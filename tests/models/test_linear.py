@@ -1,0 +1,75 @@
+"""Tests for the linear-regression classifier."""
+
+import numpy as np
+import pytest
+
+from repro.models.linear import LinearRegressionModel
+
+
+class TestFit:
+    def test_exact_fit_1d(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        model = LinearRegressionModel(ridge=0.0).fit(x, y)
+        assert model.decision_scores(np.array([[0.5]]))[0] == pytest.approx(0.5)
+
+    def test_recovers_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 3))
+        true_w = np.array([1.0, -2.0, 0.5])
+        y = x @ true_w + 0.3
+        model = LinearRegressionModel(ridge=0.0).fit(x, y)
+        assert np.allclose(model.weights, true_w, atol=1e-8)
+        assert model.bias == pytest.approx(0.3)
+
+    def test_ridge_shrinks(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3))
+        y = (x[:, 0] > 0).astype(float)
+        free = LinearRegressionModel(ridge=0.0).fit(x, y)
+        shrunk = LinearRegressionModel(ridge=100.0).fit(x, y)
+        assert np.linalg.norm(shrunk.weights) < np.linalg.norm(free.weights)
+
+    def test_collinear_features_survive(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(40, 1))
+        x = np.hstack([base, base, base])  # rank 1
+        y = (base[:, 0] > 0).astype(float)
+        model = LinearRegressionModel().fit(x, y)
+        assert np.isfinite(model.decision_scores(x)).all()
+
+    def test_classification(self):
+        x = np.array([[0.0], [0.1], [0.9], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LinearRegressionModel().fit(x, y)
+        assert np.array_equal(model.predict(x), y)
+
+
+class TestValidation:
+    def test_negative_ridge(self):
+        with pytest.raises(ValueError):
+            LinearRegressionModel(ridge=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressionModel().decision_scores(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self):
+        model = LinearRegressionModel().fit(np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            model.decision_scores(np.zeros((2, 5)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegressionModel().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_labels_alignment(self):
+        with pytest.raises(ValueError):
+            LinearRegressionModel().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_proba_clipped(self):
+        x = np.array([[0.0], [10.0]])
+        y = np.array([0, 1])
+        model = LinearRegressionModel().fit(x, y)
+        p = model.predict_proba(np.array([[-100.0], [100.0]]))
+        assert p[0] == 0.0 and p[1] == 1.0

@@ -1,0 +1,75 @@
+"""Tests for softmax and cross-entropy."""
+
+import numpy as np
+import pytest
+
+from repro.models.losses import SoftmaxCrossEntropy, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(np.random.default_rng(0).normal(size=(5, 3)))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_large_values_stable(self):
+        out = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        labels = np.array([0, 1])
+        assert loss.forward(logits, labels) < 1e-6
+
+    def test_uniform_prediction(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+        assert value == pytest.approx(np.log(2))
+
+    def test_gradient_form(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[0.0, 0.0]])
+        loss.forward(logits, np.array([1]))
+        grad = loss.backward()
+        assert np.allclose(grad, [[0.5, -0.5]])
+
+    def test_gradient_finite_difference(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                logits[i, j] += eps
+                plus = SoftmaxCrossEntropy().forward(logits, labels)
+                logits[i, j] -= 2 * eps
+                minus = SoftmaxCrossEntropy().forward(logits, labels)
+                logits[i, j] += eps
+                assert grad[i, j] == pytest.approx(
+                    (plus - minus) / (2 * eps), abs=1e-5
+                )
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_shape_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((3, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros(3), np.array([0, 1, 0]))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy().forward(np.zeros((0, 2)), np.zeros(0, dtype=int))

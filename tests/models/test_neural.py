@@ -1,0 +1,120 @@
+"""Tests for the NeuralMachine classifier."""
+
+import numpy as np
+import pytest
+
+from repro.models.neural import NeuralMachine
+
+
+def _separable_data(n=120, dim=6, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, dim))
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    return x, y
+
+
+class TestFit:
+    def test_learns_linear_boundary(self):
+        x, y = _separable_data()
+        nm = NeuralMachine(input_dim=6, epochs=60, seed=0).fit(x, y)
+        assert (nm.predict(x) == y).mean() > 0.9
+
+    def test_learns_xor(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+        nm = NeuralMachine(
+            input_dim=2, epochs=150, seed=0, validation_fraction=0.0
+        ).fit(x, y)
+        assert (nm.predict(x) == y).mean() > 0.9
+
+    def test_loss_decreases(self):
+        x, y = _separable_data()
+        nm = NeuralMachine(
+            input_dim=6, epochs=30, seed=0, validation_fraction=0.0
+        ).fit(x, y)
+        assert nm.loss_history[-1] < nm.loss_history[0]
+
+    def test_early_stopping_truncates(self):
+        x, y = _separable_data(n=200)
+        nm = NeuralMachine(input_dim=6, epochs=400, patience=5, seed=0).fit(x, y)
+        assert len(nm.loss_history) < 400
+
+    def test_deterministic_given_seed(self):
+        x, y = _separable_data()
+        p1 = NeuralMachine(input_dim=6, epochs=10, seed=7).fit(x, y).predict_proba(x)
+        p2 = NeuralMachine(input_dim=6, epochs=10, seed=7).fit(x, y).predict_proba(x)
+        assert np.allclose(p1, p2)
+
+    def test_constant_feature_handled(self):
+        x, y = _separable_data()
+        x[:, 3] = 5.0  # zero variance column
+        nm = NeuralMachine(input_dim=6, epochs=10, seed=0).fit(x, y)
+        assert np.isfinite(nm.predict_proba(x)).all()
+
+    def test_sgd_optimizer(self):
+        x, y = _separable_data()
+        nm = NeuralMachine(
+            input_dim=6, epochs=60, optimizer="sgd", learning_rate=0.05, seed=0
+        ).fit(x, y)
+        assert (nm.predict(x) == y).mean() > 0.8
+
+    def test_paper_architecture_default(self):
+        nm = NeuralMachine(input_dim=44)
+        assert nm.hidden == (32, 32, 16)
+        # 4 Dense layers (3 hidden + softmax head), each weight+bias
+        assert len(nm.network.parameters) == 8
+
+
+class TestPredict:
+    def test_proba_in_unit_interval(self):
+        x, y = _separable_data()
+        nm = NeuralMachine(input_dim=6, epochs=10, seed=0).fit(x, y)
+        p = nm.predict_proba(x)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_decision_scores_alias(self):
+        x, y = _separable_data()
+        nm = NeuralMachine(input_dim=6, epochs=10, seed=0).fit(x, y)
+        assert np.allclose(nm.decision_scores(x), nm.predict_proba(x))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            NeuralMachine(input_dim=3).predict_proba(np.zeros((1, 3)))
+
+    def test_wrong_width_rejected(self):
+        x, y = _separable_data()
+        nm = NeuralMachine(input_dim=6, epochs=5, seed=0).fit(x, y)
+        with pytest.raises(ValueError):
+            nm.predict(np.zeros((2, 7)))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"input_dim": 0},
+            {"hidden": ()},
+            {"batch_size": 0},
+            {"epochs": 0},
+            {"optimizer": "bogus"},
+            {"weight_decay": -1.0},
+            {"validation_fraction": 1.0},
+            {"patience": 0},
+        ],
+    )
+    def test_constructor(self, kwargs):
+        defaults = {"input_dim": 4}
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            NeuralMachine(**defaults)
+
+    def test_label_values_checked(self):
+        nm = NeuralMachine(input_dim=2)
+        with pytest.raises(ValueError):
+            nm.fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_empty_training_rejected(self):
+        nm = NeuralMachine(input_dim=2)
+        with pytest.raises(ValueError):
+            nm.fit(np.zeros((0, 2)), np.zeros(0))

@@ -1,0 +1,80 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.models.optim import SGD, Adam
+
+
+def _quadratic_problem():
+    """Minimise ||p - target||^2 by writing the gradient in place."""
+    param = np.array([5.0, -3.0])
+    grad = np.zeros_like(param)
+    target = np.array([1.0, 2.0])
+
+    def refresh_gradient():
+        grad[...] = 2 * (param - target)
+
+    return param, grad, target, refresh_gradient
+
+
+class TestSGD:
+    def test_converges(self):
+        param, grad, target, refresh = _quadratic_problem()
+        opt = SGD([param], [grad], lr=0.1)
+        for _ in range(200):
+            refresh()
+            opt.step()
+        assert np.allclose(param, target, atol=1e-4)
+
+    def test_momentum_converges(self):
+        param, grad, target, refresh = _quadratic_problem()
+        opt = SGD([param], [grad], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            refresh()
+            opt.step()
+        assert np.allclose(param, target, atol=1e-3)
+
+    def test_single_step_value(self):
+        param = np.array([1.0])
+        grad = np.array([2.0])
+        SGD([param], [grad], lr=0.5).step()
+        assert param[0] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("kwargs", [{"lr": 0}, {"momentum": 1.0}, {"momentum": -0.1}])
+    def test_validation(self, kwargs):
+        param, grad = np.zeros(1), np.zeros(1)
+        with pytest.raises(ValueError):
+            SGD([param], [grad], **kwargs)
+
+
+class TestAdam:
+    def test_converges(self):
+        param, grad, target, refresh = _quadratic_problem()
+        opt = Adam([param], [grad], lr=0.1)
+        for _ in range(500):
+            refresh()
+            opt.step()
+        assert np.allclose(param, target, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction the first Adam step has magnitude ~lr."""
+        param = np.array([1.0])
+        grad = np.array([123.0])
+        Adam([param], [grad], lr=0.01).step()
+        assert param[0] == pytest.approx(1.0 - 0.01, abs=1e-6)
+
+    def test_validation(self):
+        param, grad = np.zeros(1), np.zeros(1)
+        with pytest.raises(ValueError):
+            Adam([param], [grad], lr=-1)
+        with pytest.raises(ValueError):
+            Adam([param], [grad], beta1=1.0)
+
+
+class TestOptimizerBase:
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(2)], [])
+        with pytest.raises(ValueError):
+            SGD([np.zeros(2)], [np.zeros(3)])

@@ -1,0 +1,84 @@
+"""Tests for model serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.models import LinearRegressionModel, NeuralMachine, load_model, save_model
+
+
+def _data(seed=0, n=80, dim=5):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, dim))
+    y = (x[:, 0] > 0).astype(np.int64)
+    return x, y
+
+
+class TestLinearRoundTrip:
+    def test_predictions_identical(self, tmp_path):
+        x, y = _data()
+        model = LinearRegressionModel(ridge=0.01).fit(x, y)
+        path = tmp_path / "linear.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, LinearRegressionModel)
+        assert loaded.ridge == model.ridge
+        assert np.allclose(loaded.decision_scores(x), model.decision_scores(x))
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_model(LinearRegressionModel(), tmp_path / "x.npz")
+
+
+class TestNeuralRoundTrip:
+    def test_predictions_identical(self, tmp_path):
+        x, y = _data()
+        model = NeuralMachine(input_dim=5, epochs=15, seed=0).fit(x, y)
+        path = tmp_path / "neural.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert isinstance(loaded, NeuralMachine)
+        assert loaded.hidden == model.hidden
+        assert np.allclose(loaded.predict_proba(x), model.predict_proba(x))
+
+    def test_hyperparameters_restored(self, tmp_path):
+        x, y = _data()
+        model = NeuralMachine(
+            input_dim=5,
+            hidden=(8, 4),
+            epochs=10,
+            batch_size=7,
+            weight_decay=0.002,
+            seed=0,
+        ).fit(x, y)
+        path = tmp_path / "neural.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.hidden == (8, 4)
+        assert loaded.batch_size == 7
+        assert loaded.weight_decay == 0.002
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_model(NeuralMachine(input_dim=3), tmp_path / "x.npz")
+
+
+class TestValidation:
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), tmp_path / "x.npz")
+
+    def test_garbage_meta_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, meta=json.dumps({"format": 99, "kind": "linear"}))
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, meta=json.dumps({"format": 1, "kind": "quantum"}))
+        with pytest.raises(ValueError):
+            load_model(path)

@@ -1,0 +1,79 @@
+"""Tests for threshold calibration of unsupervised scorers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.local import CommonNeighbors
+from repro.graph.temporal import DynamicNetwork
+from repro.models.ranking import ThresholdClassifier, best_f1_threshold
+
+
+class TestBestF1Threshold:
+    def test_perfectly_separable(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        threshold = best_f1_threshold(scores, labels)
+        assert 0.2 < threshold < 0.8
+        assert np.array_equal((scores >= threshold).astype(int), labels)
+
+    def test_all_positive_labels(self):
+        scores = np.array([0.3, 0.6])
+        labels = np.array([1, 1])
+        threshold = best_f1_threshold(scores, labels)
+        assert ((scores >= threshold) == 1).all()
+
+    def test_constant_scores(self):
+        scores = np.zeros(4)
+        labels = np.array([0, 1, 0, 1])
+        threshold = best_f1_threshold(scores, labels)
+        # classifying everything positive gives F1=2/3 > 0
+        assert (scores >= threshold).all()
+
+    def test_noisy_case_reasonable(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=200)
+        scores = labels + rng.normal(scale=0.4, size=200)
+        threshold = best_f1_threshold(scores, labels)
+        predicted = (scores >= threshold).astype(int)
+        assert (predicted == labels).mean() > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            best_f1_threshold(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            best_f1_threshold(np.zeros(0), np.zeros(0))
+
+
+class TestThresholdClassifier:
+    @pytest.fixture
+    def network(self):
+        # u,v share two neighbours; p,q share none
+        return DynamicNetwork(
+            [
+                ("u", "z1", 1),
+                ("v", "z1", 2),
+                ("u", "z2", 3),
+                ("v", "z2", 4),
+                ("p", "x", 5),
+                ("q", "y", 6),
+            ]
+        )
+
+    def test_fit_predict(self, network):
+        clf = ThresholdClassifier(CommonNeighbors())
+        train_pairs = [("u", "v"), ("p", "q")]
+        clf.fit(network, train_pairs, np.array([1, 0]))
+        assert clf.threshold is not None
+        assert np.array_equal(clf.predict(train_pairs), [1, 0])
+
+    def test_decision_scores_are_raw(self, network):
+        clf = ThresholdClassifier(CommonNeighbors())
+        clf.fit(network, [("u", "v"), ("p", "q")], np.array([1, 0]))
+        assert np.allclose(clf.decision_scores([("u", "v")]), [2.0])
+
+    def test_predict_before_fit(self, network):
+        with pytest.raises(RuntimeError):
+            ThresholdClassifier(CommonNeighbors()).predict([("u", "v")])
+
+    def test_name_delegates(self):
+        assert ThresholdClassifier(CommonNeighbors()).name == "CN"

@@ -1,0 +1,45 @@
+"""Tests for the DOT exports."""
+
+import pytest
+
+from repro.core.feature import SSFConfig, SSFExtractor
+from repro.patterns import k_structure_to_dot, pattern_to_dot
+from repro.patterns.mining import PatternStatistics, canonical_pattern
+
+
+class TestKStructureToDot:
+    def test_structure(self, fig3_network):
+        ks = SSFExtractor(fig3_network, SSFConfig(k=5)).k_structure_subgraph(
+            "A", "B"
+        )
+        dot = k_structure_to_dot(ks)
+        assert dot.startswith("graph kstructure {")
+        assert dot.rstrip().endswith("}")
+        assert "n1 -- n2 [style=dashed" in dot
+        # all 5 structure nodes declared
+        for order in range(1, 6):
+            assert f"n{order} [label=" in dot
+
+    def test_edge_counts_labelled(self, fig3_network):
+        ks = SSFExtractor(fig3_network, SSFConfig(k=5)).k_structure_subgraph(
+            "A", "B"
+        )
+        dot = k_structure_to_dot(ks)
+        assert 'label="3"' in dot  # the {G,H,I}-A structure link
+
+
+class TestPatternToDot:
+    def test_structure(self, fig3_network):
+        ks = SSFExtractor(fig3_network, SSFConfig(k=5)).k_structure_subgraph(
+            "A", "B"
+        )
+        stats = PatternStatistics(pattern=canonical_pattern(ks))
+        stats.add(ks)
+        dot = pattern_to_dot(stats, k=5)
+        assert dot.startswith("graph pattern {")
+        assert "penwidth=" in dot
+        assert "n1 -- n2 [style=dashed" in dot
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            pattern_to_dot(PatternStatistics(pattern=frozenset()), k=1)

@@ -1,0 +1,94 @@
+"""Tests for K-structure-subgraph pattern mining (Fig. 6)."""
+
+import pytest
+
+from repro.core.feature import SSFConfig, SSFExtractor
+from repro.patterns.mining import (
+    PatternStatistics,
+    canonical_pattern,
+    mine_patterns,
+    most_frequent_pattern,
+)
+
+
+class TestCanonicalPattern:
+    def test_excludes_target_pair(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        ks = ext.k_structure_subgraph("A", "B")
+        pattern = canonical_pattern(ks)
+        assert (1, 2) not in pattern
+
+    def test_matches_structure_links(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        ks = ext.k_structure_subgraph("A", "B")
+        pattern = canonical_pattern(ks)
+        for m, n in pattern:
+            assert ks.has_link(m, n)
+
+    def test_same_topology_same_pattern(self):
+        from repro.graph.temporal import DynamicNetwork
+
+        g1 = DynamicNetwork([("a", "c", 1), ("b", "c", 2)])
+        g2 = DynamicNetwork([("x", "z", 5), ("y", "z", 9), ("x", "z", 6)])
+        p1 = canonical_pattern(
+            SSFExtractor(g1, SSFConfig(k=3)).k_structure_subgraph("a", "b")
+        )
+        p2 = canonical_pattern(
+            SSFExtractor(g2, SSFConfig(k=3)).k_structure_subgraph("x", "y")
+        )
+        assert p1 == p2  # multi-links and timestamps are ignored
+
+
+class TestPatternStatistics:
+    def test_accumulates(self, fig3_network):
+        ext = SSFExtractor(fig3_network, SSFConfig(k=5))
+        ks = ext.k_structure_subgraph("A", "B")
+        stats = PatternStatistics(pattern=canonical_pattern(ks))
+        stats.add(ks)
+        stats.add(ks)
+        assert stats.count == 2
+        m, n = next(iter(stats.pattern))
+        assert stats.average_link_multiplicity(m, n) == ks.link_count(m, n)
+        assert stats.average_node_size(1) == 1.0
+
+    def test_empty_statistics(self):
+        stats = PatternStatistics(pattern=frozenset())
+        assert stats.average_link_multiplicity(1, 3) == 0.0
+        assert stats.average_node_size(1) == 0.0
+
+
+class TestMinePatterns:
+    def test_counts_sum_to_samples(self, small_dataset):
+        stats = mine_patterns(small_dataset, n_samples=50, k=6, seed=0)
+        assert sum(s.count for s in stats.values()) == 50
+
+    def test_patterns_keyed_consistently(self, small_dataset):
+        stats = mine_patterns(small_dataset, n_samples=30, k=6, seed=0)
+        for pattern, entry in stats.items():
+            assert entry.pattern == pattern
+
+    def test_most_frequent(self, small_dataset):
+        stats = mine_patterns(small_dataset, n_samples=50, k=6, seed=0)
+        top = most_frequent_pattern(stats)
+        assert top.count == max(s.count for s in stats.values())
+
+    def test_deterministic(self, small_dataset):
+        s1 = mine_patterns(small_dataset, n_samples=30, k=6, seed=1)
+        s2 = mine_patterns(small_dataset, n_samples=30, k=6, seed=1)
+        assert {p: s.count for p, s in s1.items()} == {
+            p: s.count for p, s in s2.items()
+        }
+
+    def test_fewer_pairs_than_samples(self, fig3_network):
+        stats = mine_patterns(fig3_network, n_samples=10_000, k=5, seed=0)
+        assert sum(s.count for s in stats.values()) == fig3_network.number_of_pairs()
+
+    def test_validation(self, fig3_network):
+        from repro.graph.temporal import DynamicNetwork
+
+        with pytest.raises(ValueError):
+            mine_patterns(fig3_network, n_samples=0)
+        with pytest.raises(ValueError):
+            mine_patterns(DynamicNetwork(), n_samples=5)
+        with pytest.raises(ValueError):
+            most_frequent_pattern({})

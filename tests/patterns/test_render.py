@@ -1,0 +1,30 @@
+"""Tests for the text pattern renderer."""
+
+import pytest
+
+from repro.patterns.mining import PatternStatistics, canonical_pattern, mine_patterns
+from repro.patterns.render import render_pattern
+
+
+class TestRenderPattern:
+    def test_renders_grid(self, small_dataset):
+        stats = mine_patterns(small_dataset, n_samples=20, k=6, seed=0)
+        top = max(stats.values(), key=lambda s: s.count)
+        text = render_pattern(top, k=6)
+        assert "pattern frequency" in text
+        assert "*" in text  # the target-link cell
+        lines = text.splitlines()
+        assert any(line.startswith(" 1 |") for line in lines)
+
+    def test_marks_connections(self):
+        stats = PatternStatistics(pattern=frozenset({(1, 3), (2, 3)}))
+        stats.count = 1
+        stats.link_mass = {(1, 3): 4, (2, 3): 2}
+        stats.node_mass = {1: 1, 2: 1, 3: 3}
+        text = render_pattern(stats, k=3)
+        assert text.count("#") == 4  # two symmetric pairs
+        assert "( 1, 3):   4.00" in text
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            render_pattern(PatternStatistics(pattern=frozenset()), k=1)

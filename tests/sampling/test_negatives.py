@@ -1,0 +1,91 @@
+"""Tests for the negative-sampling strategies."""
+
+import pytest
+
+from repro.sampling.negatives import STRATEGIES, sample_negative_pairs
+from repro.sampling.splits import build_link_prediction_task
+from repro.graph.temporal import DynamicNetwork
+
+
+class TestSampleNegativePairs:
+    def test_uniform_avoids_forbidden(self, small_dataset):
+        history = small_dataset.slice(1, small_dataset.last_timestamp())
+        forbidden = {frozenset(p) for p in list(small_dataset.pair_iter())[:5]}
+        pairs = sample_negative_pairs(
+            small_dataset, history, 20, forbidden, strategy="uniform", seed=0
+        )
+        assert len(pairs) == 20
+        assert all(frozenset(p) not in forbidden for p in pairs)
+
+    def test_no_history_excludes_links(self, small_dataset):
+        history = small_dataset.slice(1, small_dataset.last_timestamp())
+        pairs = sample_negative_pairs(
+            small_dataset, history, 20, set(), strategy="no_history", seed=0
+        )
+        assert all(not small_dataset.has_edge(u, v) for u, v in pairs)
+
+    def test_two_hop_negatives_share_a_neighbour(self, small_dataset):
+        history = small_dataset.slice(1, small_dataset.last_timestamp())
+        static = history.static_projection()
+        pairs = sample_negative_pairs(
+            small_dataset, history, 15, set(), strategy="two_hop", seed=0
+        )
+        for u, v in pairs:
+            assert static.common_neighbors(u, v)
+            assert not static.has_edge(u, v)
+            assert not small_dataset.has_edge(u, v)
+
+    def test_two_hop_exhaustion_raises(self):
+        g = DynamicNetwork([("a", "b", 1), ("b", "c", 2), ("c", "d", 3)])
+        history = g.slice(1, 3)
+        with pytest.raises(ValueError, match="two-hop"):
+            sample_negative_pairs(g, history, 50, set(), strategy="two_hop")
+
+    def test_unknown_strategy(self, small_dataset):
+        history = small_dataset.slice(1, small_dataset.last_timestamp())
+        with pytest.raises(ValueError):
+            sample_negative_pairs(
+                small_dataset, history, 5, set(), strategy="bogus"
+            )
+
+    def test_deterministic(self, small_dataset):
+        history = small_dataset.slice(1, small_dataset.last_timestamp())
+        a = sample_negative_pairs(small_dataset, history, 10, set(), seed=4)
+        b = sample_negative_pairs(small_dataset, history, 10, set(), seed=4)
+        assert a == b
+
+    def test_zero_count(self, small_dataset):
+        history = small_dataset.slice(1, small_dataset.last_timestamp())
+        assert sample_negative_pairs(small_dataset, history, 0, set()) == []
+
+
+class TestTaskIntegration:
+    def test_two_hop_task(self, small_dataset):
+        task = build_link_prediction_task(
+            small_dataset, negative_strategy="two_hop", seed=0
+        )
+        assert task.metadata["negative_strategy"] == "two_hop"
+        static = task.history.static_projection()
+        for (u, v), label in zip(task.train_pairs, task.train_labels):
+            if label == 0:
+                assert static.common_neighbors(u, v)
+
+    def test_hard_negatives_lower_cn_auc(self, small_dataset):
+        """CN should find two-hop negatives much harder than uniform ones."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import LinkPredictionExperiment
+
+        config = ExperimentConfig().fast()
+        easy_task = build_link_prediction_task(
+            small_dataset, negative_strategy="no_history", seed=0
+        )
+        hard_task = build_link_prediction_task(
+            small_dataset, negative_strategy="two_hop", seed=0
+        )
+        easy = LinkPredictionExperiment(
+            easy_task.history, config, task=easy_task
+        ).run_method("CN")
+        hard = LinkPredictionExperiment(
+            hard_task.history, config, task=hard_task
+        ).run_method("CN")
+        assert hard.auc < easy.auc

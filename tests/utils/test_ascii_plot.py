@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart primitives."""
+
+import pytest
+
+from repro.viz import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_scaling(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_values_shown(self):
+        text = bar_chart({"method": 0.873})
+        assert "0.873" in text
+
+    def test_empty(self):
+        assert bar_chart({}) == ""
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_zero_values_safe(self):
+        text = bar_chart({"a": 0.0})
+        assert "a" in text
+
+
+class TestLineChart:
+    def test_renders_series_markers(self):
+        text = line_chart(
+            {"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]},
+            width=20,
+            height=6,
+        )
+        assert "o" in text and "x" in text
+        assert "o=one" in text and "x=two" in text
+
+    def test_axis_labels(self):
+        text = line_chart({"s": [(5, 0.5), (20, 0.9)]}, width=20, height=6)
+        assert "0.900" in text and "0.500" in text
+        assert "5" in text and "20" in text
+
+    def test_single_point(self):
+        text = line_chart({"s": [(1, 1)]}, width=20, height=6)
+        assert "o" in text
+
+    def test_empty(self):
+        assert line_chart({}) == ""
+        assert line_chart({"s": []}) == ""
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 0)]}, width=5, height=6)
+
+
+class TestLineChartLabels:
+    def test_y_label_rendered(self):
+        text = line_chart({"s": [(0, 0), (1, 1)]}, width=20, height=6, y_label="AUC")
+        assert "AUC" in text.splitlines()[0]

@@ -1,0 +1,58 @@
+"""Tests for the prime utilities behind Palette-WL hashing."""
+
+import math
+
+import pytest
+
+from repro.utils.primes import is_prime, log_prime, nth_prime, primes_up_to_count
+
+
+class TestNthPrime:
+    def test_first_primes(self):
+        assert [nth_prime(i) for i in range(1, 11)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_large_index_grows_cache(self):
+        assert nth_prime(1000) == 7919  # known 1000th prime
+
+    def test_monotone(self):
+        values = [nth_prime(i) for i in range(1, 200)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            nth_prime(bad)
+
+
+class TestPrimesUpToCount:
+    def test_count_zero(self):
+        assert primes_up_to_count(0) == []
+
+    def test_count_five(self):
+        assert primes_up_to_count(5) == [2, 3, 5, 7, 11]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            primes_up_to_count(-1)
+
+    def test_all_prime(self):
+        assert all(is_prime(p) for p in primes_up_to_count(100))
+
+
+class TestLogPrime:
+    def test_matches_log_of_nth_prime(self):
+        for n in (1, 2, 10, 50):
+            assert log_prime(n) == pytest.approx(math.log(nth_prime(n)))
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("value", [2, 3, 5, 7919, 104729])
+    def test_primes(self, value):
+        assert is_prime(value)
+
+    @pytest.mark.parametrize("value", [-7, 0, 1, 4, 9, 7917])
+    def test_non_primes(self, value):
+        assert not is_prime(value)

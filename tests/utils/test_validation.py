@@ -1,0 +1,75 @@
+"""Tests for the validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -2])
+    def test_rejects_small(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "x")
+
+
+class TestCheckPositive:
+    def test_accepts_float(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_accepts_int(self):
+        assert check_positive(2, "x") == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -1.0])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+    @pytest.mark.parametrize("bad", [math.inf, math.nan])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckFraction:
+    def test_inclusive_bounds(self):
+        assert check_fraction(0.0, "x") == 0.0
+        assert check_fraction(1.0, "x") == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "x", inclusive=False)
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "x", inclusive=False)
+        assert check_fraction(0.5, "x", inclusive=False) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.2, "x")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="threshold"):
+            check_fraction(2.0, "threshold")
