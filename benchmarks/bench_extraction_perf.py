@@ -4,11 +4,19 @@ These ARE timing benchmarks (multiple rounds): per-link cost of
 Algorithm 1 (structure combination), Algorithm 2 (Palette-WL) and
 Algorithm 3 (full SSF extraction), plus the WLF baseline for comparison,
 on a mid-size dataset.
+
+A final (non-timing) pass re-runs extraction with observability enabled
+and writes the registry snapshot to ``results/extraction_metrics.json``
+— the machine-readable per-stage baseline later performance PRs diff
+against.
 """
+
+import json
 
 import pytest
 
-from conftest import bench_network
+from conftest import RESULTS_DIR, bench_network
+from repro import obs
 from repro.baselines.wlf import WLFExtractor
 from repro.core.feature import SSFConfig, SSFExtractor
 from repro.core.palette_wl import palette_wl_order
@@ -79,3 +87,42 @@ def test_perf_wlf_extraction(benchmark, network, sample_pairs):
             extractor.extract(a, b)
 
     benchmark(run)
+
+
+def test_extraction_metrics_snapshot(network, sample_pairs):
+    """Emit the machine-readable per-stage baseline (not a timing test).
+
+    Runs last in this module so the instrumented pass cannot perturb the
+    timing benchmarks above.
+    """
+    registry = obs.get_registry()
+    obs.enable()
+    registry.reset()
+    try:
+        extractor = SSFExtractor(network, SSFConfig(k=10))
+        for a, b in sample_pairs:
+            extractor.extract(a, b)
+        snapshot = registry.snapshot()
+    finally:
+        obs.disable()
+        registry.reset()
+
+    for stage in (
+        "span.subgraph_growth",
+        "span.structure_combination",
+        "span.palette_wl",
+        "span.influence_matrix",
+    ):
+        assert snapshot["histograms"][stage]["count"] > 0
+
+    def scrub(obj):
+        if isinstance(obj, dict):
+            return {k: scrub(v) for k, v in obj.items()}
+        if isinstance(obj, float) and obj != obj:
+            return None
+        return obj
+
+    path = RESULTS_DIR / "extraction_metrics.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(scrub(snapshot), fh, indent=1, sort_keys=True)
+        fh.write("\n")

@@ -16,11 +16,17 @@ command        regenerates
 ``report``     a one-shot markdown report for one dataset (extension)
 ``recommend``  top-N partner suggestions for one node (extension)
 ``stream``     prequential test-then-train streaming evaluation (extension)
+``profile``    per-stage extraction timing/ratio profile (observability)
 =============  ============================================================
 
 Dataset selection: ``--dataset <name>`` for a synthetic catalog network
 (use ``--scale`` to shrink it) or ``--file <path>`` for a timestamped
 edge list (optionally ``--span`` to normalise the timestamps).
+
+Observability: the global ``--log-level``/``--log-json`` flags control
+diagnostic logging (stderr; command output stays on stdout), and
+``--metrics-out PATH`` on experiment commands dumps the metrics-registry
+snapshot as JSON after the run.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.analysis import network_report
 from repro.datasets.catalog import DATASETS, dataset_statistics, get_dataset
 from repro.datasets.loaders import load_dataset_file
@@ -49,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SSF link prediction over dynamic networks (ICDCS 2019 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=obs.LEVELS,
+        default="warning",
+        help="diagnostic logging level (stderr; command output stays on stdout)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit diagnostics as JSON lines instead of human-readable text",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -79,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1,
             help="worker processes for SSF feature extraction",
+        )
+        add_metrics_out(sub)
+
+    def add_metrics_out(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            help="write the metrics-registry snapshot to this JSON file",
         )
 
     sub = commands.add_parser("stats", help="network statistics report")
@@ -148,17 +174,55 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--model", choices=("linear", "neural"), default="linear")
     sub.add_argument("--warmup", type=float, default=0.5)
     sub.add_argument("--refit-every", type=int, default=2)
+    add_metrics_out(sub)
+
+    sub = commands.add_parser(
+        "profile",
+        help="per-stage extraction timing/ratio profile (observability)",
+    )
+    add_dataset_args(sub)
+    sub.add_argument("--k", type=int, default=10)
+    sub.add_argument(
+        "--pairs", type=int, default=100, help="number of target links profiled"
+    )
+    sub.add_argument(
+        "--mode",
+        choices=("temporal", "influence", "count", "binary", "distance",
+                 "influence_distance"),
+        default="temporal",
+        help="SSF entry mode to profile",
+    )
+    add_metrics_out(sub)
 
     return parser
 
 
+_LOG = obs.get_logger("cli")
+
+
 def _load_network(args: argparse.Namespace) -> tuple[str, DynamicNetwork]:
     if getattr(args, "file", None):
-        return args.file, load_dataset_file(args.file, span=args.span)
+        network = load_dataset_file(args.file, span=args.span)
+        _LOG.info(
+            "loaded %s: %d nodes, %d links",
+            args.file,
+            network.number_of_nodes(),
+            network.number_of_links(),
+        )
+        return args.file, network
     name = getattr(args, "dataset", None)
     if not name:
         raise SystemExit("error: provide --dataset or --file")
-    return name, get_dataset(name).generate(seed=args.seed, scale=args.scale)
+    network = get_dataset(name).generate(seed=args.seed, scale=args.scale)
+    _LOG.info(
+        "generated %s (scale=%g, seed=%d): %d nodes, %d links",
+        name,
+        args.scale,
+        args.seed,
+        network.number_of_nodes(),
+        network.number_of_links(),
+    )
+    return name, network
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -309,6 +373,20 @@ def _cmd_stream(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_profile(args: argparse.Namespace) -> str:
+    from repro.obs.profile import run_extraction_profile
+
+    name, network = _load_network(args)
+    return run_extraction_profile(
+        network,
+        dataset=name,
+        k=args.k,
+        n_pairs=args.pairs,
+        mode=args.mode,
+        seed=args.seed,
+    )
+
+
 _HANDLERS = {
     "stats": _cmd_stats,
     "table1": _cmd_table1,
@@ -321,12 +399,29 @@ _HANDLERS = {
     "report": _cmd_report,
     "recommend": _cmd_recommend,
     "stream": _cmd_stream,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    print(_HANDLERS[args.command](args))
+    obs.configure_logging(level=args.log_level, json_lines=args.log_json)
+    metrics_out = getattr(args, "metrics_out", None)
+    # observability records only when something will consume it: a
+    # metrics dump was requested or the command *is* the profiler.
+    activate = bool(metrics_out) or args.command == "profile"
+    was_enabled = obs.enabled()
+    if activate:
+        obs.enable()
+    try:
+        print(_HANDLERS[args.command](args))
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(obs.get_registry().to_json() + "\n")
+            _LOG.info("metrics snapshot written to %s", metrics_out)
+    finally:
+        if activate and not was_enabled:
+            obs.disable()
     return 0
 
 

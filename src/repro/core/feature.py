@@ -63,6 +63,7 @@ import numpy as np
 from repro.core.influence import DEFAULT_THETA, normalized_influence
 from repro.core.kstructure import KStructureSubgraph, extract_k_structure_subgraph
 from repro.graph.temporal import DynamicNetwork
+from repro.obs import span
 
 Node = Hashable
 
@@ -179,7 +180,8 @@ class SSFExtractor:
     # ------------------------------------------------------------------
     def extract(self, a: Node, b: Node) -> np.ndarray:
         """The SSF vector ``V(e_t)`` of target link ``(a, b)`` (Def. 10)."""
-        return self._unfold(self.adjacency_matrix(a, b))
+        with span(f"feature.{self._config.entry_mode}", k=self._config.k):
+            return self._unfold(self.adjacency_matrix(a, b))
 
     def extract_batch(self, pairs: "list[tuple[Node, Node]]") -> np.ndarray:
         """Stack SSF vectors for many target links into a matrix."""
@@ -204,22 +206,27 @@ class SSFExtractor:
             return {mode: zero.copy() for mode in modes}
 
         ks = self.k_structure_subgraph(a, b)
-        return {mode: self._unfold(self._matrix_from_ks(ks, mode)) for mode in modes}
+        out: dict[str, np.ndarray] = {}
+        for mode in modes:
+            with span(f"feature.{mode}", k=self._config.k, shared=True):
+                out[mode] = self._unfold(self._matrix_from_ks(ks, mode))
+        return out
 
     def _matrix_from_ks(self, ks: KStructureSubgraph, mode: str) -> np.ndarray:
         k = self._config.k
-        matrix = np.zeros((k, k), dtype=np.float64)
-        selected = ks.number_selected()
-        for m in range(1, selected + 1):
-            for n in range(m + 1, selected + 1):
-                if m == 1 and n == 2:
-                    continue
-                if not ks.has_link(m, n):
-                    continue
-                value = self._entry_value(ks, m, n, mode)
-                matrix[m - 1, n - 1] = value
-                matrix[n - 1, m - 1] = value
-        return matrix
+        with span("influence_matrix", mode=mode):
+            matrix = np.zeros((k, k), dtype=np.float64)
+            selected = ks.number_selected()
+            for m in range(1, selected + 1):
+                for n in range(m + 1, selected + 1):
+                    if m == 1 and n == 2:
+                        continue
+                    if not ks.has_link(m, n):
+                        continue
+                    value = self._entry_value(ks, m, n, mode)
+                    matrix[m - 1, n - 1] = value
+                    matrix[n - 1, m - 1] = value
+            return matrix
 
     def adjacency_matrix(self, a: Node, b: Node) -> np.ndarray:
         """The K×K normalized adjacency matrix ``A`` of Eq. 4.

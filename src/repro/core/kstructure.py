@@ -16,6 +16,7 @@ from repro.core.distance import distances_to_link
 from repro.core.palette_wl import palette_wl_order
 from repro.core.structure import StructureNode, StructureSubgraph, combine_structures
 from repro.graph.temporal import DynamicNetwork
+from repro.obs import enabled as obs_enabled, observe, span
 
 Node = Hashable
 
@@ -110,7 +111,8 @@ def extract_k_structure_subgraph(
     if k < 2:
         raise ValueError(f"k must be >= 2, got {k}")
 
-    member_distances = distances_to_link(network, a, b, max_hop=max_hop)
+    with span("subgraph_growth"):
+        member_distances = distances_to_link(network, a, b, max_hop=max_hop)
     reachable = len(member_distances)
     max_distance = max(member_distances.values())
 
@@ -118,12 +120,20 @@ def extract_k_structure_subgraph(
     subgraph: "StructureSubgraph | None" = None
     while True:
         h += 1
-        node_set = {n for n, d in member_distances.items() if d <= h}
+        with span("subgraph_growth", h=h):
+            node_set = {n for n, d in member_distances.items() if d <= h}
+        if obs_enabled():
+            observe("subgraph.ball_size", len(node_set))
+            observe(
+                "subgraph.frontier_size",
+                sum(1 for d in member_distances.values() if d == h),
+            )
         subgraph = combine_structures(network, node_set, a, b)
         enough = subgraph.number_of_structure_nodes() >= k
         exhausted = len(node_set) == reachable or h >= max_distance
         if enough or exhausted:
             break
+    observe("subgraph.growth_h", h)
 
     bound_length = None
     if edge_length is not None:

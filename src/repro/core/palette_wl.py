@@ -34,6 +34,7 @@ import math
 from typing import Callable, Sequence
 
 from repro.core.structure import StructureSubgraph
+from repro.obs import incr, observe, span
 from repro.utils.primes import nth_prime
 
 _MAX_ITERATIONS = 100
@@ -87,9 +88,10 @@ def palette_wl_order(
     if tie_break is not None and len(tie_break) != n:
         raise ValueError(f"expected {n} tie-break scores, got {len(tie_break)}")
 
-    colors = _initial_colors(initial_scores)
-    colors = _refine(subgraph, colors)
-    return _strict_order(subgraph, colors, tie_break)
+    with span("palette_wl", nodes=n):
+        colors = _initial_colors(initial_scores)
+        colors = _refine(subgraph, colors)
+        return _strict_order(subgraph, colors, tie_break)
 
 
 def bilateral_distance_scores(
@@ -144,7 +146,7 @@ def _initial_colors(scores: Sequence[float]) -> list[int]:
 def _refine(subgraph: StructureSubgraph, colors: list[int]) -> list[int]:
     """Iterate the prime-log hash until the colouring stops changing."""
     n = len(colors)
-    for _ in range(_MAX_ITERATIONS):
+    for iteration in range(_MAX_ITERATIONS):
         log_primes = [math.log(nth_prime(c)) for c in colors]
         total = sum(log_primes)
         # `total` > 0 always (log 2 > 0 for every node).
@@ -158,8 +160,11 @@ def _refine(subgraph: StructureSubgraph, colors: list[int]) -> list[int]:
         # so numeric noise can never violate the paper's invariant.
         new_colors[0], new_colors[1] = 1, 2
         if new_colors == colors:
+            observe("palette_wl.iterations", iteration + 1)
             return colors
         colors = new_colors
+    incr("palette_wl.max_iterations_hit")
+    observe("palette_wl.iterations", _MAX_ITERATIONS)
     return colors
 
 

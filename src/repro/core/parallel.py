@@ -16,15 +16,19 @@ extraction below ``MIN_PAIRS_FOR_POOL``.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from typing import Hashable, Sequence
 
 import numpy as np
 
 from repro.core.feature import SSFConfig, SSFExtractor
 from repro.graph.temporal import DynamicNetwork
+from repro.obs import enabled as obs_enabled, get_logger, incr, observe, set_gauge, span
 
 Node = Hashable
 Pair = tuple[Node, Node]
+
+_LOG = get_logger("core.parallel")
 
 #: below this many pairs, the pool start-up costs more than it saves
 MIN_PAIRS_FOR_POOL = 64
@@ -85,23 +89,40 @@ def parallel_extract_batch(
         and workers > 1
         and len(pair_list) >= MIN_PAIRS_FOR_POOL
     )
+    started = time.perf_counter()
     if not use_pool:
-        if modes is None:
-            return reference.extract_batch(pair_list)
-        return _stack_multi(
-            [reference.extract_multi(a, b, modes) for a, b in pair_list],
-            modes,
-            reference.feature_dim,
-        )
+        # requested parallelism that fell back to the sequential path is
+        # worth counting — it usually means the batch was below the pool
+        # threshold, which a sharding PR would want to know.
+        if workers is not None and workers > 1:
+            incr("parallel.sequential_fallbacks")
+        with span("parallel.extract_batch", pairs=len(pair_list), workers=1):
+            if modes is None:
+                result = reference.extract_batch(pair_list)
+            else:
+                result = _stack_multi(
+                    [reference.extract_multi(a, b, modes) for a, b in pair_list],
+                    modes,
+                    reference.feature_dim,
+                )
+        _record_throughput(pair_list, started, workers=1)
+        return result
 
+    incr("parallel.pool_runs")
+    set_gauge("parallel.workers", workers)
+    _LOG.debug(
+        "extracting %d pairs with %d worker processes", len(pair_list), workers
+    )
     context = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-    with context.Pool(
-        processes=workers,
-        initializer=_initialize,
-        initargs=(network, config, resolved_present, modes),
-    ) as pool:
-        chunk = max(1, len(pair_list) // (workers * 4))
-        rows = pool.map(_extract_one, pair_list, chunksize=chunk)
+    with span("parallel.extract_batch", pairs=len(pair_list), workers=workers):
+        with context.Pool(
+            processes=workers,
+            initializer=_initialize,
+            initargs=(network, config, resolved_present, modes),
+        ) as pool:
+            chunk = max(1, len(pair_list) // (workers * 4))
+            rows = pool.map(_extract_one, pair_list, chunksize=chunk)
+    _record_throughput(pair_list, started, workers=workers)
 
     if modes is None:
         return (
@@ -110,6 +131,21 @@ def parallel_extract_batch(
             else np.zeros((0, reference.feature_dim))
         )
     return _stack_multi(rows, modes, reference.feature_dim)
+
+
+def _record_throughput(pair_list, started: float, workers: int) -> None:
+    """Batch-level pairs/s, total and per worker (parent-process view)."""
+    if not obs_enabled() or not pair_list:
+        return
+    elapsed = time.perf_counter() - started
+    if elapsed <= 0:
+        return
+    observe("parallel.pairs_per_run", len(pair_list))
+    observe("parallel.pairs_per_second", len(pair_list) / elapsed)
+    observe(
+        "parallel.pairs_per_second_per_worker",
+        len(pair_list) / elapsed / max(1, workers),
+    )
 
 
 def _stack_multi(rows, modes, dim) -> dict[str, np.ndarray]:

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Sequence
 
 from repro.graph.temporal import DynamicNetwork
+from repro.obs import enabled as obs_enabled, observe, span
 
 Node = Hashable
 
@@ -288,6 +289,22 @@ def combine_structures(
     if a == b:
         raise ValueError("target link end nodes must be distinct")
 
+    with span("structure_combination"):
+        result = _combine_structures(network, nodes, a, b)
+    if obs_enabled():
+        structure_nodes = result.number_of_structure_nodes()
+        observe("structure.nodes_in", len(nodes))
+        observe("structure.nodes_out", structure_nodes)
+        observe("structure.compression_ratio", len(nodes) / structure_nodes)
+    return result
+
+
+def _combine_structures(
+    network: DynamicNetwork,
+    nodes: frozenset,
+    a: Node,
+    b: Node,
+) -> StructureSubgraph:
     # Member-level neighbourhoods restricted to V_h.
     restricted: dict[Node, frozenset] = {}
     for n in nodes:
@@ -317,7 +334,9 @@ def combine_structures(
     # Iterate the merge at the structure level until a fixed point
     # (the paper argues one round usually suffices; chains like
     # leaf -> merged-hub patterns genuinely need a second round).
+    rounds = 0
     while True:
+        rounds += 1
         adjacency = _group_adjacency(groups, group_of, restricted)
         merged_groups, merged_of, changed = _merge_once(groups, adjacency)
         if not changed:
@@ -328,6 +347,7 @@ def combine_structures(
         }
         groups = merged_groups
 
+    observe("structure.merge_rounds", rounds)
     member_sets = [frozenset(g) for g in groups]
     adjacency = _group_adjacency(groups, group_of, restricted)
     return StructureSubgraph(

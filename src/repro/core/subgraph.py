@@ -19,6 +19,7 @@ from typing import Hashable
 
 from repro.core.distance import distances_to_link
 from repro.graph.temporal import DynamicNetwork
+from repro.obs import observe, span
 
 Node = Hashable
 
@@ -31,7 +32,10 @@ def h_hop_node_set(network: DynamicNetwork, a: Node, b: Node, h: int) -> set[Nod
     """
     if h < 0:
         raise ValueError(f"hop radius must be >= 0, got {h}")
-    return set(distances_to_link(network, a, b, max_hop=h))
+    with span("subgraph_growth", h=h):
+        nodes = set(distances_to_link(network, a, b, max_hop=h))
+    observe("subgraph.nodes", len(nodes))
+    return nodes
 
 
 def extract_h_hop_subgraph(

@@ -17,9 +17,12 @@ from typing import Any
 from repro.experiments.config import ExperimentConfig
 from repro.graph.hashing import network_fingerprint
 from repro.graph.temporal import DynamicNetwork
+from repro.obs import get_logger
 from repro.sampling.splits import LinkPredictionTask
 
 MANIFEST_VERSION = 1
+
+_LOG = get_logger("experiments.manifest")
 
 
 def build_manifest(
@@ -60,6 +63,7 @@ def write_manifest(manifest: dict, path) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(manifest, fh, indent=1, sort_keys=True, default=str)
         fh.write("\n")
+    _LOG.info("manifest written to %s", path)
 
 
 def verify_manifest(manifest: dict, network: DynamicNetwork) -> list[str]:
@@ -98,4 +102,6 @@ def verify_manifest(manifest: dict, network: DynamicNetwork) -> list[str]:
             f"numpy version drift: stored {manifest.get('numpy')}, "
             f"running {numpy.__version__}"
         )
+    for problem in problems:
+        _LOG.warning("manifest check: %s", problem)
     return problems

@@ -32,10 +32,13 @@ from repro.metrics.classification import f1_score, roc_auc_score
 from repro.models.linear import LinearRegressionModel
 from repro.models.neural import NeuralMachine
 from repro.models.ranking import ThresholdClassifier
+from repro.obs import get_logger, incr, span
 from repro.sampling.splits import LinkPredictionTask, build_link_prediction_task
 
 #: the feature kinds the cache understands
 _FEATURE_KINDS = ("wlf", "ssf", "ssf_w")
+
+_LOG = get_logger("experiments.runner")
 
 
 class LinkPredictionExperiment:
@@ -86,16 +89,26 @@ class LinkPredictionExperiment:
             raise ValueError(f"unknown feature kind {kind!r}; one of {_FEATURE_KINDS}")
         cached = self._feature_cache.get(kind)
         if cached is not None:
+            incr("runner.feature_cache.hits")
             return cached
+        incr("runner.feature_cache.misses")
 
         if kind == "wlf":
-            extractor = WLFExtractor(self.task.history, k=self.config.k)
-            self._feature_cache["wlf"] = (
-                extractor.extract_batch(self.task.train_pairs),
-                extractor.extract_batch(self.task.test_pairs),
-            )
+            with span("runner.extract_features", kind="wlf"):
+                extractor = WLFExtractor(self.task.history, k=self.config.k)
+                self._feature_cache["wlf"] = (
+                    extractor.extract_batch(self.task.train_pairs),
+                    extractor.extract_batch(self.task.test_pairs),
+                )
         else:
-            self._extract_ssf_features()
+            with span("runner.extract_features", kind="ssf"):
+                self._extract_ssf_features()
+        _LOG.debug(
+            "feature matrices ready for kind=%s (%d train / %d test pairs)",
+            kind,
+            len(self.task.train_pairs),
+            len(self.task.test_pairs),
+        )
         return self._feature_cache[kind]
 
     def _extract_ssf_features(self) -> None:

@@ -10,8 +10,12 @@ timestamps.
 from __future__ import annotations
 
 import hashlib
+import time
 
 from repro.graph.temporal import DynamicNetwork
+from repro.obs import get_logger
+
+_LOG = get_logger("graph.hashing")
 
 
 def network_fingerprint(network: DynamicNetwork) -> str:
@@ -23,6 +27,7 @@ def network_fingerprint(network: DynamicNetwork) -> str:
     (up to repr collisions between distinct node objects, which the
     substrate's label conventions avoid).
     """
+    started = time.perf_counter()
     lines = []
     for u, v, ts in network.edges():
         a, b = sorted((repr(u), repr(v)))
@@ -35,4 +40,11 @@ def network_fingerprint(network: DynamicNetwork) -> str:
     for line in lines:
         digest.update(line.encode("utf-8"))
         digest.update(b"\n")
-    return digest.hexdigest()
+    fingerprint = digest.hexdigest()
+    _LOG.debug(
+        "fingerprinted %d canonical lines in %.1f ms: %s...",
+        len(lines),
+        1e3 * (time.perf_counter() - started),
+        fingerprint[:12],
+    )
+    return fingerprint

@@ -1,0 +1,67 @@
+"""repro.obs — structured logging, metrics and span tracing.
+
+The observability layer of the reproduction: every later performance PR
+measures itself against the numbers this package exports.
+
+* :mod:`repro.obs.logging` — ``get_logger``/``configure_logging``, a
+  silent-by-default logger namespace with optional JSON-lines output.
+* :mod:`repro.obs.metrics` — a thread-safe process-local registry of
+  counters, gauges and histograms with ``snapshot()``/``to_json()``.
+* :mod:`repro.obs.trace` — ``span`` context-manager/decorator tracing
+  with a guaranteed no-op fast path when disabled.
+
+Quick tour::
+
+    from repro import obs
+
+    log = obs.get_logger("mymodule")
+    obs.enable()                      # start recording spans + gated metrics
+    with obs.span("my_stage", k=10):
+        ...
+    print(obs.get_registry().to_json())
+    obs.disable()
+"""
+
+from repro.obs.logging import (
+    JsonLinesFormatter,
+    LEVELS,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    current_span,
+    disable,
+    enable,
+    enabled,
+    incr,
+    observe,
+    set_gauge,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesFormatter",
+    "LEVELS",
+    "MetricsRegistry",
+    "configure_logging",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "get_logger",
+    "get_registry",
+    "incr",
+    "observe",
+    "set_gauge",
+    "span",
+]

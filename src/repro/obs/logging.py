@@ -1,0 +1,116 @@
+"""Structured logging facade for the reproduction library.
+
+All library diagnostics flow through loggers in the ``repro`` namespace,
+obtained via :func:`get_logger`.  By default the library is silent — a
+:class:`logging.NullHandler` is installed on the namespace root so that
+importing ``repro`` never spams a host application's logs.  Entry points
+(the CLI, benchmark drivers, notebooks) opt in with
+:func:`configure_logging`, which installs exactly one stream handler and
+supports either a human-readable line format or JSON lines for log
+shipping.
+
+Design rules:
+
+* *Command output* (tables, reports, recommendations) stays on stdout;
+  diagnostics go to the logger (stderr by default), so piping a command
+  into a file never mixes the two.
+* Reconfiguration is idempotent: :func:`configure_logging` replaces any
+  handler it previously installed instead of stacking duplicates.
+* Extra fields passed via ``logger.info("msg", extra={...})`` are
+  emitted as top-level keys in JSON-lines mode, which is how structured
+  context (dataset names, sizes, timings) reaches log aggregation.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+#: the namespace root every library logger lives under
+ROOT_LOGGER_NAME = "repro"
+
+#: marker attribute identifying handlers installed by configure_logging
+_MANAGED_ATTR = "_repro_obs_managed"
+
+#: record attributes that are part of the stdlib record, not user extras
+_STANDARD_RECORD_FIELDS = frozenset(
+    vars(
+        logging.LogRecord("", 0, "", 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def get_logger(name: "str | None" = None) -> logging.Logger:
+    """A logger in the ``repro`` namespace.
+
+    ``get_logger("core.feature")`` and ``get_logger("repro.core.feature")``
+    return the same logger; ``get_logger()`` returns the namespace root.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message + extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_RECORD_FIELDS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=False)
+
+
+def configure_logging(
+    level: str = "warning",
+    json_lines: bool = False,
+    stream: "IO[str] | None" = None,
+) -> logging.Logger:
+    """Install (or replace) the library's single log handler.
+
+    Args:
+        level: one of :data:`LEVELS` (case-insensitive).
+        json_lines: emit JSON-lines records instead of human-readable text.
+        stream: destination (defaults to ``sys.stderr``).
+
+    Returns:
+        The configured ``repro`` root logger.
+    """
+    normalized = level.lower()
+    if normalized not in LEVELS:
+        raise ValueError(f"level must be one of {LEVELS}, got {level!r}")
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _MANAGED_ATTR, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    setattr(handler, _MANAGED_ATTR, True)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    root.addHandler(handler)
+    root.setLevel(normalized.upper())
+    # diagnostics must never bubble into a host application's root handlers
+    root.propagate = False
+    return root
+
+
+# Silent-by-default: importing the library must not print anything.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

@@ -1,0 +1,248 @@
+"""Process-local metrics registry: counters, gauges and histograms.
+
+The registry is the numeric half of the observability layer: span
+tracing (:mod:`repro.obs.trace`) and hand-placed instrumentation feed
+it, and :meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.to_json`
+export it — to the ``--metrics-out`` CLI option, to
+``results/extraction_metrics.json`` in the perf benchmark, and to tests
+that assert on pipeline behaviour (cache hit rates, WL iteration
+counts, compression ratios).
+
+Semantics:
+
+* :class:`Counter` — monotonically increasing float (increments must be
+  ``>= 0``).
+* :class:`Gauge` — a point-in-time value, last write wins.
+* :class:`Histogram` — running count/sum/min/max over *all* observations
+  plus a bounded sample window for quantiles (p50/p95 by default).  The
+  window keeps the most recent :data:`Histogram.max_samples` values, so
+  quantiles track current behaviour on long streams while the running
+  aggregates stay exact.
+
+Everything is thread-safe: metric creation takes the registry lock, and
+each metric guards its own state, so worker threads (e.g. a
+``ThreadPoolExecutor`` driving extraction) can hammer the same counter
+without losing increments.  Metrics are process-local by design —
+multiprocessing workers each see their own registry; the parallel
+extraction layer therefore records batch-level throughput in the parent
+process (see :mod:`repro.core.parallel`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Iterable
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value; the last ``set`` wins."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Running aggregates plus a bounded recent-sample window.
+
+    ``count``/``sum``/``min``/``max`` cover every observation ever made;
+    ``percentile`` is computed over the most recent ``max_samples``
+    observations (a sliding window, exact until the window fills).
+    """
+
+    __slots__ = ("_lock", "_count", "_sum", "_min", "_max", "_samples", "_next", "max_samples")
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._samples: list[float] = []
+        self._next = 0  # ring-buffer write position once the window is full
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._samples) < self.max_samples:
+                self._samples.append(value)
+            else:
+                self._samples[self._next] = value
+                self._next = (self._next + 1) % self.max_samples
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else float("nan")
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            window = sorted(self._samples)
+        if not window:
+            return float("nan")
+        rank = max(1, -(-int(q * len(window)) // 100))  # ceil without float
+        rank = min(max(rank, 1), len(window))
+        return window[rank - 1]
+
+    def summary(self, quantiles: Iterable[float] = (50.0, 95.0)) -> dict:
+        """Exportable aggregate view used by registry snapshots."""
+        out: dict = {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+        for q in quantiles:
+            key = f"p{q:g}".replace(".", "_")
+            out[key] = self.percentile(q)
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access and JSON export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # get-or-create accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, self._counters, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, self._gauges, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, self._histograms, Histogram)
+
+    def _get_or_create(self, name: str, table: dict, factory):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        metric = table.get(name)
+        if metric is not None:
+            return metric
+        with self._lock:
+            metric = table.get(name)
+            if metric is None:
+                self._check_name_free(name, table)
+                metric = factory()
+                table[name] = metric
+            return metric
+
+    def _check_name_free(self, name: str, target: dict) -> None:
+        for table, kind in (
+            (self._counters, "counter"),
+            (self._gauges, "gauge"),
+            (self._histograms, "histogram"),
+        ):
+            if table is not target and name in table:
+                raise ValueError(f"metric {name!r} already registered as a {kind}")
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-dict view of every metric, safe to serialise."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.summary() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def to_json(self, indent: int = 1) -> str:
+        """The snapshot as JSON (NaN-free: empty aggregates become null)."""
+
+        def scrub(obj):
+            if isinstance(obj, dict):
+                return {k: scrub(v) for k, v in obj.items()}
+            if isinstance(obj, float) and obj != obj:  # NaN
+                return None
+            return obj
+
+        return json.dumps(scrub(self.snapshot()), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh profiling runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: the process-wide default registry the instrumentation writes to
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-local default registry."""
+    return _REGISTRY

@@ -28,10 +28,13 @@ from repro.core.feature import SSFConfig, SSFExtractor
 from repro.graph.temporal import DynamicNetwork
 from repro.models.linear import LinearRegressionModel
 from repro.models.neural import NeuralMachine
+from repro.obs import get_logger, span
 from repro.sampling.splits import build_link_prediction_task
 from repro.utils.rng import ensure_rng
 
 Node = Hashable
+
+_LOG = get_logger("recommend")
 
 
 @dataclass(frozen=True)
@@ -110,7 +113,11 @@ class LinkRecommender:
         )
         pairs = list(task.train_pairs) + list(task.test_pairs)
         labels = np.concatenate([task.train_labels, task.test_labels])
-        features = extractor.extract_batch(pairs)
+        _LOG.info(
+            "fitting %s recommender on %d labelled pairs", model, len(pairs)
+        )
+        with span("recommend.fit", pairs=len(pairs)):
+            features = extractor.extract_batch(pairs)
         if model == "linear":
             fitted = LinearRegressionModel().fit(features, labels)
         else:
@@ -154,8 +161,11 @@ class LinkRecommender:
             raise ValueError(f"top_n must be >= 1, got {top_n}")
         pool = self.candidates(user)
         if not pool:
+            _LOG.debug("no candidate partners for user %r", user)
             return []
-        features = self.extractor.extract_batch([(user, c) for c in pool])
+        _LOG.debug("scoring %d candidate partners for user %r", len(pool), user)
+        with span("recommend.score", candidates=len(pool)):
+            features = self.extractor.extract_batch([(user, c) for c in pool])
         scores = self.model.decision_scores(features)
         order = np.argsort(-scores, kind="mergesort")[:top_n]
         return [Suggestion(node=pool[int(i)], score=float(scores[int(i)])) for i in order]

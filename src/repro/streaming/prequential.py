@@ -32,10 +32,13 @@ from repro.graph.temporal import DynamicNetwork
 from repro.metrics.classification import roc_auc_score
 from repro.models.linear import LinearRegressionModel
 from repro.models.neural import NeuralMachine
+from repro.obs import get_logger, incr, observe, set_gauge, span
 from repro.utils.rng import ensure_rng
 
 Node = Hashable
 Pair = tuple[Node, Node]
+
+_LOG = get_logger("streaming.prequential")
 
 
 class StreamingSSFPredictor:
@@ -269,12 +272,36 @@ def prequential_evaluate(
                 )
                 pairs = positives + negatives
                 labels = np.array([1] * len(positives) + [0] * len(negatives))
-                scores = predictor.score(pairs)
+                with span("stream.window", timestamp=stamp):
+                    scores = predictor.score(pairs)
+                auc = roc_auc_score(labels, scores)
+                # drift: how far this window sits from the mean so far —
+                # a sustained negative gauge means the model is falling
+                # behind the stream.
+                if result.aucs:
+                    set_gauge("stream.auc_drift", auc - result.mean_auc)
+                incr("stream.windows_scored")
+                observe("stream.window_auc", auc)
                 result.timestamps.append(stamp)
-                result.aucs.append(roc_auc_score(labels, scores))
+                result.aucs.append(auc)
+                _LOG.debug(
+                    "prequential window t=%s: AUC=%.3f over %d pairs "
+                    "(running mean %.3f)",
+                    stamp,
+                    auc,
+                    len(pairs),
+                    result.mean_auc,
+                )
             else:
+                incr("stream.windows_skipped")
                 result.skipped.append(stamp)
         predictor.observe(edges)
+    _LOG.info(
+        "prequential run complete: %d windows scored, %d skipped, mean AUC=%.3f",
+        len(result.aucs),
+        len(result.skipped),
+        result.mean_auc,
+    )
     return result
 
 

@@ -1,0 +1,106 @@
+"""Tests for the structured logging facade."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import JsonLinesFormatter, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _restore_root_logger():
+    root = logging.getLogger("repro")
+    before = (list(root.handlers), root.level, root.propagate)
+    yield
+    root.handlers[:] = before[0]
+    root.setLevel(before[1])
+    root.propagate = before[2]
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        assert get_logger("core.feature").name == "repro.core.feature"
+
+    def test_already_qualified_name_unchanged(self):
+        assert get_logger("repro.core.feature").name == "repro.core.feature"
+
+    def test_default_is_namespace_root(self):
+        assert get_logger().name == "repro"
+
+    def test_same_logger_instance(self):
+        assert get_logger("x") is get_logger("repro.x")
+
+    def test_silent_by_default(self):
+        # the import-time NullHandler means no "no handler" warnings and
+        # no accidental output for library users
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestConfigureLogging:
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        log = get_logger("test.levels")
+        log.debug("hidden")
+        log.info("shown")
+        out = stream.getvalue()
+        assert "shown" in out and "hidden" not in out
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            configure_logging(level="chatty")
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        for _ in range(3):
+            configure_logging(level="info", stream=stream)
+        get_logger("test.stack").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_json_lines_format(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", json_lines=True, stream=stream)
+        get_logger("test.json").info("hello %s", "world")
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "hello world"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test.json"
+        assert isinstance(record["ts"], float)
+
+    def test_json_lines_extra_fields(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", json_lines=True, stream=stream)
+        get_logger("test.extra").info(
+            "with context", extra={"dataset": "co-author", "pairs": 42}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["dataset"] == "co-author"
+        assert record["pairs"] == 42
+
+    def test_json_lines_are_one_object_per_line(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", json_lines=True, stream=stream)
+        log = get_logger("test.lines")
+        log.info("a")
+        log.info("b")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["message"] for line in lines] == ["a", "b"]
+
+
+class TestJsonLinesFormatter:
+    def test_exception_rendering(self):
+        formatter = JsonLinesFormatter()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.t", logging.ERROR, __file__, 1, "failed", (), sys.exc_info()
+            )
+        payload = json.loads(formatter.format(record))
+        assert "RuntimeError: boom" in payload["exception"]

@@ -1,0 +1,173 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="counters only go up"):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(10)
+        g.set(3)
+        assert g.value == 3.0
+
+    def test_add_delta(self):
+        g = Gauge()
+        g.set(1.0)
+        g.add(0.5)
+        g.add(-2.0)
+        assert g.value == pytest.approx(-0.5)
+
+
+class TestHistogram:
+    def test_running_aggregates(self):
+        h = Histogram()
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_aggregates_are_nan(self):
+        h = Histogram()
+        assert math.isnan(h.min) and math.isnan(h.max) and math.isnan(h.mean)
+        assert math.isnan(h.percentile(50))
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(95) == 95
+        assert h.percentile(100) == 100
+        assert h.percentile(0) == 1
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_window_keeps_recent_but_aggregates_stay_exact(self):
+        h = Histogram(max_samples=4)
+        for v in (100.0, 1.0, 2.0, 3.0, 4.0):  # 100.0 rotates out of the window
+            h.observe(v)
+        assert h.count == 5
+        assert h.max == 100.0  # running aggregate remembers everything
+        assert h.percentile(100) == 4.0  # quantile window tracks recent values
+
+    def test_summary_shape(self):
+        h = Histogram()
+        h.observe(1.0)
+        summary = h.summary()
+        assert set(summary) == {"count", "sum", "min", "max", "mean", "p50", "p95"}
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_name_collision_across_kinds_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_snapshot_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("workers").set(4)
+        reg.histogram("latency").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits": 3.0}
+        assert snap["gauges"] == {"workers": 4.0}
+        assert snap["histograms"]["latency"]["count"] == 1
+        assert snap["histograms"]["latency"]["p95"] == 0.5
+
+    def test_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        reg.histogram("latency").observe(1.5)
+        reg.histogram("latency").observe(2.5)
+        restored = json.loads(reg.to_json())
+        assert restored == json.loads(json.dumps(reg.snapshot()))
+        assert restored["counters"]["hits"] == 2.0
+        assert restored["histograms"]["latency"]["mean"] == 2.0
+
+    def test_to_json_scrubs_nan(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty")  # no observations: min/max/mean are NaN
+        restored = json.loads(reg.to_json())
+        assert restored["histograms"]["empty"]["mean"] is None
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_default_registry_is_process_local_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestThreadSafety:
+    def test_counter_under_thread_pool(self):
+        reg = MetricsRegistry()
+
+        def work(_):
+            for _ in range(1000):
+                reg.counter("shared").inc()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(8)))
+        assert reg.counter("shared").value == 8000.0
+
+    def test_histogram_under_thread_pool(self):
+        reg = MetricsRegistry()
+
+        def work(worker):
+            for i in range(500):
+                reg.histogram("lat").observe(worker * 500 + i)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(work, range(4)))
+        h = reg.histogram("lat")
+        assert h.count == 2000
+        assert h.min == 0.0 and h.max == 1999.0
+        assert h.sum == sum(range(2000))
+
+    def test_creation_races_yield_one_metric(self):
+        reg = MetricsRegistry()
+
+        def work(_):
+            return reg.counter("raced")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            metrics = list(pool.map(work, range(64)))
+        assert all(m is metrics[0] for m in metrics)
