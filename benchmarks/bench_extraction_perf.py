@@ -9,9 +9,23 @@ A final (non-timing) pass re-runs extraction with observability enabled
 and writes the registry snapshot to ``results/extraction_metrics.json``
 — the machine-readable per-stage baseline later performance PRs diff
 against.
+
+Run as a script for the dict-vs-csr backend comparison (no
+pytest-benchmark needed — this is what the CI bench smoke step runs)::
+
+    PYTHONPATH=src python benchmarks/bench_extraction_perf.py \
+        --nodes 5000 --pairs 200
+
+which writes ``BENCH_extraction.json`` (pairs/sec per backend) at the
+repository root.
 """
 
+import argparse
 import json
+import time
+from pathlib import Path
+
+import numpy as np
 
 import pytest
 
@@ -22,6 +36,10 @@ from repro.core.feature import SSFConfig, SSFExtractor
 from repro.core.palette_wl import palette_wl_order
 from repro.core.structure import combine_structures
 from repro.core.subgraph import h_hop_node_set
+from repro.graph.csr import CSRSnapshot
+from repro.graph.temporal import DynamicNetwork
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="module")
@@ -60,7 +78,17 @@ def test_perf_palette_wl(benchmark, network, sample_pairs):
 
 
 def test_perf_ssf_extraction(benchmark, network, sample_pairs):
-    extractor = SSFExtractor(network, SSFConfig(k=10))
+    extractor = SSFExtractor(network, SSFConfig(k=10), backend="dict")
+
+    def run():
+        for a, b in sample_pairs:
+            extractor.extract(a, b)
+
+    benchmark(run)
+
+
+def test_perf_ssf_extraction_csr(benchmark, network, sample_pairs):
+    extractor = SSFExtractor(network, SSFConfig(k=10), backend="csr")
 
     def run():
         for a, b in sample_pairs:
@@ -126,3 +154,118 @@ def test_extraction_metrics_snapshot(network, sample_pairs):
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(scrub(snapshot), fh, indent=1, sort_keys=True)
         fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# dict-vs-csr backend comparison (script mode — the CI bench smoke step)
+# ----------------------------------------------------------------------
+def synthetic_network(n_nodes: int, avg_degree: float = 4.0, n_ts: int = 100,
+                      seed: int = 0) -> DynamicNetwork:
+    """A random temporal multigraph at a chosen node count.
+
+    Edges are uniform random pairs (about ``avg_degree / 2`` links per
+    node) over ``n_ts`` distinct integer timestamps — enough collision
+    density to exercise multi-links and duplicate stamps at scale.
+    """
+    rng = np.random.default_rng(seed)
+    n_edges = int(n_nodes * avg_degree / 2)
+    g = DynamicNetwork()
+    endpoints = rng.integers(0, n_nodes, size=(n_edges, 2))
+    stamps = rng.integers(1, n_ts + 1, size=n_edges)
+    for (u, v), ts in zip(endpoints, stamps):
+        if u != v:
+            g.add_edge(int(u), int(v), float(ts))
+    return g
+
+
+def run_backend_comparison(
+    n_nodes: int = 5000,
+    n_pairs: int = 200,
+    k: int = 10,
+    seed: int = 0,
+    out_path: "Path | None" = None,
+) -> dict:
+    """Time single-process SSF extraction on both backends, same pairs.
+
+    The csr timing INCLUDES the one-off snapshot freeze (built once per
+    observed window, amortised over the batch — exactly how the runner
+    uses it).  Writes ``BENCH_extraction.json`` at the repo root.
+    """
+    network = synthetic_network(n_nodes, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    nodes = network.nodes
+    pairs = []
+    while len(pairs) < n_pairs:
+        i, j = rng.integers(0, len(nodes), size=2)
+        if i != j:
+            pairs.append((nodes[int(i)], nodes[int(j)]))
+    config = SSFConfig(k=k)
+
+    started = time.perf_counter()
+    dict_extractor = SSFExtractor(network, config, backend="dict")
+    dict_features = [dict_extractor.extract(a, b) for a, b in pairs]
+    dict_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    snapshot = CSRSnapshot.from_dynamic(network)
+    build_seconds = time.perf_counter() - started
+    csr_extractor = SSFExtractor(snapshot, config)
+    csr_features = [csr_extractor.extract(a, b) for a, b in pairs]
+    csr_seconds = time.perf_counter() - started
+
+    identical = all(
+        np.array_equal(d, c) for d, c in zip(dict_features, csr_features)
+    )
+    result = {
+        "nodes": network.number_of_nodes(),
+        "links": network.number_of_links(),
+        "pairs": len(pairs),
+        "k": k,
+        "seed": seed,
+        "bit_identical": identical,
+        "backends": {
+            "dict": {
+                "seconds": round(dict_seconds, 4),
+                "pairs_per_second": round(len(pairs) / dict_seconds, 2),
+            },
+            "csr": {
+                "seconds": round(csr_seconds, 4),
+                "snapshot_build_seconds": round(build_seconds, 4),
+                "pairs_per_second": round(len(pairs) / csr_seconds, 2),
+            },
+        },
+        "speedup": round(dict_seconds / csr_seconds, 2),
+    }
+    out_path = out_path or REPO_ROOT / "BENCH_extraction.json"
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="dict-vs-csr SSF extraction throughput comparison"
+    )
+    parser.add_argument("--nodes", type=int, default=5000)
+    parser.add_argument("--pairs", type=int, default=200)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args()
+    result = run_backend_comparison(
+        n_nodes=args.nodes,
+        n_pairs=args.pairs,
+        k=args.k,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(json.dumps(result, indent=1, sort_keys=True))
+    if not result["bit_identical"]:
+        print("FAIL: backends disagree")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,15 +53,18 @@ Notes on faithfulness:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Hashable
 
 import math
 
 import numpy as np
 
-from repro.core.influence import DEFAULT_THETA, normalized_influence
+from repro.core.influence import DEFAULT_THETA
 from repro.core.kstructure import KStructureSubgraph, extract_k_structure_subgraph
+from repro.graph.csr import CSRSnapshot
 from repro.graph.temporal import DynamicNetwork
 from repro.obs import span
 
@@ -75,6 +78,69 @@ ENTRY_MODES = (
     "distance",
     "influence_distance",
 )
+
+BACKENDS = ("auto", "dict", "csr")
+
+#: ``backend="auto"`` freezes a CSR snapshot once the observed network has
+#: at least this many links; below it, the snapshot build cost is not
+#: worth paying for a handful of extractions.  Override with the
+#: ``REPRO_AUTO_CSR_MIN_LINKS`` environment variable.
+AUTO_CSR_MIN_LINKS = 4096
+
+
+def _auto_csr_min_links() -> int:
+    raw = os.environ.get("REPRO_AUTO_CSR_MIN_LINKS")
+    return int(raw) if raw else AUTO_CSR_MIN_LINKS
+
+
+def resolve_backend(network: "DynamicNetwork | CSRSnapshot", backend: str) -> str:
+    """Resolve a ``backend`` request against what ``network`` is.
+
+    * a :class:`CSRSnapshot` always runs the ``"csr"`` path (requesting
+      ``"dict"`` for one is an error — there is no dict substrate to read);
+    * a :class:`DynamicNetwork` honours ``"dict"``/``"csr"`` directly, and
+      ``"auto"`` picks ``"csr"`` when the network holds at least
+      :data:`AUTO_CSR_MIN_LINKS` links (build-once amortises), else
+      ``"dict"``.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if isinstance(network, CSRSnapshot):
+        if backend == "dict":
+            raise ValueError(
+                "backend='dict' requires a DynamicNetwork, got a CSRSnapshot"
+            )
+        return "csr"
+    if backend == "auto":
+        return "csr" if network.number_of_links() >= _auto_csr_min_links() else "dict"
+    return backend
+
+
+@lru_cache(maxsize=None)
+def unfold_indices(k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row/column index arrays of the Eq. 5 unfolding for one ``K``.
+
+    Column-major upper triangle minus ``A(1, 2)``: for each 1-based column
+    ``n`` in ``3..K``, rows ``1..n-1``.  Cached per ``K`` so ``_unfold``
+    is a single fancy-index gather.
+    """
+    rows = np.concatenate([np.arange(n - 1) for n in range(3, k + 1)])
+    cols = np.concatenate([np.full(n - 1, n - 1) for n in range(3, k + 1)])
+    rows.flags.writeable = False
+    cols.flags.writeable = False
+    return rows, cols
+
+
+@lru_cache(maxsize=None)
+def upper_triangle_orders(selected: int) -> tuple[tuple[int, int], ...]:
+    """All 1-based order pairs ``(m, n)``, ``m < n <= selected``, except
+    the target entry ``(1, 2)`` — the Eq. 4 matrix slots to evaluate."""
+    return tuple(
+        (m, n)
+        for n in range(2, selected + 1)
+        for m in range(1, n)
+        if (m, n) != (1, 2)
+    )
 
 
 def ssf_feature_dim(k: int) -> int:
@@ -144,22 +210,40 @@ class SSFExtractor:
 
     def __init__(
         self,
-        network: DynamicNetwork,
+        network: "DynamicNetwork | CSRSnapshot",
         config: "SSFConfig | None" = None,
         present_time: "float | None" = None,
+        backend: str = "auto",
     ) -> None:
         """Args:
-        network: the observed history ``G_[tp, tq)``.
+        network: the observed history ``G_[tp, tq)`` — a dict-backed
+            :class:`DynamicNetwork` or a prebuilt :class:`CSRSnapshot`
+            (build one per observed window and share it across
+            extractors/workers to amortise the freeze cost).
         config: extraction hyper-parameters (defaults to ``SSFConfig()``).
         present_time: the prediction time ``l_t``; defaults to the
             network's last timestamp plus one unit, mirroring the paper's
             "predict the next timestamp" setup.
+        backend: ``"dict"`` (faithful reference), ``"csr"`` (array
+            pipeline over a frozen snapshot; bit-identical features), or
+            ``"auto"`` (see :func:`resolve_backend`).
         """
-        self._network = network
         self._config = config or SSFConfig()
+        self._backend = resolve_backend(network, backend)
+        if isinstance(network, CSRSnapshot):
+            self._network: "DynamicNetwork | None" = None
+            self._snapshot: "CSRSnapshot | None" = network
+        else:
+            self._network = network
+            self._snapshot = (
+                CSRSnapshot.from_dynamic(network)
+                if self._backend == "csr"
+                else None
+            )
+        source = self._snapshot if self._backend == "csr" else self._network
         if present_time is None:
             present_time = (
-                network.last_timestamp() + 1.0 if network.number_of_links() else 0.0
+                source.last_timestamp() + 1.0 if source.number_of_links() else 0.0
             )
         self._present_time = float(present_time)
 
@@ -168,12 +252,28 @@ class SSFExtractor:
         return self._config
 
     @property
+    def backend(self) -> str:
+        """The resolved backend: ``"dict"`` or ``"csr"``."""
+        return self._backend
+
+    @property
+    def snapshot(self) -> "CSRSnapshot | None":
+        """The frozen snapshot (``None`` on the dict backend)."""
+        return self._snapshot
+
+    @property
     def present_time(self) -> float:
         return self._present_time
 
     @property
     def feature_dim(self) -> int:
         return self._config.feature_dim
+
+    def _substrate(self) -> "DynamicNetwork | CSRSnapshot":
+        return self._snapshot if self._backend == "csr" else self._network
+
+    def _has_node(self, node: Node) -> bool:
+        return self._substrate().has_node(node)
 
     # ------------------------------------------------------------------
     # extraction
@@ -201,7 +301,7 @@ class SSFExtractor:
         for mode in modes:
             if mode not in ENTRY_MODES:
                 raise ValueError(f"unknown entry mode {mode!r}")
-        if not (self._network.has_node(a) and self._network.has_node(b)):
+        if not (self._has_node(a) and self._has_node(b)):
             zero = np.zeros(self.feature_dim)
             return {mode: zero.copy() for mode in modes}
 
@@ -216,16 +316,18 @@ class SSFExtractor:
         k = self._config.k
         with span("influence_matrix", mode=mode):
             matrix = np.zeros((k, k), dtype=np.float64)
-            selected = ks.number_selected()
-            for m in range(1, selected + 1):
-                for n in range(m + 1, selected + 1):
-                    if m == 1 and n == 2:
-                        continue
-                    if not ks.has_link(m, n):
-                        continue
-                    value = self._entry_value(ks, m, n, mode)
-                    matrix[m - 1, n - 1] = value
-                    matrix[n - 1, m - 1] = value
+            rows: list[int] = []
+            cols: list[int] = []
+            values: list[float] = []
+            for m, n in upper_triangle_orders(ks.number_selected()):
+                if not ks.has_link(m, n):
+                    continue
+                rows.append(m - 1)
+                cols.append(n - 1)
+                values.append(self._entry_value(ks, m, n, mode))
+            if values:
+                matrix[rows, cols] = values
+                matrix[cols, rows] = values
             return matrix
 
     def adjacency_matrix(self, a: Node, b: Node) -> np.ndarray:
@@ -235,7 +337,7 @@ class SSFExtractor:
         ``a``'s structure node).  ``A(1, 2)`` — the target link itself —
         is fixed at 0; the matrix is symmetric.
         """
-        if not (self._network.has_node(a) and self._network.has_node(b)):
+        if not (self._has_node(a) and self._has_node(b)):
             return np.zeros((self._config.k, self._config.k), dtype=np.float64)
         return self._matrix_from_ks(
             self.k_structure_subgraph(a, b), self._config.entry_mode
@@ -252,7 +354,7 @@ class SSFExtractor:
         tie-break so feature positions stay consistent across links.
         """
         return extract_k_structure_subgraph(
-            self._network,
+            self._substrate(),
             a,
             b,
             self._config.k,
@@ -276,19 +378,16 @@ class SSFExtractor:
         present = self._present_time
 
         def scores(subgraph) -> list[float]:
-            out: list[float] = []
-            for idx in range(subgraph.number_of_structure_nodes()):
-                strength = 0.0
-                for endpoint in (0, 1):
-                    if endpoint != idx and subgraph.has_structure_link(
-                        idx, endpoint
-                    ):
-                        strength += normalized_influence(
-                            subgraph.link_timestamps(idx, endpoint),
-                            present,
-                            theta,
+            # Only structure nodes adjacent to an end node can score
+            # nonzero, so walk the two end adjacencies instead of testing
+            # every node against both ends.
+            out = [0.0] * subgraph.number_of_structure_nodes()
+            for endpoint in (0, 1):
+                for idx in subgraph.adjacency(endpoint):
+                    if idx != endpoint:
+                        out[idx] -= subgraph.link_influence(
+                            idx, endpoint, present, theta
                         )
-                out.append(-strength)
             return out
 
         return scores
@@ -315,9 +414,7 @@ class SSFExtractor:
         raise AssertionError(f"unhandled entry mode {mode!r}")  # pragma: no cover
 
     def _influence(self, ks: KStructureSubgraph, m: int, n: int) -> float:
-        return normalized_influence(
-            ks.link_timestamps(m, n), self._present_time, self._config.theta
-        )
+        return ks.link_influence(m, n, self._present_time, self._config.theta)
 
     @staticmethod
     def _distance_entry(ks: KStructureSubgraph, m: int, n: int) -> float:
@@ -330,12 +427,5 @@ class SSFExtractor:
 
     def _unfold(self, matrix: np.ndarray) -> np.ndarray:
         """Eq. 5: upper triangle minus ``A(1, 2)``, column-major."""
-        k = self._config.k
-        out = np.empty(self.feature_dim, dtype=np.float64)
-        pos = 0
-        for n in range(3, k + 1):  # 1-based column
-            col = matrix[: n - 1, n - 1]
-            out[pos : pos + n - 1] = col
-            pos += n - 1
-        assert pos == self.feature_dim
-        return out
+        rows, cols = unfold_indices(self._config.k)
+        return matrix[rows, cols]

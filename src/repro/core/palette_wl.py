@@ -31,6 +31,7 @@ deterministic label-based key.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Callable, Sequence
 
 from repro.core.structure import StructureSubgraph
@@ -38,6 +39,11 @@ from repro.obs import incr, observe, span
 from repro.utils.primes import nth_prime
 
 _MAX_ITERATIONS = 100
+
+
+@lru_cache(maxsize=None)
+def _log_prime(color: int) -> float:
+    return math.log(nth_prime(color))
 
 
 def palette_wl_order(
@@ -147,12 +153,14 @@ def _refine(subgraph: StructureSubgraph, colors: list[int]) -> list[int]:
     """Iterate the prime-log hash until the colouring stops changing."""
     n = len(colors)
     for iteration in range(_MAX_ITERATIONS):
-        log_primes = [math.log(nth_prime(c)) for c in colors]
+        log_primes = [_log_prime(c) for c in colors]
         total = sum(log_primes)
-        # `total` > 0 always (log 2 > 0 for every node).
+        # `total` > 0 always (log 2 > 0 for every node).  Neighbour
+        # contributions are summed in sorted-index order so the floating
+        # accumulation is canonical (set-iteration order is not).
         hashes = [
             colors[i]
-            + sum(log_primes[j] for j in subgraph.adjacency(i)) / abs(total)
+            + sum(log_primes[j] for j in subgraph.adjacency_sorted(i)) / abs(total)
             for i in range(n)
         ]
         new_colors = _dense_rank(hashes)
@@ -197,14 +205,31 @@ def _strict_order(
     Nodes that the refinement could not distinguish are *structurally*
     symmetric around the target link; the optional ``tie_break`` score
     orders them by link strength, and a label-based key guarantees
-    determinism beyond that.
+    determinism beyond that.  The label key is only computed for nodes
+    that are still tied after ``(colour, tie_break)`` — on most subgraphs
+    that is nobody, so the member-label materialisation is skipped.
     """
     if tie_break is None:
         tie_break = [0.0] * len(colors)
     indices = sorted(
-        range(len(colors)),
-        key=lambda i: (colors[i], tie_break[i], subgraph.nodes[i].sort_key()),
+        range(len(colors)), key=lambda i: (colors[i], tie_break[i])
     )
+    # Stable-resort runs of equal (colour, tie_break) by the label key.
+    start = 0
+    while start < len(indices):
+        end = start + 1
+        head = indices[start]
+        while (
+            end < len(indices)
+            and colors[indices[end]] == colors[head]
+            and tie_break[indices[end]] == tie_break[head]
+        ):
+            end += 1
+        if end - start > 1:
+            indices[start:end] = sorted(
+                indices[start:end], key=subgraph.sort_key
+            )
+        start = end
     order = [0] * len(colors)
     for position, idx in enumerate(indices, start=1):
         order[idx] = position

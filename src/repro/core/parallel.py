@@ -3,25 +3,43 @@
 Per-link SSF extraction is embarrassingly parallel: each target link's
 subgraph growth, structure combination and ordering touch only the
 (read-only) history network.  This module fans a pair list out over a
-``multiprocessing`` pool; the network and configuration are shipped once
-per worker (initializer), not per pair.
+``multiprocessing`` pool; the history is shipped once per worker
+(initializer), not per pair.
+
+What "shipped" means depends on the backend:
+
+* ``"dict"`` — the :class:`~repro.graph.temporal.DynamicNetwork` is
+  inherited through ``fork`` (or pickled per worker where only ``spawn``
+  exists).  Worker start-up is O(|E|) on spawn platforms.
+* ``"csr"`` — the frozen :class:`~repro.graph.csr.CSRSnapshot` is a
+  handful of flat numpy arrays.  Under ``fork`` the child inherits the
+  parent's pages copy-on-write (workers never write them, so start-up is
+  O(1) regardless of |E|); without ``fork`` the arrays are exported once
+  into a single :mod:`multiprocessing.shared_memory` block and each
+  worker maps it zero-copy.  The per-link influence table for the batch's
+  ``present_time`` is materialised in the parent *before* the pool starts
+  so children share those pages too.
 
 Results are order-preserving and bit-identical to the sequential path —
 guaranteed by the differential tests — so callers can enable workers
-freely.  For small batches the fork/pickle overhead dominates;
+freely.  For small batches the pool start-up costs more than it saves;
 :func:`parallel_extract_batch` therefore falls back to sequential
-extraction below ``MIN_PAIRS_FOR_POOL``.
+extraction below :func:`min_pairs_for_pool` (default
+:data:`MIN_PAIRS_FOR_POOL`, overridable per call or with the
+``REPRO_MIN_PAIRS_FOR_POOL`` environment variable).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 from typing import Hashable, Sequence
 
 import numpy as np
 
 from repro.core.feature import SSFConfig, SSFExtractor
+from repro.graph.csr import CSRSnapshot, SharedSnapshotHandle
 from repro.graph.temporal import DynamicNetwork
 from repro.obs import enabled as obs_enabled, get_logger, incr, observe, set_gauge, span
 
@@ -33,20 +51,58 @@ _LOG = get_logger("core.parallel")
 #: below this many pairs, the pool start-up costs more than it saves
 MIN_PAIRS_FOR_POOL = 64
 
-# Per-worker state, installed by _initialize (one pickle per worker).
+# Per-worker state, installed by _initialize (once per worker).
 _worker_extractor: "SSFExtractor | None" = None
 _worker_modes: "tuple[str, ...] | None" = None
+_worker_init_seconds: float = 0.0
+
+
+def min_pairs_for_pool(override: "int | None" = None) -> int:
+    """The sequential-fallback threshold actually in effect.
+
+    Resolution order: explicit ``override`` argument, then the
+    ``REPRO_MIN_PAIRS_FOR_POOL`` environment variable, then the module
+    default :data:`MIN_PAIRS_FOR_POOL`.
+    """
+    if override is not None:
+        if override < 0:
+            raise ValueError(f"min_pairs_for_pool must be >= 0, got {override}")
+        return int(override)
+    raw = os.environ.get("REPRO_MIN_PAIRS_FOR_POOL")
+    return int(raw) if raw else MIN_PAIRS_FOR_POOL
 
 
 def _initialize(
-    network: DynamicNetwork,
+    kind: str,
+    payload,
     config: SSFConfig,
     present_time: float,
     modes: "tuple[str, ...] | None",
 ) -> None:
-    global _worker_extractor, _worker_modes
-    _worker_extractor = SSFExtractor(network, config, present_time=present_time)
-    _worker_modes = modes
+    """Install the per-worker extractor.
+
+    ``kind`` says how the history arrived: ``"csr"`` (a snapshot reference
+    inherited through fork — zero-copy), ``"csr_shared"`` (a
+    :class:`SharedSnapshotHandle` to attach to), or ``"dict"`` (the
+    DynamicNetwork itself, inherited or pickled by the start method).
+    """
+    global _worker_extractor, _worker_modes, _worker_init_seconds
+    started = time.perf_counter()
+    with span("parallel.worker_init", kind=kind):
+        if kind == "csr_shared":
+            substrate = CSRSnapshot.from_shared(payload)
+            backend = "csr"
+        elif kind == "csr":
+            substrate = payload
+            backend = "csr"
+        else:
+            substrate = payload
+            backend = "dict"
+        _worker_extractor = SSFExtractor(
+            substrate, config, present_time=present_time, backend=backend
+        )
+        _worker_modes = modes
+    _worker_init_seconds = time.perf_counter() - started
 
 
 def _extract_one(pair: Pair):
@@ -56,19 +112,29 @@ def _extract_one(pair: Pair):
     return _worker_extractor.extract_multi(*pair, _worker_modes)
 
 
+def _init_probe(_index: int) -> tuple[int, float]:
+    """Report ``(pid, init seconds)`` so the parent can observe start-up."""
+    return os.getpid(), _worker_init_seconds
+
+
 def parallel_extract_batch(
-    network: DynamicNetwork,
+    network: "DynamicNetwork | CSRSnapshot",
     config: SSFConfig,
     pairs: Sequence[Pair],
     *,
     present_time: "float | None" = None,
     modes: "tuple[str, ...] | None" = None,
     workers: "int | None" = None,
+    backend: str = "auto",
+    min_pairs: "int | None" = None,
+    chunksize: "int | None" = None,
 ) -> "np.ndarray | dict[str, np.ndarray]":
     """Extract SSF vectors for many pairs, optionally in parallel.
 
     Args:
-        network: the observed history.
+        network: the observed history — a :class:`DynamicNetwork` or a
+            prebuilt :class:`CSRSnapshot` (build one per observed window
+            and reuse it across batches to amortise the freeze cost).
         config: SSF hyper-parameters.
         pairs: target links.
         present_time: prediction time (defaults like
@@ -78,16 +144,24 @@ def parallel_extract_batch(
             ``None``, return a single feature matrix for the configured
             mode.
         workers: process count; ``None`` or ``<= 1`` runs sequentially,
-            as does any batch smaller than ``MIN_PAIRS_FOR_POOL``.
+            as does any batch smaller than the pool threshold.
+        backend: ``"dict"``, ``"csr"``, or ``"auto"`` (see
+            :func:`~repro.core.feature.resolve_backend`).  A
+            ``CSRSnapshot`` input always runs the csr path.
+        min_pairs: per-call override of the sequential-fallback threshold
+            (see :func:`min_pairs_for_pool`).
+        chunksize: per-call override of the pool chunk size; defaults to
+            ``len(pairs) // (workers * 4)`` so each worker sees a few
+            chunks for load balancing.
     """
-    reference = SSFExtractor(network, config, present_time=present_time)
+    reference = SSFExtractor(network, config, present_time=present_time, backend=backend)
     resolved_present = reference.present_time
+    resolved_backend = reference.backend
     pair_list = list(pairs)
 
+    threshold = min_pairs_for_pool(min_pairs)
     use_pool = (
-        workers is not None
-        and workers > 1
-        and len(pair_list) >= MIN_PAIRS_FOR_POOL
+        workers is not None and workers > 1 and len(pair_list) >= threshold
     )
     started = time.perf_counter()
     if not use_pool:
@@ -111,17 +185,53 @@ def parallel_extract_batch(
     incr("parallel.pool_runs")
     set_gauge("parallel.workers", workers)
     _LOG.debug(
-        "extracting %d pairs with %d worker processes", len(pair_list), workers
+        "extracting %d pairs with %d worker processes (%s backend)",
+        len(pair_list),
+        workers,
+        resolved_backend,
     )
-    context = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-    with span("parallel.extract_batch", pairs=len(pair_list), workers=workers):
-        with context.Pool(
-            processes=workers,
-            initializer=_initialize,
-            initargs=(network, config, resolved_present, modes),
-        ) as pool:
-            chunk = max(1, len(pair_list) // (workers * 4))
-            rows = pool.map(_extract_one, pair_list, chunksize=chunk)
+    fork_available = "fork" in mp.get_all_start_methods()
+    context = mp.get_context("fork") if fork_available else mp.get_context()
+
+    handle: "SharedSnapshotHandle | None" = None
+    if resolved_backend == "csr":
+        snapshot = reference.snapshot
+        # Materialise the batch's influence table in the parent so forked
+        # children share its pages instead of each recomputing it.
+        snapshot.influence_table(resolved_present, config.theta)
+        if fork_available:
+            init_args = ("csr", snapshot, config, resolved_present, modes)
+        else:
+            handle = snapshot.to_shared()
+            init_args = ("csr_shared", handle, config, resolved_present, modes)
+    else:
+        init_args = ("dict", network, config, resolved_present, modes)
+
+    chunk = chunksize if chunksize else max(1, len(pair_list) // (workers * 4))
+    if chunk < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunk}")
+    set_gauge("parallel.chunksize", chunk)
+
+    try:
+        with span(
+            "parallel.extract_batch",
+            pairs=len(pair_list),
+            workers=workers,
+            backend=resolved_backend,
+        ):
+            with context.Pool(
+                processes=workers,
+                initializer=_initialize,
+                initargs=init_args,
+            ) as pool:
+                if obs_enabled():
+                    probes = dict(pool.map(_init_probe, range(workers), chunksize=1))
+                    for seconds in probes.values():
+                        observe("parallel.worker_init_seconds", seconds)
+                rows = pool.map(_extract_one, pair_list, chunksize=chunk)
+    finally:
+        if handle is not None:
+            handle.unlink()
     _record_throughput(pair_list, started, workers=workers)
 
     if modes is None:

@@ -27,6 +27,10 @@ class ExperimentConfig:
         rw_steps: local-random-walk steps.
         n_jobs: worker processes for SSF feature extraction (1 = in
             process; extraction is deterministic either way).
+        backend: SSF extraction substrate — ``"dict"`` (faithful
+            reference), ``"csr"`` (frozen array snapshot, bit-identical
+            features), or ``"auto"`` (csr once the history is large
+            enough to amortise the freeze).
         seed: master seed (split, negatives, model init).
     """
 
@@ -44,6 +48,7 @@ class ExperimentConfig:
     katz_beta: float = 0.001
     rw_steps: int = 3
     n_jobs: int = 1
+    backend: str = "auto"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -57,6 +62,10 @@ class ExperimentConfig:
             raise ValueError("train_fraction must be in (0, 1)")
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.backend not in ("auto", "dict", "csr"):
+            raise ValueError(
+                f"backend must be 'auto', 'dict' or 'csr', got {self.backend!r}"
+            )
 
     @classmethod
     def paper_settings(cls) -> "ExperimentConfig":

@@ -113,21 +113,33 @@ class LinkPredictionExperiment:
 
     def _extract_ssf_features(self) -> None:
         """Fill the cache for both SSF variants with shared extraction."""
+        from repro.core.feature import resolve_backend
         from repro.core.parallel import parallel_extract_batch
+        from repro.graph.csr import CSRSnapshot
 
         config = SSFConfig(k=self.config.k, theta=self.config.theta)
         # "temporal" entries are the SSF default (see repro.core.feature);
         # "count" entries are the static SSF-W variant's 0/k encoding.
         modes = ("temporal", "count")
+        # On the csr backend, freeze ONE snapshot for the whole observed
+        # window and reuse it across the train and test batches (and every
+        # pool worker) so the freeze cost is paid once per history.
+        backend = resolve_backend(self.task.history, self.config.backend)
+        history = (
+            CSRSnapshot.from_dynamic(self.task.history)
+            if backend == "csr"
+            else self.task.history
+        )
 
         def batch(pairs: Sequence[tuple]) -> dict[str, np.ndarray]:
             return parallel_extract_batch(
-                self.task.history,
+                history,
                 config,
                 pairs,
                 present_time=self.task.present_time,
                 modes=modes,
                 workers=self.config.n_jobs,
+                backend=backend,
             )
 
         train = batch(self.task.train_pairs)

@@ -1,7 +1,15 @@
 """Graph substrate: temporal multigraphs (Def. 1), static projections, IO."""
 
+from repro.graph.csr import CSRSnapshot, SharedSnapshotHandle
 from repro.graph.hashing import network_fingerprint
 from repro.graph.static import StaticGraph
 from repro.graph.temporal import DynamicNetwork, TemporalEdge
 
-__all__ = ["DynamicNetwork", "TemporalEdge", "StaticGraph", "network_fingerprint"]
+__all__ = [
+    "DynamicNetwork",
+    "TemporalEdge",
+    "StaticGraph",
+    "CSRSnapshot",
+    "SharedSnapshotHandle",
+    "network_fingerprint",
+]

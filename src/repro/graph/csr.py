@@ -1,0 +1,387 @@
+"""Read-only CSR snapshot of a :class:`~repro.graph.temporal.DynamicNetwork`.
+
+The dict-of-dict substrate is the right structure for *building* a dynamic
+network incrementally, but the SSF hot path (Defs. 3-10, Algorithm 3) only
+ever *reads* the observed window.  A :class:`CSRSnapshot` freezes one
+window into flat integer-indexed arrays:
+
+* ``indptr``/``indices`` — classic CSR adjacency over int32 node ids, with
+  each row's neighbour ids **sorted ascending** so neighbour slices can be
+  intersected by ``searchsorted`` and hashed canonically,
+* ``ts_indptr``/``ts`` — per-edge-slot timestamp segments (each undirected
+  multi-link pair contributes one slot per direction; a slot's timestamps
+  are sorted ascending, exactly as the dict substrate stores them),
+* an on-demand **influence table** ``exp(-θ·(l_t − l_s))`` aligned with
+  ``ts``, computed once per ``(snapshot, present_time, θ)`` and reused by
+  every candidate pair (Eq. 2 evaluated |E| times total instead of once
+  per pair per structure link).
+
+Bit-parity contract: the influence table is evaluated through
+``math.exp`` on the *unique* timestamps (then gathered back), because
+``np.exp`` is allowed to differ from the C library ``exp`` in the last
+ulp and the CSR backend guarantees bit-identical features against the
+dict backend, whose :func:`~repro.core.influence.normalized_influence`
+uses ``math.exp``.
+
+The snapshot's array buffers are what makes multiprocess extraction
+cheap: under a ``fork`` start method the worker inherits them via
+copy-on-write pages that are never written (numpy buffers are not
+refcount-touched), and under ``spawn`` the :meth:`CSRSnapshot.to_shared`
+/ :meth:`CSRSnapshot.from_shared` pair moves them through one
+``multiprocessing.shared_memory`` block instead of pickling the graph.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+import numpy as np
+
+from repro.obs import get_logger, observe, span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.graph.temporal import DynamicNetwork
+
+Node = Hashable
+
+_LOG = get_logger("graph.csr")
+
+
+class CSRSnapshot:
+    """Immutable CSR view of one observed window of a dynamic network.
+
+    Node labels are mapped to dense int ids in the network's insertion
+    order (id 0 is the first node ever added), so label-based tie-breaks
+    downstream see exactly the objects the dict backend sees.
+
+    Example:
+        >>> from repro.graph.temporal import DynamicNetwork
+        >>> g = DynamicNetwork([("a", "b", 1), ("a", "b", 3), ("b", "c", 2)])
+        >>> snap = CSRSnapshot.from_dynamic(g)
+        >>> snap.number_of_nodes(), snap.number_of_links(), snap.number_of_pairs()
+        (3, 3, 2)
+        >>> snap.pair_timestamps("a", "b")
+        (1.0, 3.0)
+    """
+
+    __slots__ = (
+        "labels",
+        "_id_of",
+        "indptr",
+        "indices",
+        "ts_indptr",
+        "ts",
+        "_influence_tables",
+        "_shm",
+    )
+
+    def __init__(
+        self,
+        labels: list,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        ts_indptr: np.ndarray,
+        ts: np.ndarray,
+        _shm=None,
+    ) -> None:
+        self.labels = labels
+        self._id_of = {label: i for i, label in enumerate(labels)}
+        self.indptr = indptr
+        self.indices = indices
+        self.ts_indptr = ts_indptr
+        self.ts = ts
+        self._influence_tables: dict[tuple[float, float], np.ndarray] = {}
+        # keep the shared-memory block alive for as long as arrays view it
+        self._shm = _shm
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dynamic(cls, network: "DynamicNetwork") -> "CSRSnapshot":
+        """Freeze a dynamic network into a snapshot (O(|V| + |E|))."""
+        with span("csr.build"):
+            labels = list(network)
+            id_of = {label: i for i, label in enumerate(labels)}
+            n = len(labels)
+
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            for i, label in enumerate(labels):
+                indptr[i + 1] = len(network.neighbor_view(label))
+            np.cumsum(indptr, out=indptr)
+            nnz = int(indptr[-1])
+
+            indices = np.empty(nnz, dtype=np.int32)
+            ts_counts = np.empty(nnz, dtype=np.int64)
+            ts_chunks: list[list[float]] = []
+            pos = 0
+            for label in labels:
+                row = network.neighbor_view(label)
+                entries = sorted(
+                    (id_of[nbr], stamps) for nbr, stamps in row.items()
+                )
+                for nbr_id, stamps in entries:
+                    indices[pos] = nbr_id
+                    ts_counts[pos] = len(stamps)
+                    ts_chunks.append(stamps)
+                    pos += 1
+            ts_indptr = np.zeros(nnz + 1, dtype=np.int64)
+            np.cumsum(ts_counts, out=ts_indptr[1:])
+            ts = (
+                np.concatenate([np.asarray(c, dtype=np.float64) for c in ts_chunks])
+                if ts_chunks
+                else np.zeros(0, dtype=np.float64)
+            )
+        snapshot = cls(labels, indptr, indices, ts_indptr, ts)
+        observe("csr.nodes", n)
+        observe("csr.slots", nnz)
+        return snapshot
+
+    def to_dynamic(self) -> "DynamicNetwork":
+        """Thaw back into a dict-backed network (tests / interop)."""
+        from repro.graph.temporal import DynamicNetwork
+
+        out = DynamicNetwork()
+        for label in self.labels:
+            out.add_node(label)
+        for u in range(len(self.labels)):
+            for slot in range(int(self.indptr[u]), int(self.indptr[u + 1])):
+                v = int(self.indices[slot])
+                if v < u:
+                    continue  # each undirected pair has a slot per direction
+                for t in self.slot_timestamps(slot):
+                    out.add_edge(self.labels[u], self.labels[v], t)
+        return out
+
+    # ------------------------------------------------------------------
+    # id / label mapping
+    # ------------------------------------------------------------------
+    def node_id(self, label: Node) -> int:
+        """Dense int id of ``label`` (raises ``KeyError`` when absent)."""
+        try:
+            return self._id_of[label]
+        except KeyError:
+            raise KeyError(f"node {label!r} not in snapshot") from None
+
+    def has_node(self, label: Node) -> bool:
+        return label in self._id_of
+
+    def label_of(self, node_id: int) -> Node:
+        return self.labels[node_id]
+
+    # ------------------------------------------------------------------
+    # basic queries (mirroring DynamicNetwork where it matters)
+    # ------------------------------------------------------------------
+    def number_of_nodes(self) -> int:
+        return len(self.labels)
+
+    def number_of_links(self) -> int:
+        """Total links counting multiplicity (each stored twice in ``ts``)."""
+        return int(self.ts.size) // 2
+
+    def number_of_pairs(self) -> int:
+        return int(self.indices.size) // 2
+
+    def last_timestamp(self) -> float:
+        if not self.ts.size:
+            raise ValueError("snapshot has no links")
+        return float(self.ts.max())
+
+    def first_timestamp(self) -> float:
+        if not self.ts.size:
+            raise ValueError("snapshot has no links")
+        return float(self.ts.min())
+
+    def neighbor_slice(self, node_id: int) -> np.ndarray:
+        """Sorted neighbour ids of ``node_id`` (a zero-copy array view)."""
+        return self.indices[self.indptr[node_id] : self.indptr[node_id + 1]]
+
+    def slot_timestamps(self, slot: int) -> np.ndarray:
+        """Sorted timestamps of one directed edge slot (zero-copy view)."""
+        return self.ts[self.ts_indptr[slot] : self.ts_indptr[slot + 1]]
+
+    def edge_slot(self, u_id: int, v_id: int) -> int:
+        """Directed slot index of the ``u → v`` entry, or ``-1`` if absent."""
+        row = self.neighbor_slice(u_id)
+        pos = int(np.searchsorted(row, v_id))
+        if pos < row.size and int(row[pos]) == v_id:
+            return int(self.indptr[u_id]) + pos
+        return -1
+
+    def pair_timestamps(self, u: Node, v: Node) -> tuple[float, ...]:
+        """Sorted timestamps between two labels (empty tuple when absent)."""
+        if not (self.has_node(u) and self.has_node(v)):
+            return ()
+        slot = self.edge_slot(self._id_of[u], self._id_of[v])
+        if slot < 0:
+            return ()
+        return tuple(self.slot_timestamps(slot).tolist())
+
+    # ------------------------------------------------------------------
+    # influence table (Eq. 2 precomputed per snapshot)
+    # ------------------------------------------------------------------
+    def influence_table(self, present_time: float, theta: float) -> np.ndarray:
+        """Per-``ts``-entry decayed influence ``exp(-θ·(l_t − l_s))``.
+
+        Built once per ``(present_time, theta)`` and cached; raises when
+        any stored timestamp lies after ``present_time`` (the dict path's
+        :func:`~repro.core.influence.normalized_influence` contract).
+        """
+        from repro.core.influence import influence_array
+
+        key = (float(present_time), float(theta))
+        table = self._influence_tables.get(key)
+        if table is None:
+            with span("csr.influence_table"):
+                table = influence_array(self.ts, key[0], key[1])
+            self._influence_tables[key] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # shared-memory transport (spawn-safe zero-copy worker hand-off)
+    # ------------------------------------------------------------------
+    def to_shared(self) -> "SharedSnapshotHandle":
+        """Export the snapshot arrays into one shared-memory block.
+
+        The caller owns the returned handle and must eventually call
+        :meth:`SharedSnapshotHandle.unlink` (after every worker has
+        attached and the pool is done).
+        """
+        from multiprocessing import shared_memory
+
+        label_blob = pickle.dumps(self.labels, protocol=pickle.HIGHEST_PROTOCOL)
+        arrays = {
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "ts_indptr": self.ts_indptr,
+            "ts": self.ts,
+        }
+        specs: dict[str, tuple[int, str, tuple[int, ...]]] = {}
+        offset = 0
+        for name, arr in arrays.items():
+            specs[name] = (offset, arr.dtype.str, arr.shape)
+            offset += arr.nbytes
+        label_offset = offset
+        total = max(1, offset + len(label_blob))
+
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        for name, arr in arrays.items():
+            off, dtype, shape = specs[name]
+            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+            view[...] = arr
+        shm.buf[label_offset : label_offset + len(label_blob)] = label_blob
+        _LOG.debug("exported snapshot to shared memory %s (%d bytes)", shm.name, total)
+        handle = SharedSnapshotHandle(
+            shm_name=shm.name,
+            specs=specs,
+            label_offset=label_offset,
+            label_size=len(label_blob),
+        )
+        handle._shm = shm  # keep the creating process's mapping alive
+        return handle
+
+    @classmethod
+    def from_shared(cls, handle: "SharedSnapshotHandle") -> "CSRSnapshot":
+        """Attach to a snapshot exported by :meth:`to_shared` (zero copy)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        arrays = {}
+        for name, (off, dtype, shape) in handle.specs.items():
+            arrays[name] = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        labels = pickle.loads(
+            bytes(
+                shm.buf[
+                    handle.label_offset : handle.label_offset + handle.label_size
+                ]
+            )
+        )
+        return cls(
+            labels,
+            arrays["indptr"],
+            arrays["indices"],
+            arrays["ts_indptr"],
+            arrays["ts"],
+            _shm=shm,
+        )
+
+    # ------------------------------------------------------------------
+    # dunder / debug
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRSnapshot(nodes={self.number_of_nodes()}, "
+            f"links={self.number_of_links()}, pairs={self.number_of_pairs()})"
+        )
+
+
+@dataclass
+class SharedSnapshotHandle:
+    """Names/offsets needed to re-attach a snapshot from shared memory.
+
+    Small and picklable — this is what crosses the process boundary under
+    a ``spawn`` start method instead of the graph itself.
+    """
+
+    shm_name: str
+    specs: dict
+    label_offset: int
+    label_size: int
+
+    def __post_init__(self) -> None:
+        self._shm = None
+
+    def __getstate__(self):
+        return {
+            "shm_name": self.shm_name,
+            "specs": self.specs,
+            "label_offset": self.label_offset,
+            "label_size": self.label_size,
+        }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._shm = None
+
+    def unlink(self) -> None:
+        """Release the shared block (call once, from the creating process)."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+            self._shm = None
+
+
+def as_snapshot(network) -> CSRSnapshot:
+    """Coerce a network-or-snapshot into a :class:`CSRSnapshot`."""
+    if isinstance(network, CSRSnapshot):
+        return network
+    return CSRSnapshot.from_dynamic(network)
+
+
+def concatenate_neighbor_slices(
+    snapshot: CSRSnapshot, frontier: np.ndarray
+) -> np.ndarray:
+    """All neighbour ids of ``frontier`` nodes, concatenated (with repeats).
+
+    Vectorised gather used by the array BFS: equivalent to
+    ``np.concatenate([snapshot.neighbor_slice(u) for u in frontier])`` but
+    without the per-node Python overhead.
+    """
+    if len(frontier) == 1:
+        u = int(frontier[0])
+        return snapshot.indices[snapshot.indptr[u] : snapshot.indptr[u + 1]]
+    starts = snapshot.indptr[frontier]
+    counts = snapshot.indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=snapshot.indices.dtype)
+    offsets = np.zeros(len(frontier), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    flat = np.arange(total, dtype=np.int64)
+    flat += np.repeat(starts - offsets, counts)
+    return snapshot.indices[flat]

@@ -15,7 +15,7 @@ the two directions so the multigraph stays symmetric by construction.
 from __future__ import annotations
 
 import math
-from bisect import insort
+from bisect import bisect_left, insort
 from typing import Hashable, Iterable, Iterator, NamedTuple
 
 Node = Hashable
@@ -82,6 +82,21 @@ class DynamicNetwork:
         """Add links from an iterable of ``(u, v, timestamp)`` triples."""
         for u, v, ts in edges:
             self.add_edge(u, v, ts)
+
+    def _install_pair(self, u: Node, v: Node, stamps: list[Timestamp]) -> None:
+        """Install an already-sorted timestamp list for a NEW pair.
+
+        Bulk-construction fast path used by :meth:`slice` / :meth:`copy` /
+        :meth:`subgraph`: the source lists are already sorted, so copying
+        them wholesale replaces the per-link ``insort`` (O(m·k) for a pair
+        with k links) with one O(k) list copy.  Node insertion order
+        matches :meth:`add_edge` (``u`` before ``v``).
+        """
+        row_u = self._adj.setdefault(u, {})
+        self._adj.setdefault(v, {})
+        row_u[v] = stamps
+        self._adj[v][u] = stamps  # shared list keeps both directions in sync
+        self._num_links += len(stamps)
 
     def remove_edge(self, u: Node, v: Node, timestamp: "Timestamp | None" = None) -> None:
         """Remove one link between ``u`` and ``v``.
@@ -226,10 +241,19 @@ class DynamicNetwork:
             raise ValueError(
                 f"empty period: t_start={t_start!r} must be < t_end={t_end!r}"
             )
+        t_lo = float(t_start)
+        t_hi = float(t_end)
         out = DynamicNetwork()
-        for u, v, ts in self.edges():
-            if t_start <= ts < t_end:
-                out.add_edge(u, v, ts)
+        seen: set[tuple[Node, Node]] = set()
+        for u, row in self._adj.items():
+            for v, stamps in row.items():
+                if (v, u) in seen:
+                    continue
+                seen.add((u, v))
+                lo = bisect_left(stamps, t_lo)
+                hi = bisect_left(stamps, t_hi)
+                if lo < hi:
+                    out._install_pair(u, v, stamps[lo:hi])
         return out
 
     # ------------------------------------------------------------------
@@ -249,8 +273,7 @@ class DynamicNetwork:
         for u in keep:
             for v, stamps in self._adj[u].items():
                 if v in keep and v not in visited:
-                    for ts in stamps:
-                        out.add_edge(u, v, ts)
+                    out._install_pair(u, v, stamps.copy())
             visited.add(u)
         return out
 
@@ -273,8 +296,13 @@ class DynamicNetwork:
         out = DynamicNetwork()
         for node in self._adj:
             out.add_node(node)
-        for u, v, ts in self.edges():
-            out.add_edge(u, v, ts)
+        seen: set[tuple[Node, Node]] = set()
+        for u, row in self._adj.items():
+            for v, stamps in row.items():
+                if (v, u) in seen:
+                    continue
+                seen.add((u, v))
+                out._install_pair(u, v, stamps.copy())
         return out
 
     # ------------------------------------------------------------------

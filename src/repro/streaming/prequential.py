@@ -59,6 +59,12 @@ class StreamingSSFPredictor:
         window_size: labelled-pair memory; older pairs are dropped so the
             model tracks drift.
         epochs: neural-machine epochs per refit (ignored for linear).
+        backend: SSF extraction substrate.  Streams build a fresh
+            extractor per observed timestamp over a growing history, so
+            the default is ``"dict"`` — a per-stamp snapshot freeze for a
+            handful of pairs would cost more than it saves.  Pass
+            ``"auto"``/``"csr"`` for dense streams with many labelled
+            pairs per stamp.
         seed: RNG for negative harvesting and model init.
     """
 
@@ -70,6 +76,7 @@ class StreamingSSFPredictor:
         refit_every: int = 1,
         window_size: int = 600,
         epochs: int = 30,
+        backend: str = "dict",
         seed: int = 0,
     ) -> None:
         if model not in ("linear", "neural"):
@@ -79,6 +86,7 @@ class StreamingSSFPredictor:
         if window_size < 10:
             raise ValueError(f"window_size must be >= 10, got {window_size}")
         self.config = config or SSFConfig()
+        self.backend = backend
         self.model_kind = model
         self.refit_every = refit_every
         self.window_size = window_size
@@ -117,7 +125,7 @@ class StreamingSSFPredictor:
         if positives and self.history.number_of_links():
             negatives = self._sample_negatives(len(positives), positives)
             extractor = SSFExtractor(
-                self.history, self.config, present_time=stamp
+                self.history, self.config, present_time=stamp, backend=self.backend
             )
             for pair, label in [(p, 1) for p in positives] + [
                 (n, 0) for n in negatives
@@ -202,7 +210,9 @@ class StreamingSSFPredictor:
         present = (
             self._current_time + 1.0 if self._current_time is not None else 1.0
         )
-        extractor = SSFExtractor(self.history, self.config, present_time=present)
+        extractor = SSFExtractor(
+            self.history, self.config, present_time=present, backend=self.backend
+        )
         features = extractor.extract_batch(list(pairs))
         return self._model.decision_scores(features)
 

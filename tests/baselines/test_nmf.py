@@ -78,8 +78,8 @@ class TestNMFLinkPredictor:
         ts = 1
         for block in (block_a, block_b):
             for i, u in enumerate(block):
-                for v in block[i + 1 :]:
-                    if (hash(u + v) % 4) != 0:  # drop a few to leave holes
+                for j, v in enumerate(block[i + 1 :], start=i + 1):
+                    if (i + j) % 4 != 0:  # drop a few to leave holes
                         g.add_edge(u, v, ts)
                         ts += 1
         scorer = NMFLinkPredictor(rank=4, max_iter=60).fit(g)

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.feature import SSFConfig, SSFExtractor
-from repro.core.parallel import MIN_PAIRS_FOR_POOL, parallel_extract_batch
+from repro.core.parallel import (
+    MIN_PAIRS_FOR_POOL,
+    min_pairs_for_pool,
+    parallel_extract_batch,
+)
+from repro.graph.csr import CSRSnapshot
 
 
 @pytest.fixture(scope="module")
@@ -84,6 +89,75 @@ class TestPooledPath:
             assert np.array_equal(sequential[mode], pooled[mode])
 
 
+class TestCsrBackend:
+    def test_csr_pool_bit_identical(self, case):
+        history, present, pairs = case
+        config = SSFConfig(k=6)
+        sequential = parallel_extract_batch(
+            history, config, pairs, present_time=present, workers=1, backend="dict"
+        )
+        pooled = parallel_extract_batch(
+            history, config, pairs, present_time=present, workers=2, backend="csr"
+        )
+        assert np.array_equal(sequential, pooled)
+
+    def test_prebuilt_snapshot_reused(self, case):
+        history, present, pairs = case
+        config = SSFConfig(k=6)
+        snapshot = CSRSnapshot.from_dynamic(history)
+        sequential = parallel_extract_batch(
+            history, config, pairs, present_time=present, workers=1, backend="dict"
+        )
+        pooled = parallel_extract_batch(
+            snapshot, config, pairs, present_time=present, workers=2
+        )
+        assert np.array_equal(sequential, pooled)
+
+    def test_csr_multi_mode_identical(self, case):
+        history, present, pairs = case
+        config = SSFConfig(k=6)
+        kwargs = dict(present_time=present, modes=("temporal", "count"))
+        sequential = parallel_extract_batch(
+            history, config, pairs, workers=1, backend="dict", **kwargs
+        )
+        pooled = parallel_extract_batch(
+            history, config, pairs, workers=2, backend="csr", **kwargs
+        )
+        for mode in sequential:
+            assert np.array_equal(sequential[mode], pooled[mode])
+
+
+class TestPoolThresholds:
+    def test_min_pairs_override(self, case):
+        history, present, pairs = case
+        config = SSFConfig(k=6)
+        few = pairs[:10]
+        sequential = parallel_extract_batch(
+            history, config, few, present_time=present, workers=1
+        )
+        pooled = parallel_extract_batch(
+            history,
+            config,
+            few,
+            present_time=present,
+            workers=2,
+            min_pairs=4,
+            chunksize=2,
+        )
+        assert np.array_equal(sequential, pooled)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MIN_PAIRS_FOR_POOL", raising=False)
+        assert min_pairs_for_pool() == MIN_PAIRS_FOR_POOL
+        monkeypatch.setenv("REPRO_MIN_PAIRS_FOR_POOL", "7")
+        assert min_pairs_for_pool() == 7
+        assert min_pairs_for_pool(99) == 99
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError):
+            min_pairs_for_pool(-1)
+
+
 class TestConfigIntegration:
     def test_n_jobs_threads_through_runner(self, case):
         from repro.experiments.config import ExperimentConfig
@@ -91,3 +165,11 @@ class TestConfigIntegration:
         with pytest.raises(ValueError):
             ExperimentConfig(n_jobs=0)
         assert ExperimentConfig(n_jobs=2).n_jobs == 2
+
+    def test_backend_validated(self):
+        from repro.experiments.config import ExperimentConfig
+
+        with pytest.raises(ValueError):
+            ExperimentConfig(backend="sparse")
+        assert ExperimentConfig(backend="csr").backend == "csr"
+        assert ExperimentConfig().backend == "auto"

@@ -1,0 +1,149 @@
+"""Tests for the frozen CSR snapshot substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.influence import influence_array, normalized_influence
+from repro.graph.csr import CSRSnapshot, concatenate_neighbor_slices
+from repro.graph.temporal import DynamicNetwork
+
+
+@pytest.fixture()
+def network() -> DynamicNetwork:
+    g = DynamicNetwork(
+        [
+            ("a", "b", 1),
+            ("a", "b", 3),  # multi-link
+            ("b", "c", 2),
+            ("c", "d", 2),  # duplicate timestamp across pairs
+            ("a", "d", 5),
+        ]
+    )
+    g.add_node("lonely")  # isolated node must survive the freeze
+    return g
+
+
+class TestConstruction:
+    def test_counts_match(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        assert snap.number_of_nodes() == network.number_of_nodes()
+        assert snap.number_of_links() == network.number_of_links()
+        assert snap.number_of_pairs() == network.number_of_pairs()
+
+    def test_labels_keep_insertion_order(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        assert list(snap.labels) == network.nodes
+        for node in network.nodes:
+            assert snap.label_of(snap.node_id(node)) == node
+
+    def test_neighbor_slices_sorted(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        for node in network.nodes:
+            nbrs = snap.neighbor_slice(snap.node_id(node))
+            assert np.all(np.diff(nbrs) > 0)  # strictly ascending ids
+            labels = {snap.label_of(int(i)) for i in nbrs}
+            assert labels == network.neighbors(node)
+
+    def test_pair_timestamps_match_dict(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        for u, v in network.pair_iter():
+            assert snap.pair_timestamps(u, v) == network.timestamps(u, v)
+        assert snap.pair_timestamps("a", "ghost") == ()
+
+    def test_timestamp_extremes(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        assert snap.first_timestamp() == network.first_timestamp()
+        assert snap.last_timestamp() == network.last_timestamp()
+
+    def test_unknown_node(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        assert not snap.has_node("ghost")
+        with pytest.raises(KeyError):
+            snap.node_id("ghost")
+
+    def test_empty_network(self):
+        snap = CSRSnapshot.from_dynamic(DynamicNetwork())
+        assert snap.number_of_nodes() == 0
+        assert snap.number_of_links() == 0
+
+
+class TestRoundtrip:
+    def test_to_dynamic_equal(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        assert snap.to_dynamic() == network
+
+    def test_shared_memory_roundtrip(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        handle = snap.to_shared()
+        try:
+            attached = CSRSnapshot.from_shared(handle)
+            assert np.array_equal(attached.indptr, snap.indptr)
+            assert np.array_equal(attached.indices, snap.indices)
+            assert np.array_equal(attached.ts_indptr, snap.ts_indptr)
+            assert np.array_equal(attached.ts, snap.ts)
+            assert attached.labels == snap.labels
+            assert attached.to_dynamic() == network
+            del attached
+        finally:
+            handle.unlink()
+
+    def test_shared_handle_pickles(self, network):
+        import pickle
+
+        snap = CSRSnapshot.from_dynamic(network)
+        handle = snap.to_shared()
+        try:
+            clone = pickle.loads(pickle.dumps(handle))
+            attached = CSRSnapshot.from_shared(clone)
+            assert attached.to_dynamic() == network
+            del attached
+        finally:
+            handle.unlink()
+
+
+class TestInfluenceTable:
+    def test_bit_parity_with_math_exp(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        present = network.last_timestamp() + 1.0
+        table = snap.influence_table(present, 0.5)
+        assert table.shape == snap.ts.shape
+        for u, v in network.pair_iter():
+            slot = snap.edge_slot(snap.node_id(u), snap.node_id(v))
+            lo, hi = snap.ts_indptr[slot], snap.ts_indptr[slot + 1]
+            total = 0.0
+            for value in table[lo:hi].tolist():
+                total += value
+            assert total == normalized_influence(
+                network.timestamps(u, v), present, 0.5
+            )
+
+    def test_cached_per_key(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        first = snap.influence_table(10.0, 0.5)
+        assert snap.influence_table(10.0, 0.5) is first
+        assert snap.influence_table(10.0, 0.25) is not first
+
+    def test_influence_array_validates(self):
+        with pytest.raises(ValueError):
+            influence_array(np.array([5.0]), present_time=4.0)
+        assert influence_array(np.zeros(0), present_time=1.0).size == 0
+
+
+class TestNeighborConcatenation:
+    def test_matches_per_row_concat(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        frontier = np.array(
+            [snap.node_id("a"), snap.node_id("c"), snap.node_id("lonely")],
+            dtype=np.int64,
+        )
+        got = concatenate_neighbor_slices(snap, frontier)
+        expected = np.concatenate(
+            [snap.neighbor_slice(int(i)) for i in frontier]
+        )
+        assert np.array_equal(got, expected)
+
+    def test_empty_frontier(self, network):
+        snap = CSRSnapshot.from_dynamic(network)
+        assert concatenate_neighbor_slices(
+            snap, np.zeros(0, dtype=np.int64)
+        ).size == 0
