@@ -1,5 +1,21 @@
-"""Network-analysis utilities: structural and temporal statistics."""
+"""Network-analysis utilities and repo-specific static analysis.
 
+Two unrelated-but-cohabiting concerns:
+
+* :mod:`repro.analysis.statistics` — structural/temporal statistics of
+  dynamic networks (the ``repro stats`` report).
+* :mod:`repro.analysis.lint` — the determinism/contract AST linter
+  (the ``repro lint`` subcommand; see ``docs/STATIC_ANALYSIS.md``).
+"""
+
+from repro.analysis.lint import (
+    Violation,
+    add_lint_arguments,
+    default_rules,
+    execute_lint,
+    lint_paths,
+    lint_source,
+)
 from repro.analysis.statistics import (
     NetworkReport,
     burstiness,
@@ -20,4 +36,10 @@ __all__ = [
     "temporal_activity",
     "NetworkReport",
     "network_report",
+    "Violation",
+    "add_lint_arguments",
+    "default_rules",
+    "execute_lint",
+    "lint_paths",
+    "lint_source",
 ]

@@ -1,0 +1,58 @@
+"""Repo-specific static analysis for the SSF reproduction.
+
+Importable API::
+
+    from repro.analysis.lint import default_rules, lint_source, lint_paths
+
+    violations = lint_source(code, default_rules(), path="repro/core/x.py")
+
+CLI: ``repro lint`` or ``python -m repro.analysis.lint``.
+"""
+
+from repro.analysis.lint.baseline import (
+    Baseline,
+    BaselineComparison,
+    DEFAULT_BASELINE_NAME,
+    compare_to_baseline,
+)
+from repro.analysis.lint.cli import (
+    add_lint_arguments,
+    build_parser,
+    execute_lint,
+    main,
+    run_lint,
+)
+from repro.analysis.lint.engine import (
+    LintReport,
+    ModuleContext,
+    Rule,
+    Suppression,
+    Violation,
+    lint_paths,
+    lint_source,
+    module_name_for,
+)
+from repro.analysis.lint.rules import ALL_RULE_IDS, default_rules, rule_catalog
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Baseline",
+    "BaselineComparison",
+    "DEFAULT_BASELINE_NAME",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "Violation",
+    "add_lint_arguments",
+    "build_parser",
+    "compare_to_baseline",
+    "execute_lint",
+    "default_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "module_name_for",
+    "rule_catalog",
+    "run_lint",
+]

@@ -1,0 +1,148 @@
+"""Ratcheting violation baseline.
+
+The baseline is a committed JSON file recording every known violation as
+``(path, rule, snippet, count)``.  Runs against it classify violations:
+
+* **new** — not in the baseline: always fails the run.  Fixing beats
+  suppressing; suppressing requires a reasoned pragma.
+* **known** — matched by the baseline: tolerated, to let the tooling land
+  without a big-bang cleanup.
+* **stale** — baseline entries no longer observed: under
+  ``--check-baseline`` (the CI mode) these fail too, forcing the file to
+  be regenerated smaller.  The baseline can only ratchet down.
+
+Snippets (stripped source lines), not line numbers, identify entries so
+unrelated edits do not churn the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.lint.engine import Violation
+
+__all__ = [
+    "Baseline",
+    "BaselineComparison",
+    "DEFAULT_BASELINE_NAME",
+    "compare_to_baseline",
+]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One tolerated violation site."""
+
+    path: str
+    rule: str
+    snippet: str
+    count: int = 1
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.snippet)
+
+
+@dataclasses.dataclass
+class Baseline:
+    """The committed set of tolerated violations."""
+
+    entries: list[BaselineEntry]
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        counts: dict[tuple[str, str, str], int] = {}
+        for violation in violations:
+            counts[violation.key()] = counts.get(violation.key(), 0) + 1
+        entries = [
+            BaselineEntry(path=path, rule=rule, snippet=snippet, count=count)
+            for (path, rule, snippet), count in counts.items()
+        ]
+        entries.sort(key=BaselineEntry.key)
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if raw.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {raw.get('version')!r} in {path}"
+            )
+        entries = [
+            BaselineEntry(
+                path=entry["path"],
+                rule=entry["rule"],
+                snippet=entry["snippet"],
+                count=int(entry.get("count", 1)),
+            )
+            for entry in raw.get("entries", [])
+        ]
+        entries.sort(key=BaselineEntry.key)
+        return cls(entries=entries)
+
+    def dump(self, path: "Path | str") -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [dataclasses.asdict(entry) for entry in self.entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def total(self) -> int:
+        return sum(entry.count for entry in self.entries)
+
+
+@dataclasses.dataclass
+class BaselineComparison:
+    """Violations classified against a baseline."""
+
+    new: list[Violation]
+    known: list[Violation]
+    stale: list[BaselineEntry]
+
+    def ok(self, *, strict: bool) -> bool:
+        """Pass/fail verdict; ``strict`` also fails on stale entries."""
+        if self.new:
+            return False
+        return not (strict and self.stale)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.new)} new, {len(self.known)} known (baselined), "
+            f"{len(self.stale)} stale baseline entrie(s)"
+        )
+
+
+def compare_to_baseline(
+    violations: Iterable[Violation], baseline: Baseline
+) -> BaselineComparison:
+    """Classify ``violations`` as new or known, and find stale entries.
+
+    Matching is per-site with multiplicity: a baseline entry with
+    ``count=2`` absorbs at most two identical violations; a third on the
+    same line content is new.  An entry with *unused* allowance (fully or
+    partially fixed) is stale — the ratchet demands regeneration.
+    """
+    budget = {entry.key(): entry.count for entry in baseline.entries}
+    new: list[Violation] = []
+    known: list[Violation] = []
+    for violation in violations:
+        remaining = budget.get(violation.key(), 0)
+        if remaining > 0:
+            budget[violation.key()] = remaining - 1
+            known.append(violation)
+        else:
+            new.append(violation)
+    stale = [
+        entry
+        for entry in baseline.entries
+        if budget.get(entry.key(), 0) > 0
+    ]
+    return BaselineComparison(new=new, known=known, stale=stale)

@@ -1,0 +1,149 @@
+"""Argument handling for the ``repro lint`` subcommand.
+
+Kept separate from ``repro.cli`` so the linter is usable standalone::
+
+    PYTHONPATH=src python -m repro.analysis.lint src/
+
+Exit codes: 0 clean (or all violations baselined), 1 violations/stale
+baseline, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    compare_to_baseline,
+)
+from repro.analysis.lint.engine import LintReport, lint_paths
+from repro.analysis.lint.rules import default_rules, rule_catalog
+
+__all__ = ["add_lint_arguments", "build_parser", "execute_lint", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"baseline file path (default: {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report and fail on every violation",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="strict CI mode: also fail on stale baseline entries (ratchet)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline file from the current violations",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="repo-specific determinism/contract linter for the SSF pipeline",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _format_listing(report: LintReport, fmt: str) -> str:
+    return report.format_json() if fmt == "json" else report.format_text()
+
+
+def execute_lint(args: argparse.Namespace) -> tuple[str, int]:
+    """Run the linter from parsed arguments; returns ``(text, exit_code)``."""
+    if args.list_rules:
+        lines = [f"{rid}  {name:<22} {summary}" for rid, name, summary in rule_catalog()]
+        return "\n".join(lines), 0
+
+    only = None
+    if args.rules:
+        only = tuple(part.strip() for part in args.rules.split(",") if part.strip())
+    try:
+        rules = default_rules(only)
+    except ValueError as exc:
+        return str(exc), 2
+
+    try:
+        report = lint_paths(args.paths, rules)
+    except (FileNotFoundError, SyntaxError) as exc:
+        return f"error: {exc}", 2
+
+    if args.write_baseline:
+        baseline = Baseline.from_violations(report.violations)
+        baseline.dump(args.baseline)
+        return (
+            f"wrote {len(baseline.entries)} entrie(s) "
+            f"({baseline.total()} violation(s)) to {args.baseline}",
+            0,
+        )
+
+    baseline_path = Path(args.baseline)
+    if args.no_baseline or not baseline_path.exists():
+        listing = _format_listing(report, args.format)
+        return listing, 1 if report.violations else 0
+
+    baseline = Baseline.load(baseline_path)
+    comparison = compare_to_baseline(report.violations, baseline)
+    strict = bool(args.check_baseline)
+
+    if args.format == "json":
+        filtered = LintReport(
+            violations=comparison.new, files_checked=report.files_checked
+        )
+        listing = filtered.format_json()
+    else:
+        lines = [violation.format() for violation in comparison.new]
+        if strict:
+            for entry in comparison.stale:
+                lines.append(
+                    f"{entry.path}: stale baseline entry for {entry.rule} "
+                    f"({entry.snippet!r}); regenerate with --write-baseline"
+                )
+        lines.append(comparison.summary())
+        listing = "\n".join(lines)
+    return listing, 0 if comparison.ok(strict=strict) else 1
+
+
+def run_lint(argv: "Sequence[str] | None" = None) -> tuple[str, int]:
+    """Parse ``argv`` and run the linter; returns ``(text, exit_code)``."""
+    return execute_lint(build_parser().parse_args(argv))
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    text, code = run_lint(argv)
+    print(text)
+    return code

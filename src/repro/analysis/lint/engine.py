@@ -1,0 +1,370 @@
+"""Rule engine of the repro lint toolchain.
+
+The engine parses each file once, walks the AST in source order, and
+dispatches every node to each applicable rule through ``visit_<Node>``
+hook methods (the pylint-checker idiom, minus the plugin machinery this
+repo does not need).  Rules are stateless between modules: the engine
+calls :meth:`Rule.begin_module` / :meth:`Rule.finish_module` around each
+file so per-module state never leaks.
+
+Suppressions are comments of the form::
+
+    x = risky()  # repro-lint: disable=R101 -- canonicalised two lines up
+
+A suppression must name existing rules and carry a reason after ``--``;
+a missing reason (R002) or unknown rule id (R001) is itself reported and
+the suppression is ignored, and a suppression that matched no violation
+is reported as unused (R003) so stale pragmas cannot accumulate.  A
+comment on its own line suppresses the next statement line instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import json
+import re
+import tokenize
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "iter_python_files",
+]
+
+#: ids reserved for the engine's own diagnostics (suppression hygiene).
+META_RULE_IDS = ("R001", "R002", "R003")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+?)(?:\s*--\s*(.*))?$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One rule hit, pinned to a source line."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    snippet: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-number-insensitive identity used by the baseline.
+
+        Violations are matched on ``(path, rule, snippet)`` so unrelated
+        edits that shift line numbers do not churn the baseline.
+        """
+        return (self.path, self.rule, self.snippet)
+
+
+@dataclasses.dataclass
+class Suppression:
+    """A parsed ``repro-lint: disable`` pragma."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+class ModuleContext:
+    """Everything a rule may read or write while visiting one module."""
+
+    def __init__(self, path: str, module: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.module = module
+        self.tree = tree
+        self.source_lines = source.splitlines()
+        self.violations: list[Violation] = []
+        self.suppressions: list[Suppression] = []
+        self._suppressed_lines: dict[int, Suppression] = {}
+        self._parse_suppressions(source)
+
+    # ------------------------------------------------------------------
+    # suppression handling
+    # ------------------------------------------------------------------
+    def _parse_suppressions(self, source: str) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except tokenize.TokenError:  # pragma: no cover - ast.parse caught it
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            reason = (match.group(2) or "").strip()
+            line = token.start[0]
+            own_line = not token.line[: token.start[1]].strip()
+            suppression = Suppression(line=line, rules=rules, reason=reason)
+            self.suppressions.append(suppression)
+            # A comment-only line shields the next line (the statement it
+            # annotates); an end-of-line comment shields its own line.
+            self._suppressed_lines[line + 1 if own_line else line] = suppression
+
+    def _suppression_for(self, rule_id: str, line: int) -> "Suppression | None":
+        suppression = self._suppressed_lines.get(line)
+        if suppression is None or rule_id not in suppression.rules:
+            return None
+        if not suppression.reason:
+            return None  # reason is mandatory; R002 reports the omission
+        return suppression
+
+    def check_suppression_hygiene(self, known_rules: Iterable[str]) -> None:
+        """Emit the meta violations R001/R002/R003 for this module."""
+        known = set(known_rules) | set(META_RULE_IDS)
+        for suppression in self.suppressions:
+            unknown = [rule for rule in suppression.rules if rule not in known]
+            if unknown:
+                self._report_meta(
+                    "R001",
+                    suppression.line,
+                    f"suppression names unknown rule(s) {', '.join(unknown)}",
+                )
+            if not suppression.reason:
+                self._report_meta(
+                    "R002",
+                    suppression.line,
+                    "suppression must carry a reason: "
+                    "`# repro-lint: disable=Rxxx -- why`",
+                )
+            elif not unknown and not suppression.used:
+                self._report_meta(
+                    "R003",
+                    suppression.line,
+                    f"unused suppression for {', '.join(suppression.rules)}; "
+                    "remove the stale pragma",
+                )
+
+    def _report_meta(self, rule_id: str, line: int, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule_id,
+                path=self.path,
+                line=line,
+                column=0,
+                message=message,
+                snippet=self.snippet(line),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # reporting API used by rules
+    # ------------------------------------------------------------------
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.source_lines):
+            return self.source_lines[line - 1].strip()
+        return ""
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        suppression = self._suppression_for(rule.id, line)
+        if suppression is not None:
+            suppression.used = True
+            return
+        self.violations.append(
+            Violation(
+                rule=rule.id,
+                path=self.path,
+                line=line,
+                column=column,
+                message=message,
+                snippet=self.snippet(line),
+            )
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement any number of
+    ``visit_<NodeType>`` hooks; the engine calls them in source order.
+    ``scope`` is a tuple of dotted module prefixes the rule applies to
+    (``("repro",)`` means the whole library).
+    """
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+    scope: tuple[str, ...] = ("repro",)
+
+    def applies_to(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.scope
+        )
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        """Hook called before the walk (reset per-module state here)."""
+
+    def finish_module(self, ctx: ModuleContext) -> None:
+        """Hook called after the walk (flush pending reports here)."""
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of linting a set of files."""
+
+    violations: list[Violation]
+    files_checked: int
+
+    def count(self) -> int:
+        return len(self.violations)
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def format_text(self) -> str:
+        lines = [violation.format() for violation in self.violations]
+        summary = ", ".join(f"{rule}: {n}" for rule, n in self.by_rule().items())
+        lines.append(
+            f"{self.count()} violation(s) in {self.files_checked} file(s)"
+            + (f"  [{summary}]" if summary else "")
+        )
+        return "\n".join(lines)
+
+    def format_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "violations": [v.to_json() for v in self.violations],
+                "by_rule": self.by_rule(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# walking
+# ----------------------------------------------------------------------
+def _dispatch(rules: Sequence[Rule], ctx: ModuleContext) -> None:
+    """One source-order walk, multiplexed over every applicable rule."""
+    handlers: dict[str, list[Callable[[ModuleContext, ast.AST], None]]] = {}
+    for rule in rules:
+        for attr in dir(rule):
+            if attr.startswith("visit_"):
+                handlers.setdefault(attr[len("visit_"):], []).append(
+                    getattr(rule, attr)
+                )
+
+    def walk(node: ast.AST) -> None:
+        for handler in handlers.get(type(node).__name__, ()):
+            handler(ctx, node)
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    walk(ctx.tree)
+
+
+def module_name_for(path: "Path | str") -> str:
+    """Dotted module name derived from a file path.
+
+    The name starts at the last path component named ``repro`` so both
+    ``src/repro/core/feature.py`` and test fixtures staged under
+    ``tests/analysis/fixtures/repro/core/bad.py`` resolve to a
+    ``repro.core.*`` name (fixtures opt into the scoped rules by
+    mirroring the package layout).  Files outside any ``repro`` tree
+    keep their stem as the module name, which no scoped rule matches.
+    """
+    parts = Path(path).with_suffix("").parts
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def lint_source(
+    source: str,
+    rules: Sequence[Rule],
+    *,
+    path: str = "<string>",
+    module: "str | None" = None,
+) -> list[Violation]:
+    """Lint one source string (the importable API and the test entry)."""
+    if module is None:
+        module = module_name_for(path)
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext(path=path, module=module, source=source, tree=tree)
+    active = [rule for rule in rules if rule.applies_to(module)]
+    for rule in active:
+        rule.begin_module(ctx)
+    _dispatch(active, ctx)
+    for rule in active:
+        rule.finish_module(ctx)
+    ctx.check_suppression_hygiene([rule.id for rule in rules])
+    ctx.violations.sort(key=lambda v: (v.line, v.column, v.rule))
+    return ctx.violations
+
+
+def iter_python_files(paths: Iterable["Path | str"]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def lint_paths(
+    paths: Iterable["Path | str"],
+    rules: Sequence[Rule],
+    *,
+    relative_to: "Path | None" = None,
+) -> LintReport:
+    """Lint every python file under ``paths``.
+
+    Args:
+        paths: files and/or directories.
+        rules: the rule set to run.
+        relative_to: when given, report paths relative to this root so
+            baselines stay machine-independent (defaults to the current
+            working directory when files lie beneath it).
+    """
+    root = Path(relative_to) if relative_to is not None else Path.cwd()
+    violations: list[Violation] = []
+    files = 0
+    for file_path in iter_python_files(paths):
+        files += 1
+        try:
+            display = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            display = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, rules, path=display))
+    violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    return LintReport(violations=violations, files_checked=files)

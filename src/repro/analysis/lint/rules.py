@@ -1,0 +1,801 @@
+"""The repro lint rule catalog.
+
+Rule families (see ``docs/STATIC_ANALYSIS.md`` for the full catalog):
+
+* **R0xx** meta — suppression hygiene, emitted by the engine itself.
+* **R1xx** determinism — hash-order iteration, ``hash()``, unseeded RNG.
+* **R2xx** backend parity — ``backend=`` plumbing and dispatch coverage.
+* **R3xx** API contracts — mutable defaults, bare except, span usage,
+  annotation coverage.
+* **R4xx** numeric hygiene — float equality on influence-scale values.
+
+Every rule is deliberately heuristic: it inspects the AST, not types.
+False negatives are acceptable (mypy and tests backstop them); false
+positives are suppressable with a reasoned pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Sequence
+
+from repro.analysis.lint.engine import ModuleContext, Rule
+
+__all__ = ["default_rules", "rule_catalog", "ALL_RULE_IDS"]
+
+#: the only values a backend selector may take (R202).
+VALID_BACKENDS = frozenset({"auto", "dict", "csr"})
+
+_BACKEND_NAME_RE = re.compile(r"(^|_)backend$")
+
+
+def _call_name(node: ast.AST) -> "str | None":
+    """Plain name of a called function: ``sorted`` for ``sorted(...)``."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _is_backend_name(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return _BACKEND_NAME_RE.search(node.id) is not None
+    if isinstance(node, ast.Attribute):
+        return _BACKEND_NAME_RE.search(node.attr) is not None
+    return False
+
+
+def _string_literals(node: ast.AST) -> "list[str] | None":
+    """String constants in a literal or literal collection, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out: list[str] = []
+        for element in node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            out.append(element.value)
+        return out
+    return None
+
+
+# ----------------------------------------------------------------------
+# R1xx — determinism
+# ----------------------------------------------------------------------
+class SetIterationRule(Rule):
+    """R101: iteration over sets (or explicit ``.keys()``) must be sorted.
+
+    Set iteration order follows hash order; for str-keyed sets it varies
+    with ``PYTHONHASHSEED``, which is exactly the class of bug fixed at
+    ``structure.py`` (Palette-WL group adjacency).  Any ``for``-loop or
+    comprehension whose iterable is a set expression must wrap it in
+    ``sorted(...)`` — or feed it to an order-insensitive consumer
+    (``min``/``max``/``any``/``all``/``len``/``set``/``frozenset``).
+    ``sum`` is *not* order-insensitive here: float addition order changes
+    low bits, which the backend differential tests treat as a failure.
+    """
+
+    id = "R101"
+    name = "set-iteration-order"
+    summary = "iterating a set/dict.keys() without sorted() in core/graph"
+    scope = ("repro.core", "repro.graph")
+
+    _SET_FUNCS = frozenset({"set", "frozenset"})
+    _SET_METHODS = frozenset(
+        {"intersection", "union", "difference", "symmetric_difference"}
+    )
+    _SET_OPS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    #: order-insensitive consumers: a set expression directly inside one
+    #: of these calls needs no sorting.
+    _SAFE_CONSUMERS = frozenset(
+        {"sorted", "min", "max", "len", "any", "all", "set", "frozenset"}
+    )
+    #: order-preserving wrappers: unwrap these to find the real iterable.
+    _PASSTHROUGH = frozenset({"list", "tuple", "enumerate", "reversed", "iter"})
+
+    def _set_expr(self, node: ast.AST, set_names: "dict[str, str]") -> "str | None":
+        """Describe why ``node`` is a set-valued expression, or ``None``."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        name = _call_name(node)
+        if name in self._SET_FUNCS:
+            return f"a {name}(...) call"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._SET_METHODS
+        ):
+            return f"a .{node.func.attr}(...) call"
+        if isinstance(node, ast.Name) and node.id in set_names:
+            return f"`{node.id}` ({set_names[node.id]})"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_OPS):
+            left = self._set_expr(node.left, set_names)
+            right = self._set_expr(node.right, set_names)
+            if left is not None or right is not None:
+                return "a set operator expression"
+        return None
+
+    def _is_keys_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys"
+            and not node.args
+            and not node.keywords
+        )
+
+    def _check_iterable(
+        self,
+        ctx: ModuleContext,
+        iterable: ast.AST,
+        set_names: "dict[str, str]",
+    ) -> None:
+        target = iterable
+        while (
+            isinstance(target, ast.Call)
+            and _call_name(target) in self._PASSTHROUGH
+            and target.args
+        ):
+            target = target.args[0]
+        if self._is_keys_call(target):
+            ctx.report(
+                self,
+                iterable,
+                "iterating .keys() directly; use sorted(...) (or iterate "
+                "the mapping itself if insertion order is intentional)",
+            )
+            return
+        description = self._set_expr(target, set_names)
+        if description is not None:
+            ctx.report(
+                self,
+                iterable,
+                f"iterating {description} in hash order; wrap in sorted(...)",
+            )
+
+    @staticmethod
+    def _annotation_is_set(annotation: "ast.expr | None") -> bool:
+        """True when a parameter annotation names a set type."""
+        if annotation is None:
+            return False
+        if isinstance(annotation, ast.Name):
+            return annotation.id in ("set", "frozenset", "Set", "FrozenSet")
+        if isinstance(annotation, ast.Subscript):
+            return SetIterationRule._annotation_is_set(annotation.value)
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            head = annotation.value.split("[", 1)[0].strip()
+            return head in ("set", "frozenset", "Set", "FrozenSet")
+        return False
+
+    def finish_module(self, ctx: ModuleContext) -> None:
+        # Comprehensions fed straight into an order-insensitive consumer
+        # (e.g. ``sorted(f(x) for x in node_set)``) are exempt.
+        sanitized: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if _call_name(node) in self._SAFE_CONSUMERS:
+                assert isinstance(node, ast.Call)
+                for arg in node.args:
+                    sanitized.add(id(arg))
+
+        comprehensions = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        functions = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+        def walk(node: ast.AST, set_names: "dict[str, str]") -> None:
+            if isinstance(node, functions):
+                # Fresh scope: parameters shadow outer bindings; set-typed
+                # annotations seed the tracker.
+                inner = dict(set_names)
+                arguments = node.args
+                params = list(arguments.posonlyargs + arguments.args)
+                params.extend(arguments.kwonlyargs)
+                for param in params:
+                    if self._annotation_is_set(param.annotation):
+                        inner[param.arg] = "a set-typed parameter"
+                    else:
+                        inner.pop(param.arg, None)
+                for star in (arguments.vararg, arguments.kwarg):
+                    if star is not None:
+                        inner.pop(star.arg, None)
+                for child in ast.iter_child_nodes(node):
+                    walk(child, inner)
+                return
+            if isinstance(node, ast.Lambda):
+                inner = dict(set_names)
+                for param in node.args.args:
+                    inner.pop(param.arg, None)
+                walk(node.body, inner)
+                return
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    description = self._set_expr(node.value, set_names)
+                    if description is not None:
+                        set_names[target.id] = description
+                    else:
+                        set_names.pop(target.id, None)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    description = self._set_expr(node.value, set_names)
+                    if description is not None:
+                        set_names[node.target.id] = description
+                    else:
+                        set_names.pop(node.target.id, None)
+            if isinstance(node, ast.For):
+                self._check_iterable(ctx, node.iter, set_names)
+            elif isinstance(node, comprehensions) and id(node) not in sanitized:
+                for generator in node.generators:
+                    self._check_iterable(ctx, generator.iter, set_names)
+            for child in ast.iter_child_nodes(node):
+                walk(child, set_names)
+
+        walk(ctx.tree, {})
+
+
+class BuiltinHashRule(Rule):
+    """R102: no ``hash()`` in feature code.
+
+    ``hash(str)`` is salted by ``PYTHONHASHSEED``; any feature or
+    ordering derived from it differs between interpreter runs.  Use
+    ``repro.graph.hashing`` digests or explicit sort keys instead.
+    """
+
+    id = "R102"
+    name = "builtin-hash"
+    summary = "hash() call in feature/graph code (PYTHONHASHSEED-salted)"
+    scope = ("repro.core", "repro.graph", "repro.analysis")
+
+    def visit_Call(self, ctx: ModuleContext, node: ast.Call) -> None:
+        if _call_name(node) == "hash":
+            ctx.report(
+                self,
+                node,
+                "hash() is salted by PYTHONHASHSEED; use repro.graph.hashing "
+                "digests or an explicit sort key",
+            )
+
+
+class UnseededRandomRule(Rule):
+    """R103: all randomness flows through ``repro.utils.rng``.
+
+    ``random.*`` and the legacy ``np.random.*`` module-level generators
+    share hidden global state; experiments become unreproducible the
+    moment two call sites interleave.  Accept an ``rng`` argument and
+    normalise it with :func:`repro.utils.rng.ensure_rng`.
+    """
+
+    id = "R103"
+    name = "unseeded-rng"
+    summary = "random.* / np.random.* use outside repro.utils.rng"
+    scope = ("repro",)
+
+    _EXEMPT_MODULES = frozenset({"repro.utils.rng"})
+    #: np.random attributes that are types, not stateful entry points.
+    _ALLOWED_NP_ATTRS = frozenset({"Generator", "BitGenerator", "SeedSequence"})
+
+    def applies_to(self, module: str) -> bool:
+        return super().applies_to(module) and module not in self._EXEMPT_MODULES
+
+    def visit_Import(self, ctx: ModuleContext, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("numpy.random"):
+                ctx.report(
+                    self,
+                    node,
+                    f"import of {alias.name!r}: route randomness through "
+                    "repro.utils.rng (ensure_rng / spawn_rngs)",
+                )
+
+    def visit_ImportFrom(self, ctx: ModuleContext, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            ctx.report(
+                self,
+                node,
+                "import from 'random': route randomness through repro.utils.rng",
+            )
+        elif node.module in ("numpy.random", "numpy"):
+            flagged = [
+                alias.name
+                for alias in node.names
+                if alias.name == "random" or (
+                    node.module == "numpy.random"
+                    and alias.name not in self._ALLOWED_NP_ATTRS
+                )
+            ]
+            if flagged:
+                ctx.report(
+                    self,
+                    node,
+                    f"import of numpy.random name(s) {', '.join(flagged)}: "
+                    "route randomness through repro.utils.rng",
+                )
+
+    def visit_Attribute(self, ctx: ModuleContext, node: ast.Attribute) -> None:
+        value = node.value
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id in ("np", "numpy")
+            and value.attr == "random"
+            and node.attr not in self._ALLOWED_NP_ATTRS
+        ):
+            ctx.report(
+                self,
+                node,
+                f"np.random.{node.attr} uses module-level RNG state; take an "
+                "rng argument and normalise via repro.utils.rng.ensure_rng",
+            )
+
+
+# ----------------------------------------------------------------------
+# R2xx — backend parity
+# ----------------------------------------------------------------------
+class BackendKwargRule(Rule):
+    """R201: public extraction entry points accept and forward ``backend=``.
+
+    The dict and csr substrates are interchangeable by contract; an entry
+    point that hardcodes one silently forks the pipeline.
+    """
+
+    id = "R201"
+    name = "backend-kwarg"
+    summary = "extraction entry point missing/ignoring the backend parameter"
+    scope = ("repro",)
+
+    _ENTRY_FUNCTIONS = frozenset({"parallel_extract_batch"})
+    _ENTRY_CLASSES = frozenset({"SSFExtractor", "StreamingSSFPredictor"})
+    _CONFIG_CLASSES = frozenset({"ExperimentConfig"})
+
+    @staticmethod
+    def _param_names(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> set[str]:
+        args = node.args
+        names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        return names
+
+    @staticmethod
+    def _forwards_backend(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> bool:
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Name) and sub.id == "backend":
+                    if isinstance(sub.ctx, ast.Load):
+                        return True
+        return False
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        label: str,
+    ) -> None:
+        if "backend" not in self._param_names(node):
+            ctx.report(
+                self,
+                node,
+                f"{label} must accept a backend= parameter "
+                f"({'|'.join(sorted(VALID_BACKENDS))})",
+            )
+        elif not self._forwards_backend(node):
+            ctx.report(
+                self,
+                node,
+                f"{label} accepts backend= but never reads it; forward it to "
+                "the extraction substrate",
+            )
+
+    def visit_FunctionDef(self, ctx: ModuleContext, node: ast.FunctionDef) -> None:
+        if node.name in self._ENTRY_FUNCTIONS:
+            self._check_function(ctx, node, f"{node.name}()")
+
+    def visit_AsyncFunctionDef(
+        self, ctx: ModuleContext, node: ast.AsyncFunctionDef
+    ) -> None:
+        if node.name in self._ENTRY_FUNCTIONS:
+            self._check_function(ctx, node, f"{node.name}()")
+
+    def visit_ClassDef(self, ctx: ModuleContext, node: ast.ClassDef) -> None:
+        if node.name in self._ENTRY_CLASSES:
+            init = next(
+                (
+                    stmt
+                    for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+                ),
+                None,
+            )
+            if init is None:
+                ctx.report(
+                    self,
+                    node,
+                    f"{node.name} must define __init__ with a backend= parameter",
+                )
+            else:
+                self._check_function(ctx, init, f"{node.name}.__init__")
+        elif node.name in self._CONFIG_CLASSES:
+            has_backend = any(
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "backend"
+                for stmt in node.body
+            )
+            if not has_backend:
+                ctx.report(
+                    self,
+                    node,
+                    f"{node.name} must declare a `backend` field",
+                )
+
+
+class BackendDispatchRule(Rule):
+    """R202: backend dispatch is literal-correct and exhaustive.
+
+    Comparing a ``backend`` variable against anything outside
+    ``{"auto", "dict", "csr"}`` is a typo that silently falls through.
+    A multi-branch if/elif dispatch on backend literals must end in a
+    plain ``else``, cover both concrete substrates, or raise.
+    """
+
+    id = "R202"
+    name = "backend-dispatch"
+    summary = "non-exhaustive or mistyped backend dispatch"
+    scope = ("repro",)
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        self._elif_members: set[int] = set()
+
+    def _backend_literals(self, test: ast.AST) -> "list[str] | None":
+        """Backend string literals compared in ``test``, or ``None``."""
+        if not isinstance(test, ast.Compare) or len(test.comparators) != 1:
+            return None
+        left, right = test.left, test.comparators[0]
+        op = test.ops[0]
+        if not isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)):
+            return None
+        for selector, other in ((left, right), (right, left)):
+            if _is_backend_name(selector):
+                return _string_literals(other)
+        return None
+
+    def visit_Compare(self, ctx: ModuleContext, node: ast.Compare) -> None:
+        literals = self._backend_literals(node)
+        if literals is None:
+            return
+        invalid = sorted(set(literals) - VALID_BACKENDS)
+        if invalid:
+            ctx.report(
+                self,
+                node,
+                f"backend compared against invalid literal(s) "
+                f"{', '.join(map(repr, invalid))}; valid values are "
+                f"{'|'.join(sorted(VALID_BACKENDS))}",
+            )
+
+    def visit_If(self, ctx: ModuleContext, node: ast.If) -> None:
+        if id(node) in self._elif_members:
+            return
+        chain: list[ast.If] = []
+        current = node
+        while True:
+            chain.append(current)
+            if len(current.orelse) == 1 and isinstance(current.orelse[0], ast.If):
+                current = current.orelse[0]
+                self._elif_members.add(id(current))
+            else:
+                break
+        covered: set[str] = set()
+        backend_branches = 0
+        for branch in chain:
+            literals = self._backend_literals(branch.test)
+            if literals is not None:
+                backend_branches += 1
+                covered.update(literals)
+        if backend_branches < 2:
+            return  # a lone guard, not a dispatch chain
+        has_else = bool(chain[-1].orelse)
+        raises = any(
+            isinstance(sub, ast.Raise)
+            for branch in chain
+            for stmt in branch.body
+            for sub in ast.walk(stmt)
+        )
+        if not has_else and not {"dict", "csr"} <= covered and not raises:
+            ctx.report(
+                self,
+                node,
+                "backend dispatch chain is not exhaustive: add an else branch, "
+                "cover both 'dict' and 'csr', or raise on unknown values",
+            )
+
+
+# ----------------------------------------------------------------------
+# R3xx — API contracts
+# ----------------------------------------------------------------------
+class MutableDefaultRule(Rule):
+    """R301: no mutable default arguments."""
+
+    id = "R301"
+    name = "mutable-default"
+    summary = "mutable default argument (shared across calls)"
+    scope = ("repro",)
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return _call_name(node) in self._MUTABLE_CALLS
+
+    def _check(
+        self, ctx: ModuleContext, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                ctx.report(
+                    self,
+                    default,
+                    f"mutable default argument in {node.name}(); "
+                    "default to None and create inside the body",
+                )
+
+    def visit_FunctionDef(self, ctx: ModuleContext, node: ast.FunctionDef) -> None:
+        self._check(ctx, node)
+
+    def visit_AsyncFunctionDef(
+        self, ctx: ModuleContext, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._check(ctx, node)
+
+
+class BareExceptRule(Rule):
+    """R302: no bare ``except:`` (swallows KeyboardInterrupt/SystemExit)."""
+
+    id = "R302"
+    name = "bare-except"
+    summary = "bare except: clause"
+    scope = ("repro",)
+
+    def visit_ExceptHandler(
+        self, ctx: ModuleContext, node: ast.ExceptHandler
+    ) -> None:
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare except: catches KeyboardInterrupt and SystemExit; "
+                "name the exception class (at minimum `except Exception:`)",
+            )
+
+
+class SpanContextRule(Rule):
+    """R303: obs spans are opened via ``with span(...)`` or ``@span(...)``.
+
+    A bare ``span(...)`` call creates a span object that is never entered
+    or closed — the timing silently records nothing and nests wrongly.
+    """
+
+    id = "R303"
+    name = "span-context"
+    summary = "span(...) used outside a with-statement or decorator"
+    scope = ("repro",)
+
+    _EXEMPT_PREFIX = "repro.obs"
+
+    def applies_to(self, module: str) -> bool:
+        if module == self._EXEMPT_PREFIX or module.startswith(
+            self._EXEMPT_PREFIX + "."
+        ):
+            return False
+        return super().applies_to(module)
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        self._allowed: set[int] = set()
+
+    @staticmethod
+    def _is_span_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "span"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "span"
+        return False
+
+    def _allow_decorators(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef",
+    ) -> None:
+        for decorator in node.decorator_list:
+            self._allowed.add(id(decorator))
+
+    def visit_With(self, ctx: ModuleContext, node: ast.With) -> None:
+        for item in node.items:
+            self._allowed.add(id(item.context_expr))
+
+    def visit_AsyncWith(self, ctx: ModuleContext, node: ast.AsyncWith) -> None:
+        for item in node.items:
+            self._allowed.add(id(item.context_expr))
+
+    def visit_FunctionDef(self, ctx: ModuleContext, node: ast.FunctionDef) -> None:
+        self._allow_decorators(node)
+
+    def visit_AsyncFunctionDef(
+        self, ctx: ModuleContext, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._allow_decorators(node)
+
+    def visit_ClassDef(self, ctx: ModuleContext, node: ast.ClassDef) -> None:
+        self._allow_decorators(node)
+
+    def visit_Call(self, ctx: ModuleContext, node: ast.Call) -> None:
+        if self._is_span_call(node) and id(node) not in self._allowed:
+            ctx.report(
+                self,
+                node,
+                "span(...) must be opened as `with span(...):` or used as a "
+                "@span(...) decorator; a bare call records nothing",
+            )
+
+
+class AnnotationCoverageRule(Rule):
+    """R305: full annotation coverage in the strict-typed packages.
+
+    This is the locally-enforceable face of the ``mypy --strict`` gate:
+    mypy runs in CI (it is not vendored here), but missing annotations —
+    the bulk of what strict mode rejects — are caught offline by this
+    rule.
+    """
+
+    id = "R305"
+    name = "annotation-coverage"
+    summary = "missing parameter/return annotations in strict-typed packages"
+    scope = ("repro.core", "repro.graph", "repro.analysis", "repro.utils")
+
+    def _check(
+        self, ctx: ModuleContext, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        missing: list[str] = []
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        missing.extend(
+            arg.arg for arg in args.kwonlyargs if arg.annotation is None
+        )
+        for star, prefix in ((args.vararg, "*"), (args.kwarg, "**")):
+            if star is not None and star.annotation is None:
+                missing.append(prefix + star.arg)
+        parts: list[str] = []
+        if missing:
+            parts.append(f"unannotated parameter(s) {', '.join(missing)}")
+        if node.returns is None:
+            parts.append("missing return annotation")
+        if parts:
+            ctx.report(self, node, f"{node.name}(): {'; '.join(parts)}")
+
+    def visit_FunctionDef(self, ctx: ModuleContext, node: ast.FunctionDef) -> None:
+        self._check(ctx, node)
+
+    def visit_AsyncFunctionDef(
+        self, ctx: ModuleContext, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._check(ctx, node)
+
+
+# ----------------------------------------------------------------------
+# R4xx — numeric hygiene
+# ----------------------------------------------------------------------
+class FloatEqualityRule(Rule):
+    """R401: no ``==``/``!=`` against float-typed values.
+
+    Influence values are ``exp(-θ·Δt)`` products (Eq. 4); comparing them
+    with ``==`` breaks the moment accumulation order or backend changes.
+    Use ``math.isclose`` or an explicit tolerance.
+    """
+
+    id = "R401"
+    name = "float-equality"
+    summary = "float equality comparison on influence-scale values"
+    scope = ("repro.core", "repro.graph", "repro.analysis")
+
+    _TRANSCENDENTAL = frozenset(
+        {"exp", "expm1", "log", "log1p", "log2", "sqrt", "power"}
+    )
+    _MATH_MODULES = frozenset({"math", "np", "numpy"})
+    _INFLUENCE_FUNCS = frozenset(
+        {"link_influence", "normalized_influence", "unique_stamp_influences"}
+    )
+
+    def _is_float_valued(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in self._INFLUENCE_FUNCS:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._TRANSCENDENTAL
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self._MATH_MODULES
+            ):
+                return True
+        return False
+
+    def visit_Compare(self, ctx: ModuleContext, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        if has_eq and any(self._is_float_valued(operand) for operand in operands):
+            ctx.report(
+                self,
+                node,
+                "float equality on an influence-scale value; use "
+                "math.isclose(..., rel_tol=...) or an explicit tolerance",
+            )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_META_CATALOG: tuple[tuple[str, str, str], ...] = (
+    ("R001", "unknown-suppression", "suppression names a rule id that does not exist"),
+    ("R002", "missing-reason", "suppression lacks the mandatory `-- reason`"),
+    ("R003", "unused-suppression", "suppression matched no violation (stale)"),
+)
+
+_RULE_CLASSES: tuple[type[Rule], ...] = (
+    SetIterationRule,
+    BuiltinHashRule,
+    UnseededRandomRule,
+    BackendKwargRule,
+    BackendDispatchRule,
+    MutableDefaultRule,
+    BareExceptRule,
+    SpanContextRule,
+    AnnotationCoverageRule,
+    FloatEqualityRule,
+)
+
+ALL_RULE_IDS: tuple[str, ...] = tuple(
+    [meta_id for meta_id, _, _ in _META_CATALOG]
+    + [cls.id for cls in _RULE_CLASSES]
+)
+
+
+def default_rules(only: "Sequence[str] | None" = None) -> list[Rule]:
+    """Fresh instances of the rule set.
+
+    Args:
+        only: restrict to these rule ids (unknown ids raise ValueError).
+    """
+    if only is not None:
+        unknown = sorted(set(only) - set(ALL_RULE_IDS))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    return [
+        cls()
+        for cls in _RULE_CLASSES
+        if only is None or cls.id in only
+    ]
+
+
+def rule_catalog() -> Iterator[tuple[str, str, str]]:
+    """Yield ``(id, name, summary)`` for every rule, meta rules included."""
+    yield from _META_CATALOG
+    for cls in _RULE_CLASSES:
+        yield (cls.id, cls.name, cls.summary)

@@ -23,6 +23,7 @@ from repro.baselines.base import LinkScorer
 from repro.baselines.nmf import nmf_factorize
 from repro.core.influence import DEFAULT_THETA, normalized_influence
 from repro.graph.temporal import DynamicNetwork
+from repro.utils.rng import RngLike
 
 Node = Hashable
 
@@ -39,7 +40,7 @@ class TemporalNMF(LinkScorer):
         theta: float = DEFAULT_THETA,
         method: str = "pg",
         max_iter: int = 60,
-        seed: "int | np.random.Generator | None" = 0,
+        seed: RngLike = 0,
     ) -> None:
         super().__init__()
         if not 0.0 < theta <= 1.0:

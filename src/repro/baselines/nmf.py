@@ -23,7 +23,7 @@ import scipy.sparse as sp
 
 from repro.baselines.base import LinkScorer
 from repro.graph.temporal import DynamicNetwork
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 Node = Hashable
 
@@ -37,7 +37,7 @@ def nmf_factorize(
     method: str = "pg",
     max_iter: int = 100,
     tol: float = 1e-4,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: RngLike = 0,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Factorise a non-negative matrix as ``A ≈ W Hᵀ``.
 
@@ -157,7 +157,7 @@ class NMFLinkPredictor(LinkScorer):
         *,
         method: str = "pg",
         max_iter: int = 60,
-        seed: "int | np.random.Generator | None" = 0,
+        seed: RngLike = 0,
     ) -> None:
         super().__init__()
         self.rank = rank

@@ -17,6 +17,7 @@ command        regenerates
 ``recommend``  top-N partner suggestions for one node (extension)
 ``stream``     prequential test-then-train streaming evaluation (extension)
 ``profile``    per-stage extraction timing/ratio profile (observability)
+``lint``       repo-specific determinism/contract static analysis
 =============  ============================================================
 
 Dataset selection: ``--dataset <name>`` for a synthetic catalog network
@@ -37,6 +38,7 @@ from typing import Sequence
 
 from repro import obs
 from repro.analysis import network_report
+from repro.analysis.lint import add_lint_arguments, execute_lint
 from repro.datasets.catalog import DATASETS, dataset_statistics, get_dataset
 from repro.datasets.loaders import load_dataset_file
 from repro.experiments.config import ExperimentConfig
@@ -193,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="SSF entry mode to profile",
     )
     add_metrics_out(sub)
+
+    sub = commands.add_parser(
+        "lint", help="determinism/contract static analysis (see docs/STATIC_ANALYSIS.md)"
+    )
+    add_lint_arguments(sub)
 
     return parser
 
@@ -388,6 +395,7 @@ def _cmd_profile(args: argparse.Namespace) -> str:
 
 
 _HANDLERS = {
+    "lint": execute_lint,
     "stats": _cmd_stats,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -413,8 +421,14 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     was_enabled = obs.enabled()
     if activate:
         obs.enable()
+    exit_code = 0
     try:
-        print(_HANDLERS[args.command](args))
+        result = _HANDLERS[args.command](args)
+        # handlers return the report text, or (text, exit_code) when the
+        # command's outcome must be visible to the shell (e.g. lint)
+        if isinstance(result, tuple):
+            result, exit_code = result
+        print(result)
         if metrics_out:
             with open(metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(obs.get_registry().to_json() + "\n")
@@ -422,7 +436,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     finally:
         if activate and not was_enabled:
             obs.disable()
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

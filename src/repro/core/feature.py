@@ -56,7 +56,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Hashable
+from typing import Callable, Hashable
 
 import math
 
@@ -64,6 +64,7 @@ import numpy as np
 
 from repro.core.influence import DEFAULT_THETA
 from repro.core.kstructure import KStructureSubgraph, extract_k_structure_subgraph
+from repro.core.structure import CSRStructureSubgraph, StructureSubgraph
 from repro.graph.csr import CSRSnapshot
 from repro.graph.temporal import DynamicNetwork
 from repro.obs import span
@@ -362,7 +363,9 @@ class SSFExtractor:
             tie_break=self._ordering_tie_break(),
         )
 
-    def _ordering_tie_break(self):
+    def _ordering_tie_break(
+        self,
+    ) -> "Callable[[StructureSubgraph | CSRStructureSubgraph], list[float]] | None":
         """Per-node ``-influence-to-endpoints`` scores, or None for "hops".
 
         Structure nodes that the hop bands *and* the WL refinement leave
@@ -377,7 +380,9 @@ class SSFExtractor:
         theta = self._config.theta
         present = self._present_time
 
-        def scores(subgraph) -> list[float]:
+        def scores(
+            subgraph: "StructureSubgraph | CSRStructureSubgraph",
+        ) -> list[float]:
             # Only structure nodes adjacent to an end node can score
             # nonzero, so walk the two end adjacencies instead of testing
             # every node against both ends.

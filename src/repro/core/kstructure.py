@@ -16,7 +16,7 @@ stage downstream of the growth loop is substrate-agnostic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable
+from typing import Callable, Hashable, TypeAlias
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from repro.obs import enabled as obs_enabled, observe, span
 
 Node = Hashable
 
-AnyStructureSubgraph = "StructureSubgraph | CSRStructureSubgraph"
+AnyStructureSubgraph: TypeAlias = "StructureSubgraph | CSRStructureSubgraph"
 
 
 @dataclass
@@ -155,12 +155,15 @@ def extract_k_structure_subgraph(
     else:
         subgraph, h = _grow_dict(network, a, b, k, max_hop)
 
-    bound_length = None
+    bound_length: "Callable[[int, int], float] | None" = None
     if edge_length is not None:
         final_subgraph = subgraph
+        final_edge_length = edge_length
 
-        def bound_length(i: int, j: int) -> float:
-            return edge_length(final_subgraph, i, j)
+        def _bound_length(i: int, j: int) -> float:
+            return final_edge_length(final_subgraph, i, j)
+
+        bound_length = _bound_length
 
     tie_break_scores = tie_break(subgraph) if tie_break is not None else None
     scores = initial_scores(subgraph) if initial_scores is not None else None
@@ -196,7 +199,6 @@ def _grow_dict(
     max_distance = max(member_distances.values())
 
     h = 0
-    subgraph: "StructureSubgraph | None" = None
     while True:
         h += 1
         with span("subgraph_growth", h=h):
@@ -256,7 +258,6 @@ def _grow_csr(
 
     h = 0
     node_ids = seeds
-    subgraph: "CSRStructureSubgraph | None" = None
     while True:
         h += 1
         with span("subgraph_growth", h=h):

@@ -74,7 +74,7 @@ def min_pairs_for_pool(override: "int | None" = None) -> int:
 
 def _initialize(
     kind: str,
-    payload,
+    payload: "DynamicNetwork | CSRSnapshot | SharedSnapshotHandle",
     config: SSFConfig,
     present_time: float,
     modes: "tuple[str, ...] | None",
@@ -105,7 +105,7 @@ def _initialize(
     _worker_init_seconds = time.perf_counter() - started
 
 
-def _extract_one(pair: Pair):
+def _extract_one(pair: Pair) -> "np.ndarray | dict[str, np.ndarray]":
     assert _worker_extractor is not None
     if _worker_modes is None:
         return _worker_extractor.extract(*pair)
@@ -243,7 +243,7 @@ def parallel_extract_batch(
     return _stack_multi(rows, modes, reference.feature_dim)
 
 
-def _record_throughput(pair_list, started: float, workers: int) -> None:
+def _record_throughput(pair_list: Sequence[Pair], started: float, workers: int) -> None:
     """Batch-level pairs/s, total and per worker (parent-process view)."""
     if not obs_enabled() or not pair_list:
         return
@@ -258,7 +258,11 @@ def _record_throughput(pair_list, started: float, workers: int) -> None:
     )
 
 
-def _stack_multi(rows, modes, dim) -> dict[str, np.ndarray]:
+def _stack_multi(
+    rows: "Sequence[dict[str, np.ndarray]]",
+    modes: "tuple[str, ...]",
+    dim: int,
+) -> dict[str, np.ndarray]:
     return {
         mode: (
             np.stack([row[mode] for row in rows])

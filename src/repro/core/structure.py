@@ -42,7 +42,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
@@ -53,12 +53,15 @@ from repro.obs import enabled as obs_enabled, observe, span
 
 Node = Hashable
 
+#: opaque group-member type: node labels on the dict path, int ids on csr
+_Member = TypeVar("_Member")
+
 
 @dataclass(frozen=True)
 class StructureNode:
     """A maximal set of nodes with a common neighbourhood (Def. 4)."""
 
-    members: frozenset
+    members: frozenset[Node]
 
     def __post_init__(self) -> None:
         if not self.members:
@@ -74,7 +77,7 @@ class StructureNode:
         """A deterministic member (smallest by repr), for display."""
         return min(self.members, key=repr)
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[str, ...]:
         """Deterministic, label-based key used for tie-breaking orders."""
         return tuple(sorted(repr(m) for m in self.members))
 
@@ -91,12 +94,15 @@ class _StructureTopology:
     and :meth:`sort_key`.
     """
 
-    _adjacency: tuple
+    _adjacency: tuple[frozenset[int], ...]
+    # per-index sorted-neighbour cache, created on first use (class-level
+    # None default so subclasses need no cooperative __init__)
+    _adjacency_sorted: "list[tuple[int, ...] | None] | None" = None
 
     def number_of_structure_nodes(self) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def sort_key(self, index: int) -> tuple:  # pragma: no cover - abstract
+    def sort_key(self, index: int) -> tuple[str, ...]:  # pragma: no cover - abstract
         raise NotImplementedError
 
     @property
@@ -106,18 +112,18 @@ class _StructureTopology:
     def number_of_structure_links(self) -> int:
         return sum(len(adj) for adj in self._adjacency) // 2
 
-    def adjacency(self, index: int) -> frozenset:
+    def adjacency(self, index: int) -> frozenset[int]:
         """Indices of structure nodes linked to ``index``."""
         return self._adjacency[index]
 
-    def adjacency_sorted(self, index: int) -> tuple:
+    def adjacency_sorted(self, index: int) -> tuple[int, ...]:
         """Neighbour indices of ``index`` as a sorted tuple (cached).
 
         The Palette-WL refinement sums floating hash contributions over a
         node's neighbours; iterating a *sorted* tuple makes that summation
         order canonical instead of depending on set-iteration order.
         """
-        cache = getattr(self, "_adjacency_sorted", None)
+        cache = self._adjacency_sorted
         if cache is None:
             cache = [None] * len(self._adjacency)
             self._adjacency_sorted = cache
@@ -238,9 +244,9 @@ class StructureSubgraph(_StructureTopology):
     def __init__(
         self,
         network: DynamicNetwork,
-        node_set: frozenset,
-        member_sets: Sequence[frozenset],
-        adjacency: Sequence[frozenset],
+        node_set: frozenset[Node],
+        member_sets: Sequence[frozenset[Node]],
+        adjacency: Sequence[frozenset[int]],
         endpoints: tuple[Node, Node],
     ) -> None:
         self._network = network
@@ -269,7 +275,7 @@ class StructureSubgraph(_StructureTopology):
     def number_of_structure_nodes(self) -> int:
         return len(self._nodes)
 
-    def sort_key(self, index: int) -> tuple:
+    def sort_key(self, index: int) -> tuple[str, ...]:
         return self._nodes[index].sort_key()
 
     def structure_node_of(self, member: Node) -> int:
@@ -337,7 +343,7 @@ class CSRStructureSubgraph(_StructureTopology):
         snapshot: CSRSnapshot,
         node_ids: np.ndarray,
         member_ids: Sequence[np.ndarray],
-        adjacency: Sequence[frozenset],
+        adjacency: Sequence[frozenset[int]],
         endpoint_ids: tuple[int, int],
     ) -> None:
         self._snapshot = snapshot
@@ -346,10 +352,10 @@ class CSRStructureSubgraph(_StructureTopology):
         self._adjacency = tuple(adjacency)
         self._endpoint_ids = endpoint_ids
         self._nodes_cache: "tuple[StructureNode, ...] | None" = None
-        self._sort_key_cache: dict[int, tuple] = {}
+        self._sort_key_cache: dict[int, tuple[str, ...]] = {}
         self._slot_cache: dict[tuple[int, int], np.ndarray] = {}
         self._timestamp_cache: dict[tuple[int, int], tuple[float, ...]] = {}
-        self._influence_cache: dict[tuple, float] = {}
+        self._influence_cache: dict[tuple[int, int, float, float], float] = {}
 
     # ------------------------------------------------------------------
     # structure-level queries
@@ -381,7 +387,7 @@ class CSRStructureSubgraph(_StructureTopology):
         """Sorted int ids of the members of structure node ``index``."""
         return self._member_ids[index]
 
-    def sort_key(self, index: int) -> tuple:
+    def sort_key(self, index: int) -> tuple[str, ...]:
         """Label-based tie-break key, identical to the dict backend's
         ``StructureNode.sort_key`` (computed lazily per index)."""
         key = self._sort_key_cache.get(index)
@@ -569,13 +575,17 @@ def combine_structures(
 
 def _combine_structures(
     network: DynamicNetwork,
-    nodes: frozenset,
+    nodes: frozenset[Node],
     a: Node,
     b: Node,
 ) -> StructureSubgraph:
-    # Member-level neighbourhoods restricted to V_h.
-    restricted: dict[Node, frozenset] = {}
-    for n in nodes:
+    # Member-level neighbourhoods restricted to V_h.  Nodes are visited in
+    # repr order: labels are arbitrary hashables (possibly mixed types), so
+    # repr is the only total order available, and any fixed order makes
+    # group numbering independent of the hash seed.
+    ordered_nodes = sorted(nodes, key=repr)
+    restricted: dict[Node, frozenset[Node]] = {}
+    for n in ordered_nodes:
         row = network.neighbor_view(n)
         if len(row) <= len(nodes):
             restricted[n] = frozenset(m for m in row if m in nodes)
@@ -585,8 +595,8 @@ def _combine_structures(
     # Round 0: group non-end nodes by exact neighbourhood; end nodes pinned.
     group_of: dict[Node, int] = {a: 0, b: 1}
     groups: list[list[Node]] = [[a], [b]]
-    by_key: dict[frozenset, int] = {}
-    for n in nodes:
+    by_key: dict[frozenset[Node], int] = {}
+    for n in ordered_nodes:
         if n == a or n == b:
             continue
         key = restricted[n]
@@ -745,7 +755,7 @@ def _combine_structures_csr(
 def _group_adjacency(
     groups: Sequence[Sequence[Node]],
     group_of: dict[Node, int],
-    restricted: dict[Node, frozenset],
+    restricted: dict[Node, frozenset[Node]],
 ) -> list[set[int]]:
     """Structure-level adjacency induced by member-level links."""
     adjacency: list[set[int]] = [set() for _ in groups]
@@ -775,15 +785,18 @@ def _group_adjacency_csr(
     dst = grp[kept_flat]
     distinct = src != dst
     codes = src[distinct] * n_groups + dst[distinct]
-    for code in set(codes.tolist()):
+    # Sorted so group adjacency is filled in a canonical order regardless
+    # of hash seed (the sets are consumed as frozensets, but keeping the
+    # fill order fixed makes every downstream trace reproducible).
+    for code in sorted(set(codes.tolist())):
         adjacency[code // n_groups].add(code % n_groups)
     return adjacency
 
 
 def _merge_once(
-    groups: Sequence[Sequence],
+    groups: "Sequence[Sequence[_Member]]",
     adjacency: Sequence[set[int]],
-) -> tuple[list[list], dict[int, int], bool]:
+) -> "tuple[list[list[_Member]], dict[int, int], bool]":
     """One round of Algorithm 1's loop at the structure level.
 
     Groups (other than the pinned end groups 0 and 1) with identical
@@ -792,9 +805,9 @@ def _merge_once(
     type is opaque — both the dict (labels) and CSR (int ids) paths use
     this.
     """
-    new_groups: list[list] = [list(groups[0]), list(groups[1])]
+    new_groups: "list[list[_Member]]" = [list(groups[0]), list(groups[1])]
     new_of: dict[int, int] = {0: 0, 1: 1}
-    by_key: dict[frozenset, int] = {}
+    by_key: dict[frozenset[int], int] = {}
     changed = False
     for idx in range(2, len(groups)):
         key = frozenset(adjacency[idx])

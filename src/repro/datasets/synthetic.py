@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.temporal import DynamicNetwork
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -131,7 +131,7 @@ class EventModelConfig:
 
 def generate_event_network(
     config: EventModelConfig,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: RngLike = 0,
 ) -> DynamicNetwork:
     """Generate a :class:`DynamicNetwork` from the event model.
 

@@ -13,14 +13,13 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.methods import MethodResult
 from repro.experiments.runner import LinkPredictionExperiment
 from repro.graph.temporal import DynamicNetwork
 from repro.sampling.splits import LinkPredictionTask, build_link_prediction_task
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 def perturb_network(
@@ -28,7 +27,7 @@ def perturb_network(
     *,
     missing_fraction: float = 0.0,
     false_fraction: float = 0.0,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: RngLike = 0,
 ) -> DynamicNetwork:
     """Return a copy with links dropped and/or fake links injected.
 

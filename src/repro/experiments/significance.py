@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.experiments.runner import LinkPredictionExperiment
 from repro.metrics.classification import roc_auc_score
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -53,7 +53,7 @@ def bootstrap_auc_difference(
     scores_b: np.ndarray,
     *,
     n_bootstrap: int = 1000,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: RngLike = 0,
 ) -> tuple[float, float, float, float]:
     """Paired bootstrap of ``AUC(a) - AUC(b)`` on a shared test set.
 

@@ -34,7 +34,7 @@ refcount-touched), and under ``spawn`` the :meth:`CSRSnapshot.to_shared`
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable
 
 import numpy as np
@@ -42,6 +42,8 @@ import numpy as np
 from repro.obs import get_logger, observe, span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from multiprocessing.shared_memory import SharedMemory
+
     from repro.graph.temporal import DynamicNetwork
 
 Node = Hashable
@@ -79,12 +81,12 @@ class CSRSnapshot:
 
     def __init__(
         self,
-        labels: list,
+        labels: "list[Node]",
         indptr: np.ndarray,
         indices: np.ndarray,
         ts_indptr: np.ndarray,
         ts: np.ndarray,
-        _shm=None,
+        _shm: "SharedMemory | None" = None,
     ) -> None:
         self.labels = labels
         self._id_of = {label: i for i, label in enumerate(labels)}
@@ -326,14 +328,16 @@ class SharedSnapshotHandle:
     """
 
     shm_name: str
-    specs: dict
+    specs: dict[str, tuple[int, str, tuple[int, ...]]]
     label_offset: int
     label_size: int
+    # The creating process's live mapping — deliberately not a pickled
+    # field; attached workers re-open the block by name.
+    _shm: "SharedMemory | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
-    def __post_init__(self) -> None:
-        self._shm = None
-
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, object]:
         return {
             "shm_name": self.shm_name,
             "specs": self.specs,
@@ -341,7 +345,7 @@ class SharedSnapshotHandle:
             "label_size": self.label_size,
         }
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: dict[str, object]) -> None:
         self.__dict__.update(state)
         self._shm = None
 
@@ -356,7 +360,7 @@ class SharedSnapshotHandle:
             self._shm = None
 
 
-def as_snapshot(network) -> CSRSnapshot:
+def as_snapshot(network: "DynamicNetwork | CSRSnapshot") -> CSRSnapshot:
     """Coerce a network-or-snapshot into a :class:`CSRSnapshot`."""
     if isinstance(network, CSRSnapshot):
         return network

@@ -28,7 +28,7 @@ def network_fingerprint(network: DynamicNetwork) -> str:
     substrate's label conventions avoid).
     """
     started = time.perf_counter()
-    lines = []
+    lines: list[str] = []
     for u, v, ts in network.edges():
         a, b = sorted((repr(u), repr(v)))
         lines.append(f"{a}|{b}|{ts!r}")

@@ -43,7 +43,9 @@ class DynamicNetwork:
         [1.0, 3.0]
     """
 
-    def __init__(self, edges: "Iterable[tuple] | None" = None) -> None:
+    def __init__(
+        self, edges: "Iterable[tuple[Node, Node, Timestamp]] | None" = None
+    ) -> None:
         self._adj: dict[Node, dict[Node, list[Timestamp]]] = {}
         self._num_links = 0
         if edges is not None:
@@ -78,7 +80,7 @@ class DynamicNetwork:
         insort(stamps, ts)
         self._num_links += 1
 
-    def add_edges_from(self, edges: Iterable[tuple]) -> None:
+    def add_edges_from(self, edges: "Iterable[tuple[Node, Node, Timestamp]]") -> None:
         """Add links from an iterable of ``(u, v, timestamp)`` triples."""
         for u, v, ts in edges:
             self.add_edge(u, v, ts)
@@ -266,11 +268,15 @@ class DynamicNetwork:
         if missing:
             raise KeyError(f"nodes not in network: {sorted(map(repr, missing))}")
         out = DynamicNetwork()
-        for node in keep:
+        # repr-keyed sort: node labels are arbitrary hashables, and the
+        # subgraph's insertion order (hence neighbour iteration order)
+        # must not depend on the hash seed.
+        ordered = sorted(keep, key=repr)
+        for node in ordered:
             out.add_node(node)
         # Emit each pair once: skip neighbours already scanned as sources.
         visited: set[Node] = set()
-        for u in keep:
+        for u in ordered:
             for v, stamps in self._adj[u].items():
                 if v in keep and v not in visited:
                     out._install_pair(u, v, stamps.copy())

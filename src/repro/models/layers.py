@@ -14,7 +14,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 class Layer(abc.ABC):
@@ -46,7 +46,7 @@ class Dense(Layer):
         self,
         in_features: int,
         out_features: int,
-        seed: "int | np.random.Generator | None" = None,
+        seed: RngLike = None,
     ) -> None:
         if in_features < 1 or out_features < 1:
             raise ValueError("layer dimensions must be >= 1")

@@ -19,7 +19,7 @@ import numpy as np
 from repro.models.layers import Dense, ReLU, Sequential
 from repro.models.losses import SoftmaxCrossEntropy, softmax
 from repro.models.optim import SGD, Adam
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 class NeuralMachine:
@@ -46,7 +46,7 @@ class NeuralMachine:
         weight_decay: float = 1e-3,
         validation_fraction: float = 0.15,
         patience: int = 15,
-        seed: "int | np.random.Generator | None" = 0,
+        seed: RngLike = 0,
     ) -> None:
         if input_dim < 1:
             raise ValueError(f"input_dim must be >= 1, got {input_dim}")

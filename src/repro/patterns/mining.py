@@ -19,12 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
-import numpy as np
 
 from repro.core.feature import SSFConfig, SSFExtractor
 from repro.core.kstructure import KStructureSubgraph
 from repro.graph.temporal import DynamicNetwork
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 Node = Hashable
 Pattern = frozenset  # of (m, n) order pairs, m < n, 1-based
@@ -84,7 +83,7 @@ def mine_patterns(
     *,
     n_samples: int = 2000,
     k: int = 10,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: RngLike = 0,
 ) -> dict[Pattern, PatternStatistics]:
     """Sample existing links and count their K-structure-subgraph patterns.
 

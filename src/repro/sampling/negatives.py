@@ -24,7 +24,7 @@ from typing import Hashable
 import numpy as np
 
 from repro.graph.temporal import DynamicNetwork
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 Node = Hashable
 Pair = tuple[Node, Node]
@@ -39,7 +39,7 @@ def sample_negative_pairs(
     forbidden: "set[frozenset]",
     *,
     strategy: str = "no_history",
-    seed: "int | np.random.Generator | None" = 0,
+    seed: RngLike = 0,
 ) -> list[Pair]:
     """Sample ``count`` fake links under the chosen strategy.
 

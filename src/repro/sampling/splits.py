@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.graph.temporal import DynamicNetwork
 from repro.sampling.negatives import sample_negative_pairs
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 Node = Hashable
 Pair = tuple[Node, Node]
@@ -73,7 +73,7 @@ def build_link_prediction_task(
     exclude_history_negatives: bool = True,
     negative_strategy: "str | None" = None,
     max_positives: "int | None" = None,
-    seed: "int | np.random.Generator | None" = 0,
+    seed: RngLike = 0,
 ) -> LinkPredictionTask:
     """Build the Sec. VI-C2 split from a full dynamic network.
 

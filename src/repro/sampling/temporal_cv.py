@@ -15,7 +15,6 @@ too few positive pairs are skipped (reported in the result).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

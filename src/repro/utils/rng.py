@@ -8,12 +8,16 @@ point so behaviour is reproducible end to end.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-RngLike = "int | np.random.Generator | None"
+#: Anything a stochastic component accepts as its randomness source:
+#: ``None`` (fresh entropy), an integer seed, or a ready generator.
+RngLike: TypeAlias = "int | np.random.Generator | None"
 
 
-def ensure_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+def ensure_rng(seed: RngLike) -> np.random.Generator:
     """Coerce ``seed`` into a ``numpy.random.Generator``.
 
     Args:
@@ -25,7 +29,7 @@ def ensure_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent generators from one seed.
 
     Useful when an experiment needs decoupled streams (e.g. dataset

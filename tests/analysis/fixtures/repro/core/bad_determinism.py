@@ -1,0 +1,12 @@
+"""Known-bad fixture: determinism violations for the lint test-suite.
+
+Staged under a ``repro/core`` directory so :func:`module_name_for`
+resolves it into the scoped rules' territory.  Never imported.
+"""
+
+
+def collect(values: set) -> list:
+    out = []
+    for value in values:
+        out.append(hash(value))
+    return out

@@ -1,0 +1,5 @@
+"""Known-good fixture: canonical ordering idioms. Never imported."""
+
+
+def collect(values: set) -> list:
+    return [repr(value) for value in sorted(values, key=repr)]

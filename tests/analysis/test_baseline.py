@@ -1,0 +1,116 @@
+"""Baseline ratchet semantics: new always fails, stale forces shrinkage."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import default_rules, lint_source
+from repro.analysis.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    compare_to_baseline,
+)
+from repro.analysis.lint.engine import Violation
+
+CORE = "src/repro/core/sample.py"
+
+
+def violation(snippet: str, rule: str = "R101", line: int = 1) -> Violation:
+    return Violation(
+        rule=rule,
+        path=CORE,
+        line=line,
+        column=0,
+        message="test violation",
+        snippet=snippet,
+    )
+
+
+def test_from_violations_aggregates_counts() -> None:
+    baseline = Baseline.from_violations(
+        [violation("for x in s:", line=3), violation("for x in s:", line=9)]
+    )
+    (entry,) = baseline.entries
+    assert entry.count == 2
+    assert baseline.total() == 2
+
+
+def test_dump_load_roundtrip(tmp_path: Path) -> None:
+    baseline = Baseline.from_violations(
+        [violation("for x in s:"), violation("hash(x)", rule="R102")]
+    )
+    target = tmp_path / "baseline.json"
+    baseline.dump(target)
+    loaded = Baseline.load(target)
+    assert loaded.entries == baseline.entries
+    # deterministic serialisation: dumping again is byte-identical
+    second = tmp_path / "again.json"
+    loaded.dump(second)
+    assert target.read_text() == second.read_text()
+
+
+def test_load_rejects_unknown_version(tmp_path: Path) -> None:
+    target = tmp_path / "baseline.json"
+    target.write_text('{"version": 99, "entries": []}', encoding="utf-8")
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(target)
+
+
+def test_new_violation_fails_even_in_lenient_mode() -> None:
+    comparison = compare_to_baseline([violation("for x in s:")], Baseline(entries=[]))
+    assert comparison.new and not comparison.known and not comparison.stale
+    assert not comparison.ok(strict=False)
+    assert not comparison.ok(strict=True)
+
+
+def test_known_violation_is_tolerated() -> None:
+    baseline = Baseline.from_violations([violation("for x in s:")])
+    comparison = compare_to_baseline([violation("for x in s:", line=42)], baseline)
+    assert not comparison.new and len(comparison.known) == 1 and not comparison.stale
+    assert comparison.ok(strict=True)
+
+
+def test_count_budget_absorbs_at_most_count() -> None:
+    baseline = Baseline(
+        entries=[BaselineEntry(path=CORE, rule="R101", snippet="for x in s:", count=2)]
+    )
+    three = [violation("for x in s:", line=n) for n in (1, 2, 3)]
+    comparison = compare_to_baseline(three, baseline)
+    assert len(comparison.known) == 2
+    assert len(comparison.new) == 1
+
+
+def test_fully_fixed_entry_is_stale() -> None:
+    baseline = Baseline.from_violations([violation("for x in s:")])
+    comparison = compare_to_baseline([], baseline)
+    assert comparison.stale == baseline.entries
+    assert comparison.ok(strict=False), "lenient mode tolerates stale entries"
+    assert not comparison.ok(strict=True), "strict mode ratchets them out"
+
+
+def test_partially_fixed_entry_is_stale() -> None:
+    baseline = Baseline(
+        entries=[BaselineEntry(path=CORE, rule="R101", snippet="for x in s:", count=2)]
+    )
+    comparison = compare_to_baseline([violation("for x in s:")], baseline)
+    assert len(comparison.known) == 1
+    assert comparison.stale, "unused allowance must register as stale"
+    assert not comparison.ok(strict=True)
+
+
+def test_end_to_end_with_real_lint_output() -> None:
+    source = "for x in {1, 2, 3}:\n    print(x)\n"
+    found = lint_source(source, default_rules(["R101"]), path=CORE)
+    baseline = Baseline.from_violations(found)
+    comparison = compare_to_baseline(found, baseline)
+    assert comparison.ok(strict=True)
+    # fixing the file strands the entry -> strict run fails until regenerated
+    fixed = lint_source(
+        "for x in sorted({1, 2, 3}):\n    print(x)\n",
+        default_rules(["R101"]),
+        path=CORE,
+    )
+    comparison = compare_to_baseline(fixed, baseline)
+    assert not comparison.ok(strict=True)

@@ -1,0 +1,146 @@
+"""Engine behaviour: suppressions, module naming, file walking."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import default_rules, lint_paths, lint_source
+from repro.analysis.lint.engine import iter_python_files, module_name_for
+
+BAD_LOOP = "for x in {1, 2, 3}:\n    print(x)\n"
+CORE = "src/repro/core/sample.py"
+
+
+def rules():  # fresh instances per lint run (rules hold per-module state)
+    return default_rules()
+
+
+# ----------------------------------------------------------------------
+# module naming
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    ("path", "expected"),
+    [
+        ("src/repro/core/feature.py", "repro.core.feature"),
+        ("src/repro/core/__init__.py", "repro.core"),
+        ("tests/analysis/fixtures/repro/core/bad.py", "repro.core.bad"),
+        ("repro/graph/temporal.py", "repro.graph.temporal"),
+        ("scripts/standalone.py", "standalone"),
+        ("a/repro/b/repro/core/x.py", "repro.core.x"),
+    ],
+)
+def test_module_name_for(path: str, expected: str) -> None:
+    assert module_name_for(path) == expected
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_eol_suppression_with_reason_silences() -> None:
+    source = "for x in {1, 2, 3}:  # repro-lint: disable=R101 -- test fixture\n    print(x)\n"
+    assert lint_source(source, rules(), path=CORE) == []
+
+
+def test_own_line_suppression_shields_next_line() -> None:
+    source = (
+        "# repro-lint: disable=R101 -- test fixture\n"
+        "for x in {1, 2, 3}:\n"
+        "    print(x)\n"
+    )
+    assert lint_source(source, rules(), path=CORE) == []
+
+
+def test_suppression_without_reason_does_not_silence() -> None:
+    source = "for x in {1, 2, 3}:  # repro-lint: disable=R101\n    print(x)\n"
+    violations = lint_source(source, rules(), path=CORE)
+    found = sorted(v.rule for v in violations)
+    assert "R101" in found, "reasonless pragma must not silence the violation"
+    assert "R002" in found, "reasonless pragma must itself be reported"
+
+
+def test_unknown_rule_in_suppression_reports_r001() -> None:
+    source = "x = 1  # repro-lint: disable=R999 -- no such rule\n"
+    (violation,) = lint_source(source, rules(), path=CORE)
+    assert violation.rule == "R001"
+    assert "R999" in violation.message
+
+
+def test_unused_suppression_reports_r003() -> None:
+    source = "x = 1  # repro-lint: disable=R101 -- nothing to silence here\n"
+    (violation,) = lint_source(source, rules(), path=CORE)
+    assert violation.rule == "R003"
+
+
+def test_multi_rule_suppression() -> None:
+    source = (
+        "def f(d: dict) -> None:\n"
+        "    for k in d.keys():  # repro-lint: disable=R101, R401 -- partial use\n"
+        "        print(k)\n"
+    )
+    violations = lint_source(source, rules(), path=CORE)
+    # R101 is silenced; the suppression counts as used, so no R003 either.
+    assert violations == []
+
+
+def test_suppression_does_not_leak_to_other_lines() -> None:
+    source = (
+        "for x in {1, 2}:  # repro-lint: disable=R101 -- first loop only\n"
+        "    print(x)\n"
+        "for y in {3, 4}:\n"
+        "    print(y)\n"
+    )
+    violations = lint_source(source, rules(), path=CORE)
+    assert [v.rule for v in violations] == ["R101"]
+    assert violations[0].line == 3
+
+
+# ----------------------------------------------------------------------
+# ordering / report shape
+# ----------------------------------------------------------------------
+def test_violations_sorted_by_position() -> None:
+    source = (
+        "def g(q):\n"
+        "    return hash(q)\n"
+        "for x in {1, 2}:\n"
+        "    print(x)\n"
+    )
+    violations = lint_source(source, rules(), path=CORE)
+    assert [v.line for v in violations] == sorted(v.line for v in violations)
+    assert {v.rule for v in violations} == {"R101", "R102", "R305"}
+
+
+def test_violation_key_ignores_line_numbers() -> None:
+    first = lint_source(BAD_LOOP, rules(), path=CORE)
+    shifted = lint_source("x = 0\n\n" + BAD_LOOP, rules(), path=CORE)
+    assert [v.key() for v in first] == [v.key() for v in shifted]
+
+
+# ----------------------------------------------------------------------
+# file walking
+# ----------------------------------------------------------------------
+def test_iter_python_files_and_lint_paths(tmp_path: Path) -> None:
+    package = tmp_path / "repro" / "core"
+    package.mkdir(parents=True)
+    (package / "bad.py").write_text(BAD_LOOP, encoding="utf-8")
+    (package / "good.py").write_text("VALUE: int = 1\n", encoding="utf-8")
+    (package / "notes.txt").write_text("not python\n", encoding="utf-8")
+    pycache = package / "__pycache__"
+    pycache.mkdir()
+    (pycache / "bad.cpython-310.py").write_text("for x in {1}:\n    pass\n", encoding="utf-8")
+
+    files = list(iter_python_files([tmp_path]))
+    assert [f.name for f in files] == ["bad.py", "good.py"]
+
+    report = lint_paths([tmp_path], rules(), relative_to=tmp_path)
+    assert report.files_checked == 2
+    assert [v.rule for v in report.violations] == ["R101"]
+    assert report.violations[0].path == "repro/core/bad.py"
+
+
+def test_iter_python_files_rejects_non_python(tmp_path: Path) -> None:
+    target = tmp_path / "data.json"
+    target.write_text("{}", encoding="utf-8")
+    with pytest.raises(FileNotFoundError):
+        list(iter_python_files([target]))

@@ -1,0 +1,125 @@
+"""CLI surface: exit codes, formats, baseline workflow, fixture files."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture()
+def bad_tree(tmp_path: Path, monkeypatch: pytest.MonkeyPatch) -> Path:
+    """A tmp cwd holding a copy of the known-bad/known-good fixtures."""
+    shutil.copytree(FIXTURES / "repro", tmp_path / "repro")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_list_rules() -> None:
+    text, code = run_lint(["--list-rules"])
+    assert code == 0
+    for rule_id in ("R001", "R101", "R202", "R305", "R401"):
+        assert rule_id in text
+
+
+def test_violations_without_baseline_fail(bad_tree: Path) -> None:
+    text, code = run_lint(["repro"])
+    assert code == 1
+    assert "R101" in text and "R102" in text
+    assert "good_sorted" not in text
+
+
+def test_clean_tree_passes(bad_tree: Path) -> None:
+    text, code = run_lint(["repro/core/good_sorted.py"])
+    assert code == 0
+
+
+def test_json_format(bad_tree: Path) -> None:
+    text, code = run_lint(["repro", "--format", "json"])
+    assert code == 1
+    payload = json.loads(text)
+    rules = {v["rule"] for v in payload["violations"]}
+    assert {"R101", "R102"} <= rules
+
+
+def test_rule_selection(bad_tree: Path) -> None:
+    text, code = run_lint(["repro", "--rules", "R102"])
+    assert code == 1
+    assert "R102" in text and "R101" not in text
+
+
+def test_unknown_rule_is_usage_error(bad_tree: Path) -> None:
+    text, code = run_lint(["repro", "--rules", "R999"])
+    assert code == 2
+    assert "R999" in text
+
+
+def test_missing_path_is_usage_error(tmp_path: Path, monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.chdir(tmp_path)
+    text, code = run_lint(["no/such/file.txt"])
+    assert code == 2
+
+
+def test_baseline_workflow(bad_tree: Path) -> None:
+    # 1. adopt the current violations
+    text, code = run_lint(["repro", "--write-baseline"])
+    assert code == 0
+    assert Path("lint-baseline.json").exists()
+
+    # 2. baselined violations are tolerated, strict mode included
+    text, code = run_lint(["repro"])
+    assert code == 0
+    assert "known (baselined)" in text
+    text, code = run_lint(["repro", "--check-baseline"])
+    assert code == 0
+
+    # 3. a NEW violation fails regardless of the baseline
+    bad = bad_tree / "repro" / "core" / "fresh.py"
+    bad.write_text("for x in {1, 2}:\n    print(x)\n", encoding="utf-8")
+    text, code = run_lint(["repro"])
+    assert code == 1
+
+    # 4. fixing baselined code leaves stale entries: lenient passes,
+    #    strict (CI) demands the baseline be regenerated smaller
+    bad.unlink()
+    fixed = bad_tree / "repro" / "core" / "bad_determinism.py"
+    fixed.write_text('"""Fixed."""\n\nVALUE: int = 1\n', encoding="utf-8")
+    text, code = run_lint(["repro"])
+    assert code == 0
+    text, code = run_lint(["repro", "--check-baseline"])
+    assert code == 1
+    assert "stale" in text
+
+    # 5. regenerating ratchets the file down to empty
+    text, code = run_lint(["repro", "--write-baseline"])
+    assert code == 0
+    text, code = run_lint(["repro", "--check-baseline"])
+    assert code == 0
+    payload = json.loads(Path("lint-baseline.json").read_text(encoding="utf-8"))
+    assert payload["entries"] == []
+
+
+def test_no_baseline_flag_ignores_file(bad_tree: Path) -> None:
+    _, code = run_lint(["repro", "--write-baseline"])
+    assert code == 0
+    _, code = run_lint(["repro", "--no-baseline"])
+    assert code == 1
+
+
+def test_module_entry_point() -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint", "--list-rules"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "R101" in result.stdout

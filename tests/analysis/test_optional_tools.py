@@ -1,0 +1,40 @@
+"""The CI-only half of the gate: mypy and ruff, when available.
+
+Neither tool is vendored in the default environment (see
+``pyproject.toml``'s ``lint`` extra); these tests skip locally and run
+in the ``lint-and-types`` CI job where both are installed.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_gate() -> None:
+    result = subprocess.run(
+        ["mypy"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_check() -> None:
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,53 @@
+"""The repository itself is lint-clean against the committed baseline.
+
+This is the acceptance gate the CI job re-runs: ``repro lint src
+--check-baseline`` exits 0, the committed baseline matches a fresh scan
+exactly, and no determinism (R1xx) violation is tolerated anywhere —
+fixed, not baselined, not suppressed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint import default_rules, lint_paths
+from repro.analysis.lint.baseline import Baseline, compare_to_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def scan():
+    return lint_paths([REPO_ROOT / "src"], default_rules(), relative_to=REPO_ROOT)
+
+
+def test_src_is_clean_against_committed_baseline() -> None:
+    report = scan()
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    comparison = compare_to_baseline(report.violations, baseline)
+    assert comparison.ok(strict=True), (
+        "repo lint gate failed:\n"
+        + "\n".join(v.format() for v in comparison.new)
+        + comparison.summary()
+    )
+
+
+def test_committed_baseline_matches_fresh_scan_exactly() -> None:
+    report = scan()
+    regenerated = Baseline.from_violations(report.violations)
+    committed = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    assert regenerated.entries == committed.entries
+
+
+def test_no_determinism_violations_even_baselined() -> None:
+    report = scan()
+    determinism = [v for v in report.violations if v.rule.startswith("R1")]
+    assert determinism == [], "R1xx must be fixed, never baselined: " + "\n".join(
+        v.format() for v in determinism
+    )
+    committed = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    assert [e for e in committed.entries if e.rule.startswith("R1")] == []
+
+
+def test_no_unreasoned_suppressions_in_src() -> None:
+    report = scan()
+    assert [v for v in report.violations if v.rule in ("R001", "R002", "R003")] == []

@@ -1,0 +1,77 @@
+"""Hash-seed independence of SSF extraction.
+
+Python randomises ``str``/``bytes`` hashing per process (PYTHONHASHSEED),
+which permutes set/dict iteration order.  The extraction pipeline must be
+invariant to that order: the same network must yield bit-identical SSF
+vectors no matter the hash seed.  This is the regression guard for the
+canonical-ordering fixes in ``structure.py`` / ``temporal.py`` (and the
+invariant rule R101 of ``repro lint`` enforces statically).
+
+The test shells out because the hash seed is fixed at interpreter start;
+it cannot be varied inside one process.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+# Runs in a child interpreter.  String labels chosen to collide-or-not
+# differently across seeds; both backends extracted so the differential
+# contract is covered under every seed too.
+_CHILD_SCRIPT = """
+import json
+import sys
+
+from repro.core.feature import SSFConfig, SSFExtractor
+from repro.graph.temporal import DynamicNetwork
+
+edges = [
+    ("alpha", "beta", 1.0), ("alpha", "gamma", 2.0), ("beta", "gamma", 2.5),
+    ("gamma", "delta", 3.0), ("delta", "epsilon", 3.5), ("beta", "delta", 4.0),
+    ("epsilon", "zeta", 4.5), ("zeta", "alpha", 5.0), ("gamma", "eta", 5.5),
+    ("eta", "theta", 6.0), ("theta", "beta", 6.5), ("alpha", "beta", 7.0),
+    ("delta", "eta", 7.5), ("epsilon", "gamma", 8.0),
+]
+network = DynamicNetwork(edges)
+pairs = [("alpha", "delta"), ("beta", "epsilon"), ("zeta", "eta")]
+config = SSFConfig(k=6)
+
+out = {}
+for backend in ("dict", "csr"):
+    extractor = SSFExtractor(network, config, backend=backend)
+    out[backend] = [extractor.extract(a, b).tolist() for a, b in pairs]
+json.dump(out, sys.stdout)
+"""
+
+
+def _extract_under_seed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    src_dir = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src_dir) + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, f"seed {seed} failed:\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("seeds", [("0", "1", "42", "12345")])
+def test_ssf_vectors_identical_across_hash_seeds(seeds: tuple[str, ...]) -> None:
+    outputs = {seed: _extract_under_seed(seed) for seed in seeds}
+    reference_seed = seeds[0]
+    reference = outputs[reference_seed]
+    assert reference.strip(), "reference run produced no output"
+    for seed in seeds[1:]:
+        assert outputs[seed] == reference, (
+            f"SSF vectors differ between PYTHONHASHSEED={reference_seed} "
+            f"and PYTHONHASHSEED={seed}"
+        )
