@@ -661,7 +661,7 @@ class AnnotationCoverageRule(Rule):
     id = "R305"
     name = "annotation-coverage"
     summary = "missing parameter/return annotations in strict-typed packages"
-    scope = ("repro.core", "repro.graph", "repro.analysis", "repro.utils")
+    scope = ("repro.core", "repro.graph", "repro.analysis", "repro.utils", "repro.robust")
 
     def _check(
         self, ctx: ModuleContext, node: "ast.FunctionDef | ast.AsyncFunctionDef"

@@ -128,6 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="METHOD",
         help=f"subset of: {', '.join(METHOD_ORDER)} (plus LP/tCN/tRA/tPA)",
     )
+    sub.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist per-(dataset, method) results there as the run "
+        "progresses; re-running into the same directory skips completed "
+        "cells (see docs/ROBUSTNESS.md)",
+    )
+    sub.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="resume a killed run from its checkpoint directory (the "
+        "directory must exist; implies --checkpoint-dir DIR)",
+    )
 
     sub = commands.add_parser("ksweep", help="Fig. 7 panel: AUC/F1 vs K")
     add_dataset_args(sub)
@@ -263,7 +276,35 @@ def _cmd_table2(args: argparse.Namespace) -> str:
 
 
 def _cmd_table3(args: argparse.Namespace) -> str:
+    import os
+
+    from repro.experiments.runner import table3_manifest
+    from repro.robust.checkpoint import RunCheckpoint
+
     config = _config(args)
+    checkpoint_dir = args.resume or args.checkpoint_dir
+    checkpoint = None
+    if checkpoint_dir:
+        if args.resume and not os.path.isdir(args.resume):
+            raise SystemExit(
+                f"error: --resume directory {args.resume!r} does not exist "
+                "(use --checkpoint-dir to start a fresh checkpointed run)"
+            )
+        checkpoint = RunCheckpoint(checkpoint_dir)
+        checkpoint.ensure_manifest(
+            table3_manifest(
+                [args.dataset or args.file] if (args.dataset or args.file) else None,
+                config,
+                args.methods,
+                args.seed,
+                args.scale,
+            )
+        )
+        _LOG.info(
+            "checkpointing to %s (%d cells already complete)",
+            checkpoint_dir,
+            len(checkpoint.completed_cells()),
+        )
     if args.dataset or args.file:
         names_networks = [_load_network(args)]
     else:
@@ -273,7 +314,9 @@ def _cmd_table3(args: argparse.Namespace) -> str:
         ]
     results = {}
     for name, network in names_networks:
-        experiment = LinkPredictionExperiment(network, config)
+        experiment = LinkPredictionExperiment(
+            network, config, checkpoint=checkpoint, dataset_name=name
+        )
         results[name] = experiment.run_methods(args.methods)
     return format_table3(results, methods=args.methods)
 

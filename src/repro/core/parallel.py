@@ -20,6 +20,19 @@ What "shipped" means depends on the backend:
   ``present_time`` is materialised in the parent *before* the pool starts
   so children share those pages too.
 
+Fault tolerance (see docs/ROBUSTNESS.md): the batch is dispatched as
+*indexed chunks* through ``imap_unordered``, so the parent knows exactly
+which chunks have landed.  A chunk lost to a dead worker or stuck past
+the :class:`~repro.robust.RetryPolicy` timeout only costs that chunk: the
+pool is respawned and the missing chunks — nothing else — are re-run, up
+to ``max_retries`` rounds, after which the parent extracts the stragglers
+itself, sequentially.  Failed pairs are therefore never dropped, and
+because retries are pure re-execution of a deterministic extraction, a
+faulty run returns **bit-identical** features to a fault-free one.  When
+the ``spawn``-path shared-memory export or attach fails (shm exhaustion,
+permissions), the batch degrades to a pickled payload with a warning
+instead of aborting.  Counters: ``robust.retries``, ``robust.fallbacks``.
+
 Results are order-preserving and bit-identical to the sequential path —
 guaranteed by the differential tests — so callers can enable workers
 freely.  For small batches the pool start-up costs more than it saves;
@@ -34,7 +47,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
-from typing import Hashable, Sequence
+from typing import Any, Hashable, Sequence
 
 import numpy as np
 
@@ -42,9 +55,14 @@ from repro.core.feature import SSFConfig, SSFExtractor
 from repro.graph.csr import CSRSnapshot, SharedSnapshotHandle
 from repro.graph.temporal import DynamicNetwork
 from repro.obs import enabled as obs_enabled, get_logger, incr, observe, set_gauge, span
+from repro.robust import RetryPolicy
+from repro.robust import faults
 
 Node = Hashable
 Pair = tuple[Node, Node]
+
+#: (chunk index, offset of the chunk's first pair in the batch, pairs)
+ChunkTask = tuple[int, int, list[Pair]]
 
 _LOG = get_logger("core.parallel")
 
@@ -55,6 +73,24 @@ MIN_PAIRS_FOR_POOL = 64
 _worker_extractor: "SSFExtractor | None" = None
 _worker_modes: "tuple[str, ...] | None" = None
 _worker_init_seconds: float = 0.0
+# (failure point, message) when the initializer could not build the
+# extractor; surfaced lazily through _WorkerInitError so a failed init
+# never kills the worker process (a dying initializer would make the
+# pool respawn workers forever instead of reporting anything).
+_worker_init_error: "tuple[str, str] | None" = None
+
+
+class _WorkerInitError(RuntimeError):
+    """A pool worker could not initialise; raised at first chunk use.
+
+    ``args[0]`` is the failure point (``"shm_attach"`` or ``"error"``),
+    ``args[1]`` the original message — picklable, so it crosses the
+    process boundary intact.
+    """
+
+    @property
+    def point(self) -> str:
+        return str(self.args[0])
 
 
 def min_pairs_for_pool(override: "int | None" = None) -> int:
@@ -82,26 +118,46 @@ def _initialize(
     """Install the per-worker extractor.
 
     ``kind`` says how the history arrived: ``"csr"`` (a snapshot reference
-    inherited through fork — zero-copy), ``"csr_shared"`` (a
-    :class:`SharedSnapshotHandle` to attach to), or ``"dict"`` (the
+    inherited through fork — zero-copy — or pickled by spawn), ``"csr_shared"``
+    (a :class:`SharedSnapshotHandle` to attach to), or ``"dict"`` (the
     DynamicNetwork itself, inherited or pickled by the start method).
+
+    Never raises: failures are recorded in ``_worker_init_error`` and
+    re-raised per chunk, so the parent sees one clean error instead of a
+    pool stuck respawning crashed workers.
     """
-    global _worker_extractor, _worker_modes, _worker_init_seconds
+    global _worker_extractor, _worker_modes, _worker_init_seconds, _worker_init_error
     started = time.perf_counter()
+    _worker_init_error = None
     with span("parallel.worker_init", kind=kind):
-        if kind == "csr_shared":
-            substrate = CSRSnapshot.from_shared(payload)
-            backend = "csr"
-        elif kind == "csr":
-            substrate = payload
-            backend = "csr"
-        else:
-            substrate = payload
-            backend = "dict"
-        _worker_extractor = SSFExtractor(
-            substrate, config, present_time=present_time, backend=backend
-        )
-        _worker_modes = modes
+        try:
+            if kind == "csr_shared":
+                assert isinstance(payload, SharedSnapshotHandle)
+                substrate: "DynamicNetwork | CSRSnapshot" = CSRSnapshot.from_shared(
+                    payload
+                )
+                backend = "csr"
+            elif kind == "csr":
+                assert isinstance(payload, CSRSnapshot)
+                substrate = payload
+                backend = "csr"
+            else:
+                assert isinstance(payload, DynamicNetwork)
+                substrate = payload
+                backend = "dict"
+            _worker_extractor = SSFExtractor(
+                substrate, config, present_time=present_time, backend=backend
+            )
+            _worker_modes = modes
+        except OSError as exc:
+            # shared-memory attach failure (or an injected stand-in):
+            # the parent degrades the payload and respawns the pool.
+            point = "shm_attach" if kind == "csr_shared" else "error"
+            _worker_init_error = (point, f"{type(exc).__name__}: {exc}")
+            _worker_extractor = None
+        except Exception as exc:  # pragma: no cover - defensive: unknown init failure
+            _worker_init_error = ("error", f"{type(exc).__name__}: {exc}")
+            _worker_extractor = None
     _worker_init_seconds = time.perf_counter() - started
 
 
@@ -110,6 +166,21 @@ def _extract_one(pair: Pair) -> "np.ndarray | dict[str, np.ndarray]":
     if _worker_modes is None:
         return _worker_extractor.extract(*pair)
     return _worker_extractor.extract_multi(*pair, _worker_modes)
+
+
+def _extract_chunk(
+    task: ChunkTask,
+) -> "tuple[int, list[np.ndarray | dict[str, np.ndarray]]]":
+    """Worker entry point: extract one indexed chunk of pairs."""
+    index, offset, pairs = task
+    if _worker_init_error is not None:
+        raise _WorkerInitError(*_worker_init_error)
+    faults.maybe_slow_chunk(index)
+    rows: "list[np.ndarray | dict[str, np.ndarray]]" = []
+    for position, pair in enumerate(pairs):
+        faults.maybe_crash_worker(offset + position)
+        rows.append(_extract_one(pair))
+    return index, rows
 
 
 def _init_probe(_index: int) -> tuple[int, float]:
@@ -128,6 +199,7 @@ def parallel_extract_batch(
     backend: str = "auto",
     min_pairs: "int | None" = None,
     chunksize: "int | None" = None,
+    retry: "RetryPolicy | None" = None,
 ) -> "np.ndarray | dict[str, np.ndarray]":
     """Extract SSF vectors for many pairs, optionally in parallel.
 
@@ -152,7 +224,10 @@ def parallel_extract_batch(
             (see :func:`min_pairs_for_pool`).
         chunksize: per-call override of the pool chunk size; defaults to
             ``len(pairs) // (workers * 4)`` so each worker sees a few
-            chunks for load balancing.
+            chunks for load balancing.  Must be ``>= 1`` when given.
+        retry: fault-tolerance knobs (defaults to
+            :meth:`~repro.robust.RetryPolicy.from_env`); see
+            docs/ROBUSTNESS.md.
     """
     reference = SSFExtractor(network, config, present_time=present_time, backend=backend)
     resolved_present = reference.present_time
@@ -182,6 +257,8 @@ def parallel_extract_batch(
         _record_throughput(pair_list, started, workers=1)
         return result
 
+    assert workers is not None
+    policy = retry if retry is not None else RetryPolicy.from_env()
     incr("parallel.pool_runs")
     set_gauge("parallel.workers", workers)
     _LOG.debug(
@@ -190,45 +267,123 @@ def parallel_extract_batch(
         workers,
         resolved_backend,
     )
-    fork_available = "fork" in mp.get_all_start_methods()
-    context = mp.get_context("fork") if fork_available else mp.get_context()
-
-    handle: "SharedSnapshotHandle | None" = None
-    if resolved_backend == "csr":
-        snapshot = reference.snapshot
-        # Materialise the batch's influence table in the parent so forked
-        # children share its pages instead of each recomputing it.
-        snapshot.influence_table(resolved_present, config.theta)
-        if fork_available:
-            init_args = ("csr", snapshot, config, resolved_present, modes)
-        else:
-            handle = snapshot.to_shared()
-            init_args = ("csr_shared", handle, config, resolved_present, modes)
+    # REPRO_START_METHOD forces the pool start method — mainly so the
+    # spawn/shared-memory transport is exercisable on fork platforms
+    # (tests/robust does this; ops can use it to diagnose fork issues).
+    forced_method = os.environ.get("REPRO_START_METHOD")
+    if forced_method:
+        context = mp.get_context(forced_method)
+        fork_available = forced_method == "fork"
     else:
-        init_args = ("dict", network, config, resolved_present, modes)
+        fork_available = "fork" in mp.get_all_start_methods()
+        context = mp.get_context("fork") if fork_available else mp.get_context()
 
-    chunk = chunksize if chunksize else max(1, len(pair_list) // (workers * 4))
-    if chunk < 1:
-        raise ValueError(f"chunksize must be >= 1, got {chunk}")
+    # Validate chunking BEFORE any shared-memory export, so a bad
+    # argument cannot leak an shm block.  `chunksize is not None` (not
+    # truthiness): an explicit 0 must hit the guard, not the default.
+    if chunksize is not None:
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        chunk = chunksize
+    else:
+        chunk = max(1, len(pair_list) // (workers * 4))
     set_gauge("parallel.chunksize", chunk)
 
+    tasks: list[ChunkTask] = [
+        (index, start, pair_list[start : start + chunk])
+        for index, start in enumerate(range(0, len(pair_list), chunk))
+    ]
+
+    snapshot: "CSRSnapshot | None" = None
+    handle: "SharedSnapshotHandle | None" = None
+    init_args: "tuple[Any, ...]"
     try:
+        if resolved_backend == "csr":
+            snapshot = reference.snapshot
+            # Materialise the batch's influence table in the parent so forked
+            # children share its pages instead of each recomputing it.
+            snapshot.influence_table(resolved_present, config.theta)
+            if fork_available:
+                init_args = ("csr", snapshot, config, resolved_present, modes)
+            else:
+                try:
+                    handle = snapshot.to_shared()
+                    init_args = (
+                        "csr_shared", handle, config, resolved_present, modes
+                    )
+                except OSError as exc:
+                    init_args = _degraded_init_args(
+                        network, snapshot, config, resolved_present, modes, exc
+                    )
+        else:
+            init_args = ("dict", network, config, resolved_present, modes)
+
         with span(
             "parallel.extract_batch",
             pairs=len(pair_list),
             workers=workers,
             backend=resolved_backend,
         ):
-            with context.Pool(
-                processes=workers,
-                initializer=_initialize,
-                initargs=init_args,
-            ) as pool:
-                if obs_enabled():
-                    probes = dict(pool.map(_init_probe, range(workers), chunksize=1))
-                    for seconds in probes.values():
-                        observe("parallel.worker_init_seconds", seconds)
-                rows = pool.map(_extract_one, pair_list, chunksize=chunk)
+            results: "dict[int, list[Any]]" = {}
+            retries_left = policy.max_retries
+            degraded = False
+            while tasks:
+                received, init_error = _run_pool_round(
+                    context, workers, init_args, tasks, policy.chunk_timeout
+                )
+                results.update(received)
+                tasks = [task for task in tasks if task[0] not in results]
+                if not tasks:
+                    break
+                if (
+                    init_error is not None
+                    and init_error.point == "shm_attach"
+                    and init_args[0] == "csr_shared"
+                    and not degraded
+                ):
+                    # shm attach failed inside the workers: degrade the
+                    # payload once, without spending a retry.
+                    assert snapshot is not None
+                    init_args = _degraded_init_args(
+                        network, snapshot, config, resolved_present, modes, init_error
+                    )
+                    degraded = True
+                    continue
+                if retries_left <= 0:
+                    break
+                retries_left -= 1
+                incr("robust.retries", len(tasks))
+                _LOG.warning(
+                    "pool round lost %d/%d chunks (%s); respawning pool to "
+                    "re-run them (%d of %d retries left)",
+                    len(tasks),
+                    len(tasks) + len(received),
+                    init_error if init_error is not None else "timeout/worker death",
+                    retries_left,
+                    policy.max_retries,
+                )
+            if tasks:
+                # Bounded retries exhausted: extract the stragglers in the
+                # parent.  Slower, but complete and bit-identical — pairs
+                # are never silently dropped.
+                incr("robust.fallbacks")
+                _LOG.warning(
+                    "retries exhausted with %d chunks (%d pairs) outstanding; "
+                    "extracting them sequentially in the parent",
+                    len(tasks),
+                    sum(len(task[2]) for task in tasks),
+                )
+                for index, _offset, chunk_pairs in tasks:
+                    if modes is None:
+                        results[index] = [
+                            reference.extract(a, b) for a, b in chunk_pairs
+                        ]
+                    else:
+                        results[index] = [
+                            reference.extract_multi(a, b, modes)
+                            for a, b in chunk_pairs
+                        ]
+            rows = [row for index in sorted(results) for row in results[index]]
     finally:
         if handle is not None:
             handle.unlink()
@@ -241,6 +396,107 @@ def parallel_extract_batch(
             else np.zeros((0, reference.feature_dim))
         )
     return _stack_multi(rows, modes, reference.feature_dim)
+
+
+def _degraded_init_args(
+    network: "DynamicNetwork | CSRSnapshot",
+    snapshot: CSRSnapshot,
+    config: SSFConfig,
+    present_time: float,
+    modes: "tuple[str, ...] | None",
+    cause: Exception,
+) -> "tuple[Any, ...]":
+    """Worker payload when the shared-memory transport is unavailable.
+
+    Degrades ``csr_shared`` to the ``dict`` payload (the network pickled
+    per worker) when the caller handed us a :class:`DynamicNetwork`;
+    a prebuilt snapshot has no dict twin, so it is shipped pickled on the
+    csr path instead.  Either way the features stay bit-identical — only
+    worker start-up cost changes.
+    """
+    incr("robust.fallbacks")
+    if isinstance(network, DynamicNetwork):
+        _LOG.warning(
+            "shared-memory transport unavailable (%s); degrading csr_shared -> "
+            "dict worker payload",
+            cause,
+        )
+        return ("dict", network, config, present_time, modes)
+    _LOG.warning(
+        "shared-memory transport unavailable (%s); shipping the snapshot "
+        "pickled per worker instead",
+        cause,
+    )
+    return ("csr", snapshot, config, present_time, modes)
+
+
+def _run_pool_round(
+    context: "mp.context.BaseContext",
+    workers: int,
+    init_args: "tuple[Any, ...]",
+    tasks: "list[ChunkTask]",
+    chunk_timeout: "float | None",
+) -> "tuple[dict[int, list[Any]], _WorkerInitError | None]":
+    """Run one pool round over ``tasks``; never raises for chunk loss.
+
+    Returns the chunks that landed and, when worker initialisation
+    failed, the first :class:`_WorkerInitError` (so the caller can
+    degrade the payload).  Chunks missing from the result — lost to a
+    dead worker, stuck past ``chunk_timeout``, or abandoned after an
+    error — are simply absent; the caller decides whether to retry them.
+    """
+    received: "dict[int, list[Any]]" = {}
+    init_error: "_WorkerInitError | None" = None
+    pool = context.Pool(
+        processes=workers,
+        initializer=_initialize,
+        initargs=init_args,
+    )
+    try:
+        if obs_enabled():
+            # the probe is observability-only: bound the wait so a pool
+            # whose workers never come up cannot hang the round forever
+            probe_timeout = 30.0 if chunk_timeout is None else min(chunk_timeout, 30.0)
+            try:
+                probes = dict(
+                    pool.map_async(_init_probe, range(workers), chunksize=1).get(
+                        probe_timeout
+                    )
+                )
+                for seconds in probes.values():
+                    observe("parallel.worker_init_seconds", seconds)
+            except mp.TimeoutError:
+                _LOG.warning(
+                    "worker init probes timed out after %.1fs; skipping "
+                    "start-up metrics for this round",
+                    probe_timeout,
+                )
+        iterator = pool.imap_unordered(_extract_chunk, tasks, chunksize=1)
+        for _ in range(len(tasks)):
+            try:
+                index, rows = iterator.next(chunk_timeout)
+            except mp.TimeoutError:
+                _LOG.warning(
+                    "no chunk result within %.1fs; declaring the round hung",
+                    chunk_timeout if chunk_timeout is not None else float("inf"),
+                )
+                break
+            except _WorkerInitError as exc:
+                init_error = exc
+                break
+            except Exception as exc:
+                # A chunk failed inside a worker (or the pool machinery
+                # broke).  Conservative recovery: abandon the round and
+                # let the caller re-dispatch whatever is missing.
+                _LOG.warning(
+                    "pool round aborted by %s: %s", type(exc).__name__, exc
+                )
+                break
+            received[index] = rows
+    finally:
+        pool.terminate()
+        pool.join()
+    return received, init_error
 
 
 def _record_throughput(pair_list: Sequence[Pair], started: float, workers: int) -> None:

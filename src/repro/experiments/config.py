@@ -27,6 +27,12 @@ class ExperimentConfig:
         rw_steps: local-random-walk steps.
         n_jobs: worker processes for SSF feature extraction (1 = in
             process; extraction is deterministic either way).
+        max_retries: pool rounds re-dispatching failed extraction chunks
+            before the in-parent sequential fallback (see
+            docs/ROBUSTNESS.md; results stay bit-identical either way).
+        chunk_timeout: seconds a pool may stay silent before its missing
+            chunks count as hung/lost and are retried; ``None`` waits
+            forever (disables dead-worker detection).
         backend: SSF extraction substrate — ``"dict"`` (faithful
             reference), ``"csr"`` (frozen array snapshot, bit-identical
             features), or ``"auto"`` (csr once the history is large
@@ -48,6 +54,8 @@ class ExperimentConfig:
     katz_beta: float = 0.001
     rw_steps: int = 3
     n_jobs: int = 1
+    max_retries: int = 2
+    chunk_timeout: "float | None" = 300.0
     backend: str = "auto"
     seed: int = 0
 
@@ -62,6 +70,12 @@ class ExperimentConfig:
             raise ValueError("train_fraction must be in (0, 1)")
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be positive or None, got {self.chunk_timeout}"
+            )
         if self.backend not in ("auto", "dict", "csr"):
             raise ValueError(
                 f"backend must be 'auto', 'dict' or 'csr', got {self.backend!r}"

@@ -8,6 +8,14 @@ entries) share a single K-structure-subgraph extraction per link via
 
 Module-level helpers :func:`run_dataset` and :func:`run_table3` regenerate
 entire table columns / the full table.
+
+Fault tolerance: pass a :class:`~repro.robust.checkpoint.RunCheckpoint`
+(or ``checkpoint_dir`` to :func:`run_table3`) and every completed
+``(dataset, method)`` cell — plus the extracted feature matrices, which
+dominate the cost — is persisted as it lands.  A killed run resumed into
+the same directory recomputes only the missing cells and produces
+``MethodResult``\\ s equal to an uninterrupted run (``repro table3
+--resume <dir>``; see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -33,6 +41,8 @@ from repro.models.linear import LinearRegressionModel
 from repro.models.neural import NeuralMachine
 from repro.models.ranking import ThresholdClassifier
 from repro.obs import get_logger, incr, span
+from repro.robust import RetryPolicy
+from repro.robust.checkpoint import RunCheckpoint
 from repro.sampling.splits import LinkPredictionTask, build_link_prediction_task
 
 #: the feature kinds the cache understands
@@ -58,15 +68,25 @@ class LinkPredictionExperiment:
         network: DynamicNetwork,
         config: "ExperimentConfig | None" = None,
         task: "LinkPredictionTask | None" = None,
+        *,
+        checkpoint: "RunCheckpoint | None" = None,
+        dataset_name: str = "dataset",
     ) -> None:
         """Args:
         network: the full dynamic network (history + final timestamp).
         config: hyper-parameters; defaults to :class:`ExperimentConfig`.
         task: a pre-built split (otherwise built from ``network`` with
             the config's split settings).
+        checkpoint: when given, completed method results and feature
+            matrices are persisted there and reloaded instead of
+            recomputed (crash/resume support).
+        dataset_name: the checkpoint cell key for this experiment's
+            dataset.
         """
         self.config = config or ExperimentConfig()
         self.network = network
+        self.checkpoint = checkpoint
+        self.dataset_name = dataset_name
         self.task = task or build_link_prediction_task(
             network,
             train_fraction=self.config.train_fraction,
@@ -92,6 +112,8 @@ class LinkPredictionExperiment:
             incr("runner.feature_cache.hits")
             return cached
         incr("runner.feature_cache.misses")
+        if self._load_checkpointed_features(kind):
+            return self._feature_cache[kind]
 
         if kind == "wlf":
             with span("runner.extract_features", kind="wlf"):
@@ -103,6 +125,7 @@ class LinkPredictionExperiment:
         else:
             with span("runner.extract_features", kind="ssf"):
                 self._extract_ssf_features()
+        self._checkpoint_features(("wlf",) if kind == "wlf" else ("ssf", "ssf_w"))
         _LOG.debug(
             "feature matrices ready for kind=%s (%d train / %d test pairs)",
             kind,
@@ -110,6 +133,38 @@ class LinkPredictionExperiment:
             len(self.task.test_pairs),
         )
         return self._feature_cache[kind]
+
+    def _load_checkpointed_features(self, kind: str) -> bool:
+        """Fill the cache for ``kind`` from the checkpoint, if possible.
+
+        The two SSF kinds are extracted together, so both must be
+        present for either to load — otherwise a resumed run would pay
+        the shared extraction again anyway.
+        """
+        if self.checkpoint is None:
+            return False
+        kinds = ("wlf",) if kind == "wlf" else ("ssf", "ssf_w")
+        loaded = {
+            k: self.checkpoint.load_features(self.dataset_name, k) for k in kinds
+        }
+        if any(v is None for v in loaded.values()):
+            return False
+        for k, matrices in loaded.items():
+            assert matrices is not None
+            self._feature_cache[k] = matrices
+        _LOG.info(
+            "feature matrices for %s kind(s) %s restored from checkpoint",
+            self.dataset_name,
+            ", ".join(kinds),
+        )
+        return True
+
+    def _checkpoint_features(self, kinds: "tuple[str, ...]") -> None:
+        if self.checkpoint is None:
+            return
+        for kind in kinds:
+            train, test = self._feature_cache[kind]
+            self.checkpoint.save_features(self.dataset_name, kind, train, test)
 
     def _extract_ssf_features(self) -> None:
         """Fill the cache for both SSF variants with shared extraction."""
@@ -131,6 +186,11 @@ class LinkPredictionExperiment:
             else self.task.history
         )
 
+        retry = RetryPolicy(
+            max_retries=self.config.max_retries,
+            chunk_timeout=self.config.chunk_timeout,
+        )
+
         def batch(pairs: Sequence[tuple]) -> dict[str, np.ndarray]:
             return parallel_extract_batch(
                 history,
@@ -140,6 +200,7 @@ class LinkPredictionExperiment:
                 modes=modes,
                 workers=self.config.n_jobs,
                 backend=backend,
+                retry=retry,
             )
 
         train = batch(self.task.train_pairs)
@@ -151,11 +212,27 @@ class LinkPredictionExperiment:
     # method evaluation
     # ------------------------------------------------------------------
     def run_method(self, name: str) -> MethodResult:
-        """Evaluate one Table III method on this experiment's split."""
+        """Evaluate one Table III method on this experiment's split.
+
+        With a checkpoint attached, a cell completed by an earlier
+        (possibly killed) run is returned straight from disk.
+        """
         validate_method_name(name)
+        if self.checkpoint is not None:
+            restored = self.checkpoint.load_result(self.dataset_name, name)
+            if restored is not None:
+                incr("robust.resumed_cells")
+                _LOG.info(
+                    "cell (%s, %s) restored from checkpoint", self.dataset_name, name
+                )
+                return restored
         if name in RANKING_METHODS:
-            return self._run_ranking(name)
-        return self._run_feature_model(name)
+            result = self._run_ranking(name)
+        else:
+            result = self._run_feature_model(name)
+        if self.checkpoint is not None:
+            self.checkpoint.save_result(self.dataset_name, result)
+        return result
 
     def run_methods(
         self, names: "Sequence[str] | None" = None
@@ -213,19 +290,50 @@ def run_dataset(
     methods: "Sequence[str] | None" = None,
     seed: int = 0,
     scale: float = 1.0,
+    checkpoint: "RunCheckpoint | None" = None,
+    dataset_name: "str | None" = None,
 ) -> dict[str, MethodResult]:
     """All (or selected) methods on one dataset.
 
     ``dataset`` may be a catalog name, a :class:`DatasetSpec`, or an
-    already-built network.
+    already-built network.  With ``checkpoint``, completed cells are
+    persisted as they land and reloaded on a resumed run.
     """
     if isinstance(dataset, DynamicNetwork):
         network = dataset
+        name = dataset_name or "dataset"
     else:
         spec = get_dataset(dataset) if isinstance(dataset, str) else dataset
         network = spec.generate(seed=seed, scale=scale)
-    experiment = LinkPredictionExperiment(network, config)
+        name = dataset_name or spec.name
+    experiment = LinkPredictionExperiment(
+        network, config, checkpoint=checkpoint, dataset_name=name
+    )
     return experiment.run_methods(methods)
+
+
+def table3_manifest(
+    datasets: "Sequence[str] | None",
+    config: "ExperimentConfig | None",
+    methods: "Sequence[str] | None",
+    seed: int,
+    scale: float,
+) -> dict:
+    """The settings fingerprint recorded in a Table-3 run directory.
+
+    Resuming with a different fingerprint is refused — mixing settings
+    across a resume would silently corrupt the table.
+    """
+    from dataclasses import asdict
+
+    return {
+        "experiment": "table3",
+        "datasets": list(datasets) if datasets is not None else None,
+        "methods": list(methods) if methods is not None else None,
+        "seed": seed,
+        "scale": scale,
+        "config": asdict(config or ExperimentConfig()),
+    }
 
 
 def run_table3(
@@ -235,13 +343,30 @@ def run_table3(
     methods: "Sequence[str] | None" = None,
     seed: int = 0,
     scale: float = 1.0,
+    checkpoint_dir: "str | None" = None,
 ) -> dict[str, dict[str, MethodResult]]:
-    """Regenerate Table III: ``{dataset: {method: result}}``."""
+    """Regenerate Table III: ``{dataset: {method: result}}``.
+
+    With ``checkpoint_dir``, per-cell results are persisted there as the
+    run progresses; re-running into the same directory (``repro table3
+    --resume <dir>``) skips everything already completed.
+    """
     from repro.datasets.catalog import DATASETS
 
+    checkpoint: "RunCheckpoint | None" = None
+    if checkpoint_dir is not None:
+        checkpoint = RunCheckpoint(checkpoint_dir)
+        checkpoint.ensure_manifest(
+            table3_manifest(datasets, config, methods, seed, scale)
+        )
     out: dict[str, dict[str, MethodResult]] = {}
     for name in datasets or list(DATASETS):
         out[name] = run_dataset(
-            name, config=config, methods=methods, seed=seed, scale=scale
+            name,
+            config=config,
+            methods=methods,
+            seed=seed,
+            scale=scale,
+            checkpoint=checkpoint,
         )
     return out

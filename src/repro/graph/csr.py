@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Hashable
 import numpy as np
 
 from repro.obs import get_logger, observe, span
+from repro.robust import faults
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from multiprocessing.shared_memory import SharedMemory
@@ -250,9 +251,16 @@ class CSRSnapshot:
         The caller owns the returned handle and must eventually call
         :meth:`SharedSnapshotHandle.unlink` (after every worker has
         attached and the pool is done).
+
+        Raises:
+            OSError: the shared block could not be created (shm
+                exhaustion, permissions).  Callers that can fall back to
+                a pickled payload should — see
+                :func:`repro.core.parallel.parallel_extract_batch`.
         """
         from multiprocessing import shared_memory
 
+        faults.maybe_raise("shm_export")
         label_blob = pickle.dumps(self.labels, protocol=pickle.HIGHEST_PROTOCOL)
         arrays = {
             "indptr": self.indptr,
@@ -286,9 +294,16 @@ class CSRSnapshot:
 
     @classmethod
     def from_shared(cls, handle: "SharedSnapshotHandle") -> "CSRSnapshot":
-        """Attach to a snapshot exported by :meth:`to_shared` (zero copy)."""
+        """Attach to a snapshot exported by :meth:`to_shared` (zero copy).
+
+        Raises:
+            OSError: the block could not be mapped; pool workers report
+                this to the parent, which degrades to a pickled payload
+                (docs/ROBUSTNESS.md).
+        """
         from multiprocessing import shared_memory
 
+        faults.maybe_raise("shm_attach")
         shm = shared_memory.SharedMemory(name=handle.shm_name)
         arrays = {}
         for name, (off, dtype, shape) in handle.specs.items():
@@ -307,6 +322,34 @@ class CSRSnapshot:
             arrays["ts_indptr"],
             arrays["ts"],
             _shm=shm,
+        )
+
+    # ------------------------------------------------------------------
+    # pickling (spawn-path fallback transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle only the canonical arrays.
+
+        The id map is rebuilt on load, the influence cache is dropped
+        (recomputed on demand), and a live shared-memory mapping is
+        never pickled — the receiving process gets private copies, which
+        is exactly what the shm-unavailable fallback wants.
+        """
+        return {
+            "labels": self.labels,
+            "indptr": np.asarray(self.indptr),
+            "indices": np.asarray(self.indices),
+            "ts_indptr": np.asarray(self.ts_indptr),
+            "ts": np.asarray(self.ts),
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__init__(  # type: ignore[misc]
+            state["labels"],
+            state["indptr"],
+            state["indices"],
+            state["ts_indptr"],
+            state["ts"],
         )
 
     # ------------------------------------------------------------------

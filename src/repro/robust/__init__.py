@@ -1,0 +1,44 @@
+"""repro.robust — fault tolerance for extraction and experiment runs.
+
+The robustness layer of the reproduction, threaded through
+:mod:`repro.core.parallel`, :mod:`repro.experiments.runner` and
+:mod:`repro.graph.csr`:
+
+* :mod:`repro.robust.policy` — :class:`RetryPolicy`: how many times a
+  failed pool chunk is re-dispatched and how long a chunk may stay
+  silent before it is declared hung (both env-overridable).
+* :mod:`repro.robust.faults` — a deterministic fault-injection harness.
+  Production code calls the ``maybe_*`` hooks at its failure points;
+  they are no-ops unless the matching ``REPRO_FAULT_*`` environment
+  variable arms them, which only the ``tests/robust`` suite (and anyone
+  reproducing an incident) does.
+* :mod:`repro.robust.checkpoint` — :class:`~repro.robust.checkpoint.RunCheckpoint`:
+  per-``(dataset, method)`` persistence of experiment results and
+  feature matrices so a killed Table-3 run resumes instead of
+  recomputing (``repro table3 --resume <dir>``).
+
+Counters exported through :mod:`repro.obs`:
+
+* ``robust.retries`` — pool chunks re-dispatched after a failure,
+* ``robust.fallbacks`` — degradations taken (shm → dict payload,
+  pool → in-parent sequential extraction),
+* ``robust.resumed_cells`` — experiment cells served from checkpoint.
+
+Everything here preserves bit-identical results: retries are pure
+re-execution, degradations swap the substrate for one with the same
+feature contract, and resumed cells are exact round-trips of what an
+uninterrupted run would have produced.
+
+``repro.robust.checkpoint`` is deliberately not imported here: it pulls
+in :mod:`repro.experiments.methods`, which the low-level importers of
+this package (``repro.graph.csr``) must not depend on.
+"""
+
+from repro.robust.faults import InjectedFault, inject
+from repro.robust.policy import RetryPolicy
+
+__all__ = [
+    "InjectedFault",
+    "RetryPolicy",
+    "inject",
+]

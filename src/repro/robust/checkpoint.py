@@ -1,0 +1,229 @@
+"""Checkpoint/resume for experiment runs.
+
+A Table-3 run is a grid of ``(dataset, method)`` cells, each minutes of
+extraction + training; a crash near the end used to throw the whole grid
+away.  :class:`RunCheckpoint` persists every completed cell (and the
+extracted feature matrices, which dominate the cost) to a run directory
+as it is produced, so ``repro table3 --resume <dir>`` recomputes only
+the missing cells.
+
+Layout of a run directory::
+
+    <run_dir>/
+      manifest.json                   # settings fingerprint (guard)
+      <dataset>/
+        features_<kind>.npz           # train/test matrices per feature kind
+        method_<method>.json          # one MethodResult per method
+
+Guarantees:
+
+* **Exactness** — results and matrices round-trip bit-exactly: floats
+  go through JSON's shortest round-trip repr, arrays through ``.npz``.
+  A resumed run's :class:`~repro.experiments.methods.MethodResult`\\ s
+  equal an uninterrupted run's (asserted by ``tests/robust``).
+* **Crash-safety** — every file is written to a temp name and
+  ``os.replace``\\ d into place, so a cell is either fully present or
+  absent; a partial write is never loaded.  Unreadable cells are
+  treated as absent (recomputed), never trusted.
+* **Setting drift** — :meth:`RunCheckpoint.ensure_manifest` refuses to
+  resume a directory whose recorded settings differ from the current
+  invocation, instead of silently mixing configurations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.obs import get_logger, incr
+
+_LOG = get_logger("robust.checkpoint")
+
+__all__ = ["CheckpointMismatchError", "RunCheckpoint"]
+
+
+class CheckpointMismatchError(RuntimeError):
+    """The run directory was produced under different settings."""
+
+
+def _safe(name: str) -> str:
+    """Filesystem-safe cell name (method names contain ``.``/`` ``)."""
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+
+
+def _encode_extras(extras: Mapping[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in extras.items():
+        if isinstance(value, np.ndarray):
+            out[key] = {
+                "__ndarray__": value.tolist(),
+                "dtype": value.dtype.str,
+                "shape": list(value.shape),
+            }
+        elif isinstance(value, (np.floating, np.integer)):
+            out[key] = value.item()
+        else:
+            out[key] = value
+    return out
+
+
+def _decode_extras(payload: Mapping[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in payload.items():
+        if isinstance(value, dict) and "__ndarray__" in value:
+            out[key] = np.array(value["__ndarray__"], dtype=value["dtype"]).reshape(
+                [int(s) for s in value["shape"]]
+            )
+        else:
+            out[key] = value
+    return out
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+class RunCheckpoint:
+    """Per-cell persistence for one experiment run directory.
+
+    Example:
+        >>> import tempfile
+        >>> from repro.experiments.methods import MethodResult
+        >>> ckpt = RunCheckpoint(tempfile.mkdtemp())
+        >>> ckpt.save_result("co-author", MethodResult("CN", 0.9, 0.8))
+        >>> ckpt.load_result("co-author", "CN").auc
+        0.9
+    """
+
+    def __init__(self, run_dir: "str | Path") -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # manifest (settings fingerprint)
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / "manifest.json"
+
+    def ensure_manifest(self, manifest: Mapping[str, Any]) -> None:
+        """Record the run settings, or verify they match what's recorded.
+
+        Raises:
+            CheckpointMismatchError: the directory already holds a
+                manifest that differs from ``manifest``.
+        """
+        wanted = json.dumps(dict(manifest), sort_keys=True, indent=2)
+        if self.manifest_path.exists():
+            recorded = self.manifest_path.read_text(encoding="utf-8")
+            if json.loads(recorded) != json.loads(wanted):
+                raise CheckpointMismatchError(
+                    f"run directory {self.run_dir} was produced under different "
+                    "settings; refusing to resume (use a fresh --checkpoint-dir "
+                    "or matching flags)"
+                )
+            return
+        _atomic_write_bytes(self.manifest_path, (wanted + "\n").encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # method results
+    # ------------------------------------------------------------------
+    def _dataset_dir(self, dataset: str) -> Path:
+        return self.run_dir / _safe(dataset)
+
+    def _result_path(self, dataset: str, method: str) -> Path:
+        return self._dataset_dir(dataset) / f"method_{_safe(method)}.json"
+
+    def save_result(self, dataset: str, result: Any) -> None:
+        """Persist one completed cell (a ``MethodResult``)."""
+        payload = {
+            "dataset": dataset,
+            "method": result.method,
+            "auc": float(result.auc),
+            "f1": float(result.f1),
+            "extras": _encode_extras(result.extras),
+        }
+        path = self._result_path(dataset, result.method)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(
+            path, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        )
+        _LOG.debug("checkpointed cell (%s, %s) -> %s", dataset, result.method, path)
+
+    def load_result(self, dataset: str, method: str) -> "Any | None":
+        """The checkpointed ``MethodResult`` for a cell, or ``None``.
+
+        Corrupt or mismatched cells are treated as absent (the caller
+        recomputes them) rather than trusted.
+        """
+        from repro.experiments.methods import MethodResult
+
+        path = self._result_path(dataset, method)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError) as exc:
+            _LOG.warning("unreadable checkpoint cell %s (%s); recomputing", path, exc)
+            return None
+        if payload.get("method") != method or payload.get("dataset") != dataset:
+            _LOG.warning("checkpoint cell %s names a different cell; recomputing", path)
+            return None
+        return MethodResult(
+            method=method,
+            auc=float(payload["auc"]),
+            f1=float(payload["f1"]),
+            extras=_decode_extras(payload.get("extras", {})),
+        )
+
+    def has_result(self, dataset: str, method: str) -> bool:
+        return self._result_path(dataset, method).exists()
+
+    def completed_cells(self) -> list[tuple[str, str]]:
+        """All ``(dataset, method)`` cells present, by recorded names."""
+        out: list[tuple[str, str]] = []
+        for path in sorted(self.run_dir.glob("*/method_*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                out.append((str(payload["dataset"]), str(payload["method"])))
+            except (json.JSONDecodeError, OSError, KeyError):
+                continue
+        return out
+
+    # ------------------------------------------------------------------
+    # feature matrices
+    # ------------------------------------------------------------------
+    def _features_path(self, dataset: str, kind: str) -> Path:
+        return self._dataset_dir(dataset) / f"features_{_safe(kind)}.npz"
+
+    def save_features(
+        self, dataset: str, kind: str, train: np.ndarray, test: np.ndarray
+    ) -> None:
+        """Persist one feature kind's (train, test) matrices."""
+        path = self._features_path(dataset, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp.npz")
+        np.savez(tmp, train=train, test=test)
+        os.replace(tmp, path)
+        _LOG.debug("checkpointed %s features for %s -> %s", kind, dataset, path)
+
+    def load_features(
+        self, dataset: str, kind: str
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        path = self._features_path(dataset, kind)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                loaded = (data["train"], data["test"])
+        except (OSError, ValueError, KeyError, EOFError) as exc:
+            _LOG.warning("unreadable feature checkpoint %s (%s); recomputing", path, exc)
+            return None
+        incr("robust.resumed_features")
+        return loaded

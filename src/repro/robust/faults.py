@@ -1,0 +1,193 @@
+"""Deterministic fault injection for the robustness layer.
+
+Production code calls the ``maybe_*`` hooks at its failure points; each
+hook is a no-op unless the matching ``REPRO_FAULT_*`` environment
+variable arms it.  Environment variables are the channel because the
+interesting failures happen in *worker processes*: both ``fork`` and
+``spawn`` children inherit ``os.environ`` as it stood at pool creation,
+so a test (or an incident reproduction) arms a fault in the parent and
+the right worker fires it.
+
+Fault points
+============
+
+=======================  ====================================================
+environment variable     effect
+=======================  ====================================================
+``REPRO_FAULT_WORKER_CRASH=<n>``   the worker extracting global pair index
+                                   ``n`` dies hard (``os._exit``) — simulates
+                                   an OOM-kill/segfault mid-batch.
+``REPRO_FAULT_SLOW_CHUNK=<c>:<s>`` the worker holding chunk index ``c``
+                                   sleeps ``s`` seconds first — simulates a
+                                   hung chunk for timeout testing.
+``REPRO_FAULT_SHM_EXPORT=1``       :meth:`CSRSnapshot.to_shared` raises
+                                   :class:`InjectedFault` — simulates shm
+                                   exhaustion in the parent.
+``REPRO_FAULT_SHM_ATTACH=1``       :meth:`CSRSnapshot.from_shared` raises
+                                   :class:`InjectedFault` — simulates an
+                                   attach failure in a worker.
+=======================  ====================================================
+
+Fire budgets
+============
+
+A fault that fires on *every* attempt can never be survived by retrying
+— useful for testing the terminal fallback, useless for testing
+recovery.  Setting ``REPRO_FAULT_STATE_DIR`` to a directory bounds each
+point to ``REPRO_FAULT_<POINT>_FIRES`` firings (default 1): each firing
+atomically claims a marker file (``O_CREAT | O_EXCL``), which is
+race-free across worker processes, so "crash exactly once, then let the
+retry succeed" is deterministic.  Without a state dir the fault fires
+every time it is reached.
+
+Tests arm points either with ``monkeypatch.setenv`` or the
+:func:`inject` context manager.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs import get_logger
+
+__all__ = [
+    "InjectedFault",
+    "inject",
+    "maybe_crash_worker",
+    "maybe_raise",
+    "maybe_slow_chunk",
+]
+
+_LOG = get_logger("robust.faults")
+
+_ENV_PREFIX = "REPRO_FAULT_"
+_STATE_DIR_ENV = "REPRO_FAULT_STATE_DIR"
+
+#: the hard-exit status of an injected worker crash (visible in waitpid)
+CRASH_EXIT_CODE = 86
+
+
+class InjectedFault(OSError):
+    """Raised by raising fault points.
+
+    Subclasses :class:`OSError` so the production ``except OSError``
+    paths treat it exactly like the real failure it simulates (shm
+    exhaustion, permission denied, ...).
+    """
+
+
+def _spec(point: str) -> "str | None":
+    value = os.environ.get(_ENV_PREFIX + point.upper())
+    return value if value else None
+
+
+def _claim_fire(point: str) -> bool:
+    """Whether this firing is within the point's budget.
+
+    With no state directory configured the budget is unlimited.  With
+    one, each call atomically claims one of ``_FIRES`` marker files;
+    once all are claimed the point is exhausted and stops firing.
+    """
+    state_dir = os.environ.get(_STATE_DIR_ENV)
+    if not state_dir:
+        return True
+    raw = os.environ.get(_ENV_PREFIX + point.upper() + "_FIRES")
+    budget = int(raw) if raw else 1
+    for slot in range(budget):
+        marker = os.path.join(state_dir, f"{point}.{slot}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return True
+    return False
+
+
+def maybe_crash_worker(pair_index: int) -> None:
+    """Die hard if armed for this global pair index.
+
+    Only ever called from pool *worker* code paths (never from the
+    parent's sequential extraction), so an armed crash cannot take down
+    the driving process.
+    """
+    spec = _spec("worker_crash")
+    if spec is None or int(spec) != pair_index:
+        return
+    if not _claim_fire("worker_crash"):
+        return
+    _LOG.warning(
+        "injected fault: worker %d crashing on pair index %d",
+        os.getpid(),
+        pair_index,
+    )
+    os._exit(CRASH_EXIT_CODE)
+
+
+def maybe_slow_chunk(chunk_index: int) -> None:
+    """Sleep if armed for this chunk index (``<chunk>:<seconds>``)."""
+    spec = _spec("slow_chunk")
+    if spec is None:
+        return
+    target, _, seconds = spec.partition(":")
+    if int(target) != chunk_index:
+        return
+    if not _claim_fire("slow_chunk"):
+        return
+    delay = float(seconds) if seconds else 30.0
+    _LOG.warning(
+        "injected fault: chunk %d sleeping %.1fs in worker %d",
+        chunk_index,
+        delay,
+        os.getpid(),
+    )
+    time.sleep(delay)
+
+
+def maybe_raise(point: str) -> None:
+    """Raise :class:`InjectedFault` if ``point`` is armed.
+
+    Used by the shared-memory failure points (``shm_export``,
+    ``shm_attach``).
+    """
+    if _spec(point) is None:
+        return
+    if not _claim_fire(point):
+        return
+    _LOG.warning("injected fault: raising at point %r", point)
+    raise InjectedFault(f"injected fault at {point!r}")
+
+
+@contextmanager
+def inject(
+    point: str,
+    value: str = "1",
+    *,
+    fires: "int | None" = None,
+    state_dir: "str | None" = None,
+) -> Iterator[None]:
+    """Arm one fault point for the duration of the block.
+
+    Sets the point's environment variable (so forked/spawned workers
+    inherit it) and, when ``fires``/``state_dir`` are given, the fire
+    budget.  Restores the previous environment on exit.
+    """
+    updates: dict[str, str] = {_ENV_PREFIX + point.upper(): value}
+    if fires is not None:
+        updates[_ENV_PREFIX + point.upper() + "_FIRES"] = str(fires)
+    if state_dir is not None:
+        os.makedirs(state_dir, exist_ok=True)
+        updates[_STATE_DIR_ENV] = state_dir
+    saved = {name: os.environ.get(name) for name in updates}
+    os.environ.update(updates)
+    try:
+        yield
+    finally:
+        for name, previous in saved.items():
+            if previous is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous

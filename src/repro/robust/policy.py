@@ -1,0 +1,84 @@
+"""Retry/timeout policy for fault-tolerant pool extraction.
+
+One frozen dataclass so the knobs travel together through
+:func:`repro.core.parallel.parallel_extract_batch` and
+:class:`repro.experiments.config.ExperimentConfig`.  Environment
+variables provide deployment-time overrides without touching call
+sites:
+
+* ``REPRO_PARALLEL_MAX_RETRIES`` — pool rounds re-dispatching failed
+  chunks before the in-parent sequential fallback (default 2).
+* ``REPRO_PARALLEL_CHUNK_TIMEOUT`` — seconds a pool may stay silent
+  before the round is declared hung and its missing chunks retried
+  (default 300; ``0`` or ``none`` disables the timeout entirely, which
+  also disables hung-chunk/dead-worker detection).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: default pool rounds before the sequential fallback
+DEFAULT_MAX_RETRIES = 2
+
+#: default seconds of pool silence before a chunk counts as hung
+DEFAULT_CHUNK_TIMEOUT = 300.0
+
+_MAX_RETRIES_ENV = "REPRO_PARALLEL_MAX_RETRIES"
+_CHUNK_TIMEOUT_ENV = "REPRO_PARALLEL_CHUNK_TIMEOUT"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`~repro.core.parallel.parallel_extract_batch` survives faults.
+
+    Attributes:
+        max_retries: how many extra pool rounds may re-dispatch failed
+            chunks.  ``0`` means a single attempt, then straight to the
+            in-parent sequential fallback.  Failed pairs are never
+            dropped — the fallback is bounded but always complete.
+        chunk_timeout: seconds to wait for the *next* chunk result
+            before declaring the round hung (covers both a chunk lost
+            to an abruptly-dead worker — ``multiprocessing.Pool`` never
+            reports those — and a genuinely stuck chunk).  ``None``
+            waits forever.
+    """
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    chunk_timeout: "float | None" = DEFAULT_CHUNK_TIMEOUT
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be positive or None, got {self.chunk_timeout}"
+            )
+
+    @classmethod
+    def from_env(
+        cls,
+        max_retries: "int | None" = None,
+        chunk_timeout: "float | None" = None,
+        *,
+        use_timeout_arg: bool = False,
+    ) -> "RetryPolicy":
+        """Resolve a policy: explicit args, then env vars, then defaults.
+
+        ``chunk_timeout=None`` is ambiguous between "not given" and
+        "disable the timeout"; pass ``use_timeout_arg=True`` to force
+        the argument (including ``None``) to win over the environment.
+        """
+        if max_retries is None:
+            raw = os.environ.get(_MAX_RETRIES_ENV)
+            max_retries = int(raw) if raw else DEFAULT_MAX_RETRIES
+        if not use_timeout_arg and chunk_timeout is None:
+            raw = os.environ.get(_CHUNK_TIMEOUT_ENV)
+            if raw is None or not raw.strip():
+                chunk_timeout = DEFAULT_CHUNK_TIMEOUT
+            elif raw.strip().lower() in ("none", "0", "0.0"):
+                chunk_timeout = None
+            else:
+                chunk_timeout = float(raw)
+        return cls(max_retries=max_retries, chunk_timeout=chunk_timeout)

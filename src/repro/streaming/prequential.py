@@ -95,6 +95,7 @@ class StreamingSSFPredictor:
         self._seed = seed
 
         self.history = DynamicNetwork()
+        self._observed_times: list[float] = []
         self._window_pairs: list[Pair] = []
         self._window_labels: list[int] = []
         self._window_features: list[np.ndarray] = []
@@ -142,6 +143,7 @@ class StreamingSSFPredictor:
         for u, v, ts in edges:
             self.history.add_edge(u, v, ts)
         self._current_time = stamp
+        self._observed_times.append(stamp)
         self._observed_stamps += 1
         if self._observed_stamps % self.refit_every == 0:
             self._refit()
@@ -157,6 +159,14 @@ class StreamingSSFPredictor:
         return out
 
     def _sample_negatives(self, count: int, positives: list[Pair]) -> list[Pair]:
+        """Random non-linked pairs to pair with this stamp's positives.
+
+        A negative must be genuinely unlinked *in the knowledge the
+        features are extracted from*: pairs already connected somewhere
+        in the observed history are rejected alongside the current
+        stamp's positives — labelling a historical link 0 would feed the
+        model contradictory training data.
+        """
         nodes = self.history.nodes
         if len(nodes) < 3:
             return []
@@ -171,6 +181,8 @@ class StreamingSSFPredictor:
             u, v = nodes[int(i)], nodes[int(j)]
             key = frozenset((u, v))
             if key in forbidden:
+                continue
+            if self.history.has_edge(u, v):
                 continue
             forbidden.add(key)
             out.append((u, v))
@@ -198,20 +210,50 @@ class StreamingSSFPredictor:
         """Whether at least one refit has produced a usable model."""
         return self._model is not None
 
+    def _stream_step(self) -> float:
+        """The stream's characteristic inter-stamp spacing.
+
+        The median gap between observed timestamps — robust to a few
+        irregular bursts, and exactly 1.0 on the unit-spaced streams the
+        synthetic catalog produces.  Falls back to 1.0 until two stamps
+        have been observed (a single stamp has no gap to measure).
+        """
+        if len(self._observed_times) < 2:
+            return 1.0
+        gaps = np.diff(np.asarray(self._observed_times, dtype=np.float64))
+        step = float(np.median(gaps))
+        return step if step > 0.0 else 1.0
+
+    def scoring_time(self) -> float:
+        """The ``present_time`` used by :meth:`score`.
+
+        One stream step past the last observed stamp, where the step is
+        the observed median inter-stamp gap (:meth:`_stream_step`).  A
+        hard-coded ``+1.0`` would distort the ``exp(-θ·Δt)`` influence
+        whenever the stream's stamps are not unit-spaced: on a stream
+        with spacing 100 it would treat every historical link as ~one
+        step fresher than it is about to be at the next real stamp.
+        """
+        if self._current_time is None:
+            return 1.0
+        return self._current_time + self._stream_step()
+
     def score(self, pairs: Sequence[Pair]) -> np.ndarray:
         """Scores for candidate pairs at the current stream position.
 
         Before the first refit every pair scores 0 (no model yet).
+        Features are extracted at :meth:`scoring_time` — one observed
+        median inter-stamp gap past the newest history.
         """
         if not pairs:
             return np.zeros(0)
         if self._model is None or self.history.number_of_links() == 0:
             return np.zeros(len(pairs))
-        present = (
-            self._current_time + 1.0 if self._current_time is not None else 1.0
-        )
         extractor = SSFExtractor(
-            self.history, self.config, present_time=present, backend=self.backend
+            self.history,
+            self.config,
+            present_time=self.scoring_time(),
+            backend=self.backend,
         )
         features = extractor.extract_batch(list(pairs))
         return self._model.decision_scores(features)
@@ -263,7 +305,6 @@ def prequential_evaluate(
 
     warmup_end = stamps[int(len(stamps) * warmup_fraction)]
     result = PrequentialResult()
-    all_nodes = network.nodes
     for stamp in stamps:
         edges = by_stamp[stamp]
         if stamp > warmup_end and predictor.is_ready:
@@ -274,8 +315,14 @@ def prequential_evaluate(
                 if predictor.history.has_node(u) and predictor.history.has_node(v)
             ]
             if len(positives) >= min_positives:
+                # Negatives come from the nodes the predictor has
+                # actually seen — exactly the pool the positives were
+                # filtered to.  Sampling from the *full* network would
+                # admit nodes that only appear at future timestamps,
+                # whose degenerate (empty-history) features are trivial
+                # to rank below any real pair and inflate the AUC.
                 negatives = _random_negatives(
-                    all_nodes,
+                    predictor.history.nodes,
                     int(len(positives) * negative_ratio),
                     {frozenset(p) for p in positives},
                     rng,

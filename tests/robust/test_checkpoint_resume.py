@@ -1,0 +1,219 @@
+"""Checkpoint/resume: cell persistence, exactness, and the resume flow.
+
+The acceptance bar: a run killed partway and resumed into the same
+directory must produce ``MethodResult``\\ s *equal* to an uninterrupted
+run — exact float equality and bit-equal score arrays, not approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import MethodResult
+from repro.experiments.runner import run_dataset, run_table3, table3_manifest
+from repro.robust.checkpoint import CheckpointMismatchError, RunCheckpoint
+
+
+def assert_results_equal(a: MethodResult, b: MethodResult) -> None:
+    assert a.method == b.method
+    # Exact equality on purpose: the checkpoint round-trips floats via
+    # JSON shortest-repr and arrays via .npz, both bit-exact.
+    assert a.auc == pytest.approx(b.auc, abs=0.0)
+    assert a.f1 == pytest.approx(b.f1, abs=0.0)
+    assert set(a.extras) == set(b.extras)
+    for key, value in a.extras.items():
+        other = b.extras[key]
+        if isinstance(value, np.ndarray):
+            assert other.dtype == value.dtype
+            assert np.array_equal(other, value)
+        else:
+            assert other == pytest.approx(value, abs=0.0)
+
+
+class TestRunCheckpoint:
+    def test_result_roundtrip_exact(self, tmp_path):
+        rng = np.random.default_rng(0)
+        original = MethodResult(
+            method="SSF+NM",
+            auc=0.9134782964512347,
+            f1=1.0 / 3.0,
+            extras={"test_scores": rng.normal(size=37), "threshold": 0.125},
+        )
+        ckpt = RunCheckpoint(tmp_path)
+        ckpt.save_result("co-author", original)
+        restored = ckpt.load_result("co-author", "SSF+NM")
+        assert restored is not None
+        assert_results_equal(restored, original)
+        assert ckpt.has_result("co-author", "SSF+NM")
+        assert ckpt.completed_cells() == [("co-author", "SSF+NM")]
+
+    def test_missing_cell_is_none(self, tmp_path):
+        ckpt = RunCheckpoint(tmp_path)
+        assert ckpt.load_result("co-author", "CN") is None
+        assert not ckpt.has_result("co-author", "CN")
+
+    def test_corrupt_cell_recomputed(self, tmp_path):
+        ckpt = RunCheckpoint(tmp_path)
+        ckpt.save_result("co-author", MethodResult("CN", 0.5, 0.5))
+        path = tmp_path / "co-author" / "method_CN.json"
+        path.write_text("{ not json", encoding="utf-8")
+        assert ckpt.load_result("co-author", "CN") is None
+
+    def test_mislabelled_cell_recomputed(self, tmp_path):
+        # A cell file claiming to hold a different method is never trusted.
+        ckpt = RunCheckpoint(tmp_path)
+        ckpt.save_result("co-author", MethodResult("CN", 0.5, 0.5))
+        src = tmp_path / "co-author" / "method_CN.json"
+        (tmp_path / "co-author" / "method_AA.json").write_bytes(src.read_bytes())
+        assert ckpt.load_result("co-author", "AA") is None
+
+    def test_features_roundtrip_bit_exact(self, tmp_path):
+        rng = np.random.default_rng(1)
+        train, test = rng.normal(size=(10, 6)), rng.normal(size=(4, 6))
+        ckpt = RunCheckpoint(tmp_path)
+        ckpt.save_features("co-author", "ssf", train, test)
+        loaded = ckpt.load_features("co-author", "ssf")
+        assert loaded is not None
+        assert np.array_equal(loaded[0], train) and loaded[0].dtype == train.dtype
+        assert np.array_equal(loaded[1], test) and loaded[1].dtype == test.dtype
+        assert ckpt.load_features("co-author", "wlf") is None
+
+    def test_manifest_mismatch_refused(self, tmp_path):
+        ckpt = RunCheckpoint(tmp_path)
+        manifest = table3_manifest(["co-author"], ExperimentConfig(), ["CN"], 0, 1.0)
+        ckpt.ensure_manifest(manifest)
+        ckpt.ensure_manifest(manifest)  # identical settings: fine
+        drifted = table3_manifest(["co-author"], ExperimentConfig(), ["CN"], 1, 1.0)
+        with pytest.raises(CheckpointMismatchError):
+            ckpt.ensure_manifest(drifted)
+
+
+class TestResumeFlow:
+    METHODS = ("CN", "SSFLR", "SSFNM")
+    CONFIG = replace(ExperimentConfig().fast(), k=6)
+
+    @pytest.fixture(scope="class")
+    def baseline(self, toy_network):
+        """The uninterrupted run every resumed run must reproduce."""
+        return run_dataset(
+            toy_network, config=self.CONFIG, methods=self.METHODS
+        )
+
+    def test_resumed_run_equals_uninterrupted(
+        self, toy_network, baseline, tmp_path, metrics
+    ):
+        ckpt = RunCheckpoint(tmp_path)
+        # "Kill" the run after two cells: only CN and SSFLR complete.
+        partial = run_dataset(
+            toy_network,
+            config=self.CONFIG,
+            methods=("CN", "SSFLR"),
+            checkpoint=ckpt,
+            dataset_name="toy",
+        )
+        assert sorted(ckpt.completed_cells()) == [("toy", "CN"), ("toy", "SSFLR")]
+        for name, result in partial.items():
+            assert_results_equal(result, baseline[name])
+
+        # Resume the full method list into the same directory: completed
+        # cells come off disk, SSFNM reuses the checkpointed feature
+        # matrices, and everything equals the uninterrupted run exactly.
+        resumed = run_dataset(
+            toy_network,
+            config=self.CONFIG,
+            methods=self.METHODS,
+            checkpoint=RunCheckpoint(tmp_path),
+            dataset_name="toy",
+        )
+        for name in self.METHODS:
+            assert_results_equal(resumed[name], baseline[name])
+        assert metrics.counter("robust.resumed_cells") == 2.0
+        # both ssf kinds restored instead of re-extracted
+        assert metrics.counter("robust.resumed_features") >= 2.0
+
+    def test_second_pass_is_fully_resumed(self, toy_network, baseline, tmp_path, metrics):
+        ckpt_dir = tmp_path / "run"
+        first = run_dataset(
+            toy_network,
+            config=self.CONFIG,
+            methods=self.METHODS,
+            checkpoint=RunCheckpoint(ckpt_dir),
+            dataset_name="toy",
+        )
+        second = run_dataset(
+            toy_network,
+            config=self.CONFIG,
+            methods=self.METHODS,
+            checkpoint=RunCheckpoint(ckpt_dir),
+            dataset_name="toy",
+        )
+        for name in self.METHODS:
+            assert_results_equal(first[name], baseline[name])
+            assert_results_equal(second[name], first[name])
+        assert metrics.counter("robust.resumed_cells") == float(len(self.METHODS))
+
+
+class TestTable3Checkpointing:
+    def test_run_table3_resumes_and_guards_settings(self, tmp_path, metrics):
+        config = replace(ExperimentConfig().fast(), k=6, max_positives=30)
+        kwargs = dict(
+            datasets=["co-author"],
+            config=config,
+            methods=["CN"],
+            seed=0,
+            scale=0.15,
+        )
+        first = run_table3(checkpoint_dir=str(tmp_path), **kwargs)
+        assert (tmp_path / "manifest.json").exists()
+        second = run_table3(checkpoint_dir=str(tmp_path), **kwargs)
+        assert_results_equal(
+            second["co-author"]["CN"], first["co-author"]["CN"]
+        )
+        assert metrics.counter("robust.resumed_cells") == 1.0
+        with pytest.raises(CheckpointMismatchError):
+            run_table3(checkpoint_dir=str(tmp_path), **dict(kwargs, seed=1))
+
+
+class TestCLI:
+    def test_resume_requires_existing_directory(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "table3",
+                    "--dataset",
+                    "co-author",
+                    "--resume",
+                    str(tmp_path / "does-not-exist"),
+                ]
+            )
+
+    def test_checkpoint_dir_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_dir = tmp_path / "run"
+        argv = [
+            "table3",
+            "--dataset",
+            "co-author",
+            "--scale",
+            "0.15",
+            "--max-positives",
+            "30",
+            "--methods",
+            "CN",
+            "--checkpoint-dir",
+            str(run_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert (run_dir / "co-author" / "method_CN.json").exists()
+        # --resume into the populated directory reproduces the table
+        resumed_argv = argv[:-2] + ["--resume", str(run_dir)]
+        assert main(resumed_argv) == 0
+        assert capsys.readouterr().out == first

@@ -1,0 +1,91 @@
+"""The fault-injection harness itself: arming, budgets, restoration."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.robust import InjectedFault, inject
+from repro.robust import faults
+
+
+class TestInject:
+    def test_sets_and_restores_env(self):
+        assert "REPRO_FAULT_SHM_EXPORT" not in os.environ
+        with inject("shm_export"):
+            assert os.environ["REPRO_FAULT_SHM_EXPORT"] == "1"
+        assert "REPRO_FAULT_SHM_EXPORT" not in os.environ
+
+    def test_restores_previous_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SHM_EXPORT", "old")
+        with inject("shm_export", "new"):
+            assert os.environ["REPRO_FAULT_SHM_EXPORT"] == "new"
+        assert os.environ["REPRO_FAULT_SHM_EXPORT"] == "old"
+
+    def test_sets_budget_env(self, tmp_path):
+        with inject("shm_export", fires=3, state_dir=str(tmp_path)):
+            assert os.environ["REPRO_FAULT_SHM_EXPORT_FIRES"] == "3"
+            assert os.environ["REPRO_FAULT_STATE_DIR"] == str(tmp_path)
+        assert "REPRO_FAULT_SHM_EXPORT_FIRES" not in os.environ
+
+
+class TestMaybeRaise:
+    def test_unarmed_is_noop(self):
+        faults.maybe_raise("shm_export")  # must not raise
+
+    def test_armed_raises_injected_fault(self):
+        with inject("shm_export"):
+            with pytest.raises(InjectedFault):
+                faults.maybe_raise("shm_export")
+
+    def test_injected_fault_is_oserror(self):
+        # Production shm error handling is `except OSError`; the injected
+        # stand-in must travel the exact same path.
+        assert issubclass(InjectedFault, OSError)
+
+    def test_unlimited_without_state_dir(self):
+        with inject("shm_attach"):
+            for _ in range(5):
+                with pytest.raises(InjectedFault):
+                    faults.maybe_raise("shm_attach")
+
+    def test_fire_budget_exhausts(self, tmp_path):
+        with inject("shm_attach", fires=2, state_dir=str(tmp_path)):
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    faults.maybe_raise("shm_attach")
+            faults.maybe_raise("shm_attach")  # budget spent: no-op
+
+
+class TestMaybeSlowChunk:
+    def test_unarmed_is_noop(self):
+        started = time.perf_counter()
+        faults.maybe_slow_chunk(0)
+        assert time.perf_counter() - started < 0.5
+
+    def test_only_target_chunk_sleeps(self):
+        with inject("slow_chunk", "3:0.05"):
+            started = time.perf_counter()
+            faults.maybe_slow_chunk(0)
+            assert time.perf_counter() - started < 0.04
+            started = time.perf_counter()
+            faults.maybe_slow_chunk(3)
+            assert time.perf_counter() - started >= 0.04
+
+
+class TestMaybeCrashWorker:
+    def test_unarmed_is_noop(self):
+        faults.maybe_crash_worker(0)  # surviving this line is the assertion
+
+    def test_other_indices_survive(self):
+        with inject("worker_crash", "5"):
+            faults.maybe_crash_worker(4)
+            faults.maybe_crash_worker(6)
+        # index 5 itself would os._exit(86) — exercised via a real pool in
+        # test_parallel_retry.py, never in the test process.
+
+    def test_exhausted_budget_survives(self, tmp_path):
+        with inject("worker_crash", "5", fires=0, state_dir=str(tmp_path)):
+            faults.maybe_crash_worker(5)

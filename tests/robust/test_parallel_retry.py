@@ -1,0 +1,113 @@
+"""Fault-tolerant pool extraction: retries, fallback, chunking, policy.
+
+Every recovery path must return features **bit-identical** to the
+fault-free sequential run — that is the contract the experiments lean
+on, and it holds because retries are pure re-execution of a
+deterministic extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import parallel_extract_batch
+from repro.robust import RetryPolicy, inject
+
+
+def pooled(case, **kwargs):
+    defaults = dict(
+        present_time=case.present,
+        workers=2,
+        min_pairs=1,
+        retry=RetryPolicy(max_retries=2, chunk_timeout=5.0),
+    )
+    defaults.update(kwargs)
+    return parallel_extract_batch(case.history, case.config, case.pairs, **defaults)
+
+
+class TestCrashRecovery:
+    def test_single_crash_retried_bit_identical(
+        self, extraction_case, tmp_path, metrics
+    ):
+        # The worker holding global pair index 3 dies hard exactly once;
+        # the respawned pool re-runs only the lost chunk.
+        with inject("worker_crash", "3", fires=1, state_dir=str(tmp_path)):
+            result = pooled(extraction_case)
+        assert np.array_equal(result, extraction_case.reference)
+        assert metrics.counter("robust.retries") >= 1.0
+        assert metrics.counter("robust.fallbacks") == 0.0
+
+    def test_persistent_crash_falls_back_sequential(self, extraction_case, metrics):
+        # No fire budget: the crash hits every pool round, so after
+        # max_retries the parent must extract the stragglers itself —
+        # slower, but complete and still bit-identical.
+        with inject("worker_crash", "3"):
+            result = pooled(
+                extraction_case, retry=RetryPolicy(max_retries=1, chunk_timeout=3.0)
+            )
+        assert np.array_equal(result, extraction_case.reference)
+        assert metrics.counter("robust.fallbacks") >= 1.0
+
+    def test_hung_chunk_times_out_and_is_retried(
+        self, extraction_case, tmp_path, metrics
+    ):
+        # Chunk 0 sleeps far past the timeout once; the round is declared
+        # hung, the pool torn down, and the chunk re-run cleanly.
+        with inject("slow_chunk", "0:30", fires=1, state_dir=str(tmp_path)):
+            result = pooled(
+                extraction_case, retry=RetryPolicy(max_retries=2, chunk_timeout=2.0)
+            )
+        assert np.array_equal(result, extraction_case.reference)
+        assert metrics.counter("robust.retries") >= 1.0
+
+
+class TestChunking:
+    def test_chunksize_zero_rejected(self, extraction_case):
+        # Regression: `if chunksize:` silently replaced an explicit 0
+        # with the default; the guard must see it and refuse.
+        with pytest.raises(ValueError, match="chunksize"):
+            pooled(extraction_case, chunksize=0)
+
+    def test_negative_chunksize_rejected(self, extraction_case):
+        with pytest.raises(ValueError, match="chunksize"):
+            pooled(extraction_case, chunksize=-2)
+
+    def test_explicit_chunksize_bit_identical(self, extraction_case):
+        result = pooled(extraction_case, chunksize=7)
+        assert np.array_equal(result, extraction_case.reference)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(chunk_timeout=0.0)
+        assert RetryPolicy(chunk_timeout=None).chunk_timeout is None
+
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_MAX_RETRIES", raising=False)
+        monkeypatch.delenv("REPRO_PARALLEL_CHUNK_TIMEOUT", raising=False)
+        policy = RetryPolicy.from_env()
+        assert policy == RetryPolicy()
+
+    def test_from_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_PARALLEL_CHUNK_TIMEOUT", "12.5")
+        policy = RetryPolicy.from_env()
+        assert policy.max_retries == 5
+        assert policy.chunk_timeout == pytest.approx(12.5)
+
+    def test_from_env_none_disables_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_CHUNK_TIMEOUT", "none")
+        assert RetryPolicy.from_env().chunk_timeout is None
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_PARALLEL_CHUNK_TIMEOUT", "12.5")
+        policy = RetryPolicy.from_env(
+            max_retries=1, chunk_timeout=None, use_timeout_arg=True
+        )
+        assert policy.max_retries == 1
+        assert policy.chunk_timeout is None

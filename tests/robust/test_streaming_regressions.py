@@ -1,0 +1,122 @@
+"""Regression pins for the streaming correctness fixes.
+
+Three bugs, three pins:
+
+1. ``_sample_negatives`` used to label historically-linked pairs as
+   negatives, feeding the online model contradictory training data.
+2. ``prequential_evaluate`` used to sample negatives from the *full*
+   network's nodes, admitting future-only nodes whose empty-history
+   features trivially rank last and inflate the AUC.
+3. ``score()`` used to hard-code ``present = current_time + 1.0``,
+   distorting the ``exp(-θ·Δt)`` influence on non-unit-spaced streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.streaming.prequential as prequential
+from repro.datasets.synthetic import EventModelConfig, generate_event_network
+from repro.streaming.prequential import (
+    StreamingSSFPredictor,
+    prequential_evaluate,
+)
+
+
+class TestNegativeSamplingExcludesHistory:
+    def test_negatives_never_linked_in_history(self):
+        # A near-complete 8-node history: random pairs are almost always
+        # linked, so a sampler without the history check cannot miss.
+        predictor = StreamingSSFPredictor(seed=3)
+        nodes = list(range(8))
+        spared = {frozenset((0, 1)), frozenset((2, 3)), frozenset((4, 5))}
+        edges = [
+            (u, v, 1.0)
+            for i, u in enumerate(nodes)
+            for v in nodes[i + 1 :]
+            if frozenset((u, v)) not in spared
+        ]
+        predictor.observe(edges)
+        negatives = predictor._sample_negatives(3, positives=[])
+        assert negatives, "dense history still has unlinked pairs to offer"
+        for u, v in negatives:
+            assert not predictor.history.has_edge(u, v)
+            assert frozenset((u, v)) in spared
+
+    def test_positives_of_the_stamp_still_excluded(self):
+        predictor = StreamingSSFPredictor(seed=0)
+        predictor.observe([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        positives = [(0, 3)]
+        negatives = predictor._sample_negatives(5, positives)
+        assert frozenset((0, 3)) not in {frozenset(p) for p in negatives}
+
+
+class TestScoringTime:
+    def make(self):
+        return StreamingSSFPredictor(seed=0)
+
+    def test_no_history_defaults_to_one(self):
+        assert self.make().scoring_time() == pytest.approx(1.0)
+
+    def test_single_stamp_steps_by_one(self):
+        predictor = self.make()
+        predictor.observe([(0, 1, 7.0)])
+        assert predictor.scoring_time() == pytest.approx(8.0)
+
+    def test_median_gap_replaces_hardcoded_unit_step(self):
+        # Stamps 10, 20, 30: the old `+ 1.0` would score at 31 and treat
+        # every link as ~one spacing fresher than the next real stamp.
+        predictor = self.make()
+        predictor.observe([(0, 1, 10.0)])
+        predictor.observe([(1, 2, 20.0)])
+        predictor.observe([(2, 3, 30.0)])
+        assert predictor.scoring_time() == pytest.approx(40.0)
+
+    def test_median_is_robust_to_burst_gaps(self):
+        predictor = self.make()
+        for i, stamp in enumerate((0.0, 1.0, 2.0, 3.0, 103.0)):
+            predictor.observe([(i, i + 1, stamp)])
+        assert predictor.scoring_time() == pytest.approx(104.0)
+
+
+class TestEvaluateSamplesFromObservedNodes:
+    FUTURE_BASE = 10_000
+
+    def test_future_only_nodes_never_in_negative_pool(self, monkeypatch):
+        config = EventModelConfig(
+            n_nodes=40,
+            n_links=400,
+            span=16,
+            repeat_prob=0.3,
+            closure_prob=0.25,
+            pa_prob=0.25,
+            final_fraction=0.1,
+        )
+        network = generate_event_network(config, seed=11)
+        # Nodes >= FUTURE_BASE exist only at a brand-new final stamp —
+        # the regression admitted them into every window's negative pool.
+        last = max(network.timestamp_set())
+        for i in range(6):
+            network.add_edge(
+                self.FUTURE_BASE + i, self.FUTURE_BASE + i + 1, last + 1.0
+            )
+
+        pools: list[list] = []
+        real_sampler = prequential._random_negatives
+
+        def recording_sampler(nodes, count, forbidden, rng):
+            pools.append(list(nodes))
+            return real_sampler(nodes, count, forbidden, rng)
+
+        monkeypatch.setattr(prequential, "_random_negatives", recording_sampler)
+        result = prequential_evaluate(
+            network,
+            StreamingSSFPredictor(seed=0),
+            warmup_fraction=0.4,
+            min_positives=3,
+            seed=0,
+        )
+        assert pools, "the stream must score at least one window"
+        assert result.aucs
+        for pool in pools:
+            assert all(node < self.FUTURE_BASE for node in pool)
