@@ -17,15 +17,14 @@ pytest-benchmark needed — this is what the CI bench smoke step runs)::
         --nodes 5000 --pairs 200
 
 which writes ``BENCH_extraction.json`` (pairs/sec per backend) at the
-repository root.
+repository root and appends a stamped record (seed, git SHA, machine
+fingerprint) to ``BENCH_history.jsonl`` — pass ``--no-history`` to skip
+the append.  ``repro bench --compare BASELINE`` gates on regressions.
 """
 
 import argparse
 import json
-import time
 from pathlib import Path
-
-import numpy as np
 
 import pytest
 
@@ -36,8 +35,6 @@ from repro.core.feature import SSFConfig, SSFExtractor
 from repro.core.palette_wl import palette_wl_order
 from repro.core.structure import combine_structures
 from repro.core.subgraph import h_hop_node_set
-from repro.graph.csr import CSRSnapshot
-from repro.graph.temporal import DynamicNetwork
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -158,24 +155,12 @@ def test_extraction_metrics_snapshot(network, sample_pairs):
 
 # ----------------------------------------------------------------------
 # dict-vs-csr backend comparison (script mode — the CI bench smoke step)
+#
+# The implementation lives in repro.obs.bench so the CLI (`repro bench`)
+# and the history/regression tooling share it; these names stay as
+# aliases for anyone driving the benchmark from this file.
 # ----------------------------------------------------------------------
-def synthetic_network(n_nodes: int, avg_degree: float = 4.0, n_ts: int = 100,
-                      seed: int = 0) -> DynamicNetwork:
-    """A random temporal multigraph at a chosen node count.
-
-    Edges are uniform random pairs (about ``avg_degree / 2`` links per
-    node) over ``n_ts`` distinct integer timestamps — enough collision
-    density to exercise multi-links and duplicate stamps at scale.
-    """
-    rng = np.random.default_rng(seed)
-    n_edges = int(n_nodes * avg_degree / 2)
-    g = DynamicNetwork()
-    endpoints = rng.integers(0, n_nodes, size=(n_edges, 2))
-    stamps = rng.integers(1, n_ts + 1, size=n_edges)
-    for (u, v), ts in zip(endpoints, stamps):
-        if u != v:
-            g.add_edge(int(u), int(v), float(ts))
-    return g
+from repro.obs.bench import run_extraction_bench, synthetic_network  # noqa: E402,F401
 
 
 def run_backend_comparison(
@@ -184,63 +169,24 @@ def run_backend_comparison(
     k: int = 10,
     seed: int = 0,
     out_path: "Path | None" = None,
+    history_path: "Path | None" = None,
 ) -> dict:
     """Time single-process SSF extraction on both backends, same pairs.
 
-    The csr timing INCLUDES the one-off snapshot freeze (built once per
-    observed window, amortised over the batch — exactly how the runner
-    uses it).  Writes ``BENCH_extraction.json`` at the repo root.
+    Delegates to :func:`repro.obs.bench.run_extraction_bench`.  Writes
+    the latest result to ``BENCH_extraction.json`` at the repo root and
+    appends a stamped record (seed, git SHA, machine fingerprint) to
+    ``BENCH_history.jsonl`` unless ``history_path`` is explicitly
+    disabled by the caller.
     """
-    network = synthetic_network(n_nodes, seed=seed)
-    rng = np.random.default_rng(seed + 1)
-    nodes = network.nodes
-    pairs = []
-    while len(pairs) < n_pairs:
-        i, j = rng.integers(0, len(nodes), size=2)
-        if i != j:
-            pairs.append((nodes[int(i)], nodes[int(j)]))
-    config = SSFConfig(k=k)
-
-    started = time.perf_counter()
-    dict_extractor = SSFExtractor(network, config, backend="dict")
-    dict_features = [dict_extractor.extract(a, b) for a, b in pairs]
-    dict_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    snapshot = CSRSnapshot.from_dynamic(network)
-    build_seconds = time.perf_counter() - started
-    csr_extractor = SSFExtractor(snapshot, config)
-    csr_features = [csr_extractor.extract(a, b) for a, b in pairs]
-    csr_seconds = time.perf_counter() - started
-
-    identical = all(
-        np.array_equal(d, c) for d, c in zip(dict_features, csr_features)
+    return run_extraction_bench(
+        n_nodes=n_nodes,
+        n_pairs=n_pairs,
+        k=k,
+        seed=seed,
+        out_path=out_path or REPO_ROOT / "BENCH_extraction.json",
+        history_path=history_path,
     )
-    result = {
-        "nodes": network.number_of_nodes(),
-        "links": network.number_of_links(),
-        "pairs": len(pairs),
-        "k": k,
-        "seed": seed,
-        "bit_identical": identical,
-        "backends": {
-            "dict": {
-                "seconds": round(dict_seconds, 4),
-                "pairs_per_second": round(len(pairs) / dict_seconds, 2),
-            },
-            "csr": {
-                "seconds": round(csr_seconds, 4),
-                "snapshot_build_seconds": round(build_seconds, 4),
-                "pairs_per_second": round(len(pairs) / csr_seconds, 2),
-            },
-        },
-        "speedup": round(dict_seconds / csr_seconds, 2),
-    }
-    out_path = out_path or REPO_ROOT / "BENCH_extraction.json"
-    with open(out_path, "w", encoding="utf-8") as fh:
-        json.dump(result, fh, indent=1, sort_keys=True)
-        fh.write("\n")
-    return result
 
 
 def main() -> int:
@@ -252,6 +198,17 @@ def main() -> int:
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=REPO_ROOT / "BENCH_history.jsonl",
+        help="JSONL trajectory file every run is appended to",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the BENCH_history.jsonl append",
+    )
     args = parser.parse_args()
     result = run_backend_comparison(
         n_nodes=args.nodes,
@@ -259,6 +216,7 @@ def main() -> int:
         k=args.k,
         seed=args.seed,
         out_path=args.out,
+        history_path=None if args.no_history else args.history,
     )
     print(json.dumps(result, indent=1, sort_keys=True))
     if not result["bit_identical"]:

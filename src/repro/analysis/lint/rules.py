@@ -661,7 +661,17 @@ class AnnotationCoverageRule(Rule):
     id = "R305"
     name = "annotation-coverage"
     summary = "missing parameter/return annotations in strict-typed packages"
-    scope = ("repro.core", "repro.graph", "repro.analysis", "repro.utils", "repro.robust")
+    scope = (
+        "repro.core",
+        "repro.graph",
+        "repro.analysis",
+        "repro.utils",
+        "repro.robust",
+        "repro.obs.aggregate",
+        "repro.obs.export",
+        "repro.obs.bench",
+        "repro.obs.report",
+    )
 
     def _check(
         self, ctx: ModuleContext, node: "ast.FunctionDef | ast.AsyncFunctionDef"

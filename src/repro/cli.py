@@ -13,10 +13,13 @@ command        regenerates
 ``patterns``   one Fig. 6 panel (most frequent K-structure pattern)
 ``motivating`` the Fig. 1 celebrity/fan walkthrough
 ``crossval``   rolling-origin temporal cross-validation (extension)
-``report``     a one-shot markdown report for one dataset (extension)
+``report``     a one-shot markdown dataset report, or — with ``--metrics``
+               / ``--checkpoint`` / ``--bench`` — a run report joining
+               observability artefacts (metrics, checkpoints, benchmarks)
 ``recommend``  top-N partner suggestions for one node (extension)
 ``stream``     prequential test-then-train streaming evaluation (extension)
 ``profile``    per-stage extraction timing/ratio profile (observability)
+``bench``      extraction throughput benchmark + history + regression gate
 ``lint``       repo-specific determinism/contract static analysis
 =============  ============================================================
 
@@ -25,9 +28,13 @@ Dataset selection: ``--dataset <name>`` for a synthetic catalog network
 edge list (optionally ``--span`` to normalise the timestamps).
 
 Observability: the global ``--log-level``/``--log-json`` flags control
-diagnostic logging (stderr; command output stays on stdout), and
-``--metrics-out PATH`` on experiment commands dumps the metrics-registry
-snapshot as JSON after the run.  See docs/OBSERVABILITY.md.
+diagnostic logging (stderr; command output stays on stdout).  On
+experiment commands, ``--metrics-out PATH`` dumps the metrics-registry
+snapshot (worker metrics included — pool workers ship theirs back at
+chunk boundaries) and ``--trace-out PATH`` writes the recorded spans as
+Chrome Trace Event JSON for Perfetto.  ``repro report --metrics ...``
+joins those artefacts into a run report and ``repro bench --compare``
+gates on throughput regressions.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -108,6 +115,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="write the metrics-registry snapshot to this JSON file",
         )
+        sub.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            help="record completed spans (parent and pool workers) and "
+            "write them as Chrome Trace Event JSON — open in Perfetto "
+            "or chrome://tracing",
+        )
 
     sub = commands.add_parser("stats", help="network statistics report")
     add_dataset_args(sub)
@@ -164,11 +178,38 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--folds", type=int, default=3)
 
     sub = commands.add_parser(
-        "report", help="full markdown report for one dataset"
+        "report",
+        help="markdown report: dataset walkthrough, or (with --metrics/"
+        "--checkpoint/--bench) a run report joining observability artefacts",
     )
     add_dataset_args(sub)
     add_experiment_args(sub)
     sub.add_argument("--output", help="write the report to this file")
+    sub.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="run-report mode: metrics snapshot JSON (from --metrics-out)",
+    )
+    sub.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="run-report mode: checkpoint run directory to summarise",
+    )
+    sub.add_argument(
+        "--bench",
+        metavar="PATH",
+        help="run-report mode: latest benchmark result JSON",
+    )
+    sub.add_argument(
+        "--bench-history",
+        metavar="PATH",
+        help="run-report mode: BENCH_history.jsonl trajectory",
+    )
+    sub.add_argument(
+        "--json-out",
+        metavar="PATH",
+        help="run-report mode: also write the report as JSON there",
+    )
 
     sub = commands.add_parser(
         "recommend", help="top-N partner suggestions for one node"
@@ -208,6 +249,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="SSF entry mode to profile",
     )
     add_metrics_out(sub)
+
+    sub = commands.add_parser(
+        "bench",
+        help="extraction throughput benchmark + history + regression gate",
+    )
+    sub.add_argument("--nodes", type=int, default=800)
+    sub.add_argument("--pairs", type=int, default=60)
+    sub.add_argument("--k", type=int, default=10)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--out", metavar="PATH", help="write the latest result JSON there"
+    )
+    sub.add_argument(
+        "--history",
+        metavar="PATH",
+        help="append a stamped record (seed, git SHA, machine fingerprint) "
+        "to this JSONL trajectory",
+    )
+    sub.add_argument(
+        "--current",
+        metavar="PATH",
+        help="compare this existing result instead of running the benchmark",
+    )
+    sub.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="diff against this baseline result/record JSON; exit non-zero "
+        "when any backend's pairs/sec regressed beyond --max-regression",
+    )
+    sub.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="tolerated pairs/sec drop as a fraction of baseline (noise "
+        "threshold, default 0.30)",
+    )
 
     sub = commands.add_parser(
         "lint", help="determinism/contract static analysis (see docs/STATIC_ANALYSIS.md)"
@@ -367,6 +444,24 @@ def _cmd_crossval(args: argparse.Namespace) -> str:
 def _cmd_report(args: argparse.Namespace) -> str:
     from repro.experiments.report import generate_report
 
+    # run-report mode: any observability artefact flag switches the
+    # command from the dataset walkthrough to the artefact joiner
+    if args.metrics or args.checkpoint or args.bench or args.bench_history:
+        from repro.obs.report import run_report
+
+        report = run_report(
+            metrics_path=args.metrics,
+            checkpoint_dir=args.checkpoint,
+            bench_path=args.bench,
+            history_path=args.bench_history,
+            json_out=args.json_out,
+        )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(report)
+            return f"run report written to {args.output}"
+        return report
+
     name, network = _load_network(args)
     report = generate_report(network, name=name, config=_config(args))
     if args.output:
@@ -437,8 +532,50 @@ def _cmd_profile(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_bench(args: argparse.Namespace) -> "str | tuple[str, int]":
+    import json
+
+    from repro.obs.bench import compare_results, run_extraction_bench
+
+    # load the baseline FIRST: --out and --compare may name the same
+    # file, and the gate must diff against the committed state, not the
+    # result this very run is about to write
+    baseline = None
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+
+    parts: list[str] = []
+    if args.current:
+        with open(args.current, "r", encoding="utf-8") as fh:
+            current = json.load(fh)
+        parts.append(f"loaded current result from {args.current}")
+    else:
+        current = run_extraction_bench(
+            n_nodes=args.nodes,
+            n_pairs=args.pairs,
+            k=args.k,
+            seed=args.seed,
+            out_path=args.out,
+            history_path=args.history,
+        )
+        parts.append(json.dumps(current, indent=1, sort_keys=True))
+        if not current["bit_identical"]:
+            parts.append("FAIL: backends disagree")
+            return "\n\n".join(parts), 1
+
+    if baseline is not None:
+        comparison = compare_results(
+            current, baseline, max_regression=args.max_regression
+        )
+        parts.append(comparison.format())
+        return "\n\n".join(parts), 0 if comparison.ok else 1
+    return "\n\n".join(parts)
+
+
 _HANDLERS = {
     "lint": execute_lint,
+    "bench": _cmd_bench,
     "stats": _cmd_stats,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -458,12 +595,17 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     obs.configure_logging(level=args.log_level, json_lines=args.log_json)
     metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
     # observability records only when something will consume it: a
-    # metrics dump was requested or the command *is* the profiler.
-    activate = bool(metrics_out) or args.command == "profile"
+    # metrics/trace dump was requested or the command *is* the profiler.
+    activate = bool(metrics_out) or bool(trace_out) or args.command == "profile"
     was_enabled = obs.enabled()
+    was_recording = obs.recording()
     if activate:
         obs.enable()
+    if trace_out:
+        obs.drain_span_records()  # stale records must not leak into the file
+        obs.record_spans(True)
     exit_code = 0
     try:
         result = _HANDLERS[args.command](args)
@@ -476,7 +618,12 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             with open(metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(obs.get_registry().to_json() + "\n")
             _LOG.info("metrics snapshot written to %s", metrics_out)
+        if trace_out:
+            written = obs.write_trace(trace_out)
+            _LOG.info("%d trace events written to %s", written, trace_out)
     finally:
+        if trace_out:
+            obs.record_spans(was_recording)
         if activate and not was_enabled:
             obs.disable()
     return exit_code

@@ -33,6 +33,18 @@ the ``spawn``-path shared-memory export or attach fails (shm exhaustion,
 permissions), the batch degrades to a pickled payload with a warning
 instead of aborting.  Counters: ``robust.retries``, ``robust.fallbacks``.
 
+Observability (see docs/OBSERVABILITY.md): the parent's observability
+switches are forwarded to every worker through the pool initializer, and
+each worker drains its process-local registry (as a mergeable delta) and
+any recorded spans at every chunk boundary, piggybacked on the chunk
+result.  The parent merges the payloads as results land, so one registry
+snapshot / one Chrome trace describes the whole run — worker-side stage
+timings included, across retried rounds and in-parent fallbacks.  The
+counter ``parallel.pairs_extracted`` is bumped on every path (pool
+chunk, sequential, parent fallback), so its merged value always equals
+the number of pairs extracted.  When observability is disabled the
+payload slot ships ``None`` and nothing else changes.
+
 Results are order-preserving and bit-identical to the sequential path —
 guaranteed by the differential tests — so callers can enable workers
 freely.  For small batches the pool start-up costs more than it saves;
@@ -55,6 +67,13 @@ from repro.core.feature import SSFConfig, SSFExtractor
 from repro.graph.csr import CSRSnapshot, SharedSnapshotHandle
 from repro.graph.temporal import DynamicNetwork
 from repro.obs import enabled as obs_enabled, get_logger, incr, observe, set_gauge, span
+from repro.obs.aggregate import (
+    ObsState,
+    apply_worker_obs_state,
+    collect_worker_payload,
+    merge_worker_payload,
+    parent_obs_state,
+)
 from repro.robust import RetryPolicy
 from repro.robust import faults
 
@@ -114,6 +133,7 @@ def _initialize(
     config: SSFConfig,
     present_time: float,
     modes: "tuple[str, ...] | None",
+    obs_state: "ObsState | None" = None,
 ) -> None:
     """Install the per-worker extractor.
 
@@ -121,12 +141,17 @@ def _initialize(
     inherited through fork — zero-copy — or pickled by spawn), ``"csr_shared"``
     (a :class:`SharedSnapshotHandle` to attach to), or ``"dict"`` (the
     DynamicNetwork itself, inherited or pickled by the start method).
+    ``obs_state`` forwards the parent's observability switches so the
+    worker's instrumentation records (and ships) exactly when the
+    parent's does.
 
     Never raises: failures are recorded in ``_worker_init_error`` and
     re-raised per chunk, so the parent sees one clean error instead of a
     pool stuck respawning crashed workers.
     """
     global _worker_extractor, _worker_modes, _worker_init_seconds, _worker_init_error
+    if obs_state is not None:
+        apply_worker_obs_state(obs_state)
     started = time.perf_counter()
     _worker_init_error = None
     with span("parallel.worker_init", kind=kind):
@@ -170,17 +195,25 @@ def _extract_one(pair: Pair) -> "np.ndarray | dict[str, np.ndarray]":
 
 def _extract_chunk(
     task: ChunkTask,
-) -> "tuple[int, list[np.ndarray | dict[str, np.ndarray]]]":
-    """Worker entry point: extract one indexed chunk of pairs."""
+) -> "tuple[int, list[np.ndarray | dict[str, np.ndarray]], dict | None]":
+    """Worker entry point: extract one indexed chunk of pairs.
+
+    Returns ``(chunk index, rows, observability payload)``; the payload
+    is the worker's metrics delta + recorded spans since its previous
+    chunk (``None`` when observability is off), merged parent-side by
+    :func:`repro.obs.aggregate.merge_worker_payload`.
+    """
     index, offset, pairs = task
     if _worker_init_error is not None:
         raise _WorkerInitError(*_worker_init_error)
     faults.maybe_slow_chunk(index)
     rows: "list[np.ndarray | dict[str, np.ndarray]]" = []
-    for position, pair in enumerate(pairs):
-        faults.maybe_crash_worker(offset + position)
-        rows.append(_extract_one(pair))
-    return index, rows
+    with span("parallel.worker_chunk", chunk=index, pairs=len(pairs)):
+        for position, pair in enumerate(pairs):
+            faults.maybe_crash_worker(offset + position)
+            rows.append(_extract_one(pair))
+        incr("parallel.pairs_extracted", len(pairs))
+    return index, rows, collect_worker_payload()
 
 
 def _init_probe(_index: int) -> tuple[int, float]:
@@ -254,6 +287,7 @@ def parallel_extract_batch(
                     modes,
                     reference.feature_dim,
                 )
+            incr("parallel.pairs_extracted", len(pair_list))
         _record_throughput(pair_list, started, workers=1)
         return result
 
@@ -297,6 +331,7 @@ def parallel_extract_batch(
     snapshot: "CSRSnapshot | None" = None
     handle: "SharedSnapshotHandle | None" = None
     init_args: "tuple[Any, ...]"
+    obs_state = parent_obs_state()
     try:
         if resolved_backend == "csr":
             snapshot = reference.snapshot
@@ -304,19 +339,19 @@ def parallel_extract_batch(
             # children share its pages instead of each recomputing it.
             snapshot.influence_table(resolved_present, config.theta)
             if fork_available:
-                init_args = ("csr", snapshot, config, resolved_present, modes)
+                init_args = ("csr", snapshot, config, resolved_present, modes, obs_state)
             else:
                 try:
                     handle = snapshot.to_shared()
                     init_args = (
-                        "csr_shared", handle, config, resolved_present, modes
+                        "csr_shared", handle, config, resolved_present, modes, obs_state
                     )
                 except OSError as exc:
                     init_args = _degraded_init_args(
-                        network, snapshot, config, resolved_present, modes, exc
+                        network, snapshot, config, resolved_present, modes, obs_state, exc
                     )
         else:
-            init_args = ("dict", network, config, resolved_present, modes)
+            init_args = ("dict", network, config, resolved_present, modes, obs_state)
 
         with span(
             "parallel.extract_batch",
@@ -345,7 +380,8 @@ def parallel_extract_batch(
                     # payload once, without spending a retry.
                     assert snapshot is not None
                     init_args = _degraded_init_args(
-                        network, snapshot, config, resolved_present, modes, init_error
+                        network, snapshot, config, resolved_present, modes,
+                        obs_state, init_error,
                     )
                     degraded = True
                     continue
@@ -383,6 +419,7 @@ def parallel_extract_batch(
                             reference.extract_multi(a, b, modes)
                             for a, b in chunk_pairs
                         ]
+                    incr("parallel.pairs_extracted", len(chunk_pairs))
             rows = [row for index in sorted(results) for row in results[index]]
     finally:
         if handle is not None:
@@ -404,6 +441,7 @@ def _degraded_init_args(
     config: SSFConfig,
     present_time: float,
     modes: "tuple[str, ...] | None",
+    obs_state: ObsState,
     cause: Exception,
 ) -> "tuple[Any, ...]":
     """Worker payload when the shared-memory transport is unavailable.
@@ -415,19 +453,20 @@ def _degraded_init_args(
     worker start-up cost changes.
     """
     incr("robust.fallbacks")
+    incr("robust.shm_degradations")
     if isinstance(network, DynamicNetwork):
         _LOG.warning(
             "shared-memory transport unavailable (%s); degrading csr_shared -> "
             "dict worker payload",
             cause,
         )
-        return ("dict", network, config, present_time, modes)
+        return ("dict", network, config, present_time, modes, obs_state)
     _LOG.warning(
         "shared-memory transport unavailable (%s); shipping the snapshot "
         "pickled per worker instead",
         cause,
     )
-    return ("csr", snapshot, config, present_time, modes)
+    return ("csr", snapshot, config, present_time, modes, obs_state)
 
 
 def _run_pool_round(
@@ -474,7 +513,7 @@ def _run_pool_round(
         iterator = pool.imap_unordered(_extract_chunk, tasks, chunksize=1)
         for _ in range(len(tasks)):
             try:
-                index, rows = iterator.next(chunk_timeout)
+                index, rows, obs_payload = iterator.next(chunk_timeout)
             except mp.TimeoutError:
                 _LOG.warning(
                     "no chunk result within %.1fs; declaring the round hung",
@@ -493,6 +532,7 @@ def _run_pool_round(
                 )
                 break
             received[index] = rows
+            merge_worker_payload(obs_payload)
     finally:
         pool.terminate()
         pool.join()

@@ -8,7 +8,18 @@ measures itself against the numbers this package exports.
 * :mod:`repro.obs.metrics` — a thread-safe process-local registry of
   counters, gauges and histograms with ``snapshot()``/``to_json()``.
 * :mod:`repro.obs.trace` — ``span`` context-manager/decorator tracing
-  with a guaranteed no-op fast path when disabled.
+  with a guaranteed no-op fast path when disabled, plus an optional
+  bounded buffer of completed-span records (``record_spans``).
+* :mod:`repro.obs.aggregate` — ships worker-process metrics/spans back
+  to the parent at chunk boundaries and merges them into one registry.
+* :mod:`repro.obs.export` — Chrome Trace Event JSON export of recorded
+  spans (Perfetto / ``chrome://tracing``).
+* :mod:`repro.obs.bench` — benchmark history store
+  (``BENCH_history.jsonl``) and the pairs/sec regression gate behind
+  ``repro bench --compare``.
+* :mod:`repro.obs.report` — joins metrics snapshots, checkpoint
+  manifests and bench JSON into one Markdown/JSON run report
+  (``repro report``).
 
 Quick tour::
 
@@ -38,13 +49,24 @@ from repro.obs.metrics import (
 from repro.obs.trace import (
     current_span,
     disable,
+    drain_span_records,
     enable,
     enabled,
     incr,
     observe,
+    record_spans,
+    recording,
     set_gauge,
     span,
+    span_records,
 )
+from repro.obs.aggregate import (
+    apply_worker_obs_state,
+    collect_worker_payload,
+    merge_worker_payload,
+    parent_obs_state,
+)
+from repro.obs.export import trace_events, validate_trace, write_trace
 
 __all__ = [
     "Counter",
@@ -53,15 +75,26 @@ __all__ = [
     "JsonLinesFormatter",
     "LEVELS",
     "MetricsRegistry",
+    "apply_worker_obs_state",
+    "collect_worker_payload",
     "configure_logging",
     "current_span",
     "disable",
+    "drain_span_records",
     "enable",
     "enabled",
     "get_logger",
     "get_registry",
     "incr",
+    "merge_worker_payload",
     "observe",
+    "parent_obs_state",
+    "record_spans",
+    "recording",
     "set_gauge",
     "span",
+    "span_records",
+    "trace_events",
+    "validate_trace",
+    "write_trace",
 ]

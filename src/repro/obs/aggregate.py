@@ -1,0 +1,106 @@
+"""Cross-process metric/span aggregation for pool workers.
+
+The metrics registry and span buffer are process-local, so everything a
+pool worker records during SSF extraction — the four per-stage
+histograms of Algs. 1–3, cache counters, worker-init spans — used to
+die with the worker.  This module is the shipping protocol that brings
+it home:
+
+* the parent captures its observability switches with
+  :func:`parent_obs_state` and passes them through the pool initializer;
+* each worker applies them (:func:`apply_worker_obs_state`) so its
+  instrumentation records exactly when the parent's does;
+* at every chunk boundary the worker drains its registry *as a delta*
+  plus any retained span records into one picklable payload
+  (:func:`collect_worker_payload`) that rides back piggybacked on the
+  chunk result;
+* the parent folds each payload into its own registry and span buffer
+  (:func:`merge_worker_payload`), tagging worker spans with their origin
+  pid, so one snapshot / one trace describes the whole run — including
+  chunks that were retried on a respawned pool (their payloads arrive
+  from the surviving workers) and chunks extracted in-parent after
+  retries were exhausted (recorded directly in the parent registry).
+
+Merge semantics are those of
+:meth:`repro.obs.metrics.MetricsRegistry.merge`: counters add, gauges
+last-write-win, histograms combine running aggregates exactly and
+reservoirs approximately.  Because worker deltas reset the worker
+registry in the same locked section, a chunk's activity is shipped
+exactly once — the merged ``parallel.pairs_extracted`` counter equals
+the number of pairs actually extracted.
+
+The parent-side counter ``obs.worker_payloads`` counts merged payloads;
+``obs.worker_payload_spans`` counts shipped span records.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+from repro.obs import trace
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "ObsState",
+    "apply_worker_obs_state",
+    "collect_worker_payload",
+    "merge_worker_payload",
+    "parent_obs_state",
+]
+
+#: (observability enabled, span recording enabled) — the parent switches
+#: a pool initializer forwards to workers
+ObsState = tuple[bool, bool]
+
+
+def parent_obs_state() -> ObsState:
+    """The switches to forward to pool workers at initializer time."""
+    return (trace.enabled(), trace.recording())
+
+
+def apply_worker_obs_state(state: ObsState) -> None:
+    """Adopt the parent's observability switches (worker initializer).
+
+    Starts the worker from a clean slate — a pool worker reused across
+    rounds must never re-ship what an earlier drain already shipped, and
+    a forked worker inherits the parent's buffers, which belong to the
+    parent.
+    """
+    enabled, recording = state
+    get_registry().reset()
+    trace.drain_span_records()
+    if enabled:
+        trace.enable()
+    else:
+        trace.disable()
+    trace.record_spans(recording)
+
+
+def collect_worker_payload() -> "dict[str, Any] | None":
+    """Drain this worker's metrics delta + span records into a payload.
+
+    Returns ``None`` when observability is off, so the disabled path
+    ships nothing and costs nothing beyond one flag check.
+    """
+    if not trace.enabled():
+        return None
+    spans = trace.drain_span_records() if trace.recording() else []
+    return {
+        "pid": os.getpid(),
+        "metrics": get_registry().mergeable_snapshot(reset=True),
+        "spans": spans,
+    }
+
+
+def merge_worker_payload(payload: "Mapping[str, Any] | None") -> None:
+    """Fold one worker payload into the parent registry and span buffer."""
+    if payload is None:
+        return
+    registry = get_registry()
+    registry.merge(payload["metrics"])
+    registry.counter("obs.worker_payloads").inc()
+    spans = payload.get("spans") or []
+    if spans:
+        registry.counter("obs.worker_payload_spans").inc(len(spans))
+        trace.extend_span_records([dict(record) for record in spans])

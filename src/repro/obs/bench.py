@@ -1,0 +1,338 @@
+"""Benchmark history store and the pairs/sec regression gate.
+
+Three responsibilities:
+
+* **Running** the dict-vs-csr extraction throughput benchmark
+  (:func:`run_extraction_bench`) — the single-process comparison the CI
+  bench smoke step executes.  The heavy ``repro.core`` imports happen
+  lazily inside the function so importing this module stays cheap.
+* **History**: every run can be appended as one JSON line to
+  ``BENCH_history.jsonl`` (:func:`append_history`), stamped with the
+  seed, the git SHA and a machine fingerprint, so the throughput
+  trajectory across commits survives the latest-result overwrite of
+  ``BENCH_extraction.json``.
+* **Gating**: :func:`compare_results` diffs a current result against a
+  committed baseline and flags any backend whose pairs/sec dropped by
+  more than ``max_regression`` (a noise threshold, default 30%).  CI
+  fails on a regression via ``repro bench --compare``.
+
+Records are plain dicts; a history record wraps a result as
+``{"schema", "recorded_at", "git_sha", "machine", "result"}``.
+Comparison accepts either shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+HISTORY_SCHEMA_VERSION = 1
+DEFAULT_MAX_REGRESSION = 0.30
+#: context fields that must match for a comparison to be apples-to-apples
+_SCALE_FIELDS = ("nodes", "pairs", "k")
+
+
+# ----------------------------------------------------------------------
+# provenance stamps
+# ----------------------------------------------------------------------
+def machine_fingerprint() -> dict[str, Any]:
+    """Describe the machine well enough to spot cross-host comparisons.
+
+    The ``id`` is a stable 12-hex digest of the descriptive fields —
+    two runs on the same host/interpreter produce the same id.
+    """
+    info: dict[str, Any] = {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 0,
+    }
+    blob = json.dumps(info, sort_keys=True).encode("utf-8")
+    info["id"] = hashlib.sha256(blob).hexdigest()[:12]
+    return info
+
+
+def git_sha(cwd: "str | None" = None) -> "str | None":
+    """The current commit (short SHA), or ``None`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+# ----------------------------------------------------------------------
+# history store (JSON lines, append-only)
+# ----------------------------------------------------------------------
+def history_record(
+    result: Mapping[str, Any], *, recorded_at: "float | None" = None
+) -> dict[str, Any]:
+    """Wrap a bench result with schema/provenance stamps."""
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "recorded_at": time.time() if recorded_at is None else recorded_at,
+        "git_sha": git_sha(),
+        "machine": machine_fingerprint(),
+        "result": dict(result),
+    }
+
+
+def append_history(
+    path: "str | Path",
+    result: Mapping[str, Any],
+    *,
+    recorded_at: "float | None" = None,
+) -> dict[str, Any]:
+    """Append one stamped record to the JSONL history; returns it."""
+    record = history_record(result, recorded_at=recorded_at)
+    history_path = Path(path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(history_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(path: "str | Path") -> list[dict[str, Any]]:
+    """All parseable records, oldest first.  Malformed lines are skipped
+
+    (an interrupted append must not poison the whole trajectory).
+    """
+    history_path = Path(path)
+    if not history_path.exists():
+        return []
+    records: list[dict[str, Any]] = []
+    with open(history_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict):
+                records.append(payload)
+    return records
+
+
+def _bare_result(payload: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Accept either a bench result or a history record wrapping one."""
+    inner = payload.get("result")
+    if isinstance(inner, Mapping):
+        return inner
+    return payload
+
+
+# ----------------------------------------------------------------------
+# regression gate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendDelta:
+    """Throughput of one backend, current vs baseline."""
+
+    backend: str
+    current_pps: float
+    baseline_pps: float
+    ratio: float
+    regressed: bool
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of a current-vs-baseline bench diff."""
+
+    max_regression: float
+    deltas: tuple[BackendDelta, ...]
+    notes: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.regressed for d in self.deltas)
+
+    def format(self) -> str:
+        lines = [
+            "bench comparison (max regression "
+            f"{self.max_regression:.0%} of baseline pairs/sec)",
+        ]
+        for d in self.deltas:
+            verdict = "REGRESSED" if d.regressed else "ok"
+            lines.append(
+                f"  {d.backend:>6}: {d.current_pps:10.2f} pairs/s vs "
+                f"baseline {d.baseline_pps:10.2f}  "
+                f"({d.ratio:6.2%} of baseline)  {verdict}"
+            )
+        lines.extend(f"  note: {note}" for note in self.notes)
+        lines.append("PASS" if self.ok else "FAIL: throughput regression")
+        return "\n".join(lines)
+
+
+def compare_results(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> Comparison:
+    """Flag backends whose pairs/sec fell below ``(1 - max_regression)``
+    of the baseline.  Speedups never fail; only drops do.
+    """
+    cur = _bare_result(current)
+    base = _bare_result(baseline)
+    notes: list[str] = []
+    for field in _SCALE_FIELDS:
+        if field in cur and field in base and cur[field] != base[field]:
+            notes.append(
+                f"scale mismatch: {field} current={cur[field]!r} "
+                f"baseline={base[field]!r} — comparison may be meaningless"
+            )
+    cur_machine = current.get("machine") if isinstance(current, Mapping) else None
+    base_machine = baseline.get("machine") if isinstance(baseline, Mapping) else None
+    if (
+        isinstance(cur_machine, Mapping)
+        and isinstance(base_machine, Mapping)
+        and cur_machine.get("id") != base_machine.get("id")
+    ):
+        notes.append("different machines — treat ratios as indicative only")
+
+    deltas: list[BackendDelta] = []
+    cur_backends = cur.get("backends", {})
+    base_backends = base.get("backends", {})
+    for backend in sorted(base_backends):
+        if backend not in cur_backends:
+            notes.append(f"backend {backend!r} missing from current result")
+            continue
+        base_pps = float(base_backends[backend].get("pairs_per_second", 0.0))
+        cur_pps = float(cur_backends[backend].get("pairs_per_second", 0.0))
+        ratio = cur_pps / base_pps if base_pps > 0 else float("inf")
+        regressed = base_pps > 0 and cur_pps < (1.0 - max_regression) * base_pps
+        deltas.append(
+            BackendDelta(
+                backend=backend,
+                current_pps=cur_pps,
+                baseline_pps=base_pps,
+                ratio=ratio,
+                regressed=regressed,
+            )
+        )
+    if not deltas:
+        notes.append("no common backends — nothing compared")
+    return Comparison(
+        max_regression=max_regression, deltas=tuple(deltas), notes=tuple(notes)
+    )
+
+
+# ----------------------------------------------------------------------
+# the benchmark itself (lazy core imports: keep `import repro.obs` cheap
+# and avoid the repro.core -> repro.obs -> repro.core cycle)
+# ----------------------------------------------------------------------
+def synthetic_network(
+    n_nodes: int, avg_degree: float = 4.0, n_ts: int = 100, seed: int = 0
+) -> Any:
+    """A random temporal multigraph at a chosen node count.
+
+    Edges are uniform random pairs (about ``avg_degree / 2`` links per
+    node) over ``n_ts`` distinct integer timestamps — enough collision
+    density to exercise multi-links and duplicate stamps at scale.
+    """
+    from repro.graph.temporal import DynamicNetwork
+    from repro.utils.rng import ensure_rng
+
+    rng = ensure_rng(seed)
+    n_edges = int(n_nodes * avg_degree / 2)
+    g = DynamicNetwork()
+    endpoints = rng.integers(0, n_nodes, size=(n_edges, 2))
+    stamps = rng.integers(1, n_ts + 1, size=n_edges)
+    for (u, v), ts in zip(endpoints, stamps):
+        if u != v:
+            g.add_edge(int(u), int(v), float(ts))
+    return g
+
+
+def run_extraction_bench(
+    n_nodes: int = 5000,
+    n_pairs: int = 200,
+    k: int = 10,
+    seed: int = 0,
+    out_path: "str | Path | None" = None,
+    history_path: "str | Path | None" = None,
+) -> dict[str, Any]:
+    """Time single-process SSF extraction on both backends, same pairs.
+
+    The csr timing INCLUDES the one-off snapshot freeze (built once per
+    observed window, amortised over the batch — exactly how the runner
+    uses it).  Writes the latest result to ``out_path`` when given and
+    appends a stamped record to ``history_path`` when given.
+    """
+    import numpy as np
+
+    from repro.core.feature import SSFConfig, SSFExtractor
+    from repro.graph.csr import CSRSnapshot
+    from repro.utils.rng import ensure_rng
+
+    network = synthetic_network(n_nodes, seed=seed)
+    rng = ensure_rng(seed + 1)
+    nodes = network.nodes
+    pairs: list[tuple[Any, Any]] = []
+    while len(pairs) < n_pairs:
+        i, j = rng.integers(0, len(nodes), size=2)
+        if i != j:
+            pairs.append((nodes[int(i)], nodes[int(j)]))
+    config = SSFConfig(k=k)
+
+    started = time.perf_counter()
+    dict_extractor = SSFExtractor(network, config, backend="dict")
+    dict_features = [dict_extractor.extract(a, b) for a, b in pairs]
+    dict_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    snapshot = CSRSnapshot.from_dynamic(network)
+    build_seconds = time.perf_counter() - started
+    csr_extractor = SSFExtractor(snapshot, config)
+    csr_features = [csr_extractor.extract(a, b) for a, b in pairs]
+    csr_seconds = time.perf_counter() - started
+
+    identical = all(
+        np.array_equal(d, c) for d, c in zip(dict_features, csr_features)
+    )
+    result: dict[str, Any] = {
+        "nodes": network.number_of_nodes(),
+        "links": network.number_of_links(),
+        "pairs": len(pairs),
+        "k": k,
+        "seed": seed,
+        "bit_identical": identical,
+        "backends": {
+            "dict": {
+                "seconds": round(dict_seconds, 4),
+                "pairs_per_second": round(len(pairs) / dict_seconds, 2),
+            },
+            "csr": {
+                "seconds": round(csr_seconds, 4),
+                "snapshot_build_seconds": round(build_seconds, 4),
+                "pairs_per_second": round(len(pairs) / csr_seconds, 2),
+            },
+        },
+        "speedup": round(dict_seconds / csr_seconds, 2),
+    }
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if history_path is not None:
+        append_history(history_path, result)
+    return result

@@ -1,0 +1,160 @@
+"""Chrome Trace Event export for recorded spans.
+
+Serialises the span records retained by :mod:`repro.obs.trace` (and the
+worker records merged in by :mod:`repro.obs.aggregate`) to the JSON
+Object Format of the Trace Event specification, the interchange format
+read by Perfetto (https://ui.perfetto.dev) and the legacy
+``chrome://tracing`` viewer.
+
+Every span becomes one Complete event (``"ph": "X"``) with microsecond
+``ts``/``dur``; each process additionally gets a ``process_name``
+metadata event so parent and pool workers are labelled lanes in the UI.
+Timestamps are normalised to the earliest span in the export — Chrome
+trace ``ts`` values only need to share an origin, and
+``time.perf_counter()`` (the span clock) is system-wide monotonic on
+Linux, so parent and worker lanes line up on one timeline.
+
+Typical flow::
+
+    repro profile --dataset co-author --trace-out trace.json
+    # then open trace.json in https://ui.perfetto.dev
+
+See docs/OBSERVABILITY.md for the full walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping, Sequence
+
+from repro.obs import trace
+
+__all__ = ["trace_events", "validate_trace", "write_trace"]
+
+#: event category stamped on every span event
+CATEGORY = "repro"
+
+
+def _tid_alias(pid: int, tid: int, aliases: "dict[tuple[int, int], int]") -> int:
+    """Small per-process thread ids (raw idents are unreadable 15-digit ints)."""
+    key = (pid, tid)
+    if key not in aliases:
+        aliases[key] = sum(1 for (p, _t) in aliases if p == pid) + 1
+    return aliases[key]
+
+
+def trace_events(
+    records: "Sequence[Mapping[str, Any]] | None" = None,
+    *,
+    parent_pid: "int | None" = None,
+) -> "list[dict[str, Any]]":
+    """Span records as a Trace Event list (Complete + metadata events).
+
+    Args:
+        records: span records (see :mod:`repro.obs.trace`); defaults to
+            draining the process buffer.
+        parent_pid: the pid labelled ``repro parent`` in the viewer;
+            defaults to this process.  Every other pid seen in the
+            records is labelled ``repro worker <pid>``.
+    """
+    if records is None:
+        records = trace.drain_span_records()
+    if parent_pid is None:
+        parent_pid = os.getpid()
+    ordered = sorted(records, key=lambda r: (float(r["ts"]), int(r["pid"])))
+    origin = float(ordered[0]["ts"]) if ordered else 0.0
+    events: "list[dict[str, Any]]" = []
+    seen_pids: "list[int]" = []
+    aliases: "dict[tuple[int, int], int]" = {}
+    for record in ordered:
+        pid = int(record["pid"])
+        if pid not in seen_pids:
+            seen_pids.append(pid)
+            name = "repro parent" if pid == parent_pid else f"repro worker {pid}"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        args: "dict[str, Any]" = {"path": str(record.get("path", record["name"]))}
+        for key, value in sorted(dict(record.get("tags", {})).items()):
+            args[key] = value if isinstance(value, (int, float, bool)) else str(value)
+        events.append(
+            {
+                "name": str(record["name"]),
+                "cat": CATEGORY,
+                "ph": "X",
+                "ts": (float(record["ts"]) - origin) * 1e6,
+                "dur": float(record["dur"]) * 1e6,
+                "pid": pid,
+                "tid": _tid_alias(pid, int(record["tid"]), aliases),
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_trace(
+    path: str,
+    records: "Sequence[Mapping[str, Any]] | None" = None,
+    *,
+    parent_pid: "int | None" = None,
+) -> int:
+    """Write records as Trace Event JSON Object Format; return event count.
+
+    The file loads directly in Perfetto / ``chrome://tracing``.
+    """
+    events = trace_events(records, parent_pid=parent_pid)
+    dropped = trace.dropped_span_records()
+    payload: "dict[str, Any]" = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.export",
+            "droppedSpanRecords": dropped,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return len(events)
+
+
+def validate_trace(payload: Mapping[str, Any]) -> "list[str]":
+    """Schema problems in a trace payload (empty list = valid).
+
+    Checks the Trace Event contract the viewers actually rely on:
+    a ``traceEvents`` list whose members carry ``name``/``ph``/``pid``/
+    ``tid``, numeric non-negative ``ts``+``dur`` on Complete events, and
+    JSON-serialisable ``args``.
+    """
+    problems: "list[str]" = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        phase = event.get("ph")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"{where}: {key!r} must be a number >= 0")
+        elif phase != "M":
+            problems.append(f"{where}: unexpected phase {phase!r}")
+        try:
+            json.dumps(event.get("args", {}))
+        except (TypeError, ValueError):
+            problems.append(f"{where}: args not JSON-serialisable")
+    return problems

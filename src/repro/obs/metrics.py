@@ -14,25 +14,31 @@ Semantics:
   ``>= 0``).
 * :class:`Gauge` — a point-in-time value, last write wins.
 * :class:`Histogram` — running count/sum/min/max over *all* observations
-  plus a bounded sample window for quantiles (p50/p95 by default).  The
-  window keeps the most recent :data:`Histogram.max_samples` values, so
-  quantiles track current behaviour on long streams while the running
-  aggregates stay exact.
+  plus a bounded **reservoir sample** for quantiles (p50/p95 by
+  default).  The reservoir is filled by deterministic (seeded,
+  index-based) reservoir sampling, so p50/p95 estimate the distribution
+  of *every* observation ever made — not just the most recent window —
+  while the running aggregates stay exact.  Summaries carry an
+  ``"estimator"`` key naming the quantile estimator.
 
 Everything is thread-safe: metric creation takes the registry lock, and
 each metric guards its own state, so worker threads (e.g. a
 ``ThreadPoolExecutor`` driving extraction) can hammer the same counter
-without losing increments.  Metrics are process-local by design —
-multiprocessing workers each see their own registry; the parallel
-extraction layer therefore records batch-level throughput in the parent
-process (see :mod:`repro.core.parallel`).
+without losing increments.  Metrics are process-local — but no longer
+process-*bound*: :meth:`MetricsRegistry.mergeable_snapshot` exports a
+registry as mergeable deltas and :meth:`MetricsRegistry.merge` folds
+such a delta into another registry (counters add, gauges last-write-win,
+histograms combine their running aggregates and reservoirs), which is
+how pool workers ship their metrics back to the parent at chunk
+boundaries (see :mod:`repro.obs.aggregate` and
+:mod:`repro.core.parallel`).
 """
 
 from __future__ import annotations
 
 import json
 import threading
-from typing import Iterable
+from typing import Any, Iterable, Mapping
 
 
 class Counter:
@@ -77,15 +83,37 @@ class Gauge:
         return self._value
 
 
-class Histogram:
-    """Running aggregates plus a bounded recent-sample window.
+#: seed folded into the index hash below — any odd 64-bit constant works;
+#: this is the splitmix64 increment, chosen for its avalanche behaviour
+_RESERVOIR_SEED = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
 
-    ``count``/``sum``/``min``/``max`` cover every observation ever made;
-    ``percentile`` is computed over the most recent ``max_samples``
-    observations (a sliding window, exact until the window fills).
+
+def _index_hash(i: int) -> int:
+    """splitmix64 finaliser of observation index ``i`` — the deterministic
+    stand-in for the random draw of reservoir sampling (Algorithm R)."""
+    z = (i * _RESERVOIR_SEED + _RESERVOIR_SEED) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+class Histogram:
+    """Running aggregates plus a deterministic reservoir sample.
+
+    ``count``/``sum``/``min``/``max`` cover every observation ever made.
+    ``percentile`` is computed over a reservoir of up to ``max_samples``
+    values drawn by **deterministic reservoir sampling**: observation
+    ``i`` (0-based) replaces slot ``_index_hash(i) % (i + 1)`` when that
+    lands inside the reservoir — the classic Algorithm R with the random
+    draw replaced by a seeded integer hash of the observation index.
+    Identical observation sequences therefore yield identical reservoirs
+    (no RNG state, no wall-clock dependence), and the reservoir
+    approximates a uniform sample over the *whole* stream instead of the
+    most recent window — long runs no longer report tail-only quantiles.
     """
 
-    __slots__ = ("_lock", "_count", "_sum", "_min", "_max", "_samples", "_next", "max_samples")
+    __slots__ = ("_lock", "_count", "_sum", "_min", "_max", "_samples", "max_samples")
 
     def __init__(self, max_samples: int = 4096) -> None:
         if max_samples < 1:
@@ -96,12 +124,12 @@ class Histogram:
         self._min = float("inf")
         self._max = float("-inf")
         self._samples: list[float] = []
-        self._next = 0  # ring-buffer write position once the window is full
         self.max_samples = max_samples
 
     def observe(self, value: float) -> None:
         value = float(value)
         with self._lock:
+            index = self._count  # 0-based index of this observation
             self._count += 1
             self._sum += value
             if value < self._min:
@@ -111,8 +139,9 @@ class Histogram:
             if len(self._samples) < self.max_samples:
                 self._samples.append(value)
             else:
-                self._samples[self._next] = value
-                self._next = (self._next + 1) % self.max_samples
+                slot = _index_hash(index) % (index + 1)
+                if slot < self.max_samples:
+                    self._samples[slot] = value
 
     @property
     def count(self) -> int:
@@ -147,18 +176,97 @@ class Histogram:
         return window[rank - 1]
 
     def summary(self, quantiles: Iterable[float] = (50.0, 95.0)) -> dict:
-        """Exportable aggregate view used by registry snapshots."""
+        """Exportable aggregate view used by registry snapshots.
+
+        ``estimator`` names how the quantiles were obtained:
+        ``"exact"`` while every observation is still in the reservoir,
+        ``"reservoir"`` once the stream outgrew it and p50/p95 are
+        estimates over a deterministic uniform sample.
+        """
+        with self._lock:
+            sampled = len(self._samples)
         out: dict = {
             "count": self._count,
             "sum": self._sum,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "estimator": "exact" if self._count <= self.max_samples else "reservoir",
+            "sampled": sampled,
         }
         for q in quantiles:
             key = f"p{q:g}".replace(".", "_")
             out[key] = self.percentile(q)
         return out
+
+    # ------------------------------------------------------------------
+    # cross-process merge support
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """The mergeable state of this histogram (picklable plain data)."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "samples": list(self._samples),
+            }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Running aggregates combine exactly.  The two reservoirs combine
+        by keeping every sample when they fit, otherwise by an evenly
+        strided subsample of each side proportional to its observation
+        count — deterministic, and approximately weight-preserving.
+        """
+        other_count = int(state["count"])
+        if other_count == 0:
+            return
+        other_samples = [float(v) for v in state["samples"]]
+        with self._lock:
+            own_count = self._count
+            self._count += other_count
+            self._sum += float(state["sum"])
+            self._min = min(self._min, float(state["min"]))
+            self._max = max(self._max, float(state["max"]))
+            if len(self._samples) + len(other_samples) <= self.max_samples:
+                self._samples.extend(other_samples)
+                return
+            self._samples = _merge_reservoirs(
+                self._samples, own_count, other_samples, other_count, self.max_samples
+            )
+
+
+def _strided_subsample(samples: "list[float]", keep: int) -> "list[float]":
+    """``keep`` evenly spaced elements of ``samples`` (deterministic)."""
+    n = len(samples)
+    if keep >= n:
+        return list(samples)
+    if keep <= 0:
+        return []
+    return [samples[(i * n) // keep] for i in range(keep)]
+
+
+def _merge_reservoirs(
+    a: "list[float]",
+    count_a: int,
+    b: "list[float]",
+    count_b: int,
+    max_samples: int,
+) -> "list[float]":
+    """Combine two reservoirs into one of at most ``max_samples``.
+
+    Each side contributes slots proportional to the observation count it
+    represents (clamped so neither side is over-asked), keeping the
+    merged reservoir an approximately uniform sample of the union.
+    """
+    total = count_a + count_b
+    keep_a = round(max_samples * count_a / total) if total else 0
+    keep_a = min(max(keep_a, max_samples - len(b)), len(a), max_samples)
+    keep_b = min(max_samples - keep_a, len(b))
+    return _strided_subsample(a, keep_a) + _strided_subsample(b, keep_b)
 
 
 class MetricsRegistry:
@@ -230,6 +338,43 @@ class MetricsRegistry:
             return obj
 
         return json.dumps(scrub(self.snapshot()), indent=indent, sort_keys=True)
+
+    def mergeable_snapshot(self, *, reset: bool = False) -> dict:
+        """Every metric as mergeable plain data (see :meth:`merge`).
+
+        With ``reset=True`` the registry is cleared in the same locked
+        section, so the export is a *delta*: repeated calls partition the
+        observation stream without loss or double counting — exactly what
+        a pool worker shipping metrics at chunk boundaries needs.
+        """
+        with self._lock:
+            out = {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.state() for n, h in sorted(self._histograms.items())
+                },
+            }
+            if reset:
+                self._counters.clear()
+                self._gauges.clear()
+                self._histograms.clear()
+            return out
+
+    def merge(self, delta: Mapping[str, Any]) -> None:
+        """Fold a :meth:`mergeable_snapshot` delta into this registry.
+
+        Counters add, gauges last-write-win (arrival order — per-process
+        values are not kept apart; record per-process state in histograms
+        if the distinction matters), histograms merge aggregates and
+        reservoirs via :meth:`Histogram.merge_state`.
+        """
+        for name, value in delta.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, state in delta.get("histograms", {}).items():
+            self.histogram(name).merge_state(state)
 
     def reset(self) -> None:
         """Drop every metric (tests and fresh profiling runs)."""

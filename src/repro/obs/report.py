@@ -1,0 +1,356 @@
+"""Run reports: one document joining a run's observability artefacts.
+
+A single experiment leaves several machine-readable trails — the
+metrics-registry snapshot (``--metrics-out``), a checkpoint directory
+(``--checkpoint-dir``), the benchmark latest-result JSON and the
+``BENCH_history.jsonl`` trajectory.  ``repro report --metrics ...``
+joins whichever of them exist into one run report, as Markdown for
+humans and (``--json-out``) as JSON for dashboards:
+
+* **stage breakdown** — per-stage time from the ``span.*`` histograms
+  (count, p50/p95, total seconds, share of the summed span time; nested
+  spans overlap, so shares are indicative, not a partition),
+* **throughput** — pairs extracted, batch pairs/sec, pool shape,
+  entry modes actually extracted and the inferred backend,
+* **robustness** — retry / fallback / shm-degradation / resume
+  counters and how many worker payloads were merged,
+* **checkpoint** — manifest settings plus completed cells,
+* **benchmark** — latest backend comparison and the history trajectory.
+
+Every section is optional: the report only describes artefacts it was
+given, and says so when given none.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.bench import load_history
+
+#: counters surfaced in the robustness section, in display order
+_ROBUSTNESS_COUNTERS = (
+    "robust.retries",
+    "robust.fallbacks",
+    "robust.shm_degradations",
+    "robust.resumed_cells",
+    "robust.resumed_features",
+    "obs.worker_payloads",
+    "obs.worker_payload_spans",
+    "parallel.sequential_fallbacks",
+)
+
+
+def _load_json(path: "str | Path") -> Any:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _num(value: Any, default: float = 0.0) -> float:
+    """NaN-scrubbed snapshots hold ``None`` where a float should be."""
+    return float(value) if isinstance(value, (int, float)) else default
+
+
+# ----------------------------------------------------------------------
+# section builders (pure: loaded data in, plain dict out)
+# ----------------------------------------------------------------------
+def _stage_section(metrics: Mapping[str, Any]) -> list[dict[str, Any]]:
+    histograms = metrics.get("histograms", {})
+    spans = {
+        name[len("span."):]: summary
+        for name, summary in histograms.items()
+        if name.startswith("span.")
+    }
+    total_seconds = sum(_num(s.get("sum")) for s in spans.values())
+    rows = []
+    for stage, summary in sorted(
+        spans.items(), key=lambda item: -_num(item[1].get("sum"))
+    ):
+        seconds = _num(summary.get("sum"))
+        rows.append(
+            {
+                "stage": stage,
+                "count": int(_num(summary.get("count"))),
+                "p50_ms": _num(summary.get("p50")) * 1e3,
+                "p95_ms": _num(summary.get("p95")) * 1e3,
+                "total_seconds": seconds,
+                "share": seconds / total_seconds if total_seconds > 0 else 0.0,
+                "estimator": summary.get("estimator", "exact"),
+            }
+        )
+    return rows
+
+
+def _entry_modes(metrics: Mapping[str, Any]) -> dict[str, int]:
+    histograms = metrics.get("histograms", {})
+    return {
+        name[len("span.feature."):]: int(_num(summary.get("count")))
+        for name, summary in sorted(histograms.items())
+        if name.startswith("span.feature.")
+    }
+
+
+def _infer_backend(metrics: Mapping[str, Any]) -> str:
+    """Best-effort: csr runs build snapshots; dict runs never do."""
+    histograms = metrics.get("histograms", {})
+    if "span.csr.build" in histograms:
+        return "csr"
+    if any(name.startswith("span.") for name in histograms):
+        return "dict"
+    return "unknown"
+
+
+def _throughput_section(metrics: Mapping[str, Any]) -> dict[str, Any]:
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    pps = histograms.get("parallel.pairs_per_second", {})
+    return {
+        "pairs_extracted": _num(counters.get("parallel.pairs_extracted")),
+        "pool_runs": _num(counters.get("parallel.pool_runs")),
+        "workers": _num(gauges.get("parallel.workers")),
+        "chunksize": _num(gauges.get("parallel.chunksize")),
+        "pairs_per_second_p50": _num(pps.get("p50")),
+        "pairs_per_second_max": _num(pps.get("max")),
+        "entry_modes": _entry_modes(metrics),
+        "backend": _infer_backend(metrics),
+    }
+
+
+def _robustness_section(metrics: Mapping[str, Any]) -> dict[str, float]:
+    counters = metrics.get("counters", {})
+    return {name: _num(counters.get(name)) for name in _ROBUSTNESS_COUNTERS}
+
+
+def checkpoint_summary(run_dir: "str | Path") -> dict[str, Any]:
+    """Manifest + completed cells + feature files of a run directory.
+
+    Reads the directory directly (no :class:`RunCheckpoint` import) so
+    a report can be produced for a partial or crashed run as-is.
+    """
+    root = Path(run_dir)
+    manifest: "dict[str, Any] | None" = None
+    manifest_path = root / "manifest.json"
+    if manifest_path.exists():
+        try:
+            loaded = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict):
+                manifest = loaded
+        except (json.JSONDecodeError, OSError):
+            manifest = None
+    cells: list[dict[str, Any]] = []
+    for path in sorted(root.glob("*/method_*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            continue
+        cells.append(
+            {
+                "dataset": payload.get("dataset"),
+                "method": payload.get("method"),
+                "auc": payload.get("auc"),
+                "f1": payload.get("f1"),
+            }
+        )
+    return {
+        "run_dir": str(root),
+        "manifest": manifest,
+        "completed_cells": cells,
+        "feature_files": len(list(root.glob("*/features_*.npz"))),
+    }
+
+
+def _bench_section(
+    bench: "Mapping[str, Any] | None", history: "list[dict[str, Any]] | None"
+) -> dict[str, Any]:
+    section: dict[str, Any] = {}
+    if bench is not None:
+        result = bench.get("result", bench)
+        section["latest"] = {
+            "nodes": result.get("nodes"),
+            "pairs": result.get("pairs"),
+            "k": result.get("k"),
+            "bit_identical": result.get("bit_identical"),
+            "speedup": result.get("speedup"),
+            "backends": {
+                name: _num(payload.get("pairs_per_second"))
+                for name, payload in result.get("backends", {}).items()
+            },
+        }
+    if history:
+        trajectory: dict[str, list[float]] = {}
+        for record in history[-10:]:
+            result = record.get("result", record)
+            for name, payload in result.get("backends", {}).items():
+                trajectory.setdefault(name, []).append(
+                    _num(payload.get("pairs_per_second"))
+                )
+        section["history"] = {
+            "records": len(history),
+            "trajectory": trajectory,
+        }
+    return section
+
+
+def build_report(
+    *,
+    metrics: "Mapping[str, Any] | None" = None,
+    checkpoint: "Mapping[str, Any] | None" = None,
+    bench: "Mapping[str, Any] | None" = None,
+    history: "list[dict[str, Any]] | None" = None,
+) -> dict[str, Any]:
+    """Join the loaded artefacts into the JSON run report."""
+    report: dict[str, Any] = {"sections": []}
+    if metrics is not None:
+        report["stages"] = _stage_section(metrics)
+        report["throughput"] = _throughput_section(metrics)
+        report["robustness"] = _robustness_section(metrics)
+        report["sections"] += ["stages", "throughput", "robustness"]
+    if checkpoint is not None:
+        report["checkpoint"] = dict(checkpoint)
+        report["sections"].append("checkpoint")
+    bench_section = _bench_section(bench, history)
+    if bench_section:
+        report["bench"] = bench_section
+        report["sections"].append("bench")
+    return report
+
+
+# ----------------------------------------------------------------------
+# markdown rendering
+# ----------------------------------------------------------------------
+def format_report(report: Mapping[str, Any]) -> str:
+    lines: list[str] = ["# Run report", ""]
+    if not report.get("sections"):
+        lines.append(
+            "No artefacts supplied — pass --metrics / --checkpoint / "
+            "--bench / --bench-history."
+        )
+        return "\n".join(lines)
+
+    if "stages" in report:
+        lines += [
+            "## Stage breakdown",
+            "",
+            "| stage | count | p50 (ms) | p95 (ms) | total (s) | share |",
+            "|---|---:|---:|---:|---:|---:|",
+        ]
+        for row in report["stages"]:
+            marker = "~" if row["estimator"] == "reservoir" else ""
+            lines.append(
+                f"| {row['stage']} | {row['count']} "
+                f"| {marker}{row['p50_ms']:.3f} | {marker}{row['p95_ms']:.3f} "
+                f"| {row['total_seconds']:.3f} | {row['share']:.1%} |"
+            )
+        lines += [
+            "",
+            "Shares are of the summed span time; nested spans overlap. "
+            "`~` marks reservoir-estimated quantiles.",
+            "",
+        ]
+
+    if "throughput" in report:
+        t = report["throughput"]
+        lines += ["## Throughput", ""]
+        lines.append(f"- pairs extracted: {t['pairs_extracted']:.0f}")
+        if t["pairs_per_second_p50"] > 0:
+            lines.append(
+                f"- batch throughput: p50 {t['pairs_per_second_p50']:.1f} "
+                f"pairs/s (max {t['pairs_per_second_max']:.1f})"
+            )
+        if t["pool_runs"] > 0:
+            lines.append(
+                f"- pool runs: {t['pool_runs']:.0f} "
+                f"({t['workers']:.0f} workers, chunksize {t['chunksize']:.0f})"
+            )
+        lines.append(f"- backend (inferred): {t['backend']}")
+        if t["entry_modes"]:
+            modes = ", ".join(
+                f"{mode} ({count})" for mode, count in t["entry_modes"].items()
+            )
+            lines.append(f"- entry modes: {modes}")
+        lines.append("")
+
+    if "robustness" in report:
+        nonzero = {k: v for k, v in report["robustness"].items() if v > 0}
+        lines += ["## Robustness", ""]
+        if nonzero:
+            lines += [f"- {name}: {value:.0f}" for name, value in nonzero.items()]
+        else:
+            lines.append("- clean run: no retries, fallbacks or degradations")
+        lines.append("")
+
+    if "checkpoint" in report:
+        ckpt = report["checkpoint"]
+        cells = ckpt.get("completed_cells", [])
+        lines += ["## Checkpoint", ""]
+        lines.append(f"- run dir: `{ckpt.get('run_dir')}`")
+        lines.append(
+            f"- completed cells: {len(cells)} "
+            f"(+{ckpt.get('feature_files', 0)} feature matrices)"
+        )
+        for cell in cells:
+            auc = cell.get("auc")
+            auc_text = f"{auc:.3f}" if isinstance(auc, (int, float)) else "?"
+            lines.append(
+                f"  - {cell.get('dataset')} / {cell.get('method')}: "
+                f"AUC {auc_text}"
+            )
+        manifest = ckpt.get("manifest")
+        if manifest:
+            settings = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(manifest.items())
+            )
+            lines.append(f"- manifest: {settings}")
+        lines.append("")
+
+    if "bench" in report:
+        bench = report["bench"]
+        lines += ["## Benchmark", ""]
+        latest = bench.get("latest")
+        if latest:
+            backends = ", ".join(
+                f"{name} {pps:.1f} pairs/s"
+                for name, pps in latest["backends"].items()
+            )
+            lines.append(
+                f"- latest ({latest.get('nodes')} nodes, "
+                f"{latest.get('pairs')} pairs, k={latest.get('k')}): {backends}"
+            )
+            lines.append(
+                f"- csr speedup {latest.get('speedup')}x, "
+                f"bit identical: {latest.get('bit_identical')}"
+            )
+        history = bench.get("history")
+        if history:
+            lines.append(f"- history: {history['records']} recorded runs")
+            for name, values in history["trajectory"].items():
+                shown = ", ".join(f"{v:.0f}" for v in values)
+                lines.append(f"  - {name} pairs/s (last {len(values)}): {shown}")
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def run_report(
+    *,
+    metrics_path: "str | None" = None,
+    checkpoint_dir: "str | None" = None,
+    bench_path: "str | None" = None,
+    history_path: "str | None" = None,
+    json_out: "str | None" = None,
+) -> str:
+    """Load the named artefacts, render Markdown, optionally dump JSON."""
+    metrics = _load_json(metrics_path) if metrics_path else None
+    checkpoint = checkpoint_summary(checkpoint_dir) if checkpoint_dir else None
+    bench = _load_json(bench_path) if bench_path else None
+    history = load_history(history_path) if history_path else None
+    report = build_report(
+        metrics=metrics, checkpoint=checkpoint, bench=bench, history=history
+    )
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return format_report(report)

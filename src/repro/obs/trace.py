@@ -21,6 +21,19 @@ Hot-path helpers :func:`observe`, :func:`incr` and :func:`set_gauge`
 apply the same gate to plain metric writes, so instrumentation points in
 inner loops stay free when observability is off.
 
+**Span recording** is a second, independent switch on top of
+:func:`enable`: :func:`record_spans` makes every completed span also
+append a plain-dict record (name, path, start, duration, pid, tid,
+tags) to a bounded process-local buffer.  The buffer feeds the Chrome
+Trace export (:mod:`repro.obs.export`, ``--trace-out``) and the worker
+→ parent span shipping of :mod:`repro.obs.aggregate`; it is drained
+with :func:`drain_span_records`.  Start times come from
+``time.perf_counter()``, which is system-wide monotonic on Linux, so
+records from forked/spawned worker processes align with the parent's
+on one timeline.  When the buffer cap is hit further records are
+dropped (counted by :func:`dropped_span_records`) rather than growing
+without bound.
+
 Usage::
 
     with span("structure_combination", k=10):
@@ -34,6 +47,7 @@ Usage::
 from __future__ import annotations
 
 import functools
+import os
 import threading
 import time
 
@@ -41,6 +55,17 @@ from repro.obs.metrics import get_registry
 
 #: module-global observability switch — the single check on the fast path
 _ENABLED = False
+
+#: secondary switch: retain completed-span records for trace export
+_RECORDING = False
+
+#: cap on retained span records per process (export/shipping keeps up at
+#: chunk boundaries; the cap only bounds pathological single-chunk runs)
+MAX_SPAN_RECORDS = 200_000
+
+_records: "list[dict]" = []
+_records_dropped = 0
+_records_lock = threading.Lock()
 
 _local = threading.local()
 
@@ -60,6 +85,62 @@ def disable() -> None:
     """Return to the zero-overhead default."""
     global _ENABLED
     _ENABLED = False
+
+
+def recording() -> bool:
+    """Whether completed spans are being retained as records."""
+    return _RECORDING
+
+
+def record_spans(on: bool = True) -> None:
+    """Toggle span-record retention (requires :func:`enable` to matter)."""
+    global _RECORDING
+    _RECORDING = on
+
+
+def add_span_record(record: dict) -> None:
+    """Append one completed-span record (used by the worker merge path).
+
+    Respects the process cap: overflow increments the dropped count
+    instead of growing the buffer.
+    """
+    global _records_dropped
+    with _records_lock:
+        if len(_records) >= MAX_SPAN_RECORDS:
+            _records_dropped += 1
+        else:
+            _records.append(record)
+
+
+def extend_span_records(records: "list[dict]") -> None:
+    """Append many records (bulk form of :func:`add_span_record`)."""
+    global _records_dropped
+    with _records_lock:
+        room = MAX_SPAN_RECORDS - len(_records)
+        if room >= len(records):
+            _records.extend(records)
+        else:
+            _records.extend(records[:room])
+            _records_dropped += len(records) - room
+
+
+def drain_span_records() -> "list[dict]":
+    """Return and clear the retained span records."""
+    with _records_lock:
+        out = list(_records)
+        _records.clear()
+        return out
+
+
+def span_records() -> "list[dict]":
+    """A copy of the retained span records (without clearing)."""
+    with _records_lock:
+        return list(_records)
+
+
+def dropped_span_records() -> int:
+    """How many records the cap has discarded in this process."""
+    return _records_dropped
 
 
 def _stack() -> list:
@@ -122,6 +203,18 @@ class span:
         if stack and stack[-1] is self:
             stack.pop()
         get_registry().histogram(f"span.{self.name}").observe(self.duration)
+        if _RECORDING:
+            add_span_record(
+                {
+                    "name": self.name,
+                    "path": self.path,
+                    "ts": self._start,
+                    "dur": self.duration,
+                    "pid": os.getpid(),
+                    "tid": threading.get_ident(),
+                    "tags": dict(self.tags),
+                }
+            )
         return False
 
     def __call__(self, func):

@@ -1,0 +1,232 @@
+"""Cross-process metric aggregation: worker payloads merged parent-side.
+
+The differential contract: a parallel run's merged snapshot must contain
+the worker-stage metrics (per-stage extraction timings, stage counters)
+that the parent-only snapshot of PR 1 could never see — with merged
+counts that equal the number of pairs actually extracted — and fault
+runs (worker crash, retries, in-parent fallback) must keep that
+equality while staying bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.feature import SSFConfig
+from repro.core.parallel import parallel_extract_batch
+from repro.datasets.catalog import get_dataset
+from repro.obs.aggregate import (
+    apply_worker_obs_state,
+    collect_worker_payload,
+    merge_worker_payload,
+    parent_obs_state,
+)
+from repro.robust import RetryPolicy, inject
+from repro.sampling.splits import build_link_prediction_task
+
+#: the per-stage instrumentation only workers execute during a pool run
+WORKER_STAGE_KEYS = (
+    "span.subgraph_growth",
+    "span.structure_combination",
+    "span.palette_wl",
+    "span.influence_matrix",
+)
+
+
+@pytest.fixture(scope="module")
+def case() -> SimpleNamespace:
+    network = get_dataset("co-author").generate(seed=0, scale=0.25)
+    task = build_link_prediction_task(network, max_positives=60, seed=0)
+    config = SSFConfig(k=6)
+    pairs = list(task.train_pairs)
+    reference = parallel_extract_batch(
+        task.history, config, pairs, present_time=task.present_time, workers=1
+    )
+    return SimpleNamespace(
+        history=task.history,
+        present=task.present_time,
+        pairs=pairs,
+        config=config,
+        reference=reference,
+    )
+
+
+@pytest.fixture
+def recording_obs():
+    """Observability + span recording on, clean buffers, restored after."""
+    was_enabled = obs.enabled()
+    was_recording = obs.recording()
+    obs.enable()
+    obs.record_spans(True)
+    registry = obs.get_registry()
+    registry.reset()
+    obs.drain_span_records()
+    try:
+        yield registry
+    finally:
+        registry.reset()
+        obs.drain_span_records()
+        obs.record_spans(was_recording)
+        if not was_enabled:
+            obs.disable()
+
+
+def pooled(case, **kwargs):
+    defaults = dict(
+        present_time=case.present,
+        workers=2,
+        min_pairs=1,
+        retry=RetryPolicy(max_retries=2, chunk_timeout=10.0),
+    )
+    defaults.update(kwargs)
+    return parallel_extract_batch(case.history, case.config, case.pairs, **defaults)
+
+
+class TestUnitProtocol:
+    def test_collect_returns_none_when_disabled(self):
+        obs.disable()
+        assert collect_worker_payload() is None
+
+    def test_merge_none_is_a_noop(self):
+        merge_worker_payload(None)
+
+    def test_parent_state_round_trips_through_worker_apply(self):
+        obs.enable()
+        obs.record_spans(True)
+        try:
+            state = parent_obs_state()
+            assert state == (True, True)
+            apply_worker_obs_state((False, False))
+            assert not obs.enabled() and not obs.recording()
+            apply_worker_obs_state(state)
+            assert obs.enabled() and obs.recording()
+        finally:
+            obs.record_spans(False)
+            obs.disable()
+            obs.get_registry().reset()
+            obs.drain_span_records()
+
+    def test_apply_clears_inherited_parent_buffers(self):
+        # A forked worker inherits the parent's registry and span buffer;
+        # applying the state must start it from a clean slate so nothing
+        # is shipped (and therefore merged) twice.
+        obs.enable()
+        obs.record_spans(True)
+        try:
+            obs.get_registry().counter("parent.only").inc(5)
+            with obs.span("parent_stage"):
+                pass
+            apply_worker_obs_state((True, True))
+            payload = collect_worker_payload()
+            assert payload is not None
+            assert payload["metrics"]["counters"] == {}
+            assert payload["spans"] == []
+        finally:
+            obs.record_spans(False)
+            obs.disable()
+            obs.get_registry().reset()
+            obs.drain_span_records()
+
+    def test_collect_drains_so_deltas_do_not_double_count(self):
+        obs.enable()
+        try:
+            obs.get_registry().reset()
+            obs.incr("stage.pairs", 3)
+            first = collect_worker_payload()
+            second = collect_worker_payload()
+            assert first["metrics"]["counters"]["stage.pairs"] == 3.0
+            assert "stage.pairs" not in second["metrics"]["counters"]
+        finally:
+            obs.disable()
+            obs.get_registry().reset()
+
+
+class TestParallelRunMergesWorkerMetrics:
+    def test_merged_snapshot_contains_worker_stage_metrics(
+        self, case, recording_obs
+    ):
+        result = pooled(case)
+        assert np.array_equal(result, case.reference)
+        snap = recording_obs.snapshot()
+        # payloads actually travelled the worker -> parent channel
+        assert snap["counters"]["obs.worker_payloads"] >= 2.0
+        # the per-stage timings previously trapped in worker registries
+        for key in WORKER_STAGE_KEYS:
+            assert key in snap["histograms"], f"{key} missing from merged snapshot"
+            assert snap["histograms"][key]["count"] > 0
+        # the acceptance equality: merged pair-count == pairs extracted
+        assert snap["counters"]["parallel.pairs_extracted"] == len(case.pairs)
+        assert snap["histograms"]["span.feature.temporal"]["count"] == len(case.pairs)
+
+    def test_worker_spans_arrive_with_worker_pids_and_chunk_tags(
+        self, case, recording_obs
+    ):
+        pooled(case)
+        records = obs.drain_span_records()
+        pids = {r["pid"] for r in records}
+        assert os.getpid() in pids  # parent batch span
+        assert len(pids) >= 2  # at least one worker lane
+        chunk_spans = [r for r in records if r["name"] == "parallel.worker_chunk"]
+        assert chunk_spans and all(r["pid"] != os.getpid() for r in chunk_spans)
+        assert all("chunk" in r["tags"] for r in chunk_spans)
+        # nested stage spans inherit the chunk tag from the chunk span
+        stage_spans = [r for r in records if r["name"] == "influence_matrix"]
+        assert stage_spans and all("chunk" in r["tags"] for r in stage_spans)
+
+    def test_sequential_run_records_the_same_stage_keys(self, case, recording_obs):
+        # the merged parallel snapshot is key-compatible with a
+        # sequential one: downstream consumers (reports, dashboards)
+        # need not care how the run was executed
+        pooled(case, workers=1)
+        snap = recording_obs.snapshot()
+        for key in WORKER_STAGE_KEYS:
+            assert snap["histograms"][key]["count"] > 0
+        assert snap["counters"]["parallel.pairs_extracted"] == len(case.pairs)
+
+
+class TestFaultRunsStillMerge:
+    def test_worker_crash_metrics_survive_retry(
+        self, case, recording_obs, tmp_path
+    ):
+        # the worker holding pair 3 dies once; respawned pool re-runs the
+        # lost chunk.  Metrics from surviving + respawned workers merge,
+        # and the pair equality holds because lost chunks ship nothing.
+        with inject("worker_crash", "3", fires=1, state_dir=str(tmp_path)):
+            result = pooled(case)
+        assert np.array_equal(result, case.reference)
+        snap = recording_obs.snapshot()
+        assert snap["counters"]["robust.retries"] >= 1.0
+        assert snap["counters"]["obs.worker_payloads"] >= 1.0
+        assert snap["counters"]["parallel.pairs_extracted"] == len(case.pairs)
+        for key in WORKER_STAGE_KEYS:
+            assert snap["histograms"][key]["count"] > 0
+
+    def test_parent_fallback_pairs_counted_once(self, case, recording_obs):
+        # a crash with no fire budget exhausts retries; the parent
+        # extracts the stragglers itself — those pairs are counted in the
+        # parent registry, not shipped, so the equality still holds.
+        with inject("worker_crash", "3"):
+            result = pooled(
+                case, retry=RetryPolicy(max_retries=1, chunk_timeout=5.0)
+            )
+        assert np.array_equal(result, case.reference)
+        snap = recording_obs.snapshot()
+        assert snap["counters"]["robust.fallbacks"] >= 1.0
+        assert snap["counters"]["parallel.pairs_extracted"] == len(case.pairs)
+
+    def test_spawn_transport_ships_payloads_too(
+        self, case, recording_obs, monkeypatch
+    ):
+        # the obs switches and payloads must survive pickling through the
+        # spawn + shared-memory transport, not just fork inheritance
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        result = pooled(case, backend="csr")
+        assert np.array_equal(result, case.reference)
+        snap = recording_obs.snapshot()
+        assert snap["counters"]["obs.worker_payloads"] >= 1.0
+        assert snap["counters"]["parallel.pairs_extracted"] == len(case.pairs)

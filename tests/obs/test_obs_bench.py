@@ -1,0 +1,151 @@
+"""Bench history store and the pairs/sec regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    compare_results,
+    git_sha,
+    history_record,
+    load_history,
+    machine_fingerprint,
+    run_extraction_bench,
+)
+
+
+def _result(dict_pps=100.0, csr_pps=300.0, **overrides):
+    base = {
+        "nodes": 800,
+        "links": 1500,
+        "pairs": 60,
+        "k": 10,
+        "seed": 0,
+        "bit_identical": True,
+        "backends": {
+            "dict": {"seconds": 1.0, "pairs_per_second": dict_pps},
+            "csr": {"seconds": 0.4, "pairs_per_second": csr_pps},
+        },
+        "speedup": 3.0,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestProvenance:
+    def test_fingerprint_is_stable_and_has_an_id(self):
+        a, b = machine_fingerprint(), machine_fingerprint()
+        assert a == b
+        assert len(a["id"]) == 12
+        assert a["cpus"] >= 1
+
+    def test_git_sha_inside_this_checkout(self):
+        sha = git_sha()
+        assert sha is not None and len(sha) >= 7
+
+    def test_git_sha_none_outside_a_repo(self, tmp_path):
+        assert git_sha(cwd=str(tmp_path)) is None
+
+    def test_history_record_wraps_and_stamps(self):
+        record = history_record(_result(), recorded_at=123.0)
+        assert record["schema"] == HISTORY_SCHEMA_VERSION
+        assert record["recorded_at"] == 123.0
+        assert record["machine"]["id"]
+        assert record["result"]["pairs"] == 60
+
+
+class TestHistoryStore:
+    def test_append_accumulates_one_line_per_run(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(path, _result(), recorded_at=1.0)
+        append_history(path, _result(dict_pps=120.0), recorded_at=2.0)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["schema"] == 1 for line in lines)
+        records = load_history(path)
+        assert [r["recorded_at"] for r in records] == [1.0, 2.0]
+        assert records[1]["result"]["backends"]["dict"]["pairs_per_second"] == 120.0
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+    def test_load_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(path, _result(), recorded_at=1.0)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{truncated by a crash\n")
+        append_history(path, _result(), recorded_at=2.0)
+        assert [r["recorded_at"] for r in load_history(path)] == [1.0, 2.0]
+
+
+class TestRegressionGate:
+    def test_equal_results_pass(self):
+        comparison = compare_results(_result(), _result())
+        assert comparison.ok
+        assert all(d.ratio == pytest.approx(1.0) for d in comparison.deltas)
+
+    def test_speedups_never_fail(self):
+        comparison = compare_results(_result(dict_pps=500.0), _result())
+        assert comparison.ok
+
+    def test_regression_beyond_threshold_fails(self):
+        # dict drops to 60% of baseline: past the 30% noise threshold
+        comparison = compare_results(_result(dict_pps=60.0), _result())
+        assert not comparison.ok
+        regressed = {d.backend: d.regressed for d in comparison.deltas}
+        assert regressed == {"dict": True, "csr": False}
+        assert "FAIL" in comparison.format()
+
+    def test_small_drop_within_noise_passes(self):
+        comparison = compare_results(_result(dict_pps=75.0), _result())
+        assert comparison.ok
+        assert "PASS" in comparison.format()
+
+    def test_threshold_is_configurable(self):
+        strict = compare_results(
+            _result(dict_pps=85.0), _result(), max_regression=0.10
+        )
+        assert not strict.ok
+
+    def test_accepts_history_records_either_side(self):
+        record = history_record(_result(), recorded_at=1.0)
+        assert compare_results(record, _result()).ok
+        assert compare_results(_result(), record).ok
+
+    def test_scale_mismatch_is_noted(self):
+        comparison = compare_results(_result(nodes=5000), _result())
+        assert any("scale mismatch" in n for n in comparison.notes)
+
+    def test_cross_machine_comparison_is_noted(self):
+        current = history_record(_result(), recorded_at=1.0)
+        baseline = history_record(_result(), recorded_at=0.0)
+        baseline["machine"] = dict(baseline["machine"], id="ffffffffffff")
+        comparison = compare_results(current, baseline)
+        assert any("different machines" in n for n in comparison.notes)
+
+    def test_missing_backend_is_noted_not_crashed(self):
+        current = _result()
+        del current["backends"]["csr"]
+        comparison = compare_results(current, _result())
+        assert any("missing from current" in n for n in comparison.notes)
+        assert [d.backend for d in comparison.deltas] == ["dict"]
+
+
+class TestRunExtractionBench:
+    def test_tiny_run_writes_latest_and_history(self, tmp_path):
+        out = tmp_path / "BENCH_extraction.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        result = run_extraction_bench(
+            n_nodes=120, n_pairs=8, k=4, out_path=out, history_path=history
+        )
+        assert result["bit_identical"]
+        assert result["pairs"] == 8
+        latest = json.loads(out.read_text())
+        assert latest["backends"]["dict"]["pairs_per_second"] > 0
+        records = load_history(history)
+        assert len(records) == 1
+        assert records[0]["result"]["nodes"] == result["nodes"]
+        # a fresh run at the same scale passes its own gate
+        assert compare_results(result, records[0]).ok

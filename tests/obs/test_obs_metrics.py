@@ -66,19 +66,82 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().percentile(101)
 
-    def test_window_keeps_recent_but_aggregates_stay_exact(self):
+    def test_aggregates_stay_exact_past_the_reservoir(self):
         h = Histogram(max_samples=4)
-        for v in (100.0, 1.0, 2.0, 3.0, 4.0):  # 100.0 rotates out of the window
+        for v in (100.0, 1.0, 2.0, 3.0, 4.0):
             h.observe(v)
         assert h.count == 5
         assert h.max == 100.0  # running aggregate remembers everything
-        assert h.percentile(100) == 4.0  # quantile window tracks recent values
+        assert len(h.state()["samples"]) == 4
+
+    def test_reservoir_covers_the_whole_stream_not_the_tail(self):
+        # The bug being fixed: a ring buffer of the most recent 4096
+        # samples made p50 describe the tail of long runs.  A uniform
+        # reservoir over 0..9999 must put p50 near 5000, far from the
+        # tail-window answer (~9743 for a 512-window).
+        h = Histogram(max_samples=512)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert abs(h.percentile(50) - 5000) < 1000
+        assert abs(h.percentile(95) - 9500) < 500
+
+    def test_reservoir_is_deterministic(self):
+        a, b = Histogram(max_samples=32), Histogram(max_samples=32)
+        for v in range(1000):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.state()["samples"] == b.state()["samples"]
 
     def test_summary_shape(self):
         h = Histogram()
         h.observe(1.0)
         summary = h.summary()
-        assert set(summary) == {"count", "sum", "min", "max", "mean", "p50", "p95"}
+        assert set(summary) == {
+            "count", "sum", "min", "max", "mean", "estimator", "sampled",
+            "p50", "p95",
+        }
+        assert summary["estimator"] == "exact"
+        assert summary["sampled"] == 1
+
+    def test_summary_names_the_reservoir_estimator(self):
+        h = Histogram(max_samples=8)
+        for v in range(20):
+            h.observe(float(v))
+        assert h.summary()["estimator"] == "reservoir"
+        assert h.summary()["sampled"] == 8
+
+    def test_merge_state_combines_aggregates_exactly(self):
+        a, b = Histogram(), Histogram()
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+        for v in (10.0, 20.0):
+            b.observe(v)
+        a.merge_state(b.state())
+        assert a.count == 5
+        assert a.sum == 36.0
+        assert a.min == 1.0 and a.max == 20.0
+        assert a.percentile(100) == 20.0  # both reservoirs fit: all kept
+
+    def test_merge_state_empty_is_noop(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        a.merge_state(b.state())
+        assert a.count == 1 and a.sum == 1.0
+
+    def test_merge_state_subsamples_proportionally(self):
+        # 900 low observations vs 100 high ones: the merged reservoir of
+        # 64 must be dominated by the low side (~9:1).
+        a, b = Histogram(max_samples=64), Histogram(max_samples=64)
+        for _ in range(900):
+            a.observe(0.0)
+        for _ in range(100):
+            b.observe(1.0)
+        a.merge_state(b.state())
+        assert a.count == 1000
+        samples = a.state()["samples"]
+        assert len(samples) == 64
+        high = sum(1 for s in samples if s == 1.0)
+        assert 3 <= high <= 10  # ~6.4 expected
 
 
 class TestRegistry:
@@ -134,6 +197,48 @@ class TestRegistry:
 
     def test_default_registry_is_process_local_singleton(self):
         assert get_registry() is get_registry()
+
+    def test_mergeable_snapshot_and_merge_round_trip(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        src.counter("pairs").inc(7)
+        src.gauge("workers").set(4)
+        for v in (0.1, 0.2, 0.3):
+            src.histogram("lat").observe(v)
+        dst.counter("pairs").inc(3)
+        dst.merge(src.mergeable_snapshot())
+        snap = dst.snapshot()
+        assert snap["counters"]["pairs"] == 10.0
+        assert snap["gauges"]["workers"] == 4.0
+        assert snap["histograms"]["lat"]["count"] == 3
+        assert snap["histograms"]["lat"]["sum"] == pytest.approx(0.6)
+
+    def test_mergeable_snapshot_reset_exports_deltas(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        src.counter("c").inc(2)
+        src.histogram("h").observe(1.0)
+        dst.merge(src.mergeable_snapshot(reset=True))
+        # the second delta only carries what happened after the first
+        src.counter("c").inc(5)
+        dst.merge(src.mergeable_snapshot(reset=True))
+        snap = dst.snapshot()
+        assert snap["counters"]["c"] == 7.0
+        assert snap["histograms"]["h"]["count"] == 1
+        assert src.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_merge_is_order_insensitive_for_counters_and_histograms(self):
+        parts = []
+        for base in (0, 10):
+            reg = MetricsRegistry()
+            reg.counter("n").inc(base + 1)
+            reg.histogram("h").observe(float(base))
+            parts.append(reg.mergeable_snapshot())
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge(parts[0]); ab.merge(parts[1])
+        ba.merge(parts[1]); ba.merge(parts[0])
+        a, b = ab.snapshot(), ba.snapshot()
+        assert a["counters"] == b["counters"]
+        for key in ("count", "sum", "min", "max"):
+            assert a["histograms"]["h"][key] == b["histograms"]["h"][key]
 
 
 class TestThreadSafety:

@@ -1,0 +1,215 @@
+"""Run reports: joining metrics, checkpoints and bench artefacts."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import append_history
+from repro.obs.report import (
+    build_report,
+    checkpoint_summary,
+    format_report,
+    run_report,
+)
+
+
+def _metrics():
+    def hist(count, total, p50, p95, estimator="exact"):
+        return {
+            "count": count,
+            "sum": total,
+            "min": p50 / 2,
+            "max": p95 * 2,
+            "mean": total / count,
+            "p50": p50,
+            "p95": p95,
+            "estimator": estimator,
+            "sampled": count,
+        }
+
+    return {
+        "counters": {
+            "parallel.pairs_extracted": 84.0,
+            "parallel.pool_runs": 1.0,
+            "robust.retries": 2.0,
+            "robust.fallbacks": 1.0,
+            "obs.worker_payloads": 9.0,
+        },
+        "gauges": {"parallel.workers": 2.0, "parallel.chunksize": 5.0},
+        "histograms": {
+            "span.subgraph_growth": hist(84, 0.42, 0.004, 0.009),
+            "span.influence_matrix": hist(84, 1.26, 0.012, 0.030, "reservoir"),
+            "span.feature.temporal": hist(84, 1.80, 0.018, 0.041),
+            "span.csr.build": hist(1, 0.05, 0.05, 0.05),
+            "parallel.pairs_per_second": hist(1, 120.0, 120.0, 120.0),
+            "subgraph.nodes": hist(84, 900.0, 10.0, 14.0),  # not a span
+        },
+    }
+
+
+def _bench():
+    return {
+        "nodes": 800,
+        "pairs": 60,
+        "k": 10,
+        "bit_identical": True,
+        "speedup": 1.2,
+        "backends": {
+            "dict": {"seconds": 0.08, "pairs_per_second": 750.0},
+            "csr": {"seconds": 0.066, "pairs_per_second": 900.0},
+        },
+    }
+
+
+class TestBuildReport:
+    def test_stage_rows_are_spans_only_sorted_by_total(self):
+        report = build_report(metrics=_metrics())
+        stages = [row["stage"] for row in report["stages"]]
+        assert stages == [
+            "feature.temporal",
+            "influence_matrix",
+            "subgraph_growth",
+            "csr.build",
+        ]
+        assert "subgraph.nodes" not in stages
+
+    def test_shares_sum_to_one_and_units_are_ms(self):
+        report = build_report(metrics=_metrics())
+        assert sum(r["share"] for r in report["stages"]) == pytest.approx(1.0)
+        growth = next(
+            r for r in report["stages"] if r["stage"] == "subgraph_growth"
+        )
+        assert growth["p50_ms"] == pytest.approx(4.0)
+        assert growth["p95_ms"] == pytest.approx(9.0)
+
+    def test_throughput_pulls_counters_gauges_and_modes(self):
+        t = build_report(metrics=_metrics())["throughput"]
+        assert t["pairs_extracted"] == 84.0
+        assert t["workers"] == 2.0
+        assert t["entry_modes"] == {"temporal": 84}
+        assert t["backend"] == "csr"  # span.csr.build present
+        assert t["pairs_per_second_p50"] == pytest.approx(120.0)
+
+    def test_backend_inferred_dict_without_csr_build(self):
+        metrics = _metrics()
+        del metrics["histograms"]["span.csr.build"]
+        assert build_report(metrics=metrics)["throughput"]["backend"] == "dict"
+
+    def test_robustness_counters_surface(self):
+        r = build_report(metrics=_metrics())["robustness"]
+        assert r["robust.retries"] == 2.0
+        assert r["obs.worker_payloads"] == 9.0
+        assert r["robust.shm_degradations"] == 0.0
+
+    def test_sections_only_for_supplied_artefacts(self):
+        assert build_report()["sections"] == []
+        assert build_report(bench=_bench())["sections"] == ["bench"]
+
+    def test_none_metric_values_from_nan_scrub_do_not_crash(self):
+        metrics = _metrics()
+        metrics["histograms"]["span.subgraph_growth"]["p50"] = None
+        report = build_report(metrics=metrics)
+        growth = next(
+            r for r in report["stages"] if r["stage"] == "subgraph_growth"
+        )
+        assert growth["p50_ms"] == 0.0
+
+
+class TestCheckpointSummary:
+    def _run_dir(self, tmp_path):
+        root = tmp_path / "run"
+        (root / "co-author").mkdir(parents=True)
+        (root / "manifest.json").write_text(json.dumps({"k": 10, "seed": 0}))
+        (root / "co-author" / "method_SSFNM.json").write_text(
+            json.dumps(
+                {"dataset": "co-author", "method": "SSFNM", "auc": 0.91, "f1": 0.8}
+            )
+        )
+        (root / "co-author" / "features_ssf.npz").write_bytes(b"notreally")
+        return root
+
+    def test_summary_lists_manifest_cells_and_features(self, tmp_path):
+        summary = checkpoint_summary(self._run_dir(tmp_path))
+        assert summary["manifest"] == {"k": 10, "seed": 0}
+        assert summary["completed_cells"] == [
+            {"dataset": "co-author", "method": "SSFNM", "auc": 0.91, "f1": 0.8}
+        ]
+        assert summary["feature_files"] == 1
+
+    def test_missing_or_corrupt_pieces_are_tolerated(self, tmp_path):
+        root = self._run_dir(tmp_path)
+        (root / "manifest.json").write_text("{broken")
+        (root / "co-author" / "method_bad.json").write_text("also broken")
+        summary = checkpoint_summary(root)
+        assert summary["manifest"] is None
+        assert len(summary["completed_cells"]) == 1
+
+    def test_empty_directory_is_an_empty_summary(self, tmp_path):
+        summary = checkpoint_summary(tmp_path)
+        assert summary["completed_cells"] == []
+        assert summary["manifest"] is None
+
+
+class TestMarkdownRendering:
+    def test_full_report_renders_every_section(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        append_history(history, _bench(), recorded_at=1.0)
+        from repro.obs.bench import load_history
+
+        text = format_report(
+            build_report(
+                metrics=_metrics(),
+                checkpoint=checkpoint_summary(tmp_path),
+                bench=_bench(),
+                history=load_history(history),
+            )
+        )
+        for heading in (
+            "# Run report",
+            "## Stage breakdown",
+            "## Throughput",
+            "## Robustness",
+            "## Checkpoint",
+            "## Benchmark",
+        ):
+            assert heading in text
+        assert "pairs extracted: 84" in text
+        assert "~" in text  # reservoir-estimated quantile marker
+        assert "history: 1 recorded runs" in text
+
+    def test_empty_report_says_what_to_pass(self):
+        text = format_report(build_report())
+        assert "No artefacts supplied" in text
+
+    def test_clean_run_robustness_line(self):
+        metrics = _metrics()
+        metrics["counters"] = {"parallel.pairs_extracted": 10.0}
+        text = format_report(build_report(metrics=metrics))
+        assert "clean run" in text
+
+
+class TestRunReportEntryPoint:
+    def test_joins_files_and_writes_json(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(json.dumps(_metrics()))
+        bench_path = tmp_path / "bench.json"
+        bench_path.write_text(json.dumps(_bench()))
+        history_path = tmp_path / "hist.jsonl"
+        append_history(history_path, _bench(), recorded_at=1.0)
+        json_out = tmp_path / "report.json"
+
+        text = run_report(
+            metrics_path=str(metrics_path),
+            bench_path=str(bench_path),
+            history_path=str(history_path),
+            json_out=str(json_out),
+        )
+        assert "## Stage breakdown" in text
+        payload = json.loads(json_out.read_text())
+        assert set(payload["sections"]) == {
+            "stages",
+            "throughput",
+            "robustness",
+            "bench",
+        }
+        assert payload["bench"]["history"]["records"] == 1

@@ -13,9 +13,13 @@ from repro.obs.metrics import get_registry
 def _clean_obs_state():
     """Every test starts disabled with an empty default registry."""
     obs.disable()
+    obs.record_spans(False)
+    obs.drain_span_records()
     get_registry().reset()
     yield
     obs.disable()
+    obs.record_spans(False)
+    obs.drain_span_records()
     get_registry().reset()
 
 
@@ -133,6 +137,61 @@ class TestDecoratorForm:
 
         assert work() == 1
         assert get_registry().snapshot()["histograms"] == {}
+
+
+class TestSpanRecording:
+    def test_records_not_kept_by_default(self):
+        obs.enable()
+        with span("stage"):
+            pass
+        assert obs.span_records() == []
+
+    def test_recorded_span_carries_identity_and_timing(self):
+        import os
+        import threading
+
+        obs.enable()
+        obs.record_spans(True)
+        with span("outer", dataset="x"):
+            with span("inner", k=3):
+                pass
+        records = obs.drain_span_records()
+        assert [r["name"] for r in records] == ["inner", "outer"]  # exit order
+        inner = records[0]
+        assert inner["path"] == "outer/inner"
+        assert inner["tags"] == {"dataset": "x", "k": 3}
+        assert inner["pid"] == os.getpid()
+        assert inner["tid"] == threading.get_ident()
+        assert inner["dur"] >= 0.0
+        # drained: the buffer is now empty
+        assert obs.span_records() == []
+
+    def test_recording_without_enable_records_nothing(self):
+        obs.record_spans(True)
+        with span("stage"):
+            pass
+        assert obs.span_records() == []
+
+    def test_buffer_cap_drops_not_grows(self, monkeypatch):
+        from repro.obs import trace as trace_mod
+
+        monkeypatch.setattr(trace_mod, "MAX_SPAN_RECORDS", 3)
+        obs.enable()
+        obs.record_spans(True)
+        before = trace_mod.dropped_span_records()
+        for _ in range(5):
+            with span("hot"):
+                pass
+        assert len(obs.span_records()) == 3
+        assert trace_mod.dropped_span_records() == before + 2
+
+    def test_extend_span_records_bulk(self):
+        from repro.obs import trace as trace_mod
+
+        trace_mod.extend_span_records(
+            [{"name": "a", "ts": 0.0, "dur": 0.1, "pid": 1, "tid": 1, "tags": {}}]
+        )
+        assert [r["name"] for r in obs.span_records()] == ["a"]
 
 
 class TestGatedHelpers:
