@@ -170,6 +170,7 @@ def run_backend_comparison(
     seed: int = 0,
     out_path: "Path | None" = None,
     history_path: "Path | None" = None,
+    tag: "str | None" = None,
 ) -> dict:
     """Time single-process SSF extraction on both backends, same pairs.
 
@@ -177,7 +178,8 @@ def run_backend_comparison(
     the latest result to ``BENCH_extraction.json`` at the repo root and
     appends a stamped record (seed, git SHA, machine fingerprint) to
     ``BENCH_history.jsonl`` unless ``history_path`` is explicitly
-    disabled by the caller.
+    disabled by the caller.  ``tag`` labels the record's experiment line
+    (rendered per-tag in the run-report bench trajectory).
     """
     return run_extraction_bench(
         n_nodes=n_nodes,
@@ -186,6 +188,7 @@ def run_backend_comparison(
         seed=seed,
         out_path=out_path or REPO_ROOT / "BENCH_extraction.json",
         history_path=history_path,
+        tag=tag,
     )
 
 
@@ -209,6 +212,12 @@ def main() -> int:
         action="store_true",
         help="skip the BENCH_history.jsonl append",
     )
+    parser.add_argument(
+        "--tag",
+        metavar="LABEL",
+        default=None,
+        help="label this run's experiment line in BENCH_history.jsonl",
+    )
     args = parser.parse_args()
     result = run_backend_comparison(
         n_nodes=args.nodes,
@@ -217,6 +226,7 @@ def main() -> int:
         seed=args.seed,
         out_path=args.out,
         history_path=None if args.no_history else args.history,
+        tag=args.tag,
     )
     print(json.dumps(result, indent=1, sort_keys=True))
     if not result["bit_identical"]:

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate a live OpenMetrics/Prometheus exposition (stdlib only).
+
+CI scrapes the telemetry endpoint a `repro table3 --telemetry-port ...`
+run serves and pipes the document through this checker:
+
+    python scripts/check_openmetrics.py --url http://127.0.0.1:9109/metrics \
+        --retry 30 --retry-delay 1 \
+        --require repro_proc_rss_bytes \
+        --save telemetry_scrape.prom
+
+or, offline, `--file exposition.prom`.  Exit 0 when the document obeys
+the text-exposition grammar the scrapers rely on (and contains every
+`--require`d family); exit 1 with one problem per line otherwise.
+
+Checked: metric-name grammar, numeric sample values, TYPE lines naming
+known types, counter samples using the `_total` suffix, no family
+declared twice, label syntax balance, and the terminating `# EOF`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+TYPES = ("counter", "gauge", "histogram", "summary", "info", "untyped", "stateset")
+VALUE_RE = re.compile(r"^[+-]?(\d+\.?\d*([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?|Inf|NaN)$")
+
+
+def fetch(url: str, retries: int, retry_delay: float) -> str:
+    """GET the exposition, retrying while the endpoint comes up."""
+    last: "Exception | None" = None
+    for attempt in range(max(retries, 0) + 1):
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            last = exc
+            if attempt < retries:
+                time.sleep(retry_delay)
+    raise SystemExit(f"error: could not scrape {url}: {last}")
+
+
+def parse_sample_name(line: str) -> "str | None":
+    """The metric name of a sample line, or None when unparseable."""
+    match = NAME_RE.match(line)
+    return match.group(0) if match else None
+
+
+def family_of(sample_name: str) -> str:
+    """Map a sample name back to its declared family."""
+    for suffix in ("_total", "_count", "_sum", "_bucket", "_info", "_created"):
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)]:
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def validate(text: str, required: "list[str]") -> "list[str]":
+    """All grammar problems in the exposition (empty list = valid)."""
+    problems: "list[str]" = []
+    families: "dict[str, str]" = {}
+    seen_samples: "set[str]" = set()
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        problems.append("document must end with '# EOF'")
+    for index, line in enumerate(lines, start=1):
+        where = f"line {index}"
+        if not line.strip():
+            continue
+        if line.strip() == "# EOF":
+            if index != len(lines):
+                problems.append(f"{where}: '# EOF' before end of document")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"{where}: malformed TYPE line")
+                continue
+            _, _, name, kind = parts
+            if not NAME_RE.fullmatch(name):
+                problems.append(f"{where}: invalid family name {name!r}")
+            if kind not in TYPES:
+                problems.append(f"{where}: unknown type {kind!r}")
+            if name in families:
+                problems.append(f"{where}: family {name!r} declared twice")
+            families[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT/comments: legal, nothing to check
+        name = parse_sample_name(line)
+        if name is None:
+            problems.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        rest = line[len(name):]
+        if rest.startswith("{"):
+            closing = rest.find("}")
+            if closing < 0:
+                problems.append(f"{where}: unbalanced label braces")
+                continue
+            rest = rest[closing + 1:]
+        fields = rest.split()
+        if not fields:
+            problems.append(f"{where}: sample {name!r} has no value")
+            continue
+        if not VALUE_RE.fullmatch(fields[0]):
+            problems.append(f"{where}: non-numeric value {fields[0]!r} for {name!r}")
+        family = family_of(name)
+        declared = families.get(family) or families.get(name)
+        if declared == "counter" and not name.endswith(
+            ("_total", "_created")
+        ):
+            problems.append(
+                f"{where}: counter sample {name!r} must use the _total suffix"
+            )
+        seen_samples.add(name)
+        seen_samples.add(family)
+    for name in required:
+        if name not in seen_samples and name not in families:
+            problems.append(f"required metric {name!r} not present")
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--url", help="endpoint to scrape (e.g. http://127.0.0.1:9109/metrics)")
+    source.add_argument("--file", help="validate this exposition file instead")
+    parser.add_argument(
+        "--retry", type=int, default=0,
+        help="retry the scrape this many times while the endpoint comes up",
+    )
+    parser.add_argument(
+        "--retry-delay", type=float, default=1.0, help="seconds between retries"
+    )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="fail unless this metric family/sample is present (repeatable)",
+    )
+    parser.add_argument(
+        "--save", metavar="PATH", help="also write the scraped document there"
+    )
+    args = parser.parse_args(argv)
+
+    if args.url:
+        text = fetch(args.url, args.retry, args.retry_delay)
+    else:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    problems = validate(text, args.require)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"FAIL: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    n_samples = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    print(f"OK: valid exposition with {n_samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -671,6 +671,7 @@ class AnnotationCoverageRule(Rule):
         "repro.obs.export",
         "repro.obs.bench",
         "repro.obs.report",
+        "repro.obs.live",
     )
 
     def _check(

@@ -32,15 +32,20 @@ diagnostic logging (stderr; command output stays on stdout).  On
 experiment commands, ``--metrics-out PATH`` dumps the metrics-registry
 snapshot (worker metrics included — pool workers ship theirs back at
 chunk boundaries) and ``--trace-out PATH`` writes the recorded spans as
-Chrome Trace Event JSON for Perfetto.  ``repro report --metrics ...``
-joins those artefacts into a run report and ``repro bench --compare``
-gates on throughput regressions.  See docs/OBSERVABILITY.md.
+Chrome Trace Event JSON for Perfetto.  ``--telemetry-port PORT`` serves
+live OpenMetrics exposition (plus ``/healthz``) while the command runs
+(``--telemetry-linger SECONDS`` keeps it up after completion for
+scrapers racing short runs), and ``--heartbeat PATH`` keeps an atomic
+JSON progress file fresh for tailing.  ``repro report --metrics ...`` joins those artefacts into a
+run report and ``repro bench --compare`` gates on throughput
+regressions.  See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro import obs
@@ -121,6 +126,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="record completed spans (parent and pool workers) and "
             "write them as Chrome Trace Event JSON — open in Perfetto "
             "or chrome://tracing",
+        )
+        sub.add_argument(
+            "--telemetry-port",
+            type=int,
+            metavar="PORT",
+            help="serve live OpenMetrics exposition on 127.0.0.1:PORT "
+            "(/metrics; /healthz returns run phase) for the duration "
+            "of the command — 0 binds an ephemeral port",
+        )
+        sub.add_argument(
+            "--heartbeat",
+            metavar="PATH",
+            help="continuously overwrite PATH (atomically) with a JSON "
+            "progress heartbeat: run id, stage, done/total, pairs/sec, ETA",
+        )
+        sub.add_argument(
+            "--telemetry-linger",
+            type=float,
+            default=0.0,
+            metavar="SECONDS",
+            help="keep the --telemetry-port endpoint serving this long "
+            "after the command completes, so a scraper racing a short "
+            "run (e.g. CI) still observes the final exposition",
         )
 
     sub = commands.add_parser("stats", help="network statistics report")
@@ -230,6 +258,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--model", choices=("linear", "neural"), default="linear")
     sub.add_argument("--warmup", type=float, default=0.5)
     sub.add_argument("--refit-every", type=int, default=2)
+    sub.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.2,
+        metavar="DELTA",
+        help="emit a structured auc_drift alert when a window's AUC falls "
+        "more than DELTA below the running mean (<= 0 disables, "
+        "default 0.2)",
+    )
     add_metrics_out(sub)
 
     sub = commands.add_parser(
@@ -285,6 +322,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="tolerated pairs/sec drop as a fraction of baseline (noise "
         "threshold, default 0.30)",
     )
+    sub.add_argument(
+        "--tag",
+        metavar="LABEL",
+        help="label this run in the result and its history record, so "
+        "distinct experiment lines (e.g. serving-layer benches) can be "
+        "told apart in the same BENCH_history.jsonl",
+    )
+    add_metrics_out(sub)
 
     sub = commands.add_parser(
         "lint", help="determinism/contract static analysis (see docs/STATIC_ANALYSIS.md)"
@@ -507,14 +552,24 @@ def _cmd_stream(args: argparse.Namespace) -> str:
         refit_every=args.refit_every,
         seed=args.seed,
     )
+    drift_threshold = args.drift_threshold if args.drift_threshold > 0 else None
     result = prequential_evaluate(
-        network, predictor, warmup_fraction=args.warmup
+        network,
+        predictor,
+        warmup_fraction=args.warmup,
+        drift_threshold=drift_threshold,
     )
     lines = [f"prequential streaming on {name}: mean AUC={result.mean_auc:.3f}"]
     lines.extend(
         f"  t={stamp:6.0f}  AUC={auc:.3f}"
         for stamp, auc in zip(result.timestamps, result.aucs)
     )
+    for alert in result.alerts:
+        lines.append(
+            f"  ALERT t={alert['timestamp']:.0f}: window AUC {alert['auc']:.3f} "
+            f"fell {alert['drift']:.3f} below running mean "
+            f"{alert['mean_auc']:.3f} (threshold {alert['threshold']:g})"
+        )
     return "\n".join(lines)
 
 
@@ -558,6 +613,7 @@ def _cmd_bench(args: argparse.Namespace) -> "str | tuple[str, int]":
             seed=args.seed,
             out_path=args.out,
             history_path=args.history,
+            tag=args.tag,
         )
         parts.append(json.dumps(current, indent=1, sort_keys=True))
         if not current["bit_identical"]:
@@ -596,9 +652,19 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     obs.configure_logging(level=args.log_level, json_lines=args.log_json)
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)
+    telemetry_port = getattr(args, "telemetry_port", None)
+    heartbeat_path = getattr(args, "heartbeat", None)
     # observability records only when something will consume it: a
-    # metrics/trace dump was requested or the command *is* the profiler.
-    activate = bool(metrics_out) or bool(trace_out) or args.command == "profile"
+    # metrics/trace dump was requested, a live consumer (telemetry
+    # endpoint / heartbeat file) is attached, or the command *is* the
+    # profiler.
+    activate = (
+        bool(metrics_out)
+        or bool(trace_out)
+        or telemetry_port is not None
+        or bool(heartbeat_path)
+        or args.command == "profile"
+    )
     was_enabled = obs.enabled()
     was_recording = obs.recording()
     if activate:
@@ -606,6 +672,14 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     if trace_out:
         obs.drain_span_records()  # stale records must not leak into the file
         obs.record_spans(True)
+    obs.set_phase(args.command)
+    publisher = None
+    if telemetry_port is not None:
+        publisher = obs.TelemetryPublisher(telemetry_port).start()
+        _LOG.info("live telemetry at %s/metrics", publisher.url)
+    if heartbeat_path:
+        obs.configure_heartbeat(heartbeat_path)
+        obs.heartbeat_tick(args.command, force=True)
     exit_code = 0
     try:
         result = _HANDLERS[args.command](args)
@@ -615,13 +689,26 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             result, exit_code = result
         print(result)
         if metrics_out:
-            with open(metrics_out, "w", encoding="utf-8") as fh:
-                fh.write(obs.get_registry().to_json() + "\n")
+            obs.atomic_write_text(metrics_out, obs.get_registry().to_json() + "\n")
             _LOG.info("metrics snapshot written to %s", metrics_out)
         if trace_out:
             written = obs.write_trace(trace_out)
             _LOG.info("%d trace events written to %s", written, trace_out)
     finally:
+        obs.set_phase(f"{args.command}:done")
+        if heartbeat_path:
+            obs.heartbeat_tick(f"{args.command}:done", force=True)
+            obs.configure_heartbeat(None)
+        if publisher is not None:
+            linger = getattr(args, "telemetry_linger", 0.0) or 0.0
+            if linger > 0:
+                _LOG.info(
+                    "telemetry endpoint lingering %.1fs at %s/metrics",
+                    linger,
+                    publisher.url,
+                )
+                time.sleep(linger)
+            publisher.stop()
         if trace_out:
             obs.record_spans(was_recording)
         if activate and not was_enabled:

@@ -59,14 +59,22 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
-from typing import Any, Hashable, Sequence
+from typing import Any, Callable, Hashable, Sequence
 
 import numpy as np
 
 from repro.core.feature import SSFConfig, SSFExtractor
 from repro.graph.csr import CSRSnapshot, SharedSnapshotHandle
 from repro.graph.temporal import DynamicNetwork
-from repro.obs import enabled as obs_enabled, get_logger, incr, observe, set_gauge, span
+from repro.obs import (
+    enabled as obs_enabled,
+    get_logger,
+    heartbeat_tick,
+    incr,
+    observe,
+    set_gauge,
+    span,
+)
 from repro.obs.aggregate import (
     ObsState,
     apply_worker_obs_state,
@@ -278,6 +286,7 @@ def parallel_extract_batch(
         # threshold, which a sharding PR would want to know.
         if workers is not None and workers > 1:
             incr("parallel.sequential_fallbacks")
+        heartbeat_tick("extract", done=0, total=len(pair_list))
         with span("parallel.extract_batch", pairs=len(pair_list), workers=1):
             if modes is None:
                 result = reference.extract_batch(pair_list)
@@ -288,6 +297,13 @@ def parallel_extract_batch(
                     reference.feature_dim,
                 )
             incr("parallel.pairs_extracted", len(pair_list))
+        elapsed = time.perf_counter() - started
+        heartbeat_tick(
+            "extract",
+            done=len(pair_list),
+            total=len(pair_list),
+            pairs_per_second=len(pair_list) / elapsed if elapsed > 0 else None,
+        )
         _record_throughput(pair_list, started, workers=1)
         return result
 
@@ -362,9 +378,33 @@ def parallel_extract_batch(
             results: "dict[int, list[Any]]" = {}
             retries_left = policy.max_retries
             degraded = False
+
+            # Heartbeat progress: chunks completed / total, with a
+            # running pairs/sec over the whole batch.  Chunk indices are
+            # counted once across rounds (retried chunks re-enter
+            # ``tasks`` only while missing from ``results``), so the
+            # reported ``done`` is monotone.
+            n_chunks_total = len(tasks)
+            progress = {"chunks": 0, "pairs": 0}
+
+            def _on_chunk(n_pairs: int) -> None:
+                progress["chunks"] += 1
+                progress["pairs"] += n_pairs
+                elapsed = time.perf_counter() - started
+                heartbeat_tick(
+                    "parallel_extract",
+                    done=progress["chunks"],
+                    total=n_chunks_total,
+                    pairs_per_second=(
+                        progress["pairs"] / elapsed if elapsed > 0 else None
+                    ),
+                )
+
+            heartbeat_tick("parallel_extract", done=0, total=n_chunks_total)
             while tasks:
                 received, init_error = _run_pool_round(
-                    context, workers, init_args, tasks, policy.chunk_timeout
+                    context, workers, init_args, tasks, policy.chunk_timeout,
+                    on_chunk=_on_chunk,
                 )
                 results.update(received)
                 tasks = [task for task in tasks if task[0] not in results]
@@ -420,6 +460,7 @@ def parallel_extract_batch(
                             for a, b in chunk_pairs
                         ]
                     incr("parallel.pairs_extracted", len(chunk_pairs))
+                    _on_chunk(len(chunk_pairs))
             rows = [row for index in sorted(results) for row in results[index]]
     finally:
         if handle is not None:
@@ -475,6 +516,7 @@ def _run_pool_round(
     init_args: "tuple[Any, ...]",
     tasks: "list[ChunkTask]",
     chunk_timeout: "float | None",
+    on_chunk: "Callable[[int], None] | None" = None,
 ) -> "tuple[dict[int, list[Any]], _WorkerInitError | None]":
     """Run one pool round over ``tasks``; never raises for chunk loss.
 
@@ -483,6 +525,8 @@ def _run_pool_round(
     degrade the payload).  Chunks missing from the result — lost to a
     dead worker, stuck past ``chunk_timeout``, or abandoned after an
     error — are simply absent; the caller decides whether to retry them.
+    ``on_chunk(n_pairs)`` is invoked as each chunk lands (progress
+    heartbeats).
     """
     received: "dict[int, list[Any]]" = {}
     init_error: "_WorkerInitError | None" = None
@@ -533,6 +577,8 @@ def _run_pool_round(
                 break
             received[index] = rows
             merge_worker_payload(obs_payload)
+            if on_chunk is not None:
+                on_chunk(len(rows))
     finally:
         pool.terminate()
         pool.join()

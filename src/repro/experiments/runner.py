@@ -40,7 +40,7 @@ from repro.metrics.classification import f1_score, roc_auc_score
 from repro.models.linear import LinearRegressionModel
 from repro.models.neural import NeuralMachine
 from repro.models.ranking import ThresholdClassifier
-from repro.obs import get_logger, incr, span
+from repro.obs import get_logger, heartbeat_tick, incr, set_phase, span, tracemalloc_stage
 from repro.robust import RetryPolicy
 from repro.robust.checkpoint import RunCheckpoint
 from repro.sampling.splits import LinkPredictionTask, build_link_prediction_task
@@ -117,14 +117,16 @@ class LinkPredictionExperiment:
 
         if kind == "wlf":
             with span("runner.extract_features", kind="wlf"):
-                extractor = WLFExtractor(self.task.history, k=self.config.k)
-                self._feature_cache["wlf"] = (
-                    extractor.extract_batch(self.task.train_pairs),
-                    extractor.extract_batch(self.task.test_pairs),
-                )
+                with tracemalloc_stage("extract_wlf"):
+                    extractor = WLFExtractor(self.task.history, k=self.config.k)
+                    self._feature_cache["wlf"] = (
+                        extractor.extract_batch(self.task.train_pairs),
+                        extractor.extract_batch(self.task.test_pairs),
+                    )
         else:
             with span("runner.extract_features", kind="ssf"):
-                self._extract_ssf_features()
+                with tracemalloc_stage("extract_ssf"):
+                    self._extract_ssf_features()
         self._checkpoint_features(("wlf",) if kind == "wlf" else ("ssf", "ssf_w"))
         _LOG.debug(
             "feature matrices ready for kind=%s (%d train / %d test pairs)",
@@ -237,8 +239,30 @@ class LinkPredictionExperiment:
     def run_methods(
         self, names: "Sequence[str] | None" = None
     ) -> dict[str, MethodResult]:
-        """Evaluate several methods (defaults to the full Table III set)."""
-        return {name: self.run_method(name) for name in (names or METHOD_ORDER)}
+        """Evaluate several methods (defaults to the full Table III set).
+
+        Progress is published live: the run phase tracks the current
+        ``dataset/method`` cell (served by the telemetry ``/healthz``
+        endpoint) and the heartbeat file advances one beat per cell.
+        """
+        selected = list(names or METHOD_ORDER)
+        out: dict[str, MethodResult] = {}
+        for position, name in enumerate(selected):
+            set_phase(f"table3:{self.dataset_name}/{name}")
+            heartbeat_tick(
+                f"methods:{self.dataset_name}",
+                done=position,
+                total=len(selected),
+                force=True,
+            )
+            out[name] = self.run_method(name)
+        heartbeat_tick(
+            f"methods:{self.dataset_name}",
+            done=len(selected),
+            total=len(selected),
+            force=True,
+        )
+        return out
 
     def _run_ranking(self, name: str) -> MethodResult:
         scorer = RANKING_METHODS[name](self.config)

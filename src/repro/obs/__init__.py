@@ -10,6 +10,9 @@ measures itself against the numbers this package exports.
 * :mod:`repro.obs.trace` — ``span`` context-manager/decorator tracing
   with a guaranteed no-op fast path when disabled, plus an optional
   bounded buffer of completed-span records (``record_spans``).
+* :mod:`repro.obs.live` — the live telemetry plane: an OpenMetrics
+  HTTP endpoint (``--telemetry-port``), atomic JSON heartbeat files
+  (``--heartbeat``), resource-sampling gauges and structured alerts.
 * :mod:`repro.obs.aggregate` — ships worker-process metrics/spans back
   to the parent at chunk boundaries and merges them into one registry.
 * :mod:`repro.obs.export` — Chrome Trace Event JSON export of recorded
@@ -60,6 +63,25 @@ from repro.obs.trace import (
     span,
     span_records,
 )
+from repro.obs.live import (
+    Heartbeat,
+    TelemetryPublisher,
+    atomic_write_text,
+    configure_heartbeat,
+    current_phase,
+    emit_alert,
+    get_heartbeat,
+    heartbeat_tick,
+    peak_rss_bytes,
+    read_open_fds,
+    read_rss_bytes,
+    render_openmetrics,
+    run_id,
+    sample_process_resources,
+    set_phase,
+    set_tracemalloc,
+    tracemalloc_stage,
+)
 from repro.obs.aggregate import (
     apply_worker_obs_state,
     collect_worker_payload,
@@ -71,30 +93,47 @@ from repro.obs.export import trace_events, validate_trace, write_trace
 __all__ = [
     "Counter",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "JsonLinesFormatter",
     "LEVELS",
     "MetricsRegistry",
+    "TelemetryPublisher",
     "apply_worker_obs_state",
+    "atomic_write_text",
     "collect_worker_payload",
+    "configure_heartbeat",
     "configure_logging",
+    "current_phase",
     "current_span",
     "disable",
     "drain_span_records",
+    "emit_alert",
     "enable",
     "enabled",
+    "get_heartbeat",
     "get_logger",
     "get_registry",
+    "heartbeat_tick",
     "incr",
     "merge_worker_payload",
     "observe",
     "parent_obs_state",
+    "peak_rss_bytes",
+    "read_open_fds",
+    "read_rss_bytes",
     "record_spans",
     "recording",
+    "render_openmetrics",
+    "run_id",
+    "sample_process_resources",
     "set_gauge",
+    "set_phase",
+    "set_tracemalloc",
     "span",
     "span_records",
     "trace_events",
+    "tracemalloc_stage",
     "validate_trace",
     "write_trace",
 ]

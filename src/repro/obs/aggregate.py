@@ -38,7 +38,7 @@ from __future__ import annotations
 import os
 from typing import Any, Mapping
 
-from repro.obs import trace
+from repro.obs import live, trace
 from repro.obs.metrics import get_registry
 
 __all__ = [
@@ -82,13 +82,23 @@ def collect_worker_payload() -> "dict[str, Any] | None":
 
     Returns ``None`` when observability is off, so the disabled path
     ships nothing and costs nothing beyond one flag check.
+
+    Each payload carries the worker's resident set size as the gauge
+    ``proc.worker_rss_bytes.pid<pid>`` — per-pid names survive the
+    last-write-wins gauge merge, so the parent's live exposition shows
+    one RSS gauge per worker that ever shipped a chunk (fleet-wide
+    memory, not just the parent's own).
     """
     if not trace.enabled():
         return None
+    registry = get_registry()
+    rss = live.read_rss_bytes()
+    if rss > 0.0:
+        registry.gauge(f"proc.worker_rss_bytes.pid{os.getpid()}").set(rss)
     spans = trace.drain_span_records() if trace.recording() else []
     return {
         "pid": os.getpid(),
-        "metrics": get_registry().mergeable_snapshot(reset=True),
+        "metrics": registry.mergeable_snapshot(reset=True),
         "spans": spans,
     }
 

@@ -33,7 +33,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
-HISTORY_SCHEMA_VERSION = 1
+from repro.obs.live import atomic_write_text, peak_rss_bytes
+
+#: v2 added ``peak_rss_bytes`` to the record stamp and an optional
+#: ``tag`` inside the result; v1 records remain readable (absent keys)
+HISTORY_SCHEMA_VERSION = 2
 DEFAULT_MAX_REGRESSION = 0.30
 #: context fields that must match for a comparison to be apples-to-apples
 _SCALE_FIELDS = ("nodes", "pairs", "k")
@@ -83,12 +87,18 @@ def git_sha(cwd: "str | None" = None) -> "str | None":
 def history_record(
     result: Mapping[str, Any], *, recorded_at: "float | None" = None
 ) -> dict[str, Any]:
-    """Wrap a bench result with schema/provenance stamps."""
+    """Wrap a bench result with schema/provenance stamps.
+
+    The stamp includes the recording process's lifetime peak RSS
+    (``peak_rss_bytes``, 0.0 where unknowable) so the history tracks
+    memory growth across commits alongside throughput.
+    """
     return {
         "schema": HISTORY_SCHEMA_VERSION,
         "recorded_at": time.time() if recorded_at is None else recorded_at,
         "git_sha": git_sha(),
         "machine": machine_fingerprint(),
+        "peak_rss_bytes": peak_rss_bytes(),
         "result": dict(result),
     }
 
@@ -208,6 +218,12 @@ def compare_results(
         and cur_machine.get("id") != base_machine.get("id")
     ):
         notes.append("different machines — treat ratios as indicative only")
+    if cur.get("tag") != base.get("tag"):
+        notes.append(
+            f"tag mismatch: current={cur.get('tag')!r} "
+            f"baseline={base.get('tag')!r} — these may be different "
+            "experiment lines"
+        )
 
     deltas: list[BackendDelta] = []
     cur_backends = cur.get("backends", {})
@@ -270,13 +286,16 @@ def run_extraction_bench(
     seed: int = 0,
     out_path: "str | Path | None" = None,
     history_path: "str | Path | None" = None,
+    tag: "str | None" = None,
 ) -> dict[str, Any]:
     """Time single-process SSF extraction on both backends, same pairs.
 
     The csr timing INCLUDES the one-off snapshot freeze (built once per
     observed window, amortised over the batch — exactly how the runner
     uses it).  Writes the latest result to ``out_path`` when given and
-    appends a stamped record to ``history_path`` when given.
+    appends a stamped record to ``history_path`` when given.  ``tag``
+    labels the result (and therefore its history record) so distinct
+    experiment lines share one trajectory file without mixing.
     """
     import numpy as np
 
@@ -329,10 +348,12 @@ def run_extraction_bench(
         },
         "speedup": round(dict_seconds / csr_seconds, 2),
     }
+    if tag is not None:
+        result["tag"] = tag
     if out_path is not None:
-        with open(out_path, "w", encoding="utf-8") as fh:
-            json.dump(result, fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        atomic_write_text(
+            out_path, json.dumps(result, indent=1, sort_keys=True) + "\n"
+        )
     if history_path is not None:
         append_history(history_path, result)
     return result

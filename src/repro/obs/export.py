@@ -29,6 +29,7 @@ import os
 from typing import Any, Mapping, Sequence
 
 from repro.obs import trace
+from repro.obs.live import atomic_write_text
 
 __all__ = ["trace_events", "validate_trace", "write_trace"]
 
@@ -107,7 +108,9 @@ def write_trace(
 ) -> int:
     """Write records as Trace Event JSON Object Format; return event count.
 
-    The file loads directly in Perfetto / ``chrome://tracing``.
+    The file loads directly in Perfetto / ``chrome://tracing``.  The
+    write is atomic (tmp + ``os.replace``): a run killed mid-export
+    never leaves a truncated, viewer-rejecting file behind.
     """
     events = trace_events(records, parent_pid=parent_pid)
     dropped = trace.dropped_span_records()
@@ -119,9 +122,7 @@ def write_trace(
             "droppedSpanRecords": dropped,
         },
     }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return len(events)
 
 

@@ -1,0 +1,688 @@
+"""Live telemetry plane: OpenMetrics exposition, heartbeats, resources.
+
+Everything :mod:`repro.obs` collects is snapshot-at-exit by default —
+``--metrics-out`` and ``repro report`` only speak *after* a run ends.
+This module makes a running process observable **while it runs**:
+
+* :class:`TelemetryPublisher` — a daemon thread pairing a stdlib
+  ``http.server`` endpoint with a periodic sampling tick.  ``GET
+  /metrics`` serves the default registry as Prometheus/OpenMetrics text
+  exposition (rendered from the same plain-data export path as
+  :meth:`~repro.obs.metrics.MetricsRegistry.mergeable_snapshot`, so
+  histogram quantiles come from the full deterministic reservoir, not a
+  second estimator) and ``GET /healthz`` returns run phase, run id and
+  uptime as JSON.  Enabled with ``--telemetry-port`` on the CLI.
+* **Heartbeat files** — :class:`Heartbeat` writes a small JSON progress
+  document (run id, stage, units done/total, pairs/sec, ETA)
+  atomically (tmp + ``os.replace``, like
+  :class:`~repro.robust.checkpoint.RunCheckpoint`), so a reader can
+  ``cat`` it at any instant — including the instant the writer is
+  killed — and always parse valid JSON.  Enabled with ``--heartbeat
+  PATH``; the runner, :func:`~repro.core.parallel.parallel_extract_batch`
+  and the streaming loop tick it through the module-level
+  :func:`heartbeat_tick` (a single ``None`` check when unconfigured).
+* **Resource sampling** — :func:`sample_process_resources` publishes
+  RSS (``/proc/self/statm``), CPU seconds and the open-fd count as
+  ``proc.*`` gauges; pool workers additionally ship a
+  ``proc.worker_rss_bytes.pid<pid>`` gauge back with every chunk
+  payload (see :mod:`repro.obs.aggregate`), so the parent's exposition
+  covers the whole fleet.  Per-stage ``tracemalloc`` peaks are opt-in
+  (:func:`set_tracemalloc` / ``REPRO_TELEMETRY_TRACEMALLOC=1``) because
+  tracing allocations is far from free.
+* **Alerts** — :func:`emit_alert` turns a threshold crossing (e.g. the
+  streaming AUC-drift monitors in :mod:`repro.streaming.prequential`)
+  into one structured ``repro.obs.alert`` log record plus ``obs.alerts``
+  counters, so log shipping and the metrics endpoint both see it.
+
+Like spans, the whole plane is a no-op unless explicitly switched on:
+no publisher, no configured heartbeat and no tracemalloc switch means
+the hooks in the hot paths cost one ``is None`` / flag check each.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import tracemalloc
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from contextlib import contextmanager
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry, percentile_of
+from repro.obs.trace import enabled as obs_enabled
+
+__all__ = [
+    "HEARTBEAT_SCHEMA_VERSION",
+    "Heartbeat",
+    "TelemetryPublisher",
+    "atomic_write_text",
+    "configure_heartbeat",
+    "current_phase",
+    "emit_alert",
+    "get_heartbeat",
+    "heartbeat_tick",
+    "peak_rss_bytes",
+    "read_open_fds",
+    "read_rss_bytes",
+    "render_openmetrics",
+    "run_id",
+    "sample_process_resources",
+    "set_phase",
+    "set_tracemalloc",
+    "tracemalloc_enabled",
+    "tracemalloc_stage",
+]
+
+_LOG = get_logger("obs.live")
+_ALERT_LOG = get_logger("obs.alert")
+
+HEARTBEAT_SCHEMA_VERSION = 1
+
+#: exposition content type (the Prometheus text format is a strict
+#: subset of OpenMetrics once the trailing ``# EOF`` is present)
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+# ----------------------------------------------------------------------
+# atomic writes (the heartbeat primitive, shared by --metrics-out etc.)
+# ----------------------------------------------------------------------
+def atomic_write_text(path: "str | Path", text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    A reader never observes a truncated file: it sees either the old
+    content or the new content, even if the writer dies mid-write.  The
+    temp name carries the writer's pid so two processes aiming at the
+    same path cannot corrupt each other's staging file.
+    """
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, target)
+    finally:
+        # a failed replace (or a kill between write and replace on a
+        # previous run) must not leave staging litter behind forever
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# run identity and phase
+# ----------------------------------------------------------------------
+_RUN_ID: "str | None" = None
+_RUN_STARTED = time.time()
+_PHASE = "idle"
+_PHASE_LOCK = threading.Lock()
+
+
+def run_id() -> str:
+    """A stable identifier for this process's run (pid + start time)."""
+    global _RUN_ID
+    if _RUN_ID is None:
+        _RUN_ID = f"run-{os.getpid()}-{int(_RUN_STARTED)}"
+    return _RUN_ID
+
+
+def set_phase(phase: str) -> None:
+    """Record the run's current phase (served by ``/healthz``)."""
+    global _PHASE
+    with _PHASE_LOCK:
+        _PHASE = str(phase)
+
+
+def current_phase() -> str:
+    """The phase most recently recorded with :func:`set_phase`."""
+    with _PHASE_LOCK:
+        return _PHASE
+
+
+# ----------------------------------------------------------------------
+# resource sampling (stdlib + /proc only; degrade to 0 off-Linux)
+# ----------------------------------------------------------------------
+def _page_size() -> int:
+    try:
+        return os.sysconf("SC_PAGE_SIZE")
+    except (ValueError, OSError, AttributeError):  # pragma: no cover - non-POSIX
+        return 4096
+
+
+_PAGE_SIZE = _page_size()
+
+
+def read_rss_bytes() -> float:
+    """Current resident set size in bytes (``/proc/self/statm``).
+
+    Returns 0.0 where ``/proc`` is unavailable — callers treat 0 as
+    "unknown" and skip the gauge rather than publish a lie.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            fields = fh.read().split()
+        return float(int(fields[1]) * _PAGE_SIZE)
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
+        return 0.0
+
+
+def peak_rss_bytes() -> float:
+    """Lifetime peak RSS in bytes (``getrusage``; 0.0 when unavailable)."""
+    try:
+        import resource
+
+        # ru_maxrss is kilobytes on Linux (man getrusage)
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024.0
+    except (ImportError, ValueError, OSError):  # pragma: no cover - non-POSIX
+        return 0.0
+
+
+def read_open_fds() -> int:
+    """Open file descriptors of this process (-1 when unknowable)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-Linux
+        return -1
+
+
+def sample_process_resources(
+    registry: "MetricsRegistry | None" = None,
+) -> "dict[str, float]":
+    """Publish this process's resource usage as ``proc.*`` gauges.
+
+    Sets ``proc.rss_bytes``, ``proc.peak_rss_bytes``, ``proc.cpu_seconds``
+    and ``proc.open_fds`` on ``registry`` (default registry when omitted)
+    and returns the sampled values.  Unknown readings (0 / -1) are
+    returned but not published.
+    """
+    reg = registry if registry is not None else get_registry()
+    sampled = {
+        "proc.rss_bytes": read_rss_bytes(),
+        "proc.peak_rss_bytes": peak_rss_bytes(),
+        "proc.cpu_seconds": time.process_time(),
+        "proc.open_fds": float(read_open_fds()),
+    }
+    for name, value in sampled.items():
+        if value >= 0.0 and not (value == 0.0 and name.endswith("rss_bytes")):
+            reg.gauge(name).set(value)
+    return sampled
+
+
+# ----------------------------------------------------------------------
+# per-stage tracemalloc peaks (opt-in: allocation tracing is not free)
+# ----------------------------------------------------------------------
+_TRACEMALLOC = os.environ.get("REPRO_TELEMETRY_TRACEMALLOC", "") not in ("", "0")
+
+
+def set_tracemalloc(on: bool = True) -> None:
+    """Toggle per-stage allocation-peak tracking (see :func:`tracemalloc_stage`)."""
+    global _TRACEMALLOC
+    _TRACEMALLOC = on
+
+
+def tracemalloc_enabled() -> bool:
+    """Whether :func:`tracemalloc_stage` is currently measuring."""
+    return _TRACEMALLOC
+
+
+@contextmanager
+def tracemalloc_stage(stage: str) -> Iterator[None]:
+    """Record the allocation peak of one stage as a gauge.
+
+    When tracking is on (:func:`set_tracemalloc` or the
+    ``REPRO_TELEMETRY_TRACEMALLOC=1`` environment variable) the gauge
+    ``proc.tracemalloc_peak_bytes.<stage>`` is raised to the stage's
+    peak traced allocation.  When off — the default — the context is a
+    plain ``yield`` behind one flag check, because ``tracemalloc``
+    itself slows allocation-heavy code far beyond the <2% budget the
+    always-on sampler holds itself to.
+    """
+    if not _TRACEMALLOC:
+        yield
+        return
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    try:
+        yield
+    finally:
+        _current, peak = tracemalloc.get_traced_memory()
+        if started_here:
+            tracemalloc.stop()
+        get_registry().gauge(f"proc.tracemalloc_peak_bytes.{stage}").set_max(
+            float(peak)
+        )
+
+
+# ----------------------------------------------------------------------
+# structured alerts
+# ----------------------------------------------------------------------
+def emit_alert(kind: str, message: str, **context: "float | int | str | bool") -> None:
+    """Emit one structured alert: an ``obs.alert`` log record + counters.
+
+    The record is a WARNING on logger ``repro.obs.alert`` with
+    ``alert=<kind>`` and every ``context`` item as structured extras
+    (top-level keys in JSON-lines mode).  The counters ``obs.alerts``
+    and ``obs.alerts.<kind>`` are bumped when observability is enabled,
+    so the live endpoint and the final snapshot both count crossings.
+    """
+    _ALERT_LOG.warning(
+        "%s: %s", kind, message, extra={"alert": kind, **context}
+    )
+    if obs_enabled():
+        registry = get_registry()
+        registry.counter("obs.alerts").inc()
+        registry.counter(f"obs.alerts.{kind}").inc()
+
+
+# ----------------------------------------------------------------------
+# heartbeat files
+# ----------------------------------------------------------------------
+class Heartbeat:
+    """Atomic JSON progress file for one running process.
+
+    Every :meth:`write` replaces ``path`` with a fresh document::
+
+        {"schema": 1, "run_id": "run-1234-...", "pid": 1234,
+         "ts": 1699.0, "phase": "table3", "stage": "parallel_extract",
+         "done": 12, "total": 40, "pairs_per_second": 812.4,
+         "eta_seconds": 8.1, "beats": 13}
+
+    Writes are throttled to one per ``min_interval`` seconds — except
+    stage changes and completion (``done == total``), which always land
+    — and ``done`` is clamped monotone within a stage so a tailing
+    reader never sees progress move backwards.
+    """
+
+    def __init__(self, path: "str | Path", *, min_interval: float = 0.2) -> None:
+        if min_interval < 0:
+            raise ValueError(f"min_interval must be >= 0, got {min_interval}")
+        self.path = Path(path)
+        self.min_interval = min_interval
+        self._lock = threading.Lock()
+        self._beats = 0
+        self._last_write = float("-inf")
+        self._stage: "str | None" = None
+        self._stage_started = 0.0
+        self._done = 0.0
+
+    def write(
+        self,
+        stage: str,
+        *,
+        done: "float | None" = None,
+        total: "float | None" = None,
+        pairs_per_second: "float | None" = None,
+        force: bool = False,
+        extra: "Mapping[str, Any] | None" = None,
+    ) -> bool:
+        """Write one beat; returns whether a file write actually happened."""
+        now = time.time()
+        with self._lock:
+            stage_changed = stage != self._stage
+            if stage_changed:
+                self._stage = stage
+                self._stage_started = now
+                self._done = 0.0
+            if done is not None:
+                # monotone within a stage: a retried chunk round must not
+                # make a tailing reader watch progress run backwards
+                done = max(float(done), self._done)
+                self._done = done
+            finished = done is not None and total is not None and done >= float(total)
+            if (
+                not force
+                and not stage_changed
+                and not finished
+                and now - self._last_write < self.min_interval
+            ):
+                return False
+            self._last_write = now
+            self._beats += 1
+            payload: "dict[str, Any]" = {
+                "schema": HEARTBEAT_SCHEMA_VERSION,
+                "run_id": run_id(),
+                "pid": os.getpid(),
+                "ts": round(now, 6),
+                "phase": current_phase(),
+                "stage": stage,
+                "done": done,
+                "total": float(total) if total is not None else None,
+                "pairs_per_second": (
+                    round(pairs_per_second, 3) if pairs_per_second is not None else None
+                ),
+                "eta_seconds": self._eta(done, total, now),
+                "beats": self._beats,
+            }
+            if extra:
+                payload.update(extra)
+        atomic_write_text(self.path, json.dumps(payload, sort_keys=True) + "\n")
+        return True
+
+    def _eta(
+        self, done: "float | None", total: "float | None", now: float
+    ) -> "float | None":
+        """Remaining seconds extrapolated from this stage's own rate."""
+        if done is None or total is None or done <= 0:
+            return None
+        elapsed = now - self._stage_started
+        if elapsed <= 0:
+            return None
+        remaining = max(float(total) - done, 0.0)
+        return round(remaining * elapsed / done, 3)
+
+
+_HEARTBEAT: "Heartbeat | None" = None
+
+
+def configure_heartbeat(
+    path: "str | Path | None", *, min_interval: float = 0.2
+) -> "Heartbeat | None":
+    """Install (``path``) or remove (``None``) the process heartbeat."""
+    global _HEARTBEAT
+    _HEARTBEAT = Heartbeat(path, min_interval=min_interval) if path else None
+    return _HEARTBEAT
+
+
+def get_heartbeat() -> "Heartbeat | None":
+    """The configured process heartbeat, or ``None``."""
+    return _HEARTBEAT
+
+
+def heartbeat_tick(
+    stage: str,
+    *,
+    done: "float | None" = None,
+    total: "float | None" = None,
+    pairs_per_second: "float | None" = None,
+    force: bool = False,
+) -> None:
+    """Beat the configured heartbeat; a single ``None`` check otherwise.
+
+    This is the hook the runner, the parallel dispatch loop and the
+    streaming loop call — hot-path-safe because the unconfigured case
+    returns immediately.
+    """
+    if _HEARTBEAT is None:
+        return
+    _HEARTBEAT.write(
+        stage,
+        done=done,
+        total=total,
+        pairs_per_second=pairs_per_second,
+        force=force,
+    )
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics rendering
+# ----------------------------------------------------------------------
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _metric_name(raw: str, prefix: str = "repro_") -> str:
+    """``parallel.pairs_extracted`` -> ``repro_parallel_pairs_extracted``."""
+    safe = "".join(c if c in _NAME_OK else "_" for c in raw)
+    if not safe or safe[0].isdigit():
+        safe = f"_{safe}"
+    return prefix + safe.replace(":", "_")
+
+
+def _fmt(value: float) -> str:
+    """A float literal every OpenMetrics parser accepts (no NaN surprises)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_openmetrics(
+    snapshot: "Mapping[str, Any]",
+    *,
+    phase: "str | None" = None,
+    uptime_seconds: "float | None" = None,
+) -> str:
+    """Render a mergeable registry snapshot as OpenMetrics text.
+
+    ``snapshot`` is the plain-data shape of
+    :meth:`~repro.obs.metrics.MetricsRegistry.mergeable_snapshot` —
+    counters/gauges as values, histograms as raw state — which lets the
+    renderer compute p50/p95 from the histogram's own deterministic
+    reservoir instead of introducing a second estimator.  Counters
+    become ``<name>_total`` counter families, gauges become gauges,
+    histograms become summary families (``_count``/``_sum`` plus
+    ``quantile``-labelled samples).  ``phase`` adds a ``repro_run_info``
+    info family; the document always ends with ``# EOF``.
+    """
+    lines: "list[str]" = []
+    seen: "set[str]" = set()
+
+    def family(name: str) -> bool:
+        # two raw names may sanitise to the same family; first wins so
+        # the exposition never declares a family twice (a parse error)
+        if name in seen:
+            return False
+        seen.add(name)
+        return True
+
+    if phase is not None:
+        if family("repro_run"):
+            lines.append("# TYPE repro_run info")
+            lines.append(
+                'repro_run_info{run_id="%s",phase="%s"} 1'
+                % (_escape_label(run_id()), _escape_label(phase))
+            )
+    if uptime_seconds is not None:
+        if family("repro_telemetry_uptime_seconds"):
+            lines.append("# TYPE repro_telemetry_uptime_seconds gauge")
+            lines.append(
+                f"repro_telemetry_uptime_seconds {_fmt(uptime_seconds)}"
+            )
+
+    for raw, value in snapshot.get("counters", {}).items():
+        name = _metric_name(str(raw))
+        if not family(name):
+            continue
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}_total {_fmt(float(value))}")
+
+    for raw, value in snapshot.get("gauges", {}).items():
+        name = _metric_name(str(raw))
+        if not family(name):
+            continue
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(float(value))}")
+
+    for raw, state in snapshot.get("histograms", {}).items():
+        name = _metric_name(str(raw))
+        if not family(name):
+            continue
+        count = int(state.get("count", 0))
+        total = float(state.get("sum", 0.0))
+        samples = [float(v) for v in state.get("samples", [])]
+        lines.append(f"# TYPE {name} summary")
+        for q in (50.0, 95.0):
+            if samples:
+                lines.append(
+                    f'{name}{{quantile="{q / 100:g}"}} '
+                    f"{_fmt(percentile_of(samples, q))}"
+                )
+        lines.append(f"{name}_count {count}")
+        lines.append(f"{name}_sum {_fmt(total)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# the publisher: HTTP endpoint + periodic sampling tick
+# ----------------------------------------------------------------------
+class TelemetryPublisher:
+    """Serve live metrics over HTTP while periodically sampling resources.
+
+    A daemon thread runs a :class:`http.server.ThreadingHTTPServer`;
+    a second daemon thread ticks every ``interval`` seconds, sampling
+    process resources into the registry and re-rendering the cached
+    OpenMetrics exposition.  ``GET /metrics`` serves the latest
+    rendering, ``GET /healthz`` a JSON liveness document with the run
+    phase.  ``port=0`` binds an ephemeral port (tests); the bound port
+    is available as :attr:`port` after :meth:`start`.
+
+    Use as a context manager, or call :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        interval: float = 1.0,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.host = host
+        self.requested_port = port
+        self.interval = interval
+        self.registry = registry if registry is not None else get_registry()
+        self.started_at = 0.0
+        self._server: "ThreadingHTTPServer | None" = None
+        self._server_thread: "threading.Thread | None" = None
+        self._ticker_thread: "threading.Thread | None" = None
+        self._stop = threading.Event()
+        self._exposition = "# EOF\n"
+        self._exposition_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "TelemetryPublisher":
+        if self._server is not None:
+            raise RuntimeError("publisher already started")
+        self.started_at = time.time()
+        self._stop.clear()
+        self.refresh()
+        publisher = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                publisher._handle(self)
+
+            def log_message(self, format: str, *args: Any) -> None:
+                # diagnostics belong to the repro logger, not stderr
+                _LOG.debug("telemetry http: " + format, *args)
+
+        self._server = ThreadingHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        self._server.daemon_threads = True
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            # a coarse poll keeps the idle server thread's GIL wake-ups
+            # negligible next to the extraction hot loop; shutdown()
+            # latency (bounded by one poll) only matters at process exit
+            kwargs={"poll_interval": 0.5},
+            name="repro-telemetry-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self._ticker_thread = threading.Thread(
+            target=self._tick_loop, name="repro-telemetry-tick", daemon=True
+        )
+        self._ticker_thread.start()
+        _LOG.info("telemetry endpoint serving at %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and sampling (idempotent)."""
+        self._stop.set()
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        for thread in (self._server_thread, self._ticker_thread):
+            if thread is not None:
+                thread.join(timeout=5.0)
+        self._server_thread = None
+        self._ticker_thread = None
+
+    def __enter__(self) -> "TelemetryPublisher":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is None:
+            return self.requested_port
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- sampling + rendering ------------------------------------------
+    def refresh(self) -> str:
+        """Sample resources and re-render the exposition; returns it."""
+        sample_process_resources(self.registry)
+        text = render_openmetrics(
+            self.registry.mergeable_snapshot(),
+            phase=current_phase(),
+            uptime_seconds=round(time.time() - self.started_at, 3),
+        )
+        with self._exposition_lock:
+            self._exposition = text
+        return text
+
+    def _tick_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.refresh()
+            except Exception:  # pragma: no cover - defensive: keep serving
+                _LOG.exception("telemetry tick failed; endpoint keeps serving")
+
+    # -- request handling ----------------------------------------------
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = self.refresh().encode("utf-8")
+            self._respond(request, 200, OPENMETRICS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            payload = {
+                "status": "ok",
+                "run_id": run_id(),
+                "phase": current_phase(),
+                "pid": os.getpid(),
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+            }
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            self._respond(request, 200, "application/json; charset=utf-8", body)
+        else:
+            body = b"not found: try /metrics or /healthz\n"
+            self._respond(request, 404, "text/plain; charset=utf-8", body)
+
+    @staticmethod
+    def _respond(
+        request: BaseHTTPRequestHandler, code: int, content_type: str, body: bytes
+    ) -> None:
+        request.send_response(code)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)

@@ -78,6 +78,12 @@ class Gauge:
         with self._lock:
             self._value += delta
 
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if larger (high-water marks)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
     @property
     def value(self) -> float:
         return self._value
@@ -96,6 +102,23 @@ def _index_hash(i: int) -> int:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return (z ^ (z >> 31)) & _MASK64
+
+
+def percentile_of(samples: "Iterable[float]", q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``.
+
+    The single quantile definition shared by :meth:`Histogram.percentile`
+    and the OpenMetrics renderer (:mod:`repro.obs.live`), so live and
+    post-run exports agree bit-for-bit on the same reservoir.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    window = sorted(samples)
+    if not window:
+        return float("nan")
+    rank = max(1, -(-int(q * len(window)) // 100))  # ceil without float
+    rank = min(max(rank, 1), len(window))
+    return window[rank - 1]
 
 
 class Histogram:
@@ -165,15 +188,9 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile (``q`` in [0, 100]) over the window."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"q must be in [0, 100], got {q}")
         with self._lock:
-            window = sorted(self._samples)
-        if not window:
-            return float("nan")
-        rank = max(1, -(-int(q * len(window)) // 100))  # ceil without float
-        rank = min(max(rank, 1), len(window))
-        return window[rank - 1]
+            window = list(self._samples)
+        return percentile_of(window, q)
 
     def summary(self, quantiles: Iterable[float] = (50.0, 95.0)) -> dict:
         """Exportable aggregate view used by registry snapshots.

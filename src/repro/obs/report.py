@@ -13,7 +13,13 @@ humans and (``--json-out``) as JSON for dashboards:
 * **throughput** — pairs extracted, batch pairs/sec, pool shape,
   entry modes actually extracted and the inferred backend,
 * **robustness** — retry / fallback / shm-degradation / resume
-  counters and how many worker payloads were merged,
+  counters, how many worker payloads were merged, and whether the
+  span-record buffer overflowed (``obs.spans_dropped``),
+* **memory** — the resource sampler's ``proc.*`` gauges: parent RSS /
+  peak RSS / CPU / fds, per-worker RSS (fleet total) and per-stage
+  tracemalloc peaks,
+* **drift** — streaming quality: per-window AUC stats, the drift
+  gauges and how many ``auc_drift`` alerts fired,
 * **checkpoint** — manifest settings plus completed cells,
 * **benchmark** — latest backend comparison and the history trajectory.
 
@@ -28,6 +34,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.obs.bench import load_history
+from repro.obs.live import atomic_write_text
 
 #: counters surfaced in the robustness section, in display order
 _ROBUSTNESS_COUNTERS = (
@@ -38,8 +45,13 @@ _ROBUSTNESS_COUNTERS = (
     "robust.resumed_features",
     "obs.worker_payloads",
     "obs.worker_payload_spans",
+    "obs.spans_dropped",
     "parallel.sequential_fallbacks",
 )
+
+#: gauge prefixes that feed the memory section
+_WORKER_RSS_PREFIX = "proc.worker_rss_bytes.pid"
+_TRACEMALLOC_PREFIX = "proc.tracemalloc_peak_bytes."
 
 
 def _load_json(path: "str | Path") -> Any:
@@ -47,9 +59,31 @@ def _load_json(path: "str | Path") -> Any:
         return json.load(fh)
 
 
+def _load_json_or_none(path: "str | Path", notes: list[str], label: str) -> Any:
+    """Partial-join load: a missing or corrupt artefact degrades to a note.
+
+    A crashed run may leave any subset of its artefacts truncated or
+    absent; the report still describes whatever else it was given.
+    """
+    try:
+        loaded = _load_json(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        notes.append(f"{label} unreadable ({path}): {exc}")
+        return None
+    if not isinstance(loaded, dict):
+        notes.append(f"{label} malformed ({path}): expected a JSON object")
+        return None
+    return loaded
+
+
 def _num(value: Any, default: float = 0.0) -> float:
     """NaN-scrubbed snapshots hold ``None`` where a float should be."""
     return float(value) if isinstance(value, (int, float)) else default
+
+
+def _mib(n_bytes: float) -> str:
+    """Human-readable mebibytes for the memory section."""
+    return f"{n_bytes / (1024.0 * 1024.0):.1f} MiB"
 
 
 # ----------------------------------------------------------------------
@@ -123,6 +157,61 @@ def _robustness_section(metrics: Mapping[str, Any]) -> dict[str, float]:
     return {name: _num(counters.get(name)) for name in _ROBUSTNESS_COUNTERS}
 
 
+def _memory_section(metrics: Mapping[str, Any]) -> dict[str, Any]:
+    """RSS / fleet / tracemalloc view of the ``proc.*`` sampler gauges.
+
+    Empty dict when the run carried no resource samples (sampler off).
+    """
+    gauges = metrics.get("gauges", {})
+    workers = {
+        name[len(_WORKER_RSS_PREFIX):]: _num(value)
+        for name, value in sorted(gauges.items())
+        if name.startswith(_WORKER_RSS_PREFIX)
+    }
+    tracemalloc_peaks = {
+        name[len(_TRACEMALLOC_PREFIX):]: _num(value)
+        for name, value in sorted(gauges.items())
+        if name.startswith(_TRACEMALLOC_PREFIX)
+    }
+    parent_rss = _num(gauges.get("proc.rss_bytes"))
+    if parent_rss <= 0 and not workers and not tracemalloc_peaks:
+        return {}
+    return {
+        "parent_rss_bytes": parent_rss,
+        "parent_peak_rss_bytes": _num(gauges.get("proc.peak_rss_bytes")),
+        "cpu_seconds": _num(gauges.get("proc.cpu_seconds")),
+        "open_fds": _num(gauges.get("proc.open_fds")),
+        "worker_rss_bytes": workers,
+        "fleet_rss_bytes": parent_rss + sum(workers.values()),
+        "tracemalloc_peak_bytes": tracemalloc_peaks,
+    }
+
+
+def _drift_section(metrics: Mapping[str, Any]) -> dict[str, Any]:
+    """Streaming-quality view: per-window AUC stats, drift gauges, alerts.
+
+    Empty dict when the run scored no streaming windows.
+    """
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    window_auc = metrics.get("histograms", {}).get("stream.window_auc", {})
+    scored = _num(counters.get("stream.windows_scored"))
+    if scored <= 0 and not window_auc:
+        return {}
+    return {
+        "windows_scored": scored,
+        "windows_skipped": _num(counters.get("stream.windows_skipped")),
+        "window_auc_mean": _num(window_auc.get("mean")),
+        "window_auc_min": _num(window_auc.get("min")),
+        "window_auc_p50": _num(window_auc.get("p50")),
+        "last_window_auc": _num(gauges.get("stream.last_window_auc")),
+        "auc_drift": _num(gauges.get("stream.auc_drift")),
+        "positive_rate": _num(gauges.get("stream.positive_rate")),
+        "score_shift": _num(gauges.get("stream.score_shift")),
+        "drift_alerts": _num(counters.get("stream.drift_alerts")),
+    }
+
+
 def checkpoint_summary(run_dir: "str | Path") -> dict[str, Any]:
     """Manifest + completed cells + feature files of a run directory.
 
@@ -180,16 +269,27 @@ def _bench_section(
         }
     if history:
         trajectory: dict[str, list[float]] = {}
+        peak_rss: list[float] = []
         for record in history[-10:]:
             result = record.get("result", record)
+            tag = result.get("tag")
             for name, payload in result.get("backends", {}).items():
-                trajectory.setdefault(name, []).append(
+                # tagged runs are separate experiment lines: key them
+                # apart so e.g. serving benches don't pollute the
+                # extraction trajectory
+                key = f"{name}[{tag}]" if tag else str(name)
+                trajectory.setdefault(key, []).append(
                     _num(payload.get("pairs_per_second"))
                 )
+            rss = _num(record.get("peak_rss_bytes"))
+            if rss > 0:
+                peak_rss.append(rss)
         section["history"] = {
             "records": len(history),
             "trajectory": trajectory,
         }
+        if peak_rss:
+            section["history"]["peak_rss_bytes"] = peak_rss
     return section
 
 
@@ -207,6 +307,14 @@ def build_report(
         report["throughput"] = _throughput_section(metrics)
         report["robustness"] = _robustness_section(metrics)
         report["sections"] += ["stages", "throughput", "robustness"]
+        memory = _memory_section(metrics)
+        if memory:
+            report["memory"] = memory
+            report["sections"].append("memory")
+        drift = _drift_section(metrics)
+        if drift:
+            report["drift"] = drift
+            report["sections"].append("drift")
     if checkpoint is not None:
         report["checkpoint"] = dict(checkpoint)
         report["sections"].append("checkpoint")
@@ -222,12 +330,17 @@ def build_report(
 # ----------------------------------------------------------------------
 def format_report(report: Mapping[str, Any]) -> str:
     lines: list[str] = ["# Run report", ""]
+    for note in report.get("notes", []):
+        lines.append(f"- WARNING: {note}")
+    if report.get("notes"):
+        lines.append("")
     if not report.get("sections"):
-        lines.append(
-            "No artefacts supplied — pass --metrics / --checkpoint / "
-            "--bench / --bench-history."
-        )
-        return "\n".join(lines)
+        if not report.get("notes"):
+            lines.append(
+                "No artefacts supplied — pass --metrics / --checkpoint / "
+                "--bench / --bench-history."
+            )
+        return "\n".join(lines).rstrip() + "\n"
 
     if "stages" in report:
         lines += [
@@ -279,6 +392,60 @@ def format_report(report: Mapping[str, Any]) -> str:
             lines += [f"- {name}: {value:.0f}" for name, value in nonzero.items()]
         else:
             lines.append("- clean run: no retries, fallbacks or degradations")
+        if nonzero.get("obs.spans_dropped", 0) > 0:
+            lines.append(
+                "- WARNING: the span-record buffer overflowed "
+                f"({nonzero['obs.spans_dropped']:.0f} spans dropped) — "
+                "the trace export is incomplete"
+            )
+        lines.append("")
+
+    if "memory" in report:
+        mem = report["memory"]
+        lines += ["## Memory", ""]
+        lines.append(f"- parent RSS: {_mib(mem['parent_rss_bytes'])}")
+        if mem["parent_peak_rss_bytes"] > 0:
+            lines.append(f"- parent peak RSS: {_mib(mem['parent_peak_rss_bytes'])}")
+        if mem["cpu_seconds"] > 0:
+            lines.append(f"- CPU time: {mem['cpu_seconds']:.1f} s")
+        if mem["open_fds"] > 0:
+            lines.append(f"- open fds: {mem['open_fds']:.0f}")
+        if mem["worker_rss_bytes"]:
+            lines.append(
+                f"- fleet RSS (parent + {len(mem['worker_rss_bytes'])} "
+                f"workers): {_mib(mem['fleet_rss_bytes'])}"
+            )
+            for pid, rss in mem["worker_rss_bytes"].items():
+                lines.append(f"  - worker pid {pid}: {_mib(rss)}")
+        for stage, peak in mem["tracemalloc_peak_bytes"].items():
+            lines.append(f"- tracemalloc peak [{stage}]: {_mib(peak)}")
+        lines.append("")
+
+    if "drift" in report:
+        drift = report["drift"]
+        lines += ["## Streaming drift", ""]
+        lines.append(
+            f"- windows: {drift['windows_scored']:.0f} scored, "
+            f"{drift['windows_skipped']:.0f} skipped"
+        )
+        lines.append(
+            f"- window AUC: mean {drift['window_auc_mean']:.3f}, "
+            f"p50 {drift['window_auc_p50']:.3f}, "
+            f"min {drift['window_auc_min']:.3f}, "
+            f"last {drift['last_window_auc']:.3f}"
+        )
+        lines.append(
+            f"- drift gauges: auc_drift {drift['auc_drift']:+.3f}, "
+            f"score_shift {drift['score_shift']:+.3f}, "
+            f"positive_rate {drift['positive_rate']:.2f}"
+        )
+        if drift["drift_alerts"] > 0:
+            lines.append(
+                f"- ALERTS: {drift['drift_alerts']:.0f} drift-threshold "
+                "crossings (see obs.alert log records)"
+            )
+        else:
+            lines.append("- no drift alerts")
         lines.append("")
 
     if "checkpoint" in report:
@@ -328,6 +495,10 @@ def format_report(report: Mapping[str, Any]) -> str:
             for name, values in history["trajectory"].items():
                 shown = ", ".join(f"{v:.0f}" for v in values)
                 lines.append(f"  - {name} pairs/s (last {len(values)}): {shown}")
+            peaks = history.get("peak_rss_bytes")
+            if peaks:
+                shown = ", ".join(_mib(v) for v in peaks)
+                lines.append(f"  - peak RSS (last {len(peaks)}): {shown}")
         lines.append("")
 
     return "\n".join(lines).rstrip() + "\n"
@@ -341,16 +512,26 @@ def run_report(
     history_path: "str | None" = None,
     json_out: "str | None" = None,
 ) -> str:
-    """Load the named artefacts, render Markdown, optionally dump JSON."""
-    metrics = _load_json(metrics_path) if metrics_path else None
+    """Load the named artefacts, render Markdown, optionally dump JSON.
+
+    The join is partial: a missing or corrupt artefact becomes a note in
+    the report instead of an exception, so one truncated file from a
+    crashed run never hides the artefacts that did survive.
+    """
+    notes: list[str] = []
+    metrics = (
+        _load_json_or_none(metrics_path, notes, "metrics") if metrics_path else None
+    )
     checkpoint = checkpoint_summary(checkpoint_dir) if checkpoint_dir else None
-    bench = _load_json(bench_path) if bench_path else None
+    bench = _load_json_or_none(bench_path, notes, "bench") if bench_path else None
     history = load_history(history_path) if history_path else None
     report = build_report(
         metrics=metrics, checkpoint=checkpoint, bench=bench, history=history
     )
+    if notes:
+        report["notes"] = notes
     if json_out:
-        with open(json_out, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        atomic_write_text(
+            json_out, json.dumps(report, indent=1, sort_keys=True) + "\n"
+        )
     return format_report(report)

@@ -51,6 +51,7 @@ import os
 import threading
 import time
 
+from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
 
 #: module-global observability switch — the single check on the fast path
@@ -66,6 +67,7 @@ MAX_SPAN_RECORDS = 200_000
 _records: "list[dict]" = []
 _records_dropped = 0
 _records_lock = threading.Lock()
+_drop_warned = False
 
 _local = threading.local()
 
@@ -98,30 +100,50 @@ def record_spans(on: bool = True) -> None:
     _RECORDING = on
 
 
+def _note_dropped(n: int) -> None:
+    """Account for ``n`` records lost to the cap (caller holds the lock).
+
+    The loss is surfaced three ways: the process-local drop count
+    (:func:`dropped_span_records`), the ``obs.spans_dropped`` counter
+    (so ``repro report`` flags it), and a one-time structured WARNING —
+    once per process, not once per record, because overflow happens on
+    the per-span hot path.
+    """
+    global _records_dropped, _drop_warned
+    _records_dropped += n
+    get_registry().counter("obs.spans_dropped").inc(n)
+    if not _drop_warned:
+        _drop_warned = True
+        get_logger("obs.trace").warning(
+            "span record buffer full (cap %d): dropping further span records; "
+            "trace export will be incomplete",
+            MAX_SPAN_RECORDS,
+            extra={"span_record_cap": MAX_SPAN_RECORDS, "dropped_so_far": n},
+        )
+
+
 def add_span_record(record: dict) -> None:
     """Append one completed-span record (used by the worker merge path).
 
     Respects the process cap: overflow increments the dropped count
     instead of growing the buffer.
     """
-    global _records_dropped
     with _records_lock:
         if len(_records) >= MAX_SPAN_RECORDS:
-            _records_dropped += 1
+            _note_dropped(1)
         else:
             _records.append(record)
 
 
 def extend_span_records(records: "list[dict]") -> None:
     """Append many records (bulk form of :func:`add_span_record`)."""
-    global _records_dropped
     with _records_lock:
         room = MAX_SPAN_RECORDS - len(_records)
         if room >= len(records):
             _records.extend(records)
         else:
             _records.extend(records[:room])
-            _records_dropped += len(records) - room
+            _note_dropped(len(records) - room)
 
 
 def drain_span_records() -> "list[dict]":

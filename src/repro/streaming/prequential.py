@@ -32,7 +32,7 @@ from repro.graph.temporal import DynamicNetwork
 from repro.metrics.classification import roc_auc_score
 from repro.models.linear import LinearRegressionModel
 from repro.models.neural import NeuralMachine
-from repro.obs import get_logger, incr, observe, set_gauge, span
+from repro.obs import emit_alert, get_logger, heartbeat_tick, incr, observe, set_gauge, span
 from repro.utils.rng import ensure_rng
 
 Node = Hashable
@@ -261,11 +261,17 @@ class StreamingSSFPredictor:
 
 @dataclass
 class PrequentialResult:
-    """Per-timestamp AUCs of one prequential run."""
+    """Per-timestamp AUCs of one prequential run.
+
+    ``alerts`` holds one dict per drift-threshold crossing (timestamp,
+    window auc, running mean, drift, threshold) — the same facts the
+    structured ``obs.alert`` log record carried when it fired.
+    """
 
     timestamps: list[float] = field(default_factory=list)
     aucs: list[float] = field(default_factory=list)
     skipped: list[float] = field(default_factory=list)
+    alerts: list[dict] = field(default_factory=list)
 
     @property
     def mean_auc(self) -> float:
@@ -286,15 +292,29 @@ def prequential_evaluate(
     min_positives: int = 5,
     negative_ratio: float = 1.0,
     seed: int = 0,
+    drift_threshold: "float | None" = 0.2,
 ) -> PrequentialResult:
     """Drive ``predictor`` through ``network``'s stream, test-then-train.
 
     The first ``warmup_fraction`` of timestamps are only observed; each
     later timestamp with at least ``min_positives`` new positive pairs is
     scored (positives vs. random negatives) before being absorbed.
+
+    Every scored window also feeds the live quality monitors: gauges
+    ``stream.last_window_auc``, ``stream.auc_drift`` (window AUC minus
+    the running mean of previous windows), ``stream.positive_rate`` and
+    ``stream.score_shift`` (window mean score minus the mean of previous
+    windows' mean scores).  When a window's AUC falls more than
+    ``drift_threshold`` below the running mean, one structured
+    ``auc_drift`` alert fires per crossing (``obs.alert`` log record,
+    ``stream.drift_alerts`` counter, and an entry in ``result.alerts``).
+    ``drift_threshold=None`` disables alerting; the gauges cost nothing
+    unless observability is enabled.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
+    if drift_threshold is not None and drift_threshold <= 0:
+        raise ValueError(f"drift_threshold must be > 0 or None, got {drift_threshold}")
     rng = ensure_rng(seed)
     stamps = sorted(network.timestamp_set())
     if len(stamps) < 2:
@@ -305,8 +325,10 @@ def prequential_evaluate(
 
     warmup_end = stamps[int(len(stamps) * warmup_fraction)]
     result = PrequentialResult()
-    for stamp in stamps:
+    window_mean_scores: list[float] = []
+    for stamp_index, stamp in enumerate(stamps):
         edges = by_stamp[stamp]
+        heartbeat_tick("stream", done=stamp_index, total=len(stamps))
         if stamp > warmup_end and predictor.is_ready:
             positives = predictor._new_positive_pairs(edges)
             positives = [
@@ -332,11 +354,41 @@ def prequential_evaluate(
                 with span("stream.window", timestamp=stamp):
                     scores = predictor.score(pairs)
                 auc = roc_auc_score(labels, scores)
-                # drift: how far this window sits from the mean so far —
-                # a sustained negative gauge means the model is falling
-                # behind the stream.
+                # live quality monitors: absolute window quality, its
+                # distance from the run so far, the class balance scored,
+                # and how far the score distribution itself moved.
+                set_gauge("stream.last_window_auc", auc)
+                set_gauge("stream.positive_rate", len(positives) / len(pairs))
+                window_mean = float(np.mean(scores))
+                if window_mean_scores:
+                    set_gauge(
+                        "stream.score_shift",
+                        window_mean - float(np.mean(window_mean_scores)),
+                    )
+                window_mean_scores.append(window_mean)
                 if result.aucs:
-                    set_gauge("stream.auc_drift", auc - result.mean_auc)
+                    # drift: how far this window sits from the mean so
+                    # far — a sustained negative gauge means the model is
+                    # falling behind the stream.
+                    drift = auc - result.mean_auc
+                    set_gauge("stream.auc_drift", drift)
+                    if drift_threshold is not None and -drift > drift_threshold:
+                        incr("stream.drift_alerts")
+                        alert = {
+                            "timestamp": float(stamp),
+                            "auc": float(auc),
+                            "mean_auc": float(result.mean_auc),
+                            "drift": float(-drift),
+                            "threshold": float(drift_threshold),
+                        }
+                        result.alerts.append(alert)
+                        emit_alert(
+                            "auc_drift",
+                            f"window t={stamp} AUC {auc:.3f} fell "
+                            f"{-drift:.3f} below running mean "
+                            f"{result.mean_auc:.3f}",
+                            **alert,
+                        )
                 incr("stream.windows_scored")
                 observe("stream.window_auc", auc)
                 result.timestamps.append(stamp)
@@ -353,6 +405,7 @@ def prequential_evaluate(
                 incr("stream.windows_skipped")
                 result.skipped.append(stamp)
         predictor.observe(edges)
+    heartbeat_tick("stream", done=len(stamps), total=len(stamps), force=True)
     _LOG.info(
         "prequential run complete: %d windows scored, %d skipped, mean AUC=%.3f",
         len(result.aucs),

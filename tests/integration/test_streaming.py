@@ -101,6 +101,125 @@ class TestPrequentialEvaluate:
         assert np.isnan(PrequentialResult().mean_auc)
 
 
+class _ScriptedPredictor:
+    """Duck-typed streaming predictor whose per-window quality is scripted.
+
+    Scores the first ``good_windows`` scored windows perfectly (AUC 1.0)
+    and inverts every later window (AUC 0.0) — a deterministic quality
+    collapse for exercising the drift monitors.
+    """
+
+    is_ready = True
+
+    def __init__(self, good_windows=2):
+        from repro.graph import DynamicNetwork
+
+        self.history = DynamicNetwork()
+        self.good_windows = good_windows
+        self.windows_scored = 0
+        self._current_positives = set()
+
+    def _new_positive_pairs(self, edges):
+        seen, out = set(), []
+        for u, v, _ in edges:
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                out.append((u, v))
+        self._current_positives = seen
+        return out
+
+    def score(self, pairs):
+        good = self.windows_scored < self.good_windows
+        self.windows_scored += 1
+        # drifted windows rank negatives above positives AND compress the
+        # score distribution, so auc_drift and score_shift both move
+        hit, miss = (1.0, 0.0) if good else (0.0, 0.2)
+        return np.array(
+            [
+                hit if frozenset(p) in self._current_positives else miss
+                for p in pairs
+            ]
+        )
+
+    def observe(self, edges):
+        self.history.add_edges_from(edges)
+
+
+def _drifting_network():
+    """Four stamps: a base graph, then three dense waves over its nodes."""
+    from repro.graph import DynamicNetwork
+
+    nodes = [f"n{i}" for i in range(12)]
+    network = DynamicNetwork()
+    for i in range(12):
+        network.add_edge(nodes[i], nodes[(i + 1) % 12], 0.0)
+    for stamp, offset in ((1.0, 2), (2.0, 3), (3.0, 4)):
+        for i in range(6):
+            network.add_edge(nodes[i], nodes[(i + offset) % 12], stamp)
+    return network
+
+
+class TestDriftMonitors:
+    def _run(self, **kwargs):
+        from repro import obs
+        from repro.obs.metrics import get_registry
+
+        obs.enable()
+        get_registry().reset()
+        try:
+            result = prequential_evaluate(
+                _drifting_network(),
+                _ScriptedPredictor(good_windows=2),
+                warmup_fraction=0.0,
+                min_positives=5,
+                seed=0,
+                **kwargs,
+            )
+            snapshot = get_registry().snapshot()
+        finally:
+            obs.disable()
+            get_registry().reset()
+        return result, snapshot
+
+    def test_collapse_fires_one_structured_alert(self):
+        result, snapshot = self._run(drift_threshold=0.2)
+        assert result.aucs == [1.0, 1.0, 0.0]
+        assert len(result.alerts) == 1
+        alert = result.alerts[0]
+        assert alert["timestamp"] == 3.0
+        assert alert["auc"] == 0.0
+        assert alert["mean_auc"] == 1.0
+        assert alert["drift"] == 1.0
+        assert alert["threshold"] == 0.2
+        assert snapshot["counters"]["stream.drift_alerts"] == 1.0
+        assert snapshot["counters"]["obs.alerts.auc_drift"] == 1.0
+
+    def test_gauges_track_the_last_window(self):
+        _, snapshot = self._run(drift_threshold=0.2)
+        gauges = snapshot["gauges"]
+        assert gauges["stream.last_window_auc"] == 0.0
+        assert gauges["stream.auc_drift"] == -1.0
+        assert gauges["stream.positive_rate"] == 0.5
+        assert gauges["stream.score_shift"] < 0
+        assert snapshot["counters"]["stream.windows_scored"] == 3.0
+        assert snapshot["histograms"]["stream.window_auc"]["count"] == 3
+
+    def test_none_threshold_disables_alerting(self):
+        result, snapshot = self._run(drift_threshold=None)
+        assert result.aucs == [1.0, 1.0, 0.0]  # scoring is unchanged
+        assert result.alerts == []
+        assert "stream.drift_alerts" not in snapshot["counters"]
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(ValueError, match="drift_threshold"):
+            prequential_evaluate(
+                _drifting_network(),
+                _ScriptedPredictor(),
+                drift_threshold=-0.5,
+            )
+
+
 class TestNeuralStreamingVariant:
     def test_neural_model_stream(self, small_dataset):
         predictor = StreamingSSFPredictor(

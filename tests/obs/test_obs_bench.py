@@ -63,7 +63,9 @@ class TestHistoryStore:
         append_history(path, _result(dict_pps=120.0), recorded_at=2.0)
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 2
-        assert all(json.loads(line)["schema"] == 1 for line in lines)
+        assert all(
+            json.loads(line)["schema"] == HISTORY_SCHEMA_VERSION for line in lines
+        )
         records = load_history(path)
         assert [r["recorded_at"] for r in records] == [1.0, 2.0]
         assert records[1]["result"]["backends"]["dict"]["pairs_per_second"] == 120.0
@@ -131,6 +133,59 @@ class TestRegressionGate:
         comparison = compare_results(current, _result())
         assert any("missing from current" in n for n in comparison.notes)
         assert [d.backend for d in comparison.deltas] == ["dict"]
+
+
+class TestTags:
+    def test_tag_lands_in_the_result_and_history(self, tmp_path):
+        out = tmp_path / "BENCH_extraction.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        result = run_extraction_bench(
+            n_nodes=120,
+            n_pairs=8,
+            k=4,
+            out_path=out,
+            history_path=history,
+            tag="csr-sweep",
+        )
+        assert result["tag"] == "csr-sweep"
+        assert json.loads(out.read_text())["tag"] == "csr-sweep"
+        assert load_history(history)[0]["result"]["tag"] == "csr-sweep"
+
+    def test_untagged_result_has_no_tag_key(self, tmp_path):
+        result = run_extraction_bench(
+            n_nodes=120, n_pairs=8, k=4, out_path=tmp_path / "b.json"
+        )
+        assert "tag" not in result
+
+    def test_tag_mismatch_is_noted_by_the_gate(self):
+        comparison = compare_results(
+            _result(tag="after"), _result(tag="before")
+        )
+        assert comparison.ok
+        assert any("tag mismatch" in n for n in comparison.notes)
+
+    def test_same_tag_is_not_noted(self):
+        comparison = compare_results(_result(tag="x"), _result(tag="x"))
+        assert not any("tag mismatch" in n for n in comparison.notes)
+
+    def test_tagged_records_render_separate_trajectories(self, tmp_path):
+        from repro.obs.report import build_report, format_report
+
+        history = tmp_path / "hist.jsonl"
+        append_history(history, _result(), recorded_at=1.0)
+        append_history(history, _result(tag="sweep"), recorded_at=2.0)
+        report = build_report(history=load_history(history))
+        trajectory = report["bench"]["history"]["trajectory"]
+        assert "dict" in trajectory
+        assert "dict[sweep]" in trajectory
+        text = format_report(report)
+        assert "dict[sweep] pairs/s" in text
+
+    def test_record_stamp_carries_peak_rss(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        append_history(history, _result(), recorded_at=1.0)
+        record = load_history(history)[0]
+        assert record["peak_rss_bytes"] > 0
 
 
 class TestRunExtractionBench:

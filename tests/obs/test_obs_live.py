@@ -1,0 +1,486 @@
+"""Live telemetry plane: exposition, publisher, heartbeats, resources."""
+
+import json
+import logging
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.live import (
+    HEARTBEAT_SCHEMA_VERSION,
+    OPENMETRICS_CONTENT_TYPE,
+    Heartbeat,
+    TelemetryPublisher,
+    atomic_write_text,
+    configure_heartbeat,
+    current_phase,
+    emit_alert,
+    get_heartbeat,
+    heartbeat_tick,
+    peak_rss_bytes,
+    read_open_fds,
+    read_rss_bytes,
+    render_openmetrics,
+    run_id,
+    sample_process_resources,
+    set_phase,
+    set_tracemalloc,
+    tracemalloc_enabled,
+    tracemalloc_stage,
+)
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _clean_live_state():
+    """Every test starts disabled, unconfigured and phase-reset."""
+    obs.disable()
+    get_registry().reset()
+    configure_heartbeat(None)
+    set_tracemalloc(False)
+    set_phase("idle")
+    yield
+    obs.disable()
+    get_registry().reset()
+    configure_heartbeat(None)
+    set_tracemalloc(False)
+    set_phase("idle")
+
+
+def _checker():
+    """Import scripts/check_openmetrics.py as a module."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_openmetrics", REPO_ROOT / "scripts" / "check_openmetrics.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestAtomicWriteText:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, '{"a": 1}\n')
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_overwrites_previous_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_leaves_no_staging_litter(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+class TestRunIdentity:
+    def test_run_id_is_stable_and_carries_the_pid(self):
+        assert run_id() == run_id()
+        assert f"-{os.getpid()}-" in run_id()
+
+    def test_phase_roundtrip(self):
+        set_phase("table3")
+        assert current_phase() == "table3"
+
+
+class TestResourceSampling:
+    def test_readers_return_plausible_values_on_linux(self):
+        if not os.path.exists("/proc/self/statm"):
+            pytest.skip("no /proc on this platform")
+        assert read_rss_bytes() > 1024 * 1024  # a Python process is > 1 MiB
+        assert peak_rss_bytes() >= read_rss_bytes() * 0.5
+        assert read_open_fds() > 0
+
+    def test_sampler_publishes_proc_gauges(self):
+        registry = MetricsRegistry()
+        sampled = sample_process_resources(registry)
+        gauges = registry.snapshot()["gauges"]
+        assert sampled["proc.cpu_seconds"] > 0
+        assert gauges["proc.cpu_seconds"] == pytest.approx(
+            sampled["proc.cpu_seconds"], abs=1.0
+        )
+        if os.path.exists("/proc/self/statm"):
+            assert gauges["proc.rss_bytes"] > 0
+            assert gauges["proc.open_fds"] > 0
+
+    def test_sampler_skips_unknown_readings(self, monkeypatch):
+        import repro.obs.live as live
+
+        monkeypatch.setattr(live, "read_rss_bytes", lambda: 0.0)
+        monkeypatch.setattr(live, "read_open_fds", lambda: -1)
+        registry = MetricsRegistry()
+        sample_process_resources(registry)
+        gauges = registry.snapshot()["gauges"]
+        assert "proc.rss_bytes" not in gauges
+        assert "proc.open_fds" not in gauges
+        assert "proc.cpu_seconds" in gauges
+
+
+class TestTracemallocStages:
+    def test_off_by_default_and_publishes_nothing(self):
+        assert not tracemalloc_enabled()
+        with tracemalloc_stage("extract"):
+            _ = [0] * 10_000
+        assert get_registry().snapshot()["gauges"] == {}
+
+    def test_on_records_a_peak_gauge(self):
+        set_tracemalloc(True)
+        with tracemalloc_stage("extract"):
+            _ = [0] * 50_000
+        gauges = get_registry().snapshot()["gauges"]
+        assert gauges["proc.tracemalloc_peak_bytes.extract"] > 50_000 * 4
+
+    def test_peak_gauge_only_rises(self):
+        set_tracemalloc(True)
+        with tracemalloc_stage("stage"):
+            _ = [0] * 100_000
+        first = get_registry().snapshot()["gauges"][
+            "proc.tracemalloc_peak_bytes.stage"
+        ]
+        with tracemalloc_stage("stage"):
+            pass
+        again = get_registry().snapshot()["gauges"][
+            "proc.tracemalloc_peak_bytes.stage"
+        ]
+        assert again == first
+
+
+class TestAlerts:
+    def _capture(self):
+        records = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        handler = _Capture()
+        logging.getLogger("repro.obs.alert").addHandler(handler)
+        return records, handler
+
+    def test_alert_is_a_structured_warning(self):
+        records, handler = self._capture()
+        try:
+            emit_alert("auc_drift", "window fell", auc=0.4, drift=0.3)
+        finally:
+            logging.getLogger("repro.obs.alert").removeHandler(handler)
+        assert len(records) == 1
+        record = records[0]
+        assert record.levelno == logging.WARNING
+        assert record.alert == "auc_drift"
+        assert record.auc == 0.4
+        assert "window fell" in record.getMessage()
+
+    def test_counters_bump_only_when_enabled(self):
+        emit_alert("kind_a", "disabled: no counters")
+        assert get_registry().snapshot()["counters"] == {}
+        obs.enable()
+        emit_alert("kind_a", "enabled: counted")
+        counters = get_registry().snapshot()["counters"]
+        assert counters["obs.alerts"] == 1
+        assert counters["obs.alerts.kind_a"] == 1
+
+
+class TestHeartbeat:
+    def test_beat_writes_the_documented_schema(self, tmp_path):
+        path = tmp_path / "hb.json"
+        hb = Heartbeat(path, min_interval=0.0)
+        assert hb.write("extract", done=3, total=10, pairs_per_second=50.0)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == HEARTBEAT_SCHEMA_VERSION
+        assert doc["run_id"] == run_id()
+        assert doc["pid"] == os.getpid()
+        assert doc["stage"] == "extract"
+        assert doc["done"] == 3.0
+        assert doc["total"] == 10.0
+        assert doc["pairs_per_second"] == 50.0
+        assert doc["beats"] == 1
+
+    def test_done_is_monotone_within_a_stage(self, tmp_path):
+        hb = Heartbeat(tmp_path / "hb.json", min_interval=0.0)
+        hb.write("extract", done=5, total=10)
+        hb.write("extract", done=2, total=10)  # a retried chunk round
+        doc = json.loads((tmp_path / "hb.json").read_text())
+        assert doc["done"] == 5.0
+
+    def test_stage_change_resets_progress_and_always_writes(self, tmp_path):
+        hb = Heartbeat(tmp_path / "hb.json", min_interval=3600.0)
+        assert hb.write("extract", done=9, total=10)
+        assert hb.write("train", done=1, total=4)  # despite the throttle
+        doc = json.loads((tmp_path / "hb.json").read_text())
+        assert doc["stage"] == "train"
+        assert doc["done"] == 1.0
+
+    def test_throttle_suppresses_rapid_beats(self, tmp_path):
+        hb = Heartbeat(tmp_path / "hb.json", min_interval=3600.0)
+        assert hb.write("extract", done=1, total=100)
+        assert not hb.write("extract", done=2, total=100)
+        assert hb.write("extract", done=3, total=100, force=True)
+
+    def test_completion_beats_through_the_throttle(self, tmp_path):
+        hb = Heartbeat(tmp_path / "hb.json", min_interval=3600.0)
+        hb.write("extract", done=1, total=10)
+        assert hb.write("extract", done=10, total=10)
+        doc = json.loads((tmp_path / "hb.json").read_text())
+        assert doc["done"] == doc["total"] == 10.0
+
+    def test_eta_extrapolates_from_stage_rate(self, tmp_path):
+        hb = Heartbeat(tmp_path / "hb.json", min_interval=0.0)
+        hb.write("extract", done=0, total=10)
+        time.sleep(0.05)
+        hb.write("extract", done=5, total=10)
+        doc = json.loads((tmp_path / "hb.json").read_text())
+        assert doc["eta_seconds"] is not None
+        assert doc["eta_seconds"] > 0
+
+    def test_extra_fields_are_merged(self, tmp_path):
+        hb = Heartbeat(tmp_path / "hb.json", min_interval=0.0)
+        hb.write("extract", extra={"dataset": "hypertext"})
+        assert json.loads((tmp_path / "hb.json").read_text())["dataset"] == (
+            "hypertext"
+        )
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="min_interval"):
+            Heartbeat(tmp_path / "hb.json", min_interval=-1)
+
+    def test_unconfigured_tick_is_a_noop(self, tmp_path):
+        heartbeat_tick("extract", done=1, total=2)  # must not raise
+        assert get_heartbeat() is None
+
+    def test_configured_tick_writes_through_the_module_hook(self, tmp_path):
+        path = tmp_path / "hb.json"
+        configure_heartbeat(path, min_interval=0.0)
+        assert get_heartbeat() is not None
+        heartbeat_tick("extract", done=2, total=4)
+        assert json.loads(path.read_text())["done"] == 2.0
+        configure_heartbeat(None)
+        assert get_heartbeat() is None
+
+    def test_reader_never_sees_torn_json_under_kill(self, tmp_path):
+        """SIGKILL a busy heartbeat writer; the file must stay parseable."""
+        path = tmp_path / "hb.json"
+        writer = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                (
+                    "import itertools\n"
+                    "from repro.obs.live import Heartbeat\n"
+                    f"hb = Heartbeat({str(path)!r}, min_interval=0.0)\n"
+                    "for i in itertools.count():\n"
+                    "    hb.write('spin', done=i, total=10**9,\n"
+                    "             extra={'pad': 'x' * 4096})\n"
+                ),
+            ],
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        try:
+            deadline = time.time() + 10.0
+            while not path.exists() and time.time() < deadline:
+                time.sleep(0.01)
+            assert path.exists(), "writer never produced a heartbeat"
+            time.sleep(0.2)  # let it spin mid-write
+        finally:
+            writer.send_signal(signal.SIGKILL)
+            writer.wait(timeout=10.0)
+        doc = json.loads(path.read_text())  # either beat, never torn
+        assert doc["stage"] == "spin"
+        assert doc["pad"] == "x" * 4096
+
+
+class TestRenderOpenmetrics:
+    def _snapshot(self):
+        obs.enable()
+        registry = get_registry()
+        registry.counter("parallel.pairs_extracted").inc(42)
+        registry.gauge("stream.last_window_auc").set(0.93)
+        hist = registry.histogram("span.feature.extract")
+        for value in (0.1, 0.5, 0.9):
+            hist.observe(value)
+        return registry.mergeable_snapshot()
+
+    def test_counters_gauges_and_summaries(self):
+        text = render_openmetrics(self._snapshot())
+        assert "# TYPE repro_parallel_pairs_extracted counter" in text
+        assert "repro_parallel_pairs_extracted_total 42.0" in text
+        assert "repro_stream_last_window_auc 0.93" in text
+        assert "# TYPE repro_span_feature_extract summary" in text
+        assert 'repro_span_feature_extract{quantile="0.5"} 0.5' in text
+        assert "repro_span_feature_extract_count 3" in text
+        assert text.endswith("# EOF\n")
+
+    def test_quantiles_match_the_histogram_estimator(self):
+        registry = get_registry()
+        obs.enable()
+        hist = registry.histogram("span.stage")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        text = render_openmetrics(registry.mergeable_snapshot())
+        line = next(
+            l for l in text.splitlines() if l.startswith('repro_span_stage{quantile="0.95"}')
+        )
+        assert float(line.split()[-1]) == hist.percentile(95.0)
+
+    def test_phase_renders_an_info_family(self):
+        set_phase("table3")
+        text = render_openmetrics({"counters": {}, "gauges": {}, "histograms": {}}, phase="table3")
+        assert "# TYPE repro_run info" in text
+        assert 'phase="table3"' in text
+
+    def test_name_collisions_keep_first_family_only(self):
+        snapshot = {
+            "counters": {"a.b": 1.0, "a-b": 2.0},  # both -> repro_a_b
+            "gauges": {},
+            "histograms": {},
+        }
+        text = render_openmetrics(snapshot)
+        assert text.count("# TYPE repro_a_b counter") == 1
+        assert "repro_a_b_total 1.0" in text
+        assert "repro_a_b_total 2.0" not in text
+
+    def test_non_finite_values_render_parseable_literals(self):
+        snapshot = {
+            "counters": {},
+            "gauges": {"g.nan": float("nan"), "g.inf": float("inf")},
+            "histograms": {},
+        }
+        text = render_openmetrics(snapshot)
+        assert "repro_g_nan NaN" in text
+        assert "repro_g_inf +Inf" in text
+
+    def test_checker_script_accepts_the_rendering(self):
+        checker = _checker()
+        text = render_openmetrics(
+            self._snapshot(), phase="test", uptime_seconds=1.0
+        )
+        problems = checker.validate(
+            text, ["repro_parallel_pairs_extracted", "repro_run"]
+        )
+        assert problems == []
+
+    def test_checker_script_rejects_torn_documents(self):
+        checker = _checker()
+        assert checker.validate("repro_x 1.0\n", []) != []  # no EOF
+        assert any(
+            "declared twice" in p
+            for p in checker.validate(
+                "# TYPE repro_x gauge\n# TYPE repro_x gauge\n# EOF\n", []
+            )
+        )
+        assert any(
+            "required" in p
+            for p in checker.validate("# EOF\n", ["repro_missing"])
+        )
+
+
+class TestTelemetryPublisher:
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.headers, response.read().decode()
+
+    def test_serves_metrics_and_healthz(self):
+        obs.enable()
+        get_registry().counter("parallel.pairs_extracted").inc(7)
+        set_phase("table3")
+        with TelemetryPublisher(0, interval=30.0) as publisher:
+            assert publisher.port > 0
+            status, headers, body = self._get(publisher.url + "/metrics")
+            assert status == 200
+            assert headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+            assert "repro_parallel_pairs_extracted_total 7.0" in body
+            assert "repro_proc_cpu_seconds" in body
+            assert body.endswith("# EOF\n")
+
+            status, headers, health = self._get(publisher.url + "/healthz")
+            assert status == 200
+            payload = json.loads(health)
+            assert payload["status"] == "ok"
+            assert payload["phase"] == "table3"
+            assert payload["pid"] == os.getpid()
+            assert payload["run_id"] == run_id()
+
+    def test_scrape_is_live_not_start_snapshot(self):
+        obs.enable()
+        with TelemetryPublisher(0, interval=30.0) as publisher:
+            get_registry().counter("parallel.pairs_extracted").inc(5)
+            _, _, body = self._get(publisher.url + "/metrics")
+            assert "repro_parallel_pairs_extracted_total 5.0" in body
+
+    def test_unknown_path_is_404(self):
+        with TelemetryPublisher(0, interval=30.0) as publisher:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(publisher.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_checker_script_accepts_a_live_scrape(self, tmp_path):
+        checker = _checker()
+        obs.enable()
+        with TelemetryPublisher(0, interval=30.0) as publisher:
+            saved = tmp_path / "scrape.prom"
+            rc = checker.main(
+                [
+                    "--url",
+                    publisher.url + "/metrics",
+                    "--require",
+                    "repro_proc_cpu_seconds",
+                    "--save",
+                    str(saved),
+                ]
+            )
+            assert rc == 0
+            assert saved.read_text().endswith("# EOF\n")
+
+    def test_stop_is_idempotent_and_frees_the_port(self):
+        publisher = TelemetryPublisher(0, interval=30.0).start()
+        url = publisher.url + "/metrics"
+        publisher.stop()
+        publisher.stop()
+        with pytest.raises((urllib.error.URLError, OSError)):
+            urllib.request.urlopen(url, timeout=1)
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            TelemetryPublisher(0, interval=0.0)
+
+
+class TestTelemetryDoesNotPerturbFeatures:
+    def test_extraction_is_bit_identical_with_telemetry_on(self, tmp_path):
+        import numpy as np
+
+        from repro.core.feature import SSFConfig, SSFExtractor
+        from repro.datasets.synthetic import (
+            EventModelConfig,
+            generate_event_network,
+        )
+
+        network = generate_event_network(
+            EventModelConfig(n_nodes=40, n_links=200, span=10), seed=3
+        )
+        pairs = list(network.pair_iter())[:10]
+
+        def extract():
+            extractor = SSFExtractor(network, SSFConfig(k=6))
+            return np.stack([extractor.extract(a, b) for a, b in pairs])
+
+        plain = extract()
+        obs.enable()
+        configure_heartbeat(tmp_path / "hb.json", min_interval=0.0)
+        with TelemetryPublisher(0, interval=0.05):
+            heartbeat_tick("extract", done=0, total=len(pairs))
+            live = extract()
+            heartbeat_tick("extract", done=len(pairs), total=len(pairs))
+        assert np.array_equal(plain, live)

@@ -213,3 +213,155 @@ class TestRunReportEntryPoint:
             "bench",
         }
         assert payload["bench"]["history"]["records"] == 1
+
+
+class TestMemoryAndDriftSections:
+    def _metrics_with_proc_and_stream(self):
+        metrics = _metrics()
+        metrics["gauges"].update(
+            {
+                "proc.rss_bytes": 100.0 * 1024 * 1024,
+                "proc.peak_rss_bytes": 150.0 * 1024 * 1024,
+                "proc.cpu_seconds": 12.5,
+                "proc.open_fds": 24.0,
+                "proc.worker_rss_bytes.pid101": 80.0 * 1024 * 1024,
+                "proc.worker_rss_bytes.pid102": 90.0 * 1024 * 1024,
+                "proc.tracemalloc_peak_bytes.extract_ssf": 30.0 * 1024 * 1024,
+                "stream.last_window_auc": 0.61,
+                "stream.auc_drift": -0.25,
+                "stream.positive_rate": 0.5,
+                "stream.score_shift": -0.1,
+            }
+        )
+        metrics["counters"].update(
+            {
+                "stream.windows_scored": 6.0,
+                "stream.windows_skipped": 2.0,
+                "stream.drift_alerts": 1.0,
+            }
+        )
+        metrics["histograms"]["stream.window_auc"] = {
+            "count": 6,
+            "sum": 4.5,
+            "min": 0.61,
+            "max": 0.9,
+            "mean": 0.75,
+            "p50": 0.78,
+            "p95": 0.9,
+            "estimator": "exact",
+            "sampled": 6,
+        }
+        return metrics
+
+    def test_memory_section_totals_the_fleet(self):
+        report = build_report(metrics=self._metrics_with_proc_and_stream())
+        memory = report["memory"]
+        assert memory["fleet_rss_bytes"] == pytest.approx(270.0 * 1024 * 1024)
+        assert set(memory["worker_rss_bytes"]) == {"101", "102"}
+        assert memory["tracemalloc_peak_bytes"]["extract_ssf"] > 0
+        text = format_report(report)
+        assert "## Memory" in text
+        assert "fleet RSS (parent + 2 workers): 270.0 MiB" in text
+        assert "tracemalloc peak [extract_ssf]: 30.0 MiB" in text
+
+    def test_drift_section_surfaces_alerts(self):
+        report = build_report(metrics=self._metrics_with_proc_and_stream())
+        drift = report["drift"]
+        assert drift["windows_scored"] == 6.0
+        assert drift["drift_alerts"] == 1.0
+        text = format_report(report)
+        assert "## Streaming drift" in text
+        assert "ALERTS: 1 drift-threshold crossings" in text
+        assert "auc_drift -0.250" in text
+
+    def test_sections_absent_without_proc_or_stream_metrics(self):
+        report = build_report(metrics=_metrics())
+        assert "memory" not in report
+        assert "drift" not in report
+        text = format_report(report)
+        assert "## Memory" not in text
+        assert "## Streaming drift" not in text
+
+    def test_spans_dropped_warning_renders(self):
+        metrics = _metrics()
+        metrics["counters"]["obs.spans_dropped"] = 12.0
+        text = format_report(build_report(metrics=metrics))
+        assert "span-record buffer overflowed" in text
+        assert "12 spans dropped" in text
+
+
+class TestPartialJoins:
+    """Each artefact missing or malformed individually degrades to a note."""
+
+    def _all_artefacts(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(json.dumps(_metrics()))
+        bench_path = tmp_path / "bench.json"
+        bench_path.write_text(json.dumps(_bench()))
+        history_path = tmp_path / "hist.jsonl"
+        append_history(history_path, _bench(), recorded_at=1.0)
+        checkpoint_dir = tmp_path / "run"
+        checkpoint_dir.mkdir()
+        (checkpoint_dir / "manifest.json").write_text(json.dumps({"seed": 0}))
+        return {
+            "metrics_path": str(metrics_path),
+            "bench_path": str(bench_path),
+            "history_path": str(history_path),
+            "checkpoint_dir": str(checkpoint_dir),
+        }
+
+    def test_missing_metrics_keeps_the_other_sections(self, tmp_path):
+        paths = self._all_artefacts(tmp_path)
+        paths["metrics_path"] = str(tmp_path / "nope.json")
+        text = run_report(**paths)
+        assert "WARNING: metrics unreadable" in text
+        assert "## Stage breakdown" not in text
+        assert "## Benchmark" in text
+        assert "## Checkpoint" in text
+
+    def test_malformed_metrics_keeps_the_other_sections(self, tmp_path):
+        paths = self._all_artefacts(tmp_path)
+        (tmp_path / "metrics.json").write_text('{"counters": {"a"')  # truncated
+        text = run_report(**paths)
+        assert "WARNING: metrics unreadable" in text
+        assert "## Benchmark" in text
+
+    def test_non_object_metrics_is_noted(self, tmp_path):
+        paths = self._all_artefacts(tmp_path)
+        (tmp_path / "metrics.json").write_text("[1, 2, 3]")
+        text = run_report(**paths)
+        assert "WARNING: metrics malformed" in text
+
+    def test_missing_or_malformed_bench_keeps_the_rest(self, tmp_path):
+        paths = self._all_artefacts(tmp_path)
+        (tmp_path / "bench.json").write_text("{nope")
+        text = run_report(**paths)
+        assert "WARNING: bench unreadable" in text
+        assert "## Stage breakdown" in text
+        # history alone still renders the benchmark trajectory
+        assert "## Benchmark" in text
+
+    def test_missing_checkpoint_dir_is_an_empty_summary(self, tmp_path):
+        paths = self._all_artefacts(tmp_path)
+        paths["checkpoint_dir"] = str(tmp_path / "gone")
+        text = run_report(**paths)
+        assert "## Checkpoint" in text
+        assert "completed cells: 0" in text
+        assert "## Stage breakdown" in text
+
+    def test_malformed_history_lines_are_skipped(self, tmp_path):
+        paths = self._all_artefacts(tmp_path)
+        with open(paths["history_path"], "a", encoding="utf-8") as fh:
+            fh.write("{torn by a crash\n")
+        text = run_report(**paths)
+        assert "history: 1 recorded runs" in text
+
+    def test_every_artefact_broken_still_reports(self, tmp_path):
+        (tmp_path / "m.json").write_text("{")
+        (tmp_path / "b.json").write_text("{")
+        text = run_report(
+            metrics_path=str(tmp_path / "m.json"),
+            bench_path=str(tmp_path / "b.json"),
+        )
+        assert "# Run report" in text
+        assert text.count("WARNING:") == 2

@@ -185,6 +185,35 @@ class TestSpanRecording:
         assert len(obs.span_records()) == 3
         assert trace_mod.dropped_span_records() == before + 2
 
+    def test_overflow_bumps_counter_and_warns_once(self, monkeypatch):
+        import logging
+
+        from repro.obs import trace as trace_mod
+
+        monkeypatch.setattr(trace_mod, "MAX_SPAN_RECORDS", 2)
+        monkeypatch.setattr(trace_mod, "_drop_warned", False)
+        records = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        handler = _Capture()
+        logging.getLogger("repro.obs.trace").addHandler(handler)
+        try:
+            obs.enable()
+            obs.record_spans(True)
+            for _ in range(6):
+                with span("hot"):
+                    pass
+        finally:
+            logging.getLogger("repro.obs.trace").removeHandler(handler)
+        counters = get_registry().snapshot()["counters"]
+        assert counters["obs.spans_dropped"] == 4.0
+        warnings = [r for r in records if r.levelno == logging.WARNING]
+        assert len(warnings) == 1  # one-time, however many spans drop
+        assert warnings[0].span_record_cap == 2
+
     def test_extend_span_records_bulk(self):
         from repro.obs import trace as trace_mod
 
