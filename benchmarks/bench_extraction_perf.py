@@ -14,12 +14,15 @@ Run as a script for the dict-vs-csr backend comparison (no
 pytest-benchmark needed — this is what the CI bench smoke step runs)::
 
     PYTHONPATH=src python benchmarks/bench_extraction_perf.py \
-        --nodes 5000 --pairs 200
+        --nodes 5000 --pairs 200 --batch
 
 which writes ``BENCH_extraction.json`` (pairs/sec per backend) at the
 repository root and appends a stamped record (seed, git SHA, machine
 fingerprint) to ``BENCH_history.jsonl`` — pass ``--no-history`` to skip
-the append.  ``repro bench --compare BASELINE`` gates on regressions.
+the append.  ``--batch`` adds a ``batched`` section timing one cold
+``extract_batch`` call through the csr batched driver (``--batch-pairs``
+pairs, default 5x ``--pairs``).  ``repro bench --compare BASELINE``
+gates on regressions.
 """
 
 import argparse
@@ -171,6 +174,8 @@ def run_backend_comparison(
     out_path: "Path | None" = None,
     history_path: "Path | None" = None,
     tag: "str | None" = None,
+    batch: bool = False,
+    batch_pairs: "int | None" = None,
 ) -> dict:
     """Time single-process SSF extraction on both backends, same pairs.
 
@@ -179,7 +184,10 @@ def run_backend_comparison(
     appends a stamped record (seed, git SHA, machine fingerprint) to
     ``BENCH_history.jsonl`` unless ``history_path`` is explicitly
     disabled by the caller.  ``tag`` labels the record's experiment line
-    (rendered per-tag in the run-report bench trajectory).
+    (rendered per-tag in the run-report bench trajectory).  ``batch``
+    adds the ``batched`` section (one cold ``extract_batch`` call over
+    ``batch_pairs`` pairs, default ``5 * n_pairs``) — see
+    :func:`repro.obs.bench.run_extraction_bench`.
     """
     return run_extraction_bench(
         n_nodes=n_nodes,
@@ -189,6 +197,8 @@ def run_backend_comparison(
         out_path=out_path or REPO_ROOT / "BENCH_extraction.json",
         history_path=history_path,
         tag=tag,
+        batch=batch,
+        batch_pairs=batch_pairs,
     )
 
 
@@ -218,6 +228,19 @@ def main() -> int:
         default=None,
         help="label this run's experiment line in BENCH_history.jsonl",
     )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="also time the csr batched driver (extract_batch) and write "
+        "a 'batched' section; pairs default to 10x --pairs",
+    )
+    parser.add_argument(
+        "--batch-pairs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pair count for the --batch section (default 10x --pairs)",
+    )
     args = parser.parse_args()
     result = run_backend_comparison(
         n_nodes=args.nodes,
@@ -227,6 +250,8 @@ def main() -> int:
         out_path=args.out,
         history_path=None if args.no_history else args.history,
         tag=args.tag,
+        batch=args.batch,
+        batch_pairs=args.batch_pairs,
     )
     print(json.dumps(result, indent=1, sort_keys=True))
     if not result["bit_identical"]:

@@ -346,7 +346,7 @@ class BackendKwargRule(Rule):
     summary = "extraction entry point missing/ignoring the backend parameter"
     scope = ("repro",)
 
-    _ENTRY_FUNCTIONS = frozenset({"parallel_extract_batch"})
+    _ENTRY_FUNCTIONS = frozenset({"parallel_extract_batch", "batch_extract"})
     _ENTRY_CLASSES = frozenset({"SSFExtractor", "StreamingSSFPredictor"})
     _CONFIG_CLASSES = frozenset({"ExperimentConfig"})
 

@@ -329,6 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
         "distinct experiment lines (e.g. serving-layer benches) can be "
         "told apart in the same BENCH_history.jsonl",
     )
+    sub.add_argument(
+        "--batch",
+        action="store_true",
+        help="also time the csr batched driver (extract_batch) as a "
+        "'batched' backend section",
+    )
+    sub.add_argument(
+        "--batch-pairs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pair count for the --batch section (default 10x --pairs)",
+    )
     add_metrics_out(sub)
 
     sub = commands.add_parser(
@@ -614,6 +627,8 @@ def _cmd_bench(args: argparse.Namespace) -> "str | tuple[str, int]":
             out_path=args.out,
             history_path=args.history,
             tag=args.tag,
+            batch=args.batch,
+            batch_pairs=args.batch_pairs,
         )
         parts.append(json.dumps(current, indent=1, sort_keys=True))
         if not current["bit_identical"]:

@@ -1,0 +1,1291 @@
+"""Batched multi-pair SSF extraction over the CSR backend.
+
+`SSFExtractor.extract` pays its full pipeline cost per pair: a fresh BFS,
+fresh combine scratch, a Python-loop Palette-WL, per-link influence sums
+and per-pair span bookkeeping.  For the paper's motivating workload —
+scoring *many* candidate links against one frozen snapshot — most of that
+cost is shareable.  :class:`BatchExtractionEngine` runs a whole pair list
+through the CSR pipeline at once:
+
+* **Frontier-sharing BFS** — h-hop balls are grown per *endpoint* (one
+  level ahead, lazily) and cached for the whole batch, so pairs touching
+  the same hub expand its ball once (``batch.ball_reuse_hits`` /
+  ``batch.ball_reuse_misses`` count the sharing).  A pair's joint ball at
+  radius ``h`` is exactly the union of its two endpoint balls, and
+  "exhausted" is exactly "the union stopped growing".  Growth is
+  level-synchronous: every pair still growing at radius ``h`` is advanced
+  together, so all structure combination at one radius happens in ONE
+  cross-pair array pass (:meth:`BatchExtractionEngine._combine_many`)
+  instead of one quadratic-ish pass per pair.
+* **Arena buffers** — the |V|-sized BFS visited map and ball-membership
+  stamp are allocated once per engine and reused across every pair of
+  every batch via monotonically increasing token/epoch stamps (never
+  cleared, never reallocated).
+* **Vectorized Palette-WL** — all structure subgraphs of a batch are laid
+  out flat and refined together by
+  :func:`repro.core.palette_wl.palette_wl_order_many`; tie-break scores
+  and SSF matrix entries are likewise evaluated as whole-batch array
+  queries against one flat sorted structure-link index.
+* **Memoized influence** — Eq. 4 decayed influences are read from one
+  per-snapshot ``influence_table``; per-edge-slot influence sums are
+  precomputed once per engine with the reference's exact left-to-right
+  accumulation order, and multi-slot structure links are memoized across
+  pairs.
+
+The result is **bit-identical** to looping ``extract`` on the dict
+backend (the untouched reference) — every floating-point reduction below
+replays the reference operation sequence exactly (integer reductions are
+always exact; the few genuinely sequential float sums stay scalar); the
+randomized batched differential suite enforces it across all entry modes.
+
+Arena lifetime rules: the engine (and its arena) lives as long as its
+:class:`~repro.core.feature.SSFExtractor` — in pool workers that is the
+whole worker lifetime, so chunks after the first allocate nothing
+|V|-sized.  Ball caches are scoped per batch; slot-sum tables and
+multi-slot memos are scoped per engine; per-pair structures are dropped
+when their batch returns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.palette_wl import (
+    _gather_rows,
+    flat_hop_distances,
+    palette_wl_order_many,
+)
+from repro.graph.csr import (
+    CSRSnapshot,
+    concatenate_neighbor_slices,
+    concatenate_neighbor_slices_with_slots,
+)
+from repro.obs import enabled as obs_enabled, incr, observe, span
+
+Node = Hashable
+Pair = "tuple[Node, Node]"
+
+
+class BatchArena:
+    """Reusable |V|-sized work buffers, shared by every pair of an engine.
+
+    Both maps are *token-stamped*: an entry is "set" only when it holds
+    the current token/epoch, so reuse never needs a clearing pass.
+    ``visited`` carries per-ball BFS ownership; ``stamp`` carries
+    per-combine ball membership.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        self.visited = np.zeros(n_nodes, dtype=np.int64)
+        self.stamp = np.zeros(n_nodes, dtype=np.int64)
+        self._token = 0
+        self._epoch = 0
+
+    def next_token(self) -> int:
+        """A fresh BFS ownership token for :attr:`visited`."""
+        self._token += 1
+        return self._token
+
+    def next_epoch(self) -> int:
+        """A fresh ball-membership epoch for :attr:`stamp`."""
+        self._epoch += 1
+        return self._epoch
+
+
+_EMPTY_LEVEL = np.zeros(0, dtype=np.int64)
+
+
+class _Ball:
+    """Level-synchronously grown single-source BFS ball around one endpoint.
+
+    ``levels[d]`` holds the (sorted) node ids first claimed by this ball at
+    level ``d``; extension stops when a level comes back empty (the
+    component is absorbed).  Balls share the arena's token-stamped
+    ``visited`` map, so a concurrently growing ball may re-stamp a node
+    this ball already claimed and cause it to be *re*-claimed at a later
+    level — harmless, because pair unions deduplicate (the union over
+    ``levels[0..d]`` is always exactly the radius-``d`` ball as a set)
+    and redundant frontier work is bounded by one level per clobber.
+    """
+
+    __slots__ = ("levels", "token", "exhausted")
+
+    def __init__(self, seed: int, token: int) -> None:
+        self.levels: list[np.ndarray] = [np.array([seed], dtype=np.int64)]
+        self.token = token
+        self.exhausted = False
+
+    def level(self, depth: int) -> np.ndarray:
+        """The nodes claimed at ``depth`` (empty beyond the last level)."""
+        if depth < len(self.levels):
+            return self.levels[depth]
+        return _EMPTY_LEVEL
+
+
+class _Growth:
+    """Level-synchronous growth state for one not-yet-finished pair."""
+
+    __slots__ = ("row", "a_id", "b_id", "ball_a", "ball_b", "union", "prev_size")
+
+    def __init__(self, row: int, a_id: int, b_id: int) -> None:
+        self.row = row
+        self.a_id = a_id
+        self.b_id = b_id
+        self.ball_a: "_Ball | None" = None
+        self.ball_b: "_Ball | None" = None
+        self.union = np.zeros(0, dtype=np.int64)
+        self.prev_size = 2
+
+
+class _PairJob:
+    """One finalized pair: its combined structure subgraph in flat-array
+    form (identical partition / adjacency / member order / slot order to
+    :class:`~repro.core.structure.CSRStructureSubgraph`).
+
+    ``codes_sorted``/``slots_sorted`` index the restricted member-level
+    edge list by ``src_group * n_groups + dst_group`` so a structure
+    link's member edge slots — in the reference's exact small-side scan
+    order — are one ``searchsorted`` away.
+    """
+
+    __slots__ = (
+        "row",
+        "n_groups",
+        "adj_indptr",
+        "adj_dst",
+        "member_indptr",
+        "members_flat",
+        "codes_sorted",
+        "slots_sorted",
+    )
+
+    def __init__(
+        self,
+        row: int,
+        n_groups: int,
+        adj_indptr: np.ndarray,
+        adj_dst: np.ndarray,
+        member_indptr: np.ndarray,
+        members_flat: np.ndarray,
+        codes_sorted: np.ndarray,
+        slots_sorted: np.ndarray,
+    ) -> None:
+        self.row = row
+        self.n_groups = n_groups
+        self.adj_indptr = adj_indptr
+        self.adj_dst = adj_dst
+        self.member_indptr = member_indptr
+        self.members_flat = members_flat
+        self.codes_sorted = codes_sorted
+        self.slots_sorted = slots_sorted
+
+
+class _PassState:
+    """Merge-converged state of one cross-pair combine pass.
+
+    Segment ``s`` (one pair's candidate subgraph) owns global node-rows
+    ``row_offsets[s]:row_offsets[s+1]`` and global structure-group ids
+    ``group_offsets[s]:group_offsets[s+1]``; ``grp_row`` maps every
+    node-row to its (global) group.  The kept restricted member-level
+    edges carry their owning node-row, destination node-row and directed
+    snapshot edge slot.  ``adj_indptr``/``adj_dst`` is the final global
+    group-level adjacency (rows ascending).
+    """
+
+    __slots__ = (
+        "node_of_row",
+        "seg_of_row",
+        "row_offsets",
+        "grp_row",
+        "group_counts",
+        "group_offsets",
+        "kept_owner_row",
+        "kept_dst_row",
+        "kept_slots",
+        "adj_indptr",
+        "adj_dst",
+        "_final",
+    )
+
+    def __init__(
+        self,
+        node_of_row: np.ndarray,
+        seg_of_row: np.ndarray,
+        row_offsets: np.ndarray,
+        grp_row: np.ndarray,
+        group_counts: np.ndarray,
+        group_offsets: np.ndarray,
+        kept_owner_row: np.ndarray,
+        kept_dst_row: np.ndarray,
+        kept_slots: np.ndarray,
+        adj_indptr: np.ndarray,
+        adj_dst: np.ndarray,
+    ) -> None:
+        self.node_of_row = node_of_row
+        self.seg_of_row = seg_of_row
+        self.row_offsets = row_offsets
+        self.grp_row = grp_row
+        self.group_counts = group_counts
+        self.group_offsets = group_offsets
+        self.kept_owner_row = kept_owner_row
+        self.kept_dst_row = kept_dst_row
+        self.kept_slots = kept_slots
+        self.adj_indptr = adj_indptr
+        self.adj_dst = adj_dst
+        # lazy finalize arrays (built once, on the first _finalize call)
+        self._final: "tuple[np.ndarray, ...] | None" = None
+
+    def finalize_arrays(self) -> "tuple[np.ndarray, ...]":
+        """Member CSR + per-segment sorted link codes, built lazily.
+
+        Members of each group are its node ids ascending (the reference's
+        ``np.sort`` per group); kept edges are stably sorted by
+        ``(segment, local_src_group * G + local_dst_group)``, which within
+        each segment replays the reference's stable argsort of its local
+        codes — kept entries are generated in (owner node-row ascending,
+        neighbour ascending) order, exactly the reference's scan order.
+        """
+        if self._final is None:
+            n_groups_total = int(self.group_offsets[-1])
+            member_order = np.lexsort((self.node_of_row, self.grp_row))
+            member_indptr = np.searchsorted(
+                self.grp_row[member_order],
+                np.arange(n_groups_total + 1, dtype=np.int64),
+            )
+            member_nodes = self.node_of_row[member_order]
+            kept_seg = self.seg_of_row[self.kept_owner_row]
+            seg_sizes = self.group_counts[kept_seg]
+            base = self.group_offsets[kept_seg]
+            codes_local = (self.grp_row[self.kept_owner_row] - base) * seg_sizes + (
+                self.grp_row[self.kept_dst_row] - base
+            )
+            max_g = int(self.group_counts.max()) if self.group_counts.size else 1
+            code_order = np.argsort(
+                kept_seg * (max_g * max_g) + codes_local, kind="stable"
+            )
+            kept_counts = np.bincount(kept_seg, minlength=self.group_counts.size)
+            kept_bounds = np.zeros(self.group_counts.size + 1, dtype=np.int64)
+            np.cumsum(kept_counts, out=kept_bounds[1:])
+            self._final = (
+                member_indptr,
+                member_nodes,
+                codes_local[code_order],
+                self.kept_slots[code_order],
+                kept_bounds,
+            )
+        return self._final
+
+
+def _group_ragged_rows(
+    bounds: np.ndarray,
+    flat: np.ndarray,
+    rows: np.ndarray,
+    segs: np.ndarray,
+    n_segs: int,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Segment-aware grouping of content-identical ragged rows.
+
+    Returns ``(ids, counts)``: ``ids[t]`` is the 0-based group id of
+    ``rows[t]`` *within its segment*, numbered in order of each group's
+    first occurrence among that segment's rows (the array form of the
+    reference's sequential dict-keyed grouping, run for every segment at
+    once); ``counts[s]`` is segment ``s``'s group count.  Rows of
+    different segments never group together.
+
+    Rows are first bucketed by the cheap summary ``(segment, length, sum,
+    first, last)``; a bucket of short rows (length <= 2) is fully
+    determined by its summary, and the rare ambiguous bucket (equal
+    summaries, length >= 3) is split exactly by raw bytes.  The result is
+    therefore exact, never merely hash-probable.
+    """
+    count = int(rows.size)
+    if count == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(n_segs, dtype=np.int64)
+    lo = bounds[:-1][rows]
+    hi = bounds[1:][rows]
+    lengths = hi - lo
+    running = np.zeros(flat.size + 1, dtype=np.int64)
+    np.cumsum(flat, out=running[1:])
+    sums = running[hi] - running[lo]
+    firsts = np.full(count, -1, dtype=np.int64)
+    lasts = np.full(count, -1, dtype=np.int64)
+    nonempty = lengths > 0
+    firsts[nonempty] = flat[lo[nonempty]]
+    lasts[nonempty] = flat[hi[nonempty] - 1]
+
+    order = np.lexsort((lasts, firsts, sums, lengths, segs))
+    seg_s = segs[order]
+    length_s = lengths[order]
+    sum_s = sums[order]
+    first_s = firsts[order]
+    last_s = lasts[order]
+    new_bucket = np.empty(count, dtype=bool)
+    new_bucket[0] = True
+    new_bucket[1:] = (
+        (seg_s[1:] != seg_s[:-1])
+        | (length_s[1:] != length_s[:-1])
+        | (sum_s[1:] != sum_s[:-1])
+        | (first_s[1:] != first_s[:-1])
+        | (last_s[1:] != last_s[:-1])
+    )
+    bucket = np.empty(count, dtype=np.int64)
+    bucket[order] = np.cumsum(new_bucket) - 1
+    tokens = bucket
+
+    starts = np.flatnonzero(new_bucket)
+    ends = np.append(starts[1:], count)
+    ambiguous = (ends - starts > 1) & (length_s[starts] >= 3)
+    if bool(ambiguous.any()):
+        tokens = bucket * (count + 1)
+        for which in np.flatnonzero(ambiguous).tolist():
+            members = order[starts[which] : ends[which]]
+            sub: dict[bytes, int] = {}
+            for local in members.tolist():
+                key = flat[lo[local] : hi[local]].tobytes()
+                tokens[local] = tokens[local] + sub.setdefault(key, len(sub))
+
+    token_order = np.argsort(tokens, kind="stable")
+    token_s = tokens[token_order]
+    run_new = np.empty(count, dtype=bool)
+    run_new[0] = True
+    run_new[1:] = token_s[1:] != token_s[:-1]
+    run_ids = np.cumsum(run_new) - 1
+    # The first member of each token run (stable sort => smallest position
+    # within ``rows``) is the group's representative; numbering groups by
+    # representative position *within each segment* reproduces the
+    # reference's first-occurrence numbering per segment.
+    representatives = token_order[np.flatnonzero(run_new)]
+    rep_seg = segs[representatives]
+    rep_order = np.lexsort((representatives, rep_seg))
+    ordered_seg = rep_seg[rep_order]
+    n_groups = representatives.size
+    first_in_seg = np.empty(n_groups, dtype=bool)
+    first_in_seg[0] = True
+    first_in_seg[1:] = ordered_seg[1:] != ordered_seg[:-1]
+    seg_starts = np.flatnonzero(first_in_seg)
+    run_lengths = np.append(seg_starts[1:], n_groups) - seg_starts
+    rank_in_seg = np.arange(n_groups, dtype=np.int64) - np.repeat(
+        seg_starts, run_lengths
+    )
+    rank = np.empty(n_groups, dtype=np.int64)
+    rank[rep_order] = rank_in_seg
+    out = np.empty(count, dtype=np.int64)
+    out[token_order] = rank[run_ids]
+    counts = np.bincount(rep_seg, minlength=n_segs)
+    return out, counts
+
+
+def _feature_positions(k: int) -> np.ndarray:
+    """(k, k) map from 0-based (row, col) to Eq. 5 feature position."""
+    from repro.core.feature import unfold_indices
+
+    rows, cols = unfold_indices(k)
+    positions = np.full((k, k), -1, dtype=np.int64)
+    positions[rows, cols] = np.arange(rows.size, dtype=np.int64)
+    return positions
+
+
+def _log1p_each(values: np.ndarray) -> np.ndarray:
+    """Element-wise ``math.log1p`` — NOT ``np.log1p``, whose results can
+    differ in the last bit from the C library call the reference makes."""
+    return np.fromiter(
+        (math.log1p(v) for v in values.tolist()),
+        dtype=np.float64,
+        count=values.size,
+    )
+
+
+class BatchExtractionEngine:
+    """Chunk-level batched SSF extraction against one CSR snapshot.
+
+    Owned (lazily) by a csr-backend :class:`~repro.core.feature.SSFExtractor`;
+    its ``extract_batch``/``extract_multi_batch`` delegate here.  See the
+    module docstring for the sharing model and docs/PERFORMANCE.md for
+    when batching wins.
+    """
+
+    def __init__(
+        self,
+        snapshot: CSRSnapshot,
+        k: int,
+        theta: float,
+        present_time: float,
+        compress: bool,
+        ordering: str,
+        max_hop: "int | None",
+    ) -> None:
+        self._snapshot = snapshot
+        self._k = k
+        self._theta = theta
+        self._present = present_time
+        self._compress = compress
+        self._ordering = ordering
+        self._max_hop = max_hop
+        self._dim = k * (k - 1) // 2 - 1
+        self._arena = BatchArena(snapshot.number_of_nodes())
+        self._positions = _feature_positions(k)
+        self._slot_sums: "np.ndarray | None" = None
+        self._slot_ts_len: "np.ndarray | None" = None
+        self._multi_slot_memo: dict[bytes, float] = {}
+        self._sort_key_memo: "dict[bytes, tuple[str, ...]]" = {}
+        self._single_key_memo: "dict[int, tuple[str, ...]]" = {}
+        self._label_reprs: dict[int, str] = {}
+        self._repr_rank: "np.ndarray | None" = None
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def extract_batch(self, pairs: "Sequence[Pair]", mode: str) -> np.ndarray:
+        """Feature matrix ``(len(pairs), dim)`` for one entry mode."""
+        with span(f"feature.{mode}", k=self._k, pairs=len(pairs)):
+            return self._extract_all(pairs, (mode,), shared=False)[mode]
+
+    def extract_multi_batch(
+        self, pairs: "Sequence[Pair]", modes: "tuple[str, ...]"
+    ) -> "dict[str, np.ndarray]":
+        """Per-mode feature matrices from ONE shared subgraph pass."""
+        return self._extract_all(pairs, modes, shared=True)
+
+    # ------------------------------------------------------------------
+    # pipeline
+    # ------------------------------------------------------------------
+    def _extract_all(
+        self,
+        pairs: "Sequence[Pair]",
+        modes: "tuple[str, ...]",
+        shared: bool,
+    ) -> "dict[str, np.ndarray]":
+        out = {
+            mode: np.zeros((len(pairs), self._dim), dtype=np.float64)
+            for mode in modes
+        }
+        if not pairs:
+            return out
+
+        with span("subgraph_growth", pairs=len(pairs)):
+            with span("structure_combination", pairs=len(pairs)):
+                jobs = self._grow_and_combine(pairs)
+        if not jobs:
+            return out
+
+        k = self._k
+        n_segments = len(jobs)
+        sizes = np.array([job.n_groups for job in jobs], dtype=np.int64)
+        seg_indptr = np.zeros(n_segments + 1, dtype=np.int64)
+        np.cumsum(sizes, out=seg_indptr[1:])
+        total = int(seg_indptr[-1])
+        seg_ids = np.repeat(np.arange(n_segments, dtype=np.int64), sizes)
+        job_rows = np.array([job.row for job in jobs], dtype=np.int64)
+
+        # Flat structure-graph adjacency (WL input) + member CSR + the
+        # global sorted link-code index used by every influence query.
+        degrees = np.concatenate(
+            [job.adj_indptr[1:] - job.adj_indptr[:-1] for job in jobs]
+        )
+        nbr_indptr = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(degrees, out=nbr_indptr[1:])
+        nbr_indices = np.concatenate(
+            [job.adj_dst + seg_indptr[s] for s, job in enumerate(jobs)]
+        )
+        member_counts = np.concatenate(
+            [job.member_indptr[1:] - job.member_indptr[:-1] for job in jobs]
+        )
+        member_indptr = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(member_counts, out=member_indptr[1:])
+        members_flat = np.concatenate([job.members_flat for job in jobs])
+        code_offsets = np.zeros(n_segments + 1, dtype=np.int64)
+        np.cumsum(sizes * sizes, out=code_offsets[1:])
+        codes_cat = np.concatenate(
+            [job.codes_sorted + code_offsets[s] for s, job in enumerate(jobs)]
+        )
+        slots_cat = np.concatenate([job.slots_sorted for job in jobs])
+
+        def influence_values(
+            q_seg: np.ndarray, i_loc: np.ndarray, j_loc: np.ndarray
+        ) -> np.ndarray:
+            """Normalized influences of many (adjacent) structure links."""
+            low = np.minimum(i_loc, j_loc)
+            high = np.maximum(i_loc, j_loc)
+            base = seg_indptr[q_seg]
+            swap = member_counts[base + low] > member_counts[base + high]
+            small = np.where(swap, high, low)
+            large = np.where(swap, low, high)
+            q_code = code_offsets[q_seg] + small * sizes[q_seg] + large
+            lo = np.searchsorted(codes_cat, q_code, side="left")
+            hi = np.searchsorted(codes_cat, q_code, side="right")
+            values = np.zeros(q_code.size, dtype=np.float64)
+            single = np.flatnonzero(hi - lo == 1)
+            if single.size:
+                values[single] = self._slot_sum_table()[
+                    slots_cat[lo[single]]
+                ]
+            multi = np.flatnonzero(hi - lo > 1)
+            if multi.size:
+                values[multi] = self._multi_slot_influence_many(
+                    slots_cat, lo[multi], hi[multi]
+                )
+            return values
+
+        # Tie-break scores: two whole-batch passes (endpoint 0 then 1),
+        # exactly the reference's per-endpoint subtraction order; indices
+        # within one pass are distinct, so the fancy -= is exact.
+        tie_break: "np.ndarray | None" = None
+        if self._ordering != "hops":
+            tie_break = np.zeros(total, dtype=np.float64)
+            for endpoint in (0, 1):
+                rows_e = seg_indptr[:-1] + endpoint
+                deg_e = nbr_indptr[rows_e + 1] - nbr_indptr[rows_e]
+                neighbors = _gather_rows(nbr_indptr, nbr_indices, rows_e)
+                seg_rep = np.repeat(np.arange(n_segments, dtype=np.int64), deg_e)
+                nb_loc = neighbors - seg_indptr[seg_rep]
+                valid = nb_loc != endpoint
+                q_seg = seg_rep[valid]
+                tie_break[neighbors[valid]] -= influence_values(
+                    q_seg,
+                    nb_loc[valid],
+                    np.full(q_seg.size, endpoint, dtype=np.int64),
+                )
+
+        # Residual WL ties sort by member-label reprs; the same hub groups
+        # recur across pairs and batches, so keys are memoized per engine
+        # (singleton groups — the common case — by member id, larger ones
+        # by member-id bytes) with reprs cached per node id.
+        labels = self._snapshot.labels
+        key_memo = self._sort_key_memo
+        single_memo = self._single_key_memo
+        repr_memo = self._label_reprs
+        bounds_list = member_indptr.tolist()
+        members_list = members_flat.tolist()
+
+        def sort_key(flat_index: int) -> "tuple[str, ...]":
+            m_lo = bounds_list[flat_index]
+            m_hi = bounds_list[flat_index + 1]
+            if m_hi - m_lo == 1:
+                m = members_list[m_lo]
+                key = single_memo.get(m)
+                if key is None:
+                    text = repr_memo.get(m)
+                    if text is None:
+                        text = repr(labels[m])
+                        repr_memo[m] = text
+                    key = (text,)
+                    single_memo[m] = key
+                return key
+            member_bytes = members_flat[m_lo:m_hi].tobytes()
+            key = key_memo.get(member_bytes)
+            if key is None:
+                parts: "list[str]" = []
+                for m in members_list[m_lo:m_hi]:
+                    text = repr_memo.get(m)
+                    if text is None:
+                        text = repr(labels[m])
+                        repr_memo[m] = text
+                    parts.append(text)
+                key = tuple(sorted(parts))
+                key_memo[member_bytes] = key
+            return key
+
+        def singleton_ranks() -> np.ndarray:
+            """Scalar sort-key ranks: singleton groups (the common case)
+            key by ONE label repr, so its rank in the engine's repr order
+            substitutes for the tuple in any all-singleton tied run."""
+            rank = self._node_repr_rank()
+            first = members_flat[member_indptr[:-1]]
+            return np.where(
+                member_counts == 1, rank[first], np.int64(-1)
+            )
+
+        orders = palette_wl_order_many(
+            seg_indptr,
+            nbr_indptr,
+            nbr_indices,
+            tie_break,
+            sort_key,
+            singleton_ranks,
+        )
+
+        sources = np.concatenate([seg_indptr[:-1], seg_indptr[:-1] + 1])
+        distances = flat_hop_distances(nbr_indptr, nbr_indices, sources)
+
+        # Top-K selection: orders are a 1-based permutation per segment,
+        # so "order <= k" IS the reference's stable top-min(k, size) pick.
+        selected_mask = orders <= k
+        sel_sizes = np.minimum(sizes, k)
+        sel_indptr = np.zeros(n_segments + 1, dtype=np.int64)
+        np.cumsum(sel_sizes, out=sel_indptr[1:])
+        sel_nodes = np.flatnonzero(selected_mask)
+        sel_flat = np.empty(int(sel_indptr[-1]), dtype=np.int64)
+        sel_flat[sel_indptr[seg_ids[sel_nodes]] + orders[sel_nodes] - 1] = sel_nodes
+        position_of = np.where(selected_mask, orders, 0)
+
+        # Present structure links among the selected nodes: one global
+        # adjacency gather; (m, n) kept when n > m, minus the target link.
+        deg_sel = nbr_indptr[sel_flat + 1] - nbr_indptr[sel_flat]
+        gathered = _gather_rows(nbr_indptr, nbr_indices, sel_flat)
+        m_orders = np.repeat(orders[sel_flat], deg_sel)
+        src_rep = np.repeat(sel_flat, deg_sel)
+        seg_rep = np.repeat(seg_ids[sel_flat], deg_sel)
+        n_orders = position_of[gathered]
+        present = (n_orders > m_orders) & ~((m_orders == 1) & (n_orders == 2))
+        link_m = m_orders[present]
+        link_n = n_orders[present]
+        link_i = src_rep[present]
+        link_j = gathered[present]
+        link_seg = seg_rep[present]
+        link_row = job_rows[link_seg]
+        feature_cols = self._positions[link_m - 1, link_n - 1]
+
+        compress = self._compress
+        link_infl: "np.ndarray | None" = None
+        link_dist: "np.ndarray | None" = None
+
+        def influences() -> np.ndarray:
+            nonlocal link_infl
+            if link_infl is None:
+                link_infl = influence_values(
+                    link_seg,
+                    link_i - seg_indptr[link_seg],
+                    link_j - seg_indptr[link_seg],
+                )
+            return link_infl
+
+        def distance_entries() -> np.ndarray:
+            nonlocal link_dist
+            if link_dist is None:
+                d_m = distances[link_i]
+                d_n = distances[link_j]
+                both_unreachable = (d_m < 0) & (d_n < 0)
+                nearest = np.where(
+                    d_m < 0, d_n, np.where(d_n < 0, d_m, np.minimum(d_m, d_n))
+                )
+                link_dist = np.where(
+                    both_unreachable, 0.0, 1.0 / np.maximum(nearest, 1)
+                )
+            return link_dist
+
+        for mode in modes:
+            tags: dict[str, object] = {"k": k, "pairs": len(pairs)}
+            if shared:
+                tags["shared"] = True
+            with span(f"feature.{mode}", **tags):
+                with span("influence_matrix", mode=mode, pairs=len(pairs)):
+                    if mode == "binary":
+                        values = np.ones(link_m.size, dtype=np.float64)
+                    elif mode == "count":
+                        values = self._link_counts(
+                            link_seg,
+                            link_i - seg_indptr[link_seg],
+                            link_j - seg_indptr[link_seg],
+                            seg_indptr,
+                            sizes,
+                            member_counts,
+                            code_offsets,
+                            codes_cat,
+                            slots_cat,
+                        )
+                        if compress:
+                            values = _log1p_each(values)
+                    elif mode == "influence":
+                        values = influences()
+                        if compress:
+                            values = _log1p_each(values)
+                    elif mode == "distance":
+                        values = distance_entries()
+                    elif mode == "influence_distance":
+                        values = influences() * distance_entries()
+                    else:  # "temporal"
+                        values = (1.0 + _log1p_each(influences())) * (
+                            distance_entries()
+                        )
+                    out[mode][link_row, feature_cols] = values
+        return out
+
+    # ------------------------------------------------------------------
+    # phase 1: level-synchronous growth + cross-pair combination
+    # ------------------------------------------------------------------
+    def _grow_and_combine(self, pairs: "Sequence[Pair]") -> "list[_PairJob]":
+        snapshot = self._snapshot
+        arena = self._arena
+        k = self._k
+        balls: dict[int, _Ball] = {}
+        hits = 0
+        misses = 0
+
+        def ball_of(node_id: int) -> _Ball:
+            nonlocal hits, misses
+            ball = balls.get(node_id)
+            if ball is None:
+                misses += 1
+                token = arena.next_token()
+                arena.visited[node_id] = token
+                ball = _Ball(node_id, token)
+                balls[node_id] = ball
+            else:
+                hits += 1
+            return ball
+
+        active: "list[_Growth]" = []
+        for row, (a, b) in enumerate(pairs):
+            if not (snapshot.has_node(a) and snapshot.has_node(b)):
+                continue
+            a_id = snapshot.node_id(a)
+            b_id = snapshot.node_id(b)
+            if a_id == b_id:
+                raise ValueError("target link end nodes must be distinct")
+            growth = _Growth(row, a_id, b_id)
+            growth.ball_a = ball_of(a_id)
+            growth.ball_b = ball_of(b_id)
+            active.append(growth)
+        incr("batch.ball_reuse_hits", hits)
+        incr("batch.ball_reuse_misses", misses)
+        self._extend_balls([g.ball_a for g in active] + [g.ball_b for g in active], 1)
+        init_parts: "list[np.ndarray]" = []
+        init_owner: "list[int]" = []
+        for index, growth in enumerate(active):
+            assert growth.ball_a is not None and growth.ball_b is not None
+            for part in (
+                growth.ball_a.levels[0],
+                growth.ball_a.level(1),
+                growth.ball_b.levels[0],
+                growth.ball_b.level(1),
+            ):
+                init_parts.append(part)
+                init_owner.append(index)
+        merged, bounds = self._merge_per_pair(init_parts, init_owner, len(active))
+        for index, growth in enumerate(active):
+            growth.union = (
+                merged[bounds[index] : bounds[index + 1]]
+                - index * self._snapshot.number_of_nodes()
+            )
+
+        jobs: "list[_PairJob]" = []
+        h = 1
+        while active:
+            if obs_enabled():
+                for growth in active:
+                    observe("subgraph.ball_size", int(growth.union.size))
+                    observe(
+                        "subgraph.frontier_size",
+                        int(growth.union.size) - growth.prev_size,
+                    )
+            candidates = [g for g in active if g.union.size >= k]
+            state = self._combine_many(candidates) if candidates else None
+            done_segments: "list[tuple[_Growth, int]]" = []
+            pending: "list[tuple[_Growth, int | None]]" = []
+            if state is not None:
+                for segment, growth in enumerate(candidates):
+                    if int(state.group_counts[segment]) >= k:
+                        done_segments.append((growth, segment))
+                    else:
+                        pending.append((growth, segment))
+            for growth in active:
+                if growth.union.size < k:
+                    pending.append((growth, None))
+
+            forced: "list[tuple[_Growth, int | None]]" = []
+            growing: "list[_Growth]" = []
+            if pending:
+                if self._max_hop is not None and h >= self._max_hop:
+                    forced = pending
+                else:
+                    self._extend_balls(
+                        [g.ball_a for g, _ in pending]
+                        + [g.ball_b for g, _ in pending],
+                        h + 1,
+                    )
+                    # One global merge decides both questions per pair —
+                    # did the radius-(h+1) ball grow (else the pair is
+                    # forced), and what is the new union if it did.
+                    probe_parts: "list[np.ndarray]" = []
+                    probe_owner: "list[int]" = []
+                    for index, (growth, _segment) in enumerate(pending):
+                        assert growth.ball_a is not None
+                        assert growth.ball_b is not None
+                        for part in (
+                            growth.union,
+                            growth.ball_a.level(h + 1),
+                            growth.ball_b.level(h + 1),
+                        ):
+                            probe_parts.append(part)
+                            probe_owner.append(index)
+                    merged, bounds = self._merge_per_pair(
+                        probe_parts, probe_owner, len(pending)
+                    )
+                    n_nodes = self._snapshot.number_of_nodes()
+                    for index, (growth, segment) in enumerate(pending):
+                        lo, hi = int(bounds[index]), int(bounds[index + 1])
+                        if hi - lo == growth.union.size:
+                            forced.append((growth, segment))
+                        else:
+                            growth.prev_size = int(growth.union.size)
+                            growth.union = merged[lo:hi] - index * n_nodes
+                            growing.append(growth)
+
+            finishing = done_segments + [
+                (growth, segment)
+                for growth, segment in forced
+                if segment is not None
+            ]
+            if state is not None and finishing:
+                jobs.extend(
+                    self._finalize(
+                        state,
+                        [(g.row, segment) for g, segment in finishing],
+                    )
+                )
+            small = [growth for growth, segment in forced if segment is None]
+            if small:
+                small_state = self._combine_many(small)
+                jobs.extend(
+                    self._finalize(
+                        small_state,
+                        [(g.row, i) for i, g in enumerate(small)],
+                    )
+                )
+            for _growth, _segment in done_segments:
+                observe("subgraph.growth_h", h)
+            for _growth, _segment in forced:
+                observe("subgraph.growth_h", h)
+            active = growing
+            h += 1
+        jobs.sort(key=lambda job: job.row)
+        return jobs
+
+    def _merge_per_pair(
+        self,
+        parts: "list[np.ndarray]",
+        owner: "list[int]",
+        n_pairs: int,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Sorted-unique merge of many per-pair node-id piles at once.
+
+        ``parts[i]`` belongs to pair ``owner[i]``; the merge of each
+        pair's piles is one slice of the returned globally sorted key
+        array (keys are ``pair * |V| + node`` — subtract the pair offset
+        to recover node ids).  One global ``np.unique`` replaces a
+        Python-level unique/union call per pair.
+        """
+        n_nodes = self._snapshot.number_of_nodes()
+        sizes = np.array([part.size for part in parts], dtype=np.int64)
+        cat = np.concatenate(parts) if parts else _EMPTY_LEVEL
+        owners = np.repeat(np.array(owner, dtype=np.int64), sizes)
+        merged = np.unique(owners * n_nodes + cat)
+        bounds = np.searchsorted(
+            merged, np.arange(n_pairs + 1, dtype=np.int64) * n_nodes
+        )
+        return merged, bounds
+
+    def _extend_balls(self, requested: "list[_Ball | None]", depth: int) -> None:
+        """Grow every requested ball to ``depth`` in shared array passes.
+
+        All live balls sit at the same level (growth is level-synchronous),
+        so one pass gathers the neighbours of EVERY ball's frontier at
+        once, masks out nodes already stamped with their ball's token, and
+        splits the per-(ball, node) unique survivors back into per-ball
+        sorted levels.  Nodes claimed by two balls in the same pass keep
+        only one stamp — see :class:`_Ball` for why the later re-claim
+        this can cause is harmless.
+        """
+        snapshot = self._snapshot
+        visited = self._arena.visited
+        n_nodes = snapshot.number_of_nodes()
+        seen: "set[int]" = set()
+        need: "list[_Ball]" = []
+        for ball in requested:
+            if (
+                ball is not None
+                and ball.token not in seen
+                and not ball.exhausted
+                and len(ball.levels) - 1 < depth
+            ):
+                seen.add(ball.token)
+                need.append(ball)
+        while need:
+            frontier_sizes = np.array(
+                [ball.levels[-1].size for ball in need], dtype=np.int64
+            )
+            frontier = np.concatenate([ball.levels[-1] for ball in need])
+            degrees = (
+                snapshot.indptr[frontier + 1] - snapshot.indptr[frontier]
+            ).astype(np.int64)
+            owner = np.repeat(
+                np.repeat(np.arange(len(need), dtype=np.int64), frontier_sizes),
+                degrees,
+            )
+            neighbors = concatenate_neighbor_slices(snapshot, frontier)
+            tokens = np.array([ball.token for ball in need], dtype=np.int64)
+            fresh = visited[neighbors] != tokens[owner]
+            claim = np.unique(owner[fresh] * n_nodes + neighbors[fresh])
+            claim_owner = claim // n_nodes
+            claim_node = claim % n_nodes
+            visited[claim_node] = tokens[claim_owner]
+            bounds = np.searchsorted(
+                claim_owner, np.arange(len(need) + 1, dtype=np.int64)
+            )
+            for index, ball in enumerate(need):
+                level = claim_node[bounds[index] : bounds[index + 1]]
+                if level.size == 0:
+                    ball.exhausted = True
+                else:
+                    ball.levels.append(level)
+            need = [
+                ball
+                for ball in need
+                if not ball.exhausted and len(ball.levels) - 1 < depth
+            ]
+
+    def _combine_many(self, growths: "list[_Growth]") -> _PassState:
+        """Algorithm 1 over every candidate pair of one level, in shared
+        array passes — same partition, adjacency, member order and slot
+        order per pair as :func:`~repro.core.structure.combine_structures_csr`."""
+        snapshot = self._snapshot
+        n_nodes = snapshot.number_of_nodes()
+        n_segments = len(growths)
+        ball_list = [g.union for g in growths]
+        ball_sizes = np.array([b.size for b in ball_list], dtype=np.int64)
+        row_offsets = np.zeros(n_segments + 1, dtype=np.int64)
+        np.cumsum(ball_sizes, out=row_offsets[1:])
+        n_rows = int(row_offsets[-1])
+        node_of_row = np.concatenate(ball_list)
+        seg_of_row = np.repeat(np.arange(n_segments, dtype=np.int64), ball_sizes)
+        # Per-segment sorted balls + disjoint per-segment key ranges give
+        # one globally sorted haystack: membership AND destination row for
+        # every gathered neighbour is a single searchsorted.
+        haystack = seg_of_row * n_nodes + node_of_row
+
+        flat, flat_slots = concatenate_neighbor_slices_with_slots(
+            snapshot, node_of_row
+        )
+        counts = (
+            snapshot.indptr[node_of_row + 1] - snapshot.indptr[node_of_row]
+        ).astype(np.int64)
+        entry_bounds = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=entry_bounds[1:])
+        owner_row = np.repeat(np.arange(n_rows, dtype=np.int64), counts)
+        probe = np.searchsorted(haystack, seg_of_row[owner_row] * n_nodes + flat)
+        probe_c = np.minimum(probe, n_rows - 1)
+        keep = haystack[probe_c] == seg_of_row[owner_row] * n_nodes + flat
+        kept_dst_row = probe_c[keep]
+        kept_owner_row = owner_row[keep]
+        kept_slots = flat_slots[keep]
+        keep_cum = np.zeros(flat.size + 1, dtype=np.int64)
+        np.cumsum(keep, out=keep_cum[1:])
+        kept_indptr = keep_cum[entry_bounds]
+
+        a_ids = np.array([g.a_id for g in growths], dtype=np.int64)
+        b_ids = np.array([g.b_id for g in growths], dtype=np.int64)
+        seg_range = np.arange(n_segments, dtype=np.int64)
+        row_a = np.searchsorted(haystack, seg_range * n_nodes + a_ids)
+        row_b = np.searchsorted(haystack, seg_range * n_nodes + b_ids)
+        is_end_row = np.zeros(n_rows, dtype=bool)
+        is_end_row[row_a] = True
+        is_end_row[row_b] = True
+        rest_rows = np.flatnonzero(~is_end_row)
+
+        # Round 0: group non-end nodes by restricted-neighbour content per
+        # segment (ascending node order = ascending row order), then pin
+        # the end nodes to local groups 0/1.
+        rest_ids, extra_counts = _group_ragged_rows(
+            kept_indptr, kept_dst_row, rest_rows, seg_of_row[rest_rows], n_segments
+        )
+        group_counts = extra_counts + 2
+        group_offsets = np.zeros(n_segments + 1, dtype=np.int64)
+        np.cumsum(group_counts, out=group_offsets[1:])
+        grp_row = np.empty(n_rows, dtype=np.int64)
+        grp_row[row_a] = group_offsets[:-1]
+        grp_row[row_b] = group_offsets[:-1] + 1
+        grp_row[rest_rows] = group_offsets[seg_of_row[rest_rows]] + 2 + rest_ids
+
+        # Global merge loop: every segment iterates together.  A converged
+        # segment is at a fixed point of the deterministic merge update, so
+        # recomputing it is a no-op; per-segment rounds are tracked for the
+        # metrics and the global stop condition.  A merge strictly reduces
+        # a segment's group count, so "counts unchanged" == "no merge".
+        rounds_of = np.zeros(n_segments, dtype=np.int64)
+        round_index = 0
+        while True:
+            round_index += 1
+            n_groups_total = int(group_offsets[-1])
+            seg_of_group = np.repeat(seg_range, group_counts)
+            src_group = grp_row[kept_owner_row]
+            dst_group = grp_row[kept_dst_row]
+            distinct = src_group != dst_group
+            codes = src_group[distinct] * n_groups_total + dst_group[distinct]
+            unique_codes = np.unique(codes)
+            adj_src = unique_codes // n_groups_total
+            adj_dst = unique_codes % n_groups_total
+            adj_indptr = np.searchsorted(
+                adj_src, np.arange(n_groups_total + 1, dtype=np.int64)
+            )
+            is_end_group = np.zeros(n_groups_total, dtype=bool)
+            is_end_group[group_offsets[:-1]] = True
+            is_end_group[group_offsets[:-1] + 1] = True
+            merge_rows = np.flatnonzero(~is_end_group)
+            merged_ids, merged_extra = _group_ragged_rows(
+                adj_indptr,
+                adj_dst,
+                merge_rows,
+                seg_of_group[merge_rows],
+                n_segments,
+            )
+            new_counts = merged_extra + 2
+            converged = new_counts == group_counts
+            fresh = converged & (rounds_of == 0)
+            rounds_of[fresh] = round_index
+            if bool(converged.all()):
+                break
+            new_offsets = np.zeros(n_segments + 1, dtype=np.int64)
+            np.cumsum(new_counts, out=new_offsets[1:])
+            remap = np.empty(n_groups_total, dtype=np.int64)
+            remap[group_offsets[:-1]] = new_offsets[:-1]
+            remap[group_offsets[:-1] + 1] = new_offsets[:-1] + 1
+            remap[merge_rows] = (
+                new_offsets[seg_of_group[merge_rows]] + 2 + merged_ids
+            )
+            grp_row = remap[grp_row]
+            group_counts = new_counts
+            group_offsets = new_offsets
+
+        gate = obs_enabled()
+        for segment in range(n_segments):
+            observe("structure.merge_rounds", int(rounds_of[segment]))
+            if gate:
+                observe("structure.nodes_in", int(ball_sizes[segment]))
+                observe("structure.nodes_out", int(group_counts[segment]))
+                observe(
+                    "structure.compression_ratio",
+                    int(ball_sizes[segment]) / int(group_counts[segment]),
+                )
+        return _PassState(
+            node_of_row,
+            seg_of_row,
+            row_offsets,
+            grp_row,
+            group_counts,
+            group_offsets,
+            kept_owner_row,
+            kept_dst_row,
+            kept_slots,
+            adj_indptr,
+            adj_dst,
+        )
+
+    def _finalize(
+        self, state: _PassState, items: "list[tuple[int, int]]"
+    ) -> "list[_PairJob]":
+        """Cut per-pair structure arrays out of a pass for finishing pairs."""
+        (
+            member_indptr,
+            member_nodes,
+            codes_sorted,
+            slots_sorted,
+            kept_bounds,
+        ) = state.finalize_arrays()
+        adj_indptr = state.adj_indptr
+        adj_dst = state.adj_dst
+        group_offsets = state.group_offsets
+        group_counts = state.group_counts
+        jobs: "list[_PairJob]" = []
+        for row, segment in items:
+            g_lo = int(group_offsets[segment])
+            g_hi = g_lo + int(group_counts[segment])
+            a_lo = int(adj_indptr[g_lo])
+            a_hi = int(adj_indptr[g_hi])
+            m_lo = int(member_indptr[g_lo])
+            m_hi = int(member_indptr[g_hi])
+            k_lo = int(kept_bounds[segment])
+            k_hi = int(kept_bounds[segment + 1])
+            jobs.append(
+                _PairJob(
+                    row,
+                    g_hi - g_lo,
+                    adj_indptr[g_lo : g_hi + 1] - a_lo,
+                    adj_dst[a_lo:a_hi] - g_lo,
+                    member_indptr[g_lo : g_hi + 1] - m_lo,
+                    member_nodes[m_lo:m_hi],
+                    codes_sorted[k_lo:k_hi],
+                    slots_sorted[k_lo:k_hi],
+                )
+            )
+        return jobs
+
+    # ------------------------------------------------------------------
+    # phase 3 helpers: influence + counts
+    # ------------------------------------------------------------------
+    def _slot_sum_table(self) -> np.ndarray:
+        """Per-edge-slot influence sums, each accumulated left to right
+        from 0.0 exactly as the reference's scalar loop does."""
+        if self._slot_sums is None:
+            snapshot = self._snapshot
+            table = snapshot.influence_table(self._present, self._theta)
+            ts_indptr = snapshot.ts_indptr
+            lengths = ts_indptr[1:] - ts_indptr[:-1]
+            sums = np.zeros(lengths.size, dtype=np.float64)
+            max_len = int(lengths.max()) if lengths.size else 0
+            for position in range(max_len):
+                rows = np.flatnonzero(lengths > position)
+                sums[rows] += table[ts_indptr[rows] + position]
+            self._slot_sums = sums
+        return self._slot_sums
+
+    def _slot_lengths(self) -> np.ndarray:
+        if self._slot_ts_len is None:
+            ts_indptr = self._snapshot.ts_indptr
+            self._slot_ts_len = (ts_indptr[1:] - ts_indptr[:-1]).astype(np.int64)
+        return self._slot_ts_len
+
+    def _node_repr_rank(self) -> np.ndarray:
+        """Rank of each node's label repr among the snapshot's distinct
+        reprs — a scalar stand-in for the 1-tuple sort keys of singleton
+        groups (equal reprs share a rank, so WL-tie stability holds)."""
+        if self._repr_rank is None:
+            labels = self._snapshot.labels
+            reprs = [repr(labels[m]) for m in range(len(labels))]
+            rank_of = {
+                text: rank for rank, text in enumerate(sorted(set(reprs)))
+            }
+            self._repr_rank = np.fromiter(
+                (rank_of[text] for text in reprs),
+                dtype=np.int64,
+                count=len(reprs),
+            )
+        return self._repr_rank
+
+    def _multi_slot_influence_many(
+        self, slots_cat: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        """Reference multi-slot influences of many queries at once.
+
+        The reference concatenates each query's per-slot event lists,
+        stable-sorts by timestamp and accumulates scalar left-to-right.
+        Here all uncached queries share ONE ragged gather and ONE stable
+        lexsort, and the accumulation runs column-wise — position ``p``
+        adds every query's ``p``-th event in a single vectorized ``+=``,
+        replaying each query's scalar add sequence bit-exactly.  Results
+        are memoized per slot-set across batches (same snapshot table).
+        """
+        out = np.empty(lo.size, dtype=np.float64)
+        memo = self._multi_slot_memo
+        lo_list = lo.tolist()
+        hi_list = hi.tolist()
+        miss_rows: "list[int]" = []
+        miss_keys: "list[bytes]" = []
+        for t in range(lo.size):
+            key = slots_cat[lo_list[t] : hi_list[t]].tobytes()
+            cached = memo.get(key)
+            if cached is None:
+                miss_rows.append(t)
+                miss_keys.append(key)
+            else:
+                out[t] = cached
+        if not miss_rows:
+            return out
+        snapshot = self._snapshot
+        table = snapshot.influence_table(self._present, self._theta)
+        ts_indptr = snapshot.ts_indptr
+        rows = np.array(miss_rows, dtype=np.int64)
+        n_slots = hi[rows] - lo[rows]
+        slot_offsets = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(n_slots, out=slot_offsets[1:])
+        slot_pos = np.arange(int(slot_offsets[-1]), dtype=np.int64)
+        slot_pos -= np.repeat(slot_offsets[:-1], n_slots)
+        flat_slots = slots_cat[np.repeat(lo[rows], n_slots) + slot_pos]
+        slot_owner = np.repeat(np.arange(rows.size, dtype=np.int64), n_slots)
+        ev_counts = ts_indptr[flat_slots + 1] - ts_indptr[flat_slots]
+        ev_offsets = np.zeros(flat_slots.size + 1, dtype=np.int64)
+        np.cumsum(ev_counts, out=ev_offsets[1:])
+        ev_pos = np.arange(int(ev_offsets[-1]), dtype=np.int64)
+        ev_pos -= np.repeat(ev_offsets[:-1], ev_counts)
+        ev_src = np.repeat(ts_indptr[flat_slots], ev_counts) + ev_pos
+        ev_owner = np.repeat(slot_owner, ev_counts)
+        # Stable (owner, ts) sort == per-query argsort(ts, kind="stable")
+        # over the slot-order concatenation the reference builds.
+        order = np.lexsort((self._snapshot.ts[ev_src], ev_owner))
+        values_sorted = table[ev_src[order]]
+        per_query = np.bincount(ev_owner, minlength=rows.size)
+        query_offsets = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(per_query, out=query_offsets[1:])
+        sums = np.zeros(rows.size, dtype=np.float64)
+        max_events = int(per_query.max()) if rows.size else 0
+        for position in range(max_events):
+            active = np.flatnonzero(per_query > position)
+            sums[active] += values_sorted[query_offsets[active] + position]
+        out[rows] = sums
+        for key, value in zip(miss_keys, sums.tolist()):
+            memo[key] = value
+        return out
+
+    def _link_counts(
+        self,
+        q_seg: np.ndarray,
+        i_loc: np.ndarray,
+        j_loc: np.ndarray,
+        seg_indptr: np.ndarray,
+        sizes: np.ndarray,
+        member_counts: np.ndarray,
+        code_offsets: np.ndarray,
+        codes_cat: np.ndarray,
+        slots_cat: np.ndarray,
+    ) -> np.ndarray:
+        """Member-level link counts (exact integer sums) of many links."""
+        low = np.minimum(i_loc, j_loc)
+        high = np.maximum(i_loc, j_loc)
+        base = seg_indptr[q_seg]
+        swap = member_counts[base + low] > member_counts[base + high]
+        small = np.where(swap, high, low)
+        large = np.where(swap, low, high)
+        q_code = code_offsets[q_seg] + small * sizes[q_seg] + large
+        lo = np.searchsorted(codes_cat, q_code, side="left")
+        hi = np.searchsorted(codes_cat, q_code, side="right")
+        prefix = np.zeros(slots_cat.size + 1, dtype=np.int64)
+        np.cumsum(self._slot_lengths()[slots_cat], out=prefix[1:])
+        return (prefix[hi] - prefix[lo]).astype(np.float64)
+
+
+def batch_extract(
+    network: "object",
+    config: "object" = None,
+    pairs: "Sequence[Pair] | None" = None,
+    *,
+    present_time: "float | None" = None,
+    modes: "tuple[str, ...] | None" = None,
+    backend: str = "auto",
+) -> "np.ndarray | dict[str, np.ndarray]":
+    """Extract SSF vectors for many pairs through the batched driver.
+
+    Thin convenience wrapper over
+    :meth:`~repro.core.feature.SSFExtractor.extract_batch` /
+    :meth:`~repro.core.feature.SSFExtractor.extract_multi_batch` that
+    plumbs ``backend`` like every other entry point: ``"csr"`` runs the
+    batched engine, ``"dict"`` the untouched reference loop, ``"auto"``
+    resolves by network size (see
+    :func:`~repro.core.feature.resolve_backend`).
+    """
+    from repro.core.feature import SSFConfig, SSFExtractor, resolve_backend
+
+    ssf_config = config if config is not None else SSFConfig()
+    assert isinstance(ssf_config, SSFConfig)
+    resolved = resolve_backend(network, backend)  # type: ignore[arg-type]
+    if resolved == "dict":
+        extractor = SSFExtractor(
+            network,  # type: ignore[arg-type]
+            ssf_config,
+            present_time=present_time,
+            backend="dict",
+        )
+    elif resolved == "csr":
+        extractor = SSFExtractor(
+            network,  # type: ignore[arg-type]
+            ssf_config,
+            present_time=present_time,
+            backend="csr",
+        )
+    else:  # pragma: no cover - resolve_backend never returns anything else
+        raise ValueError(f"unresolvable backend {backend!r}")
+    pair_list = list(pairs) if pairs is not None else []
+    if modes is None:
+        return extractor.extract_batch(pair_list)
+    return extractor.extract_multi_batch(pair_list, modes)

@@ -56,11 +56,14 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Hashable
+from typing import TYPE_CHECKING, Callable, Hashable
 
 import math
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.batch import BatchExtractionEngine
 
 from repro.core.influence import DEFAULT_THETA
 from repro.core.kstructure import KStructureSubgraph, extract_k_structure_subgraph
@@ -247,6 +250,7 @@ class SSFExtractor:
                 source.last_timestamp() + 1.0 if source.number_of_links() else 0.0
             )
         self._present_time = float(present_time)
+        self._batch_engine: "BatchExtractionEngine | None" = None
 
     @property
     def config(self) -> SSFConfig:
@@ -276,6 +280,25 @@ class SSFExtractor:
     def _has_node(self, node: Node) -> bool:
         return self._substrate().has_node(node)
 
+    def _engine(self) -> "BatchExtractionEngine":
+        """The batched CSR driver, built lazily and kept for the
+        extractor's lifetime (its arena buffers amortise across batches)."""
+        if self._batch_engine is None:
+            from repro.core.batch import BatchExtractionEngine
+
+            snapshot = self._snapshot
+            assert snapshot is not None
+            self._batch_engine = BatchExtractionEngine(
+                snapshot,
+                k=self._config.k,
+                theta=self._config.theta,
+                present_time=self._present_time,
+                compress=self._config.compress,
+                ordering=self._config.ordering,
+                max_hop=self._config.max_hop,
+            )
+        return self._batch_engine
+
     # ------------------------------------------------------------------
     # extraction
     # ------------------------------------------------------------------
@@ -285,10 +308,65 @@ class SSFExtractor:
             return self._unfold(self.adjacency_matrix(a, b))
 
     def extract_batch(self, pairs: "list[tuple[Node, Node]]") -> np.ndarray:
-        """Stack SSF vectors for many target links into a matrix."""
+        """SSF vectors for many target links, as a ``(pairs, dim)`` matrix.
+
+        On ``backend="csr"`` this runs the batched driver
+        (:class:`repro.core.batch.BatchExtractionEngine`): shared h-hop
+        balls, arena work buffers and one vectorized Palette-WL pass over
+        every subgraph of the batch.  The dict backend stays the
+        loop-per-pair reference; both return bit-identical matrices.
+        Pairs with a missing end node yield all-zero rows, in place.
+        """
+        if self._backend == "csr":
+            return self._engine().extract_batch(pairs, self._config.entry_mode)
+        out = np.zeros((len(pairs), self.feature_dim), dtype=np.float64)
         if not pairs:
-            return np.zeros((0, self.feature_dim))
-        return np.stack([self.extract(a, b) for a, b in pairs])
+            return out
+        with span(
+            f"feature.{self._config.entry_mode}",
+            k=self._config.k,
+            pairs=len(pairs),
+        ):
+            for row, (a, b) in enumerate(pairs):
+                out[row] = self._unfold(self.adjacency_matrix(a, b))
+        return out
+
+    def extract_multi_batch(
+        self, pairs: "list[tuple[Node, Node]]", modes: "tuple[str, ...]"
+    ) -> dict[str, np.ndarray]:
+        """Batched :meth:`extract_multi`: one matrix per entry mode.
+
+        The expensive subgraph stage is shared across modes (and, on the
+        CSR backend, across pairs — see :meth:`extract_batch`); each
+        returned matrix row-aligns with ``pairs`` and equals the matching
+        :meth:`extract_multi` vector bit for bit.
+        """
+        for mode in modes:
+            if mode not in ENTRY_MODES:
+                raise ValueError(f"unknown entry mode {mode!r}")
+        if self._backend == "csr":
+            return self._engine().extract_multi_batch(pairs, tuple(modes))
+        out = {
+            mode: np.zeros((len(pairs), self.feature_dim), dtype=np.float64)
+            for mode in modes
+        }
+        if not pairs:
+            return out
+        subgraphs = [
+            self.k_structure_subgraph(a, b)
+            if self._has_node(a) and self._has_node(b)
+            else None
+            for a, b in pairs
+        ]
+        for mode in modes:
+            with span(
+                f"feature.{mode}", k=self._config.k, pairs=len(pairs), shared=True
+            ):
+                rows = out[mode]
+                for row, ks in enumerate(subgraphs):
+                    if ks is not None:
+                        rows[row] = self._unfold(self._matrix_from_ks(ks, mode))
+        return out
 
     def extract_multi(
         self, a: Node, b: Node, modes: "tuple[str, ...]"

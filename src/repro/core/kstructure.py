@@ -258,6 +258,7 @@ def _grow_csr(
 
     h = 0
     node_ids = seeds
+    subgraph: "CSRStructureSubgraph | None" = None
     while True:
         h += 1
         with span("subgraph_growth", h=h):
@@ -265,14 +266,24 @@ def _grow_csr(
         if obs_enabled():
             observe("subgraph.ball_size", len(node_ids))
             observe("subgraph.frontier_size", int(next_level.size))
-        subgraph = combine_structures_csr(snapshot, node_ids, a_id, b_id)
-        enough = subgraph.number_of_structure_nodes() >= k
+        # Fewer ball nodes than K can never combine into >= K structure
+        # nodes, so the (quadratic-ish) combination is deferred until the
+        # ball is big enough or growth stops — on high-K/small-component
+        # links this skips every intermediate combine.
+        subgraph = None
+        enough = False
+        if len(node_ids) >= k:
+            subgraph = combine_structures_csr(snapshot, node_ids, a_id, b_id)
+            enough = subgraph.number_of_structure_nodes() >= k
         if max_hop is not None and h >= max_hop:
             exhausted = True
         else:
             next_level = expand(next_level, h + 1)
             exhausted = next_level.size == 0
         if enough or exhausted:
+            if subgraph is None:
+                subgraph = combine_structures_csr(snapshot, node_ids, a_id, b_id)
             break
+    assert subgraph is not None
     observe("subgraph.growth_h", h)
     return subgraph, h

@@ -34,8 +34,10 @@ import math
 from functools import lru_cache
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.core.structure import StructureSubgraph
-from repro.obs import incr, observe, span
+from repro.obs import enabled as obs_enabled, incr, observe, span
 from repro.utils.primes import nth_prime
 
 _MAX_ITERATIONS = 100
@@ -193,6 +195,360 @@ def _dense_rank(values: Sequence[float]) -> list[int]:
             previous = value
         ranks[idx] = rank
     return ranks
+
+
+# ----------------------------------------------------------------------
+# batched (many-subgraph) path — used by repro.core.batch
+#
+# The flat layout: S structure subgraphs are laid out back to back as one
+# node range 0..N-1; ``seg_indptr[s]:seg_indptr[s+1]`` are segment ``s``'s
+# nodes (local index = flat index − segment start; locals 0/1 are the end
+# nodes).  ``nbr_indptr``/``nbr_indices`` are a flat CSR adjacency over
+# the *flat* node ids with each row ascending — the batched analogue of
+# ``adjacency_sorted`` — so segments are disjoint components and every
+# per-subgraph loop of the reference path becomes one flat array pass.
+# Every floating-point reduction below replays the reference path's
+# left-to-right scalar accumulation order exactly (column-major ragged
+# accumulation), keeping batched results bit-identical per segment.
+# ----------------------------------------------------------------------
+
+
+def _gather_rows(
+    indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
+) -> np.ndarray:
+    """Concatenated neighbour rows of ``frontier`` in a flat CSR."""
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=indices.dtype)
+    offsets = np.zeros(len(frontier), dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    flat = np.arange(total, dtype=np.int64)
+    flat += np.repeat(starts - offsets, counts)
+    return indices[flat]
+
+
+def flat_hop_distances(
+    nbr_indptr: np.ndarray, nbr_indices: np.ndarray, sources: np.ndarray
+) -> np.ndarray:
+    """Multi-source BFS hop distances over a flat CSR (−1 = unreachable).
+
+    Levels are exact integers, so running all segments' BFS as one flat
+    sweep (segments are disjoint components) reproduces the per-subgraph
+    reference distances bit for bit.
+    """
+    n = int(nbr_indptr.size) - 1
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[sources] = 0
+    frontier = np.asarray(sources, dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        neighbors = _gather_rows(nbr_indptr, nbr_indices, frontier)
+        if neighbors.size == 0:
+            break
+        fresh = neighbors[dist[neighbors] == -1]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        dist[fresh] = depth
+        frontier = fresh
+    return dist
+
+
+def _segment_ids(seg_indptr: np.ndarray) -> np.ndarray:
+    sizes = seg_indptr[1:] - seg_indptr[:-1]
+    return np.repeat(np.arange(seg_indptr.size - 1, dtype=np.int64), sizes)
+
+
+def _column_plan(
+    indptr: np.ndarray,
+) -> "list[tuple[np.ndarray, np.ndarray]]":
+    """Per-position gather plan for sequential ragged accumulation.
+
+    Column ``p`` holds ``(rows, flat_positions)`` — the rows whose length
+    exceeds ``p`` and the flat index of their ``p``-th entry.  Accumulating
+    column by column replays each row's left-to-right scalar summation
+    (starting from 0.0) exactly: a row's entries are added in position
+    order, and rows never collide within one column.
+    """
+    lengths = indptr[1:] - indptr[:-1]
+    plan: "list[tuple[np.ndarray, np.ndarray]]" = []
+    max_len = int(lengths.max()) if lengths.size else 0
+    for position in range(max_len):
+        rows = np.flatnonzero(lengths > position)
+        plan.append((rows, indptr[rows] + position))
+    return plan
+
+
+def bilateral_distance_scores_many(
+    seg_indptr: np.ndarray,
+    nbr_indptr: np.ndarray,
+    nbr_indices: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`bilateral_distance_scores` (unit lengths) per segment."""
+    seg_ids = _segment_ids(seg_indptr)
+    seg_starts = seg_indptr[:-1]
+    from_a = flat_hop_distances(nbr_indptr, nbr_indices, seg_starts)
+    from_b = flat_hop_distances(nbr_indptr, nbr_indices, seg_starts + 1)
+    # max over the finite distances of both arrays: −1 sentinels sit below
+    # the source's 0, so a plain per-segment int max is the finite max.
+    max_a = np.maximum.reduceat(from_a, seg_starts)
+    max_b = np.maximum.reduceat(from_b, seg_starts)
+    penalty = 2.0 * np.maximum(max_a, max_b).astype(np.float64) + 1.0
+    score_a = np.where(from_a >= 0, from_a.astype(np.float64), penalty[seg_ids])
+    score_b = np.where(from_b >= 0, from_b.astype(np.float64), penalty[seg_ids])
+    return score_a + score_b
+
+
+def _initial_colors_many(
+    scores: np.ndarray, seg_indptr: np.ndarray, seg_ids: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`_initial_colors`: exact-equality dense ranks from 3
+    over each segment's non-end nodes; end nodes pinned to 1 and 2."""
+    position = np.arange(scores.size, dtype=np.int64) - seg_indptr[seg_ids]
+    colors = np.zeros(scores.size, dtype=np.int64)
+    colors[position == 0] = 1
+    colors[position == 1] = 2
+    tail = np.flatnonzero(position >= 2)
+    if tail.size == 0:
+        return colors
+    sortable = np.where(scores[tail] >= 0, scores[tail], np.inf)
+    tail_segs = seg_ids[tail]
+    order = np.lexsort((sortable, tail_segs))
+    sorted_vals = sortable[order]
+    sorted_segs = tail_segs[order]
+    boundary = np.empty(tail.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (sorted_vals[1:] != sorted_vals[:-1]) | (
+        sorted_segs[1:] != sorted_segs[:-1]
+    )
+    cum = np.cumsum(boundary)
+    seg_first = np.zeros(seg_indptr.size - 1, dtype=np.int64)
+    starts = np.flatnonzero(
+        np.concatenate([[True], sorted_segs[1:] != sorted_segs[:-1]])
+    )
+    seg_first[sorted_segs[starts]] = cum[starts]
+    ranks = cum - seg_first[sorted_segs] + 1
+    colors[tail[order]] = ranks + 2
+    return colors
+
+
+def _dense_rank_many(
+    values: np.ndarray, seg_indptr: np.ndarray, seg_ids: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`_dense_rank` with the same 1e-9 tolerance chain.
+
+    A consecutive-diff > 1e-9 in the per-segment sorted values is always a
+    rank boundary of the reference scan (the running rank start can only
+    be ≤ the previous value).  Blocks between such definite boundaries
+    whose total span is ≤ 1e-9 are a single rank; the rare wider block is
+    re-scanned with the reference's exact scalar chain (block starts are
+    rank starts, so blocks are independent).
+    """
+    n = values.size
+    order = np.lexsort((values, seg_ids))
+    sorted_vals = values[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (sorted_vals[1:] - sorted_vals[:-1]) > 1e-9
+    boundary[seg_indptr[:-1]] = True
+    block_starts = np.flatnonzero(boundary)
+    block_ends = np.append(block_starts[1:], n)
+    spans = sorted_vals[block_ends - 1] - sorted_vals[block_starts]
+    for block in np.flatnonzero(spans > 1e-9).tolist():
+        start, end = int(block_starts[block]), int(block_ends[block])
+        previous = sorted_vals[start]
+        for i in range(start + 1, end):
+            if sorted_vals[i] - previous > 1e-9:
+                boundary[i] = True
+                previous = sorted_vals[i]
+    cum = np.cumsum(boundary)
+    rank_sorted = cum - cum[seg_indptr[seg_ids]] + 1
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = rank_sorted
+    return ranks
+
+
+def _refine_many(
+    colors: np.ndarray,
+    seg_indptr: np.ndarray,
+    seg_ids: np.ndarray,
+    nbr_indptr: np.ndarray,
+    nbr_indices: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`_refine`: all segments iterate together.
+
+    Every pass recomputes every segment (a converged segment is at a fixed
+    point of the deterministic update, so recommitting it is a no-op) and
+    per-segment convergence is tracked only for the iteration metrics and
+    the global stop condition — results equal the per-subgraph reference.
+    """
+    seg_starts = seg_indptr[:-1]
+    sizes = seg_indptr[1:] - seg_indptr[:-1]
+    max_color = int(sizes.max())
+    table = np.empty(max_color + 1, dtype=np.float64)
+    table[0] = 0.0
+    for color in range(1, max_color + 1):
+        table[color] = _log_prime(color)
+    total_plan = _column_plan(seg_indptr)
+    neighbor_plan = _column_plan(nbr_indptr)
+    gathered_plan = [
+        (rows, nbr_indices[positions]) for rows, positions in neighbor_plan
+    ]
+    n_segments = seg_starts.size
+    iterations = np.zeros(n_segments, dtype=np.int64)
+    for iteration in range(1, _MAX_ITERATIONS + 1):
+        log_primes = table[colors]
+        totals = np.zeros(n_segments, dtype=np.float64)
+        for rows, positions in total_plan:
+            totals[rows] += log_primes[positions]
+        neighbor_sums = np.zeros(colors.size, dtype=np.float64)
+        for rows, neighbor_ids in gathered_plan:
+            neighbor_sums[rows] += log_primes[neighbor_ids]
+        hashes = colors.astype(np.float64) + neighbor_sums / np.abs(totals)[seg_ids]
+        new_colors = _dense_rank_many(hashes, seg_indptr, seg_ids)
+        new_colors[seg_starts] = 1
+        new_colors[seg_starts + 1] = 2
+        changed = (
+            np.add.reduceat((new_colors != colors).astype(np.int64), seg_starts) > 0
+        )
+        newly_converged = (~changed) & (iterations == 0)
+        iterations[newly_converged] = iteration
+        colors = new_colors
+        if not bool(changed.any()) and bool((iterations > 0).all()):
+            break
+    capped = iterations == 0
+    if obs_enabled():
+        for count in iterations.tolist():
+            observe(
+                "palette_wl.iterations", count if count else _MAX_ITERATIONS
+            )
+        for _ in range(int(capped.sum())):
+            incr("palette_wl.max_iterations_hit")
+    return colors
+
+
+def _strict_order_many(
+    colors: np.ndarray,
+    tie_break: np.ndarray,
+    seg_indptr: np.ndarray,
+    seg_ids: np.ndarray,
+    sort_key: "Callable[[int], tuple[str, ...]]",
+    singleton_ranks: "Callable[[], np.ndarray] | None" = None,
+) -> np.ndarray:
+    """Batched :func:`_strict_order`; ``sort_key`` takes a flat node id.
+
+    ``singleton_ranks``, when given, lazily supplies an int64 array
+    mapping each flat node to a precomputed label-repr rank, or ``-1``
+    where no scalar rank exists (multi-member groups).  Ranks only ever
+    compare *within* one tied run — the (segment, color, tie) columns
+    already separate runs — so runs whose nodes all carry a scalar rank
+    skip the Python ``sort_key`` path entirely.
+    """
+    n = colors.size
+    order = np.lexsort((tie_break, colors, seg_ids))
+    same = np.zeros(n, dtype=bool)
+    same[1:] = (
+        (seg_ids[1:] == seg_ids[:-1])
+        & (colors[order[1:]] == colors[order[:-1]])
+        & (tie_break[order[1:]] == tie_break[order[:-1]])
+    )
+    run_starts = np.flatnonzero(~same)
+    run_ends = np.append(run_starts[1:], n)
+    ambiguous = np.flatnonzero(run_ends - run_starts > 1)
+    if ambiguous.size:
+        # Residual ties resolve by label key.  Interning every tied
+        # node's key as its rank among the distinct keys (ranks ordered
+        # exactly as the tuples compare) lets ONE stable lexsort with the
+        # rank column replace a Python re-sort per tied run; equal keys
+        # keep first-lexsort order, matching sorted()'s stability.
+        lengths = run_ends[ambiguous] - run_starts[ambiguous]
+        offsets = np.arange(int(lengths.sum()), dtype=np.int64) - np.repeat(
+            np.concatenate([[0], np.cumsum(lengths)[:-1]]), lengths
+        )
+        tied_nodes = order[np.repeat(run_starts[ambiguous], lengths) + offsets]
+        ranks = np.zeros(n, dtype=np.int64)
+        slow = tied_nodes
+        vec = singleton_ranks() if singleton_ranks is not None else None
+        if vec is not None:
+            tied_ranks = vec[tied_nodes]
+            run_of = np.repeat(
+                np.arange(ambiguous.size, dtype=np.int64), lengths
+            )
+            run_ok = np.ones(ambiguous.size, dtype=bool)
+            run_ok[run_of[tied_ranks < 0]] = False
+            ok = run_ok[run_of]
+            ranks[tied_nodes[ok]] = tied_ranks[ok]
+            slow = tied_nodes[~ok]
+        if slow.size:
+            keys = [sort_key(int(node)) for node in slow.tolist()]
+            rank_of = {
+                key: rank for rank, key in enumerate(sorted(set(keys)))
+            }
+            ranks[slow] = np.fromiter(
+                (rank_of[key] for key in keys),
+                dtype=np.int64,
+                count=len(keys),
+            )
+        order = np.lexsort((ranks, tie_break, colors, seg_ids))
+    out = np.empty(n, dtype=np.int64)
+    out[order] = np.arange(n, dtype=np.int64) - seg_indptr[seg_ids] + 1
+    return out
+
+
+def palette_wl_order_many(
+    seg_indptr: np.ndarray,
+    nbr_indptr: np.ndarray,
+    nbr_indices: np.ndarray,
+    tie_break: "np.ndarray | None",
+    sort_key: "Callable[[int], tuple[str, ...]]",
+    singleton_ranks: "Callable[[], np.ndarray] | None" = None,
+) -> np.ndarray:
+    """Strict Palette-WL orders for many structure subgraphs at once.
+
+    Batched form of :func:`palette_wl_order` with the default bilateral
+    initial scores and unit edge lengths (what the SSF extractor uses):
+    ``S`` subgraphs laid out flat (see the section comment above) are
+    coloured, refined and strict-ordered in shared array passes, returning
+    the per-node 1-based order within its segment.  Bit-identical to
+    calling :func:`palette_wl_order` per subgraph — enforced by the
+    batched differential tests.
+
+    Args:
+        seg_indptr: int64 ``(S + 1,)`` flat node offsets per subgraph.
+        nbr_indptr: int64 ``(N + 1,)`` flat adjacency offsets.
+        nbr_indices: int64 flat neighbour ids, ascending within each row.
+        tie_break: optional float64 ``(N,)`` WL-tie scores (lower =
+            earlier), as in :func:`palette_wl_order`.
+        sort_key: label key of a flat node id, breaking residual ties.
+        singleton_ranks: optional lazy per-flat-node scalar key ranks
+            (``-1`` = no scalar rank); see :func:`_strict_order_many`.
+    """
+    n = int(seg_indptr[-1])
+    sizes = seg_indptr[1:] - seg_indptr[:-1]
+    if sizes.size and int(sizes.min()) < 2:
+        raise ValueError("structure subgraph must contain both end nodes")
+    if tie_break is not None and tie_break.size != n:
+        raise ValueError(f"expected {n} tie-break scores, got {tie_break.size}")
+    seg_ids = _segment_ids(seg_indptr)
+    with span("palette_wl", nodes=n, segments=int(sizes.size)):
+        scores = bilateral_distance_scores_many(
+            seg_indptr, nbr_indptr, nbr_indices
+        )
+        colors = _initial_colors_many(scores, seg_indptr, seg_ids)
+        colors = _refine_many(
+            colors, seg_indptr, seg_ids, nbr_indptr, nbr_indices
+        )
+        ties = (
+            tie_break
+            if tie_break is not None
+            else np.zeros(n, dtype=np.float64)
+        )
+        return _strict_order_many(
+            colors, ties, seg_indptr, seg_ids, sort_key, singleton_ranks
+        )
 
 
 def _strict_order(

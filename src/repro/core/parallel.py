@@ -194,11 +194,25 @@ def _initialize(
     _worker_init_seconds = time.perf_counter() - started
 
 
-def _extract_one(pair: Pair) -> "np.ndarray | dict[str, np.ndarray]":
-    assert _worker_extractor is not None
-    if _worker_modes is None:
-        return _worker_extractor.extract(*pair)
-    return _worker_extractor.extract_multi(*pair, _worker_modes)
+def _extract_rows(
+    extractor: SSFExtractor,
+    pairs: "Sequence[Pair]",
+    modes: "tuple[str, ...] | None",
+) -> "list[np.ndarray | dict[str, np.ndarray]]":
+    """One batched-driver call for a whole chunk, split back into rows.
+
+    The row-list shape (one entry per pair, dict-of-rows under multi-mode)
+    is what the chunk assembly and retry bookkeeping already speak; the
+    rows are views into the batch driver's preallocated output matrices.
+    """
+    pair_list = list(pairs)
+    if modes is None:
+        return list(extractor.extract_batch(pair_list))
+    multi = extractor.extract_multi_batch(pair_list, modes)
+    return [
+        {mode: multi[mode][i] for mode in modes}
+        for i in range(len(pair_list))
+    ]
 
 
 def _extract_chunk(
@@ -217,9 +231,14 @@ def _extract_chunk(
     faults.maybe_slow_chunk(index)
     rows: "list[np.ndarray | dict[str, np.ndarray]]" = []
     with span("parallel.worker_chunk", chunk=index, pairs=len(pairs)):
-        for position, pair in enumerate(pairs):
+        # Crash probes are hoisted ahead of the extraction: a crash loses
+        # the whole chunk either way (it is re-dispatched as a unit), so
+        # probing every pair position up front preserves the injected
+        # fault budgets while the chunk runs as ONE batched-driver call.
+        for position in range(len(pairs)):
             faults.maybe_crash_worker(offset + position)
-            rows.append(_extract_one(pair))
+        assert _worker_extractor is not None
+        rows = _extract_rows(_worker_extractor, pairs, _worker_modes)
         incr("parallel.pairs_extracted", len(pairs))
     return index, rows, collect_worker_payload()
 
@@ -291,11 +310,7 @@ def parallel_extract_batch(
             if modes is None:
                 result = reference.extract_batch(pair_list)
             else:
-                result = _stack_multi(
-                    [reference.extract_multi(a, b, modes) for a, b in pair_list],
-                    modes,
-                    reference.feature_dim,
-                )
+                result = reference.extract_multi_batch(pair_list, modes)
             incr("parallel.pairs_extracted", len(pair_list))
         elapsed = time.perf_counter() - started
         heartbeat_tick(
@@ -450,15 +465,7 @@ def parallel_extract_batch(
                     sum(len(task[2]) for task in tasks),
                 )
                 for index, _offset, chunk_pairs in tasks:
-                    if modes is None:
-                        results[index] = [
-                            reference.extract(a, b) for a, b in chunk_pairs
-                        ]
-                    else:
-                        results[index] = [
-                            reference.extract_multi(a, b, modes)
-                            for a, b in chunk_pairs
-                        ]
+                    results[index] = _extract_rows(reference, chunk_pairs, modes)
                     incr("parallel.pairs_extracted", len(chunk_pairs))
                     _on_chunk(len(chunk_pairs))
             rows = [row for index in sorted(results) for row in results[index]]

@@ -287,15 +287,25 @@ def run_extraction_bench(
     out_path: "str | Path | None" = None,
     history_path: "str | Path | None" = None,
     tag: "str | None" = None,
+    batch: bool = False,
+    batch_pairs: "int | None" = None,
 ) -> dict[str, Any]:
     """Time single-process SSF extraction on both backends, same pairs.
 
     The csr timing INCLUDES the one-off snapshot freeze (built once per
     observed window, amortised over the batch — exactly how the runner
-    uses it).  Writes the latest result to ``out_path`` when given and
-    appends a stamped record to ``history_path`` when given.  ``tag``
-    labels the result (and therefore its history record) so distinct
-    experiment lines share one trajectory file without mixing.
+    uses it).  With ``batch=True`` a third ``batched`` section times ONE
+    cold ``extract_batch`` call through the csr batched driver over
+    ``batch_pairs`` pairs (default ``10 * n_pairs`` — the driver amortises
+    per-batch setup across pairs, so a larger slab reflects its intended
+    many-pair workload; the first ``n_pairs`` of the slab are the exact
+    pairs the per-pair sections ran).  Batched rows are verified
+    bit-identical against the dict reference (untimed) and fold into the
+    top-level ``bit_identical``.  Writes the latest result to ``out_path``
+    when given and appends a stamped record to ``history_path`` when
+    given.  ``tag`` labels the result (and therefore its history record)
+    so distinct experiment lines share one trajectory file without
+    mixing.
     """
     import numpy as np
 
@@ -306,11 +316,13 @@ def run_extraction_bench(
     network = synthetic_network(n_nodes, seed=seed)
     rng = ensure_rng(seed + 1)
     nodes = network.nodes
-    pairs: list[tuple[Any, Any]] = []
-    while len(pairs) < n_pairs:
+    n_batch = max(n_pairs, batch_pairs if batch_pairs is not None else 10 * n_pairs)
+    all_pairs: list[tuple[Any, Any]] = []
+    while len(all_pairs) < (n_batch if batch else n_pairs):
         i, j = rng.integers(0, len(nodes), size=2)
         if i != j:
-            pairs.append((nodes[int(i)], nodes[int(j)]))
+            all_pairs.append((nodes[int(i)], nodes[int(j)]))
+    pairs = all_pairs[:n_pairs]
     config = SSFConfig(k=k)
 
     started = time.perf_counter()
@@ -348,6 +360,21 @@ def run_extraction_bench(
         },
         "speedup": round(dict_seconds / csr_seconds, 2),
     }
+    if batch:
+        batch_extractor = SSFExtractor(snapshot, config)
+        started = time.perf_counter()
+        batched_matrix = batch_extractor.extract_batch(all_pairs)
+        batched_seconds = time.perf_counter() - started
+        batched_reference = np.stack(
+            [dict_extractor.extract(a, b) for a, b in all_pairs]
+        )
+        batched_identical = bool(np.array_equal(batched_reference, batched_matrix))
+        result["bit_identical"] = identical and batched_identical
+        result["backends"]["batched"] = {
+            "seconds": round(batched_seconds, 4),
+            "pairs": len(all_pairs),
+            "pairs_per_second": round(len(all_pairs) / batched_seconds, 2),
+        }
     if tag is not None:
         result["tag"] = tag
     if out_path is not None:

@@ -185,6 +185,21 @@ def test_r201_accepts_forwarded_backend() -> None:
     assert run(good, "R201") == []
 
 
+def test_r201_covers_batch_extract_entry_point() -> None:
+    bad = (
+        "def batch_extract(network: object, pairs: list) -> list:\n"
+        "    return pairs\n"
+    )
+    (violation,) = run(bad, "R201")
+    assert "backend=" in violation.message
+    good = (
+        "def batch_extract(network: object, pairs: list,\n"
+        "                  backend: str = 'auto') -> list:\n"
+        "    return [(p, backend) for p in pairs]\n"
+    )
+    assert run(good, "R201") == []
+
+
 # ----------------------------------------------------------------------
 # R202 backend-dispatch
 # ----------------------------------------------------------------------

@@ -1,0 +1,255 @@
+"""Differential tests for the batched multi-pair extraction engine.
+
+The batched CSR driver (:mod:`repro.core.batch`) must be *bit-identical*
+to the untouched dict reference over every entry mode, every entry
+point, and every pool path — these tests enforce the contract with
+randomized networks plus the edge cases the driver special-cases
+(empty batches, duplicate pairs, unseen endpoints interleaved with
+valid ones).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.batch import batch_extract
+from repro.core.feature import ENTRY_MODES, SSFConfig, SSFExtractor
+from repro.core.palette_wl import palette_wl_order, palette_wl_order_many
+from repro.core.parallel import parallel_extract_batch
+from repro.core.structure import combine_structures
+from repro.core.subgraph import h_hop_node_set
+from repro.graph.csr import CSRSnapshot
+from repro.graph.temporal import DynamicNetwork
+from repro.obs.metrics import get_registry
+
+
+def _random_network(rng: random.Random, n: int, m: int) -> DynamicNetwork:
+    links = []
+    for _ in range(m):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            links.append((f"n{u}", f"n{v}", float(rng.randint(1, 50))))
+    return DynamicNetwork(links)
+
+
+def _random_pairs(rng: random.Random, n: int, count: int) -> list:
+    pairs = []
+    for _ in range(count):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            v = (v + 1) % n
+        pairs.append((f"n{u}", f"n{v}"))
+    return pairs
+
+
+class TestBatchedDifferential:
+    """Randomized batched-csr ≡ dict over all six entry modes."""
+
+    @pytest.mark.parametrize("mode", ENTRY_MODES)
+    def test_matches_dict_reference(self, mode):
+        rng = random.Random(100 + ENTRY_MODES.index(mode))
+        for _ in range(2):
+            n = rng.randint(20, 60)
+            network = _random_network(rng, n, rng.randint(n, n * 3))
+            config = SSFConfig(
+                k=rng.choice([4, 6, 10]),
+                entry_mode=mode,
+                ordering=rng.choice(["influence", "hops"]),
+                max_hop=rng.choice([None, 2]),
+                compress=rng.choice([True, False]),
+            )
+            pairs = _random_pairs(rng, n, rng.randint(3, 12))
+            # unseen endpoint and an exact duplicate, interleaved
+            pairs.insert(1, ("missing", "n0"))
+            pairs.append(pairs[0])
+            ref = SSFExtractor(network, config, backend="dict")
+            got = SSFExtractor(network, config, backend="csr")
+            assert np.array_equal(
+                ref.extract_batch(pairs), got.extract_batch(pairs)
+            )
+
+    def test_multi_batch_matches_dict_all_modes(self):
+        rng = random.Random(7)
+        network = _random_network(rng, 80, 240)
+        config = SSFConfig(k=8)
+        pairs = _random_pairs(rng, 80, 25)
+        pairs.insert(3, ("ghost", "n0"))
+        pairs.insert(7, pairs[0])
+        ref = SSFExtractor(network, config, backend="dict")
+        got = SSFExtractor(network, config, backend="csr")
+        expected = ref.extract_multi_batch(pairs, ENTRY_MODES)
+        actual = got.extract_multi_batch(pairs, ENTRY_MODES)
+        assert set(expected) == set(actual) == set(ENTRY_MODES)
+        for mode in ENTRY_MODES:
+            assert np.array_equal(expected[mode], actual[mode]), mode
+
+    def test_batched_matches_per_pair_csr(self):
+        rng = random.Random(11)
+        network = _random_network(rng, 60, 180)
+        config = SSFConfig(k=6)
+        pairs = _random_pairs(rng, 60, 20)
+        extractor = SSFExtractor(network, config, backend="csr")
+        single = np.stack([extractor.extract(a, b) for a, b in pairs])
+        assert np.array_equal(single, extractor.extract_batch(pairs))
+
+
+class TestBatchEdgeCases:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return DynamicNetwork(
+            [("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 3.0)]
+        )
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_empty_batch(self, tiny, backend):
+        extractor = SSFExtractor(tiny, SSFConfig(k=3), backend=backend)
+        assert extractor.extract_batch([]).shape == (
+            0,
+            extractor.feature_dim,
+        )
+        multi = extractor.extract_multi_batch([], ("temporal", "count"))
+        assert set(multi) == {"temporal", "count"}
+        assert multi["temporal"].shape == (0, extractor.feature_dim)
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_identical_endpoints_raise(self, tiny, backend):
+        extractor = SSFExtractor(tiny, SSFConfig(k=3), backend=backend)
+        with pytest.raises(ValueError, match="distinct"):
+            extractor.extract_batch([("a", "a")])
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_unknown_mode_raises(self, tiny, backend):
+        extractor = SSFExtractor(tiny, SSFConfig(k=3), backend=backend)
+        with pytest.raises(ValueError, match="unknown entry mode"):
+            extractor.extract_multi_batch([("a", "b")], ("bogus",))
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_missing_endpoints_zero_rows(self, tiny, backend):
+        extractor = SSFExtractor(tiny, SSFConfig(k=3), backend=backend)
+        out = extractor.extract_batch(
+            [("a", "b"), ("nope", "b"), ("a", "also-nope"), ("b", "c")]
+        )
+        assert not out[1].any() and not out[2].any()
+        assert np.array_equal(
+            out[0], extractor.extract_batch([("a", "b")])[0]
+        )
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_duplicate_pairs_identical_rows(self, tiny, backend):
+        extractor = SSFExtractor(tiny, SSFConfig(k=3), backend=backend)
+        out = extractor.extract_batch([("a", "b"), ("b", "c"), ("a", "b")])
+        assert np.array_equal(out[0], out[2])
+
+
+class TestBatchExtractEntry:
+    """Module-level ``batch_extract`` dispatch (R201/R202 plumbing)."""
+
+    def test_backends_agree(self):
+        rng = random.Random(23)
+        network = _random_network(rng, 40, 120)
+        pairs = _random_pairs(rng, 40, 10)
+        ref = batch_extract(network, pairs=pairs, backend="dict")
+        got = batch_extract(network, pairs=pairs, backend="csr")
+        auto = batch_extract(network, pairs=pairs, backend="auto")
+        assert np.array_equal(ref, got)
+        assert np.array_equal(ref, auto)
+
+    def test_modes_return_per_mode_dict(self):
+        rng = random.Random(29)
+        network = _random_network(rng, 30, 90)
+        pairs = _random_pairs(rng, 30, 6)
+        out = batch_extract(
+            network, pairs=pairs, modes=("temporal", "binary"), backend="csr"
+        )
+        assert set(out) == {"temporal", "binary"}
+        single = batch_extract(network, pairs=pairs, backend="csr")
+        assert np.array_equal(out["temporal"], single)
+
+
+class TestBallReuse:
+    def test_shared_endpoints_hit_ball_cache(self):
+        rng = random.Random(31)
+        network = _random_network(rng, 50, 150)
+        snapshot = CSRSnapshot.from_dynamic(network)
+        extractor = SSFExtractor(snapshot, SSFConfig(k=6), backend="csr")
+        obs.enable()
+        try:
+            # every pair shares endpoint n0 → its ball expands once
+            pairs = [(f"n{i}", "n0") for i in range(1, 6)]
+            extractor.extract_batch(pairs)
+            counters = get_registry().snapshot()["counters"]
+            assert counters["batch.ball_reuse_hits"] >= len(pairs) - 1
+            assert counters["batch.ball_reuse_misses"] >= 1
+        finally:
+            obs.disable()
+
+
+class TestPaletteWLManyParity:
+    def test_matches_per_subgraph_reference(self):
+        rng = random.Random(41)
+        network = _random_network(rng, 50, 150)
+        subgraphs = []
+        for a, b in _random_pairs(rng, 50, 8):
+            nodes = h_hop_node_set(network, a, b, 2)
+            if len(nodes) < 2:
+                continue
+            subgraphs.append(combine_structures(network, nodes, a, b))
+        assert subgraphs
+        sizes = [s.number_of_structure_nodes() for s in subgraphs]
+        seg_indptr = np.zeros(len(subgraphs) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=seg_indptr[1:])
+        degrees, indices = [], []
+        for seg, sub in enumerate(subgraphs):
+            for i in range(sizes[seg]):
+                row = sub.adjacency_sorted(i)
+                degrees.append(len(row))
+                indices.extend(j + int(seg_indptr[seg]) for j in row)
+        nbr_indptr = np.zeros(len(degrees) + 1, dtype=np.int64)
+        np.cumsum(np.array(degrees, dtype=np.int64), out=nbr_indptr[1:])
+        nbr_indices = np.array(indices, dtype=np.int64)
+
+        def sort_key(flat: int):
+            seg = int(np.searchsorted(seg_indptr, flat, side="right")) - 1
+            return subgraphs[seg].sort_key(flat - int(seg_indptr[seg]))
+
+        batched = palette_wl_order_many(
+            seg_indptr, nbr_indptr, nbr_indices, None, sort_key
+        )
+        expected = np.concatenate(
+            [
+                np.asarray(palette_wl_order(sub), dtype=np.int64)
+                for sub in subgraphs
+            ]
+        )
+        assert np.array_equal(batched, expected)
+
+
+class TestPoolPathDifferential:
+    """Batched chunks through fork AND spawn pools ≡ dict reference."""
+
+    @pytest.fixture(scope="class")
+    def case(self):
+        rng = random.Random(53)
+        network = _random_network(rng, 70, 210)
+        pairs = _random_pairs(rng, 70, 24)
+        config = SSFConfig(k=6)
+        reference = SSFExtractor(network, config, backend="dict")
+        return network, config, pairs, reference.extract_batch(pairs)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_pool_matches_dict(self, case, start_method, monkeypatch):
+        network, config, pairs, expected = case
+        monkeypatch.setenv("REPRO_START_METHOD", start_method)
+        out = parallel_extract_batch(
+            network,
+            config,
+            pairs,
+            workers=2,
+            min_pairs=1,
+            backend="csr",
+        )
+        assert np.array_equal(out, expected)

@@ -108,7 +108,8 @@ def test_best_f1_threshold_is_optimal(seed):
 def generator_configs(draw):
     repeat = draw(st.floats(0.0, 0.5))
     closure = draw(st.floats(0.0, 0.3))
-    pa = draw(st.floats(0.0, 0.3))
+    # the three mechanism probabilities must sum to at most 1.0
+    pa = draw(st.floats(0.0, min(0.3, 1.0 - repeat - closure)))
     return EventModelConfig(
         n_nodes=draw(st.integers(5, 40)),
         n_links=draw(st.integers(10, 150)),
