@@ -22,6 +22,11 @@ from repro.analysis.lint.cli import (
     main,
     run_lint,
 )
+from repro.analysis.lint.callgraph import (
+    ProjectIndex,
+    build_project_index,
+    source_fingerprint,
+)
 from repro.analysis.lint.engine import (
     LintReport,
     ModuleContext,
@@ -32,7 +37,14 @@ from repro.analysis.lint.engine import (
     lint_source,
     module_name_for,
 )
-from repro.analysis.lint.rules import ALL_RULE_IDS, default_rules, rule_catalog
+from repro.analysis.lint.rules import (
+    ALL_RULE_IDS,
+    RELAXED_RULE_IDS,
+    default_rules,
+    relaxed_rules,
+    rule_catalog,
+)
+from repro.analysis.lint.sarif import format_sarif
 
 __all__ = [
     "ALL_RULE_IDS",
@@ -41,18 +53,24 @@ __all__ = [
     "DEFAULT_BASELINE_NAME",
     "LintReport",
     "ModuleContext",
+    "ProjectIndex",
+    "RELAXED_RULE_IDS",
     "Rule",
     "Suppression",
     "Violation",
     "add_lint_arguments",
     "build_parser",
+    "build_project_index",
     "compare_to_baseline",
     "execute_lint",
     "default_rules",
+    "format_sarif",
     "lint_paths",
     "lint_source",
     "main",
     "module_name_for",
+    "relaxed_rules",
     "rule_catalog",
     "run_lint",
+    "source_fingerprint",
 ]

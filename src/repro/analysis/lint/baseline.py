@@ -1,7 +1,8 @@
 """Ratcheting violation baseline.
 
 The baseline is a committed JSON file recording every known violation as
-``(path, rule, snippet, count)``.  Runs against it classify violations:
+``(path, rule, snippet, chain, count)``.  Runs against it classify
+violations:
 
 * **new** — not in the baseline: always fails the run.  Fixing beats
   suppressing; suppressing requires a reasoned pragma.
@@ -13,6 +14,12 @@ The baseline is a committed JSON file recording every known violation as
 
 Snippets (stripped source lines), not line numbers, identify entries so
 unrelated edits do not churn the file.
+
+Schema history: v2 (PR 8) added the ``chain`` component — the resolved
+callee chain of project-pass findings — so two violations on the same
+line that differ only in which call path triggered them stay distinct.
+v1 files are rejected with a migration hint (``--write-baseline``
+regenerates; an empty baseline needs no migration at all).
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ __all__ = [
 
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
 
-_VERSION = 1
+_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,10 +50,11 @@ class BaselineEntry:
     path: str
     rule: str
     snippet: str
+    chain: str = ""
     count: int = 1
 
-    def key(self) -> tuple[str, str, str]:
-        return (self.path, self.rule, self.snippet)
+    def key(self) -> tuple[str, str, str, str]:
+        return (self.path, self.rule, self.snippet, self.chain)
 
 
 @dataclasses.dataclass
@@ -57,32 +65,71 @@ class Baseline:
 
     @classmethod
     def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
-        counts: dict[tuple[str, str, str], int] = {}
+        counts: dict[tuple[str, str, str, str], int] = {}
         for violation in violations:
             counts[violation.key()] = counts.get(violation.key(), 0) + 1
         entries = [
-            BaselineEntry(path=path, rule=rule, snippet=snippet, count=count)
-            for (path, rule, snippet), count in counts.items()
+            BaselineEntry(
+                path=path, rule=rule, snippet=snippet, chain=chain, count=count
+            )
+            for (path, rule, snippet, chain), count in counts.items()
         ]
         entries.sort(key=BaselineEntry.key)
         return cls(entries=entries)
 
     @classmethod
     def load(cls, path: "Path | str") -> "Baseline":
-        raw = json.loads(Path(path).read_text(encoding="utf-8"))
-        if raw.get("version") != _VERSION:
+        """Load a baseline file.
+
+        Raises:
+            ValueError: unreadable/corrupt JSON, a non-mapping payload,
+                a missing entry field, or an unsupported schema version
+                — always with the offending path in the message, never a
+                raw traceback bubbling out of ``json``.
+        """
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValueError(f"cannot read baseline file {path}: {exc}") from exc
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
             raise ValueError(
-                f"unsupported baseline version {raw.get('version')!r} in {path}"
+                f"baseline file {path} is not valid JSON ({exc}); "
+                "regenerate it with --write-baseline"
+            ) from exc
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"baseline file {path} must contain a JSON object, "
+                f"got {type(raw).__name__}"
             )
-        entries = [
-            BaselineEntry(
-                path=entry["path"],
-                rule=entry["rule"],
-                snippet=entry["snippet"],
-                count=int(entry.get("count", 1)),
+        version = raw.get("version")
+        if version == 1:
+            raise ValueError(
+                f"baseline file {path} uses schema v1 (pre callee-chain "
+                "keys); regenerate it with --write-baseline "
+                "(see docs/STATIC_ANALYSIS.md, baseline migration)"
             )
-            for entry in raw.get("entries", [])
-        ]
+        if version != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}"
+            )
+        try:
+            entries = [
+                BaselineEntry(
+                    path=entry["path"],
+                    rule=entry["rule"],
+                    snippet=entry["snippet"],
+                    chain=str(entry.get("chain", "")),
+                    count=int(entry.get("count", 1)),
+                )
+                for entry in raw.get("entries", [])
+            ]
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"baseline file {path} has a malformed entry ({exc!r}); "
+                "regenerate it with --write-baseline"
+            ) from exc
         entries.sort(key=BaselineEntry.key)
         return cls(entries=entries)
 

@@ -5,14 +5,16 @@ Kept separate from ``repro.cli`` so the linter is usable standalone::
     PYTHONPATH=src python -m repro.analysis.lint src/
 
 Exit codes: 0 clean (or all violations baselined), 1 violations/stale
-baseline, 2 usage error.
+baseline, 2 usage error (including a corrupt or outdated baseline file).
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
+import time
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.analysis.lint.baseline import (
     DEFAULT_BASELINE_NAME,
@@ -20,7 +22,8 @@ from repro.analysis.lint.baseline import (
     compare_to_baseline,
 )
 from repro.analysis.lint.engine import LintReport, lint_paths
-from repro.analysis.lint.rules import default_rules, rule_catalog
+from repro.analysis.lint.rules import default_rules, relaxed_rules, rule_catalog
+from repro.analysis.lint.sarif import format_sarif
 
 __all__ = ["add_lint_arguments", "build_parser", "execute_lint", "run_lint", "main"]
 
@@ -35,13 +38,57 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--sarif-out",
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 report to PATH (any --format)",
+    )
+    parser.add_argument(
         "--rules",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--relaxed",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="extra path linted with the relaxed profile (hash-order + "
+        "R5xx families only); repeatable, e.g. --relaxed scripts "
+        "--relaxed benchmarks --relaxed tests",
+    )
+    parser.add_argument(
+        "--project",
+        dest="project",
+        action="store_true",
+        default=True,
+        help="two-pass mode: build the project symbol table + call graph "
+        "first (default)",
+    )
+    parser.add_argument(
+        "--no-project",
+        dest="project",
+        action="store_false",
+        help="single-pass escape hatch: skip pass 1; project-aware rules "
+        "degrade to local approximations",
+    )
+    parser.add_argument(
+        "--project-cache",
+        metavar="PATH",
+        help="cache the pass-1 index at PATH, keyed by a source "
+        "fingerprint (used by CI to stay inside the wall-clock budget)",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="main",
+        default=None,
+        metavar="REF",
+        help="lint only files changed relative to git REF (default: main); "
+        "includes uncommitted changes",
     )
     parser.add_argument(
         "--baseline",
@@ -80,7 +127,54 @@ def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
 
 
 def _format_listing(report: LintReport, fmt: str) -> str:
-    return report.format_json() if fmt == "json" else report.format_text()
+    if fmt == "json":
+        return report.format_json()
+    if fmt == "sarif":
+        return format_sarif(report, rule_catalog())
+    return report.format_text()
+
+
+def _changed_files(ref: str) -> "list[Path] | None":
+    """Python files differing from ``ref`` (committed or not).
+
+    Returns ``None`` when git itself fails (not a repo, unknown ref) so
+    the caller can surface a usage error instead of linting nothing.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", ref, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return [
+        Path(line)
+        for line in proc.stdout.splitlines()
+        if line.endswith(".py") and Path(line).exists()
+    ]
+
+
+def _under_any(path: Path, roots: Iterable[str]) -> bool:
+    resolved = path.resolve()
+    for root in roots:
+        try:
+            resolved.relative_to(Path(root).resolve())
+            return True
+        except ValueError:
+            continue
+    return False
+
+
+def _record_obs(report: LintReport, duration: float) -> None:
+    """Publish run counters through the repro.obs registry (ungated)."""
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter("lint.files").inc(report.files_checked)
+    registry.counter("lint.violations").inc(report.count())
+    registry.histogram("lint.duration_seconds").observe(duration)
 
 
 def execute_lint(args: argparse.Namespace) -> tuple[str, int]:
@@ -97,10 +191,34 @@ def execute_lint(args: argparse.Namespace) -> tuple[str, int]:
     except ValueError as exc:
         return str(exc), 2
 
+    strict_paths: list = list(args.paths)
+    relaxed_roots: list = list(args.relaxed)
+    if args.changed is not None:
+        changed = _changed_files(args.changed)
+        if changed is None:
+            return (
+                f"error: could not compute git diff against {args.changed!r}; "
+                "is this a git checkout and does the ref exist?",
+                2,
+            )
+        strict_paths = [p for p in changed if _under_any(p, args.paths)]
+        relaxed_roots = [p for p in changed if _under_any(p, args.relaxed)]
+        if not strict_paths and not relaxed_roots:
+            return f"no changed python files vs {args.changed}", 0
+
+    started = time.monotonic()
     try:
-        report = lint_paths(args.paths, rules)
+        report = lint_paths(
+            strict_paths,
+            rules,
+            project=args.project,
+            relaxed_paths=relaxed_roots,
+            relaxed_rules=relaxed_rules(),
+            index_cache=args.project_cache,
+        )
     except (FileNotFoundError, SyntaxError) as exc:
         return f"error: {exc}", 2
+    _record_obs(report, time.monotonic() - started)
 
     if args.write_baseline:
         baseline = Baseline.from_violations(report.violations)
@@ -112,19 +230,32 @@ def execute_lint(args: argparse.Namespace) -> tuple[str, int]:
         )
 
     baseline_path = Path(args.baseline)
-    if args.no_baseline or not baseline_path.exists():
+    use_baseline = not args.no_baseline and baseline_path.exists()
+    if use_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            return f"error: {exc}", 2
+        comparison = compare_to_baseline(report.violations, baseline)
+        effective = LintReport(
+            violations=comparison.new, files_checked=report.files_checked
+        )
+    else:
+        comparison = None
+        effective = report
+
+    if args.sarif_out:
+        Path(args.sarif_out).write_text(
+            format_sarif(effective, rule_catalog()) + "\n", encoding="utf-8"
+        )
+
+    if comparison is None:
         listing = _format_listing(report, args.format)
         return listing, 1 if report.violations else 0
 
-    baseline = Baseline.load(baseline_path)
-    comparison = compare_to_baseline(report.violations, baseline)
     strict = bool(args.check_baseline)
-
-    if args.format == "json":
-        filtered = LintReport(
-            violations=comparison.new, files_checked=report.files_checked
-        )
-        listing = filtered.format_json()
+    if args.format in ("json", "sarif"):
+        listing = _format_listing(effective, args.format)
     else:
         lines = [violation.format() for violation in comparison.new]
         if strict:

@@ -1,0 +1,188 @@
+"""Reaching-values path queries over the per-function CFG.
+
+These are the small, targeted dataflow primitives behind the R5xx/R6xx
+rule families — not a general framework.  The central query is
+:func:`leaks_past` — "does some path from the resource creation
+statement reach a function exit (normal or exceptional) without passing
+through a release or an ownership transfer?" — which is exactly the
+MAY-reach formulation of the resource-lifecycle rule (R501): release
+and escape nodes absorb paths, so any remaining route to an exit is a
+leak witness.
+
+The expression-side helpers classify how a tracked variable name is
+used inside one statement (release call, bare-name escape, attribute
+store), using :func:`repro.analysis.lint.cfg.own_exprs` so nested
+statements are never attributed to their enclosing compound.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.lint.cfg import CFG, EXIT, RAISE, own_exprs
+
+__all__ = [
+    "leaks_past",
+    "reachable_from",
+    "uses_name",
+    "method_calls_on",
+    "bare_name_args",
+    "stores_into_attribute",
+    "returns_name",
+]
+
+
+def reachable_from(
+    cfg: CFG,
+    start: int,
+    *,
+    blockers: "set[int] | frozenset[int]" = frozenset(),
+    include_start_exceptions: bool = False,
+) -> set[int]:
+    """All nodes reachable from ``start`` without entering a blocker.
+
+    Traversal begins at ``start``'s successors (the node itself is the
+    origin, not part of the searched path) and follows both normal and
+    exception edges; blocker nodes absorb — they are never expanded.
+    ``include_start_exceptions`` adds ``start``'s own exception edges to
+    the initial frontier (used for resources that exist even when the
+    creating statement raises midway, e.g. a partially written staging
+    file).
+    """
+    frontier = list(cfg.succ[start])
+    if include_start_exceptions:
+        frontier.extend(cfg.exc[start])
+    seen: set[int] = set()
+    while frontier:
+        node = frontier.pop()
+        if node in seen or node in blockers:
+            continue
+        seen.add(node)
+        frontier.extend(cfg.succ[node])
+        frontier.extend(cfg.exc[node])
+    return seen
+
+
+def leaks_past(
+    cfg: CFG,
+    start: int,
+    releases: "set[int]",
+    *,
+    include_start_exceptions: bool = False,
+) -> bool:
+    """True when some path from ``start`` exits without a release.
+
+    ``releases`` should contain every node that releases the resource
+    *or* transfers its ownership; release operations are assumed to
+    succeed (their own exception edges do not re-open the leak — the
+    alternative has no fixpoint).
+    """
+    reached = reachable_from(
+        cfg,
+        start,
+        blockers=releases,
+        include_start_exceptions=include_start_exceptions,
+    )
+    return EXIT in reached or RAISE in reached
+
+
+# ----------------------------------------------------------------------
+# per-statement use classification
+# ----------------------------------------------------------------------
+def _walk_own(stmt: ast.stmt) -> Iterator[ast.AST]:
+    for expr in own_exprs(stmt):
+        yield from ast.walk(expr)
+
+
+def uses_name(stmt: ast.stmt, name: str) -> bool:
+    """True when the statement itself reads or writes ``name``."""
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in _walk_own(stmt)
+    )
+
+
+def method_calls_on(stmt: ast.stmt, name: str) -> set[str]:
+    """Method names invoked directly on the variable: ``name.close()``."""
+    out: set[str] = set()
+    for sub in _walk_own(stmt):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == name
+        ):
+            out.add(sub.func.attr)
+    return out
+
+
+def bare_name_args(stmt: ast.stmt, name: str) -> "list[ast.Call]":
+    """Calls receiving the variable as a *bare* positional/keyword arg.
+
+    Passing the bare name transfers the object to the callee (ownership
+    escape); reading an attribute of it (``shm.buf``) does not.
+    Container literals (``(shm,)``/``[shm]``) count — the reference
+    still leaves the function's hands.
+    """
+
+    def contains_bare(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id == name
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(contains_bare(element) for element in expr.elts)
+        if isinstance(expr, ast.Dict):
+            return any(
+                value is not None and contains_bare(value)
+                for value in list(expr.keys) + list(expr.values)
+            )
+        if isinstance(expr, ast.Starred):
+            return contains_bare(expr.value)
+        return False
+
+    out: list[ast.Call] = []
+    for sub in _walk_own(stmt):
+        if not isinstance(sub, ast.Call):
+            continue
+        if any(contains_bare(arg) for arg in sub.args) or any(
+            contains_bare(kw.value) for kw in sub.keywords
+        ):
+            out.append(sub)
+    return out
+
+
+def stores_into_attribute(stmt: ast.stmt, name: str) -> bool:
+    """True for ``obj.attr = name`` / ``obj[i] = name`` style transfers."""
+    targets: "Iterable[ast.expr]" = ()
+    value: "ast.expr | None" = None
+    if isinstance(stmt, ast.Assign):
+        targets, value = stmt.targets, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets, value = [stmt.target], stmt.value
+    if value is None:
+        return False
+    stored = any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(value)
+    )
+    if not stored:
+        return False
+    return any(
+        isinstance(target, (ast.Attribute, ast.Subscript)) for target in targets
+    )
+
+
+def returns_name(stmt: ast.stmt, name: str) -> bool:
+    """True when the statement returns/yields an expression using ``name``."""
+    candidates: "list[ast.expr | None]" = []
+    if isinstance(stmt, ast.Return):
+        candidates.append(stmt.value)
+    elif isinstance(stmt, ast.Expr) and isinstance(
+        stmt.value, (ast.Yield, ast.YieldFrom)
+    ):
+        candidates.append(stmt.value)
+    for candidate in candidates:
+        if candidate is not None and any(
+            isinstance(sub, ast.Name) and sub.id == name
+            for sub in ast.walk(candidate)
+        ):
+            return True
+    return False

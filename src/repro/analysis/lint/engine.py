@@ -16,6 +16,15 @@ a missing reason (R002) or unknown rule id (R001) is itself reported and
 the suppression is ignored, and a suppression that matched no violation
 is reported as unused (R003) so stale pragmas cannot accumulate.  A
 comment on its own line suppresses the next statement line instead.
+
+Since PR 8 the engine is **two-pass**: pass 1 parses every file once and
+builds a :class:`~repro.analysis.lint.callgraph.ProjectIndex` (symbol
+table + call graph); pass 2 walks each module with the project index in
+scope, which is what powers the R5xx/R6xx dataflow families and the
+edge-checked R2xx forwarding rules.  ``lint_paths(project=False)``
+restores the old single-pass behaviour (the ``--no-project`` escape
+hatch); :func:`lint_source` builds a single-module index so every rule
+works on isolated snippets too.
 """
 
 from __future__ import annotations
@@ -29,6 +38,12 @@ import tokenize
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.analysis.lint.callgraph import (
+    ProjectIndex,
+    build_project_index,
+    source_fingerprint,
+)
+
 __all__ = [
     "LintReport",
     "ModuleContext",
@@ -39,6 +54,8 @@ __all__ = [
     "lint_source",
     "module_name_for",
     "iter_python_files",
+    "load_index_cache",
+    "save_index_cache",
 ]
 
 #: ids reserved for the engine's own diagnostics (suppression hygiene).
@@ -59,20 +76,29 @@ class Violation:
     column: int
     message: str
     snippet: str
+    #: resolved callee chain for project-pass findings whose evidence
+    #: lives in a callee (e.g. ``"parallel_extract_batch>heartbeat_tick"``);
+    #: empty for purely local findings.
+    chain: str = ""
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+        via = f"  [via {self.chain}]" if self.chain else ""
+        return (
+            f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}{via}"
+        )
 
     def to_json(self) -> dict[str, object]:
         return dataclasses.asdict(self)
 
-    def key(self) -> tuple[str, str, str]:
+    def key(self) -> tuple[str, str, str, str]:
         """Line-number-insensitive identity used by the baseline.
 
-        Violations are matched on ``(path, rule, snippet)`` so unrelated
-        edits that shift line numbers do not churn the baseline.
+        Violations are matched on ``(path, rule, snippet, chain)`` so
+        unrelated edits that shift line numbers do not churn the
+        baseline, while project-pass findings that differ only in the
+        callee chain stay distinct (baseline schema v2).
         """
-        return (self.path, self.rule, self.snippet)
+        return (self.path, self.rule, self.snippet, self.chain)
 
 
 @dataclasses.dataclass
@@ -88,10 +114,19 @@ class Suppression:
 class ModuleContext:
     """Everything a rule may read or write while visiting one module."""
 
-    def __init__(self, path: str, module: str, source: str, tree: ast.Module) -> None:
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        source: str,
+        tree: ast.Module,
+        *,
+        project: "ProjectIndex | None" = None,
+    ) -> None:
         self.path = path
         self.module = module
         self.tree = tree
+        self.project = project
         self.source_lines = source.splitlines()
         self.violations: list[Violation] = []
         self.suppressions: list[Suppression] = []
@@ -178,7 +213,9 @@ class ModuleContext:
             return self.source_lines[line - 1].strip()
         return ""
 
-    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+    def report(
+        self, rule: "Rule", node: ast.AST, message: str, *, chain: str = ""
+    ) -> None:
         line = getattr(node, "lineno", 1)
         column = getattr(node, "col_offset", 0)
         suppression = self._suppression_for(rule.id, line)
@@ -193,6 +230,7 @@ class ModuleContext:
                 column=column,
                 message=message,
                 snippet=self.snippet(line),
+                chain=chain,
             )
         )
 
@@ -209,13 +247,25 @@ class Rule:
     id: str = ""
     name: str = ""
     summary: str = ""
+    #: dotted module prefixes; the sentinel ``"*"`` matches every module
+    #: (used by the relaxed profile over scripts/benchmarks/tests, whose
+    #: files carry bare-stem module names no dotted prefix matches).
     scope: tuple[str, ...] = ("repro",)
 
     def applies_to(self, module: str) -> bool:
+        if "*" in self.scope:
+            return True
         return any(
             module == prefix or module.startswith(prefix + ".")
             for prefix in self.scope
         )
+
+    def begin_project(self, project: ProjectIndex) -> None:
+        """Hook called once per run with the pass-1 project index.
+
+        Called before any module is walked; project-aware rules stash
+        the index (and any derived sets) on ``self`` here.
+        """
 
     def begin_module(self, ctx: ModuleContext) -> None:
         """Hook called before the walk (reset per-module state here)."""
@@ -303,41 +353,139 @@ def module_name_for(path: "Path | str") -> str:
     return ".".join(parts)
 
 
-def lint_source(
+def _lint_module(
     source: str,
+    tree: ast.Module,
     rules: Sequence[Rule],
     *,
-    path: str = "<string>",
-    module: "str | None" = None,
+    path: str,
+    module: str,
+    project: "ProjectIndex | None",
+    known_rule_ids: Iterable[str],
 ) -> list[Violation]:
-    """Lint one source string (the importable API and the test entry)."""
-    if module is None:
-        module = module_name_for(path)
-    tree = ast.parse(source, filename=path)
-    ctx = ModuleContext(path=path, module=module, source=source, tree=tree)
+    """Pass-2 walk of one already-parsed module."""
+    ctx = ModuleContext(
+        path=path, module=module, source=source, tree=tree, project=project
+    )
     active = [rule for rule in rules if rule.applies_to(module)]
     for rule in active:
         rule.begin_module(ctx)
     _dispatch(active, ctx)
     for rule in active:
         rule.finish_module(ctx)
-    ctx.check_suppression_hygiene([rule.id for rule in rules])
+    ctx.check_suppression_hygiene(known_rule_ids)
     ctx.violations.sort(key=lambda v: (v.line, v.column, v.rule))
     return ctx.violations
 
 
-def iter_python_files(paths: Iterable["Path | str"]) -> Iterator[Path]:
-    """Yield every ``.py`` file under ``paths`` in sorted order."""
+def lint_source(
+    source: str,
+    rules: Sequence[Rule],
+    *,
+    path: str = "<string>",
+    module: "str | None" = None,
+    project: "ProjectIndex | None" = None,
+) -> list[Violation]:
+    """Lint one source string (the importable API and the test entry).
+
+    When no ``project`` index is supplied a single-module index is built
+    from the snippet itself, so the project-pass rules (R2xx forwarding,
+    R5xx, R6xx) see intra-module call edges even on isolated sources.
+    """
+    if module is None:
+        module = module_name_for(path)
+    tree = ast.parse(source, filename=path)
+    if project is None:
+        project = build_project_index([(module, path, tree)])
+    for rule in rules:
+        rule.begin_project(project)
+    return _lint_module(
+        source,
+        tree,
+        rules,
+        path=path,
+        module=module,
+        project=project,
+        known_rule_ids=[rule.id for rule in rules],
+    )
+
+
+def iter_python_files(
+    paths: Iterable["Path | str"],
+    *,
+    exclude_parts: tuple[str, ...] = ("__pycache__",),
+) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order.
+
+    ``exclude_parts`` skips any file with a matching path component —
+    the relaxed sweep uses it to keep deliberately-bad test fixtures
+    out of the repo-wide run.
+    """
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
             yield from sorted(
-                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+                p
+                for p in path.rglob("*.py")
+                if not any(part in p.parts for part in exclude_parts)
             )
         elif path.suffix == ".py":
-            yield path
+            if not any(part in path.parts for part in exclude_parts):
+                yield path
         else:
             raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+#: path components never linted by directory sweeps.
+RELAXED_EXCLUDE_PARTS: tuple[str, ...] = ("__pycache__", "fixtures")
+
+_INDEX_CACHE_VERSION = 1
+
+
+def load_index_cache(
+    cache_path: "Path | str", fingerprint: str
+) -> "ProjectIndex | None":
+    """Load a cached pass-1 index if it matches ``fingerprint``."""
+    path = Path(cache_path)
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if (
+        raw.get("version") != _INDEX_CACHE_VERSION
+        or raw.get("fingerprint") != fingerprint
+    ):
+        return None
+    try:
+        return ProjectIndex.from_payload(raw["index"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def save_index_cache(
+    cache_path: "Path | str", fingerprint: str, index: ProjectIndex
+) -> None:
+    """Persist the pass-1 index for the next run (best effort)."""
+    payload = {
+        "version": _INDEX_CACHE_VERSION,
+        "fingerprint": fingerprint,
+        "index": index.to_payload(),
+    }
+    path = Path(cache_path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    except OSError:
+        pass  # a cold cache next run is the only consequence
+
+
+@dataclasses.dataclass
+class _ParsedFile:
+    display: str
+    module: str
+    source: str
+    tree: ast.Module
+    relaxed: bool
 
 
 def lint_paths(
@@ -345,26 +493,98 @@ def lint_paths(
     rules: Sequence[Rule],
     *,
     relative_to: "Path | None" = None,
+    project: bool = True,
+    relaxed_paths: Iterable["Path | str"] = (),
+    relaxed_rules: "Sequence[Rule] | None" = None,
+    index_cache: "Path | str | None" = None,
 ) -> LintReport:
-    """Lint every python file under ``paths``.
+    """Lint every python file under ``paths`` (two-pass by default).
 
     Args:
-        paths: files and/or directories.
-        rules: the rule set to run.
+        paths: files and/or directories linted with the full ``rules``.
+        rules: the strict-profile rule set.
         relative_to: when given, report paths relative to this root so
             baselines stay machine-independent (defaults to the current
             working directory when files lie beneath it).
+        project: run pass 1 (symbol table + call graph) and hand the
+            index to every rule via ``begin_project``.  ``False`` is the
+            ``--no-project`` escape hatch: project-aware checks degrade
+            to their local approximations.
+        relaxed_paths: extra files/directories linted with
+            ``relaxed_rules`` instead of ``rules`` (the
+            scripts/benchmarks/tests profile).  Fixture directories are
+            excluded.  Files also matched by ``paths`` keep the strict
+            profile.
+        relaxed_rules: rule set for ``relaxed_paths``.
+        index_cache: optional path of a pass-1 index cache file, keyed
+            by a source fingerprint (the CI wall-clock budget lever).
     """
     root = Path(relative_to) if relative_to is not None else Path.cwd()
-    violations: list[Violation] = []
-    files = 0
-    for file_path in iter_python_files(paths):
-        files += 1
+    relaxed_rules = list(relaxed_rules or [])
+
+    def display_for(file_path: Path) -> str:
         try:
-            display = file_path.resolve().relative_to(root.resolve()).as_posix()
+            return file_path.resolve().relative_to(root.resolve()).as_posix()
         except ValueError:
-            display = file_path.as_posix()
-        source = file_path.read_text(encoding="utf-8")
-        violations.extend(lint_source(source, rules, path=display))
+            return file_path.as_posix()
+
+    parsed: list[_ParsedFile] = []
+    seen_displays: set[str] = set()
+    for relaxed, group, excludes in (
+        (False, paths, ("__pycache__",)),
+        (True, relaxed_paths, RELAXED_EXCLUDE_PARTS),
+    ):
+        for file_path in iter_python_files(group, exclude_parts=excludes):
+            display = display_for(file_path)
+            if display in seen_displays:
+                continue
+            seen_displays.add(display)
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=display)
+            parsed.append(
+                _ParsedFile(
+                    display=display,
+                    module=module_name_for(display),
+                    source=source,
+                    tree=tree,
+                    relaxed=relaxed,
+                )
+            )
+
+    index: "ProjectIndex | None" = None
+    if project:
+        if index_cache is not None:
+            fingerprint = source_fingerprint(
+                [(f.display, f.source) for f in parsed]
+            )
+            index = load_index_cache(index_cache, fingerprint)
+            if index is None:
+                index = build_project_index(
+                    (f.module, f.display, f.tree) for f in parsed
+                )
+                save_index_cache(index_cache, fingerprint, index)
+        else:
+            index = build_project_index(
+                (f.module, f.display, f.tree) for f in parsed
+            )
+        for rule in list(rules) + relaxed_rules:
+            rule.begin_project(index)
+
+    known_rule_ids = sorted(
+        {rule.id for rule in rules} | {rule.id for rule in relaxed_rules}
+    )
+    violations: list[Violation] = []
+    for file in parsed:
+        violations.extend(
+            _lint_module(
+                file.source,
+                file.tree,
+                relaxed_rules if file.relaxed else rules,
+                path=file.display,
+                module=file.module,
+                project=index,
+                known_rule_ids=known_rule_ids,
+            )
+        )
     violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
-    return LintReport(violations=violations, files_checked=files)
+    return LintReport(violations=violations, files_checked=len(parsed))

@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests; uploading the file from the CI ``lint-and-types``
+job turns every violation into an inline PR annotation.  Only the small
+subset of the format the upload endpoint requires is emitted: one run,
+one driver, the rule catalog as ``reportingDescriptor`` entries, and one
+``result`` per violation with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.lint.engine import LintReport
+
+__all__ = ["format_sarif"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def format_sarif(
+    report: LintReport, catalog: Iterable[tuple[str, str, str]]
+) -> str:
+    """Render ``report`` as a SARIF 2.1.0 document.
+
+    Args:
+        report: the lint outcome (already baseline-filtered when the
+            caller runs in baseline mode — SARIF should annotate what
+            fails the build, not what is tolerated).
+        catalog: ``(id, name, summary)`` triples, normally
+            :func:`repro.analysis.lint.rules.rule_catalog`.
+    """
+    rules = [
+        {
+            "id": rule_id,
+            "name": name,
+            "shortDescription": {"text": summary},
+            "helpUri": "docs/STATIC_ANALYSIS.md",
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, name, summary in catalog
+    ]
+    rule_order = {entry["id"]: index for index, entry in enumerate(rules)}
+    results = []
+    for violation in report.violations:
+        message = violation.message
+        if violation.chain:
+            message = f"{message} [via {violation.chain}]"
+        result: dict[str, object] = {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            "startColumn": violation.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.rule in rule_order:
+            result["ruleIndex"] = rule_order[violation.rule]
+        results.append(result)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

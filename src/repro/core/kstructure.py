@@ -262,7 +262,9 @@ def _grow_csr(
     while True:
         h += 1
         with span("subgraph_growth", h=h):
-            node_ids = np.sort(np.concatenate([node_ids, next_level]))
+            node_ids = np.sort(
+                np.concatenate([node_ids, next_level]), kind="stable"
+            )
         if obs_enabled():
             observe("subgraph.ball_size", len(node_ids))
             observe("subgraph.frontier_size", int(next_level.size))

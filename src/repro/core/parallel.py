@@ -97,14 +97,28 @@ _LOG = get_logger("core.parallel")
 MIN_PAIRS_FOR_POOL = 64
 
 # Per-worker state, installed by _initialize (once per worker).
-_worker_extractor: "SSFExtractor | None" = None
-_worker_modes: "tuple[str, ...] | None" = None
-_worker_init_seconds: float = 0.0
-# (failure point, message) when the initializer could not build the
-# extractor; surfaced lazily through _WorkerInitError so a failed init
-# never kills the worker process (a dying initializer would make the
-# pool respawn workers forever instead of reporting anything).
-_worker_init_error: "tuple[str, str] | None" = None
+class _WorkerState:
+    """Per-process worker slot, filled by the pool initializer.
+
+    A module-level container whose *attributes* are mutated — the worker
+    path never rebinds module globals, so parent and child state can't
+    be confused (lint R503).  ``init_error`` holds ``(failure point,
+    message)`` when the initializer could not build the extractor;
+    surfaced lazily through :class:`_WorkerInitError` so a failed init
+    never kills the worker process (a dying initializer would make the
+    pool respawn workers forever instead of reporting anything).
+    """
+
+    __slots__ = ("extractor", "modes", "init_seconds", "init_error")
+
+    def __init__(self) -> None:
+        self.extractor: "SSFExtractor | None" = None
+        self.modes: "tuple[str, ...] | None" = None
+        self.init_seconds: float = 0.0
+        self.init_error: "tuple[str, str] | None" = None
+
+
+_WORKER = _WorkerState()
 
 
 class _WorkerInitError(RuntimeError):
@@ -153,15 +167,14 @@ def _initialize(
     worker's instrumentation records (and ships) exactly when the
     parent's does.
 
-    Never raises: failures are recorded in ``_worker_init_error`` and
+    Never raises: failures are recorded in ``_WORKER.init_error`` and
     re-raised per chunk, so the parent sees one clean error instead of a
     pool stuck respawning crashed workers.
     """
-    global _worker_extractor, _worker_modes, _worker_init_seconds, _worker_init_error
     if obs_state is not None:
         apply_worker_obs_state(obs_state)
     started = time.perf_counter()
-    _worker_init_error = None
+    _WORKER.init_error = None
     with span("parallel.worker_init", kind=kind):
         try:
             if kind == "csr_shared":
@@ -178,20 +191,20 @@ def _initialize(
                 assert isinstance(payload, DynamicNetwork)
                 substrate = payload
                 backend = "dict"
-            _worker_extractor = SSFExtractor(
+            _WORKER.extractor = SSFExtractor(
                 substrate, config, present_time=present_time, backend=backend
             )
-            _worker_modes = modes
+            _WORKER.modes = modes
         except OSError as exc:
             # shared-memory attach failure (or an injected stand-in):
             # the parent degrades the payload and respawns the pool.
             point = "shm_attach" if kind == "csr_shared" else "error"
-            _worker_init_error = (point, f"{type(exc).__name__}: {exc}")
-            _worker_extractor = None
+            _WORKER.init_error = (point, f"{type(exc).__name__}: {exc}")
+            _WORKER.extractor = None
         except Exception as exc:  # pragma: no cover - defensive: unknown init failure
-            _worker_init_error = ("error", f"{type(exc).__name__}: {exc}")
-            _worker_extractor = None
-    _worker_init_seconds = time.perf_counter() - started
+            _WORKER.init_error = ("error", f"{type(exc).__name__}: {exc}")
+            _WORKER.extractor = None
+    _WORKER.init_seconds = time.perf_counter() - started
 
 
 def _extract_rows(
@@ -226,8 +239,8 @@ def _extract_chunk(
     :func:`repro.obs.aggregate.merge_worker_payload`.
     """
     index, offset, pairs = task
-    if _worker_init_error is not None:
-        raise _WorkerInitError(*_worker_init_error)
+    if _WORKER.init_error is not None:
+        raise _WorkerInitError(*_WORKER.init_error)
     faults.maybe_slow_chunk(index)
     rows: "list[np.ndarray | dict[str, np.ndarray]]" = []
     with span("parallel.worker_chunk", chunk=index, pairs=len(pairs)):
@@ -237,15 +250,15 @@ def _extract_chunk(
         # fault budgets while the chunk runs as ONE batched-driver call.
         for position in range(len(pairs)):
             faults.maybe_crash_worker(offset + position)
-        assert _worker_extractor is not None
-        rows = _extract_rows(_worker_extractor, pairs, _worker_modes)
+        assert _WORKER.extractor is not None
+        rows = _extract_rows(_WORKER.extractor, pairs, _WORKER.modes)
         incr("parallel.pairs_extracted", len(pairs))
     return index, rows, collect_worker_payload()
 
 
 def _init_probe(_index: int) -> tuple[int, float]:
     """Report ``(pid, init seconds)`` so the parent can observe start-up."""
-    return os.getpid(), _worker_init_seconds
+    return os.getpid(), _WORKER.init_seconds
 
 
 def parallel_extract_batch(

@@ -277,19 +277,29 @@ class CSRSnapshot:
         total = max(1, offset + len(label_blob))
 
         shm = shared_memory.SharedMemory(create=True, size=total)
-        for name, arr in arrays.items():
-            off, dtype, shape = specs[name]
-            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
-            view[...] = arr
-        shm.buf[label_offset : label_offset + len(label_blob)] = label_blob
-        _LOG.debug("exported snapshot to shared memory %s (%d bytes)", shm.name, total)
-        handle = SharedSnapshotHandle(
-            shm_name=shm.name,
-            specs=specs,
-            label_offset=label_offset,
-            label_size=len(label_blob),
-        )
-        handle._shm = shm  # keep the creating process's mapping alive
+        try:
+            for name, arr in arrays.items():
+                off, dtype, shape = specs[name]
+                view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+                view[...] = arr
+            shm.buf[label_offset : label_offset + len(label_blob)] = label_blob
+            _LOG.debug(
+                "exported snapshot to shared memory %s (%d bytes)", shm.name, total
+            )
+            handle = SharedSnapshotHandle(
+                shm_name=shm.name,
+                specs=specs,
+                label_offset=label_offset,
+                label_size=len(label_blob),
+            )
+            handle._shm = shm  # keep the creating process's mapping alive
+        except BaseException:
+            # The block exists kernel-side the moment create succeeds; a
+            # failure before ownership lands on the handle must not
+            # orphan it (it would outlive the process under /dev/shm).
+            shm.close()
+            shm.unlink()
+            raise
         return handle
 
     @classmethod
@@ -305,16 +315,25 @@ class CSRSnapshot:
 
         faults.maybe_raise("shm_attach")
         shm = shared_memory.SharedMemory(name=handle.shm_name)
-        arrays = {}
-        for name, (off, dtype, shape) in handle.specs.items():
-            arrays[name] = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
-        labels = pickle.loads(
-            bytes(
-                shm.buf[
-                    handle.label_offset : handle.label_offset + handle.label_size
-                ]
+        try:
+            arrays = {}
+            for name, (off, dtype, shape) in handle.specs.items():
+                arrays[name] = np.ndarray(
+                    shape, dtype=dtype, buffer=shm.buf, offset=off
+                )
+            labels = pickle.loads(
+                bytes(
+                    shm.buf[
+                        handle.label_offset : handle.label_offset + handle.label_size
+                    ]
+                )
             )
-        )
+        except BaseException:
+            # Attach succeeded but reconstruction failed: drop this
+            # process's mapping (never unlink — the exporter owns the
+            # block and other workers may still attach).
+            shm.close()
+            raise
         return cls(
             labels,
             arrays["indptr"],

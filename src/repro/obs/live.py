@@ -384,6 +384,23 @@ class Heartbeat:
 _HEARTBEAT: "Heartbeat | None" = None
 
 
+def _reset_after_fork() -> None:
+    """Forked children drop inherited live-telemetry state.
+
+    The phase lock could have been held by a parent thread at fork time
+    (fresh lock is safe: the child is single-threaded here), and the
+    inherited heartbeat must go — a child beating the parent's heartbeat
+    file would masquerade as the parent run being alive.
+    """
+    global _PHASE_LOCK, _HEARTBEAT
+    _PHASE_LOCK = threading.Lock()
+    _HEARTBEAT = None
+
+
+if hasattr(os, "register_at_fork"):  # absent on some platforms (Windows)
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
 def configure_heartbeat(
     path: "str | Path | None", *, min_interval: float = 0.2
 ) -> "Heartbeat | None":

@@ -37,6 +37,7 @@ boundaries (see :mod:`repro.obs.aggregate` and
 from __future__ import annotations
 
 import json
+import os
 import threading
 from typing import Any, Iterable, Mapping
 
@@ -408,3 +409,22 @@ _REGISTRY = MetricsRegistry()
 def get_registry() -> MetricsRegistry:
     """The process-local default registry."""
     return _REGISTRY
+
+
+def _reinit_locks_after_fork() -> None:
+    """Re-create every metric/registry lock in a forked child.
+
+    ``fork`` clones only the calling thread; a lock held by any *other*
+    parent thread at fork time stays locked forever in the child.  Fresh
+    locks are safe because the child is single-threaded at this point —
+    nothing can hold them yet.
+    """
+    registry = _REGISTRY
+    registry._lock = threading.RLock()
+    for table in (registry._counters, registry._gauges, registry._histograms):
+        for metric in table.values():
+            metric._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # absent on some platforms (Windows)
+    os.register_at_fork(after_in_child=_reinit_locks_after_fork)

@@ -72,6 +72,17 @@ _drop_warned = False
 _local = threading.local()
 
 
+def _reinit_lock_after_fork() -> None:
+    """Forked children get a fresh records lock (the parent's could have
+    been held by another thread at fork time and would never unlock)."""
+    global _records_lock
+    _records_lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # absent on some platforms (Windows)
+    os.register_at_fork(after_in_child=_reinit_lock_after_fork)
+
+
 def enabled() -> bool:
     """Whether span tracing / gated metrics are currently recording."""
     return _ENABLED

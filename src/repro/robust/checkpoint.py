@@ -85,8 +85,12 @@ def _decode_extras(payload: Mapping[str, Any]) -> dict[str, Any]:
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(data)
-    os.replace(tmp, path)
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 class RunCheckpoint:
@@ -209,8 +213,12 @@ class RunCheckpoint:
         path = self._features_path(dataset, kind)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp.npz")
-        np.savez(tmp, train=train, test=test)
-        os.replace(tmp, path)
+        try:
+            np.savez(tmp, train=train, test=test)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         _LOG.debug("checkpointed %s features for %s -> %s", kind, dataset, path)
 
     def load_features(

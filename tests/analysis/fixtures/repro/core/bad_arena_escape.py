@@ -1,0 +1,19 @@
+"""Deliberately bad: a preallocated arena buffer escapes (R504)."""
+
+import numpy as np
+
+
+class ScratchArena:
+    def __init__(self, capacity: int) -> None:
+        self.visited = np.zeros(capacity, dtype=np.int64)
+        self.scores = np.empty(capacity, dtype=np.float64)
+
+
+class Engine:
+    def __init__(self, capacity: int) -> None:
+        self._arena = ScratchArena(capacity)
+
+    def run(self, n: int) -> np.ndarray:
+        scores = self._arena.scores
+        scores[:n] = 0.0
+        return scores[:n]  # view of reused scratch: clobbered next pass

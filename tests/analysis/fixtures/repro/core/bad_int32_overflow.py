@@ -1,0 +1,13 @@
+"""Deliberately bad: int32 index arithmetic that overflows (R601)."""
+
+import numpy as np
+
+
+def pair_keys(owners: np.ndarray, neighbors: np.ndarray, n_nodes: int) -> np.ndarray:
+    owners32 = owners.astype(np.int32)
+    return owners32 * n_nodes + neighbors
+
+
+def degree_offsets(counts: np.ndarray) -> np.ndarray:
+    counts32 = counts.astype(np.int32)
+    return np.cumsum(counts32)

@@ -1,0 +1,14 @@
+"""Deliberately bad: unstable sort tie order and dtype-mixed sums (R602/R603)."""
+
+import numpy as np
+
+
+def rank_nodes(scores: np.ndarray) -> np.ndarray:
+    return np.argsort(scores)  # introsort tie order: not bit-stable
+
+
+def influence_sum(chunks: list) -> np.ndarray:
+    total = np.zeros(16, dtype=np.float32)
+    for chunk in chunks:
+        total += chunk  # float32 accumulator inside the loop
+    return total

@@ -1,0 +1,17 @@
+"""Deliberately bad: lock taken before a fork-method Pool spawn (R502)."""
+
+import threading
+from multiprocessing import Pool
+
+_STATE_LOCK = threading.Lock()
+
+
+def run(pairs: list) -> list:
+    with _STATE_LOCK:
+        staged = list(pairs)
+    with Pool(2) as pool:
+        return list(pool.imap(_work, staged))
+
+
+def _work(pair: tuple) -> tuple:
+    return pair

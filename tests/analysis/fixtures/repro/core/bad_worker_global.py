@@ -1,0 +1,19 @@
+"""Deliberately bad: pool initializer rebinds module globals (R503)."""
+
+from multiprocessing import Pool
+
+_EXTRACTOR = None
+
+
+def _bad_initialize(config: dict) -> None:
+    global _EXTRACTOR
+    _EXTRACTOR = object()
+
+
+def run(pairs: list) -> list:
+    with Pool(2, initializer=_bad_initialize, initargs=({},)) as pool:
+        return list(pool.imap(_work, pairs))
+
+
+def _work(pair: tuple) -> tuple:
+    return pair

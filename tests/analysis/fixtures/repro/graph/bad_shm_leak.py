@@ -1,0 +1,18 @@
+"""Deliberately bad: SharedMemory leaked on the exception path (R501)."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+
+def export_leaky(payload: np.ndarray) -> str:
+    shm = SharedMemory(create=True, size=payload.nbytes)
+    view = np.ndarray(payload.shape, dtype=payload.dtype, buffer=shm.buf)
+    view[...] = payload  # raises on shape mismatch -> block orphaned
+    return shm.name
+
+
+def attach_leaky(name: str) -> int:
+    shm = SharedMemory(name=name)
+    size = int(shm.size)  # mapping never closed: leaks on every path
+    return size

@@ -1,0 +1,173 @@
+"""CFG construction and the may-leak reachability query.
+
+The R5xx family stands on two primitives: :func:`build_cfg` (per-function
+control-flow graph with separate normal and exception edges) and
+:func:`leaks_past` (can execution reach an exit from ``start`` without
+passing a blocker node?).  These tests pin the path semantics the rules
+rely on: exception edges into handlers, finally routing, and the
+guard-``if`` release idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.cfg import CFG, EXIT, RAISE, build_cfg
+from repro.analysis.lint.dataflow import (
+    bare_name_args,
+    leaks_past,
+    method_calls_on,
+    returns_name,
+    stores_into_attribute,
+    uses_name,
+)
+
+
+def cfg_for(source: str) -> CFG:
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(fn)
+
+
+def node_at(cfg: CFG, line: int) -> int:
+    for node_id, stmt in cfg.statement_nodes():
+        if getattr(stmt, "lineno", None) == line:
+            return node_id
+    raise AssertionError(f"no CFG node at line {line}")
+
+
+# ----------------------------------------------------------------------
+# leak queries
+# ----------------------------------------------------------------------
+def test_straight_line_without_release_leaks() -> None:
+    cfg = cfg_for("def f():\n    r = acquire()\n    use(r)\n")
+    assert leaks_past(cfg, node_at(cfg, 2), set())
+
+
+def test_release_on_every_path_does_not_leak_normally() -> None:
+    source = (
+        "def f():\n"
+        "    r = acquire()\n"
+        "    use(r)\n"
+        "    r.close()\n"
+    )
+    cfg = cfg_for(source)
+    blockers = {node_at(cfg, 4)}
+    # use(r) can raise past the close -> still leaks via the RAISE exit
+    assert leaks_past(cfg, node_at(cfg, 2), blockers)
+
+
+def test_try_finally_release_covers_exception_paths() -> None:
+    source = (
+        "def f():\n"
+        "    r = acquire()\n"
+        "    try:\n"
+        "        use(r)\n"
+        "    finally:\n"
+        "        r.close()\n"
+    )
+    cfg = cfg_for(source)
+    blockers = {node_at(cfg, 6)}
+    assert not leaks_past(cfg, node_at(cfg, 2), blockers)
+
+
+def test_except_handler_release_with_reraise_covers_both_paths() -> None:
+    source = (
+        "def f():\n"
+        "    r = acquire()\n"
+        "    try:\n"
+        "        use(r)\n"
+        "        transfer(r)\n"
+        "    except BaseException:\n"
+        "        r.close()\n"
+        "        raise\n"
+    )
+    cfg = cfg_for(source)
+    # The ExceptHandler node is one CFG statement whose subtree contains
+    # the release — exactly how R501 promotes handlers to blockers; the
+    # bare-arg transfer blocks the normal path.
+    handler = next(
+        node_id
+        for node_id, stmt in cfg.statement_nodes()
+        if isinstance(stmt, ast.ExceptHandler)
+    )
+    blockers = {node_at(cfg, 5), handler}
+    assert not leaks_past(cfg, node_at(cfg, 2), blockers)
+
+
+def test_return_before_release_leaks() -> None:
+    source = (
+        "def f(flag):\n"
+        "    r = acquire()\n"
+        "    if flag:\n"
+        "        return None\n"
+        "    r.close()\n"
+    )
+    cfg = cfg_for(source)
+    assert leaks_past(cfg, node_at(cfg, 2), {node_at(cfg, 5)})
+
+
+def test_include_start_exceptions_flag() -> None:
+    source = (
+        "def f():\n"
+        "    r = acquire()\n"
+        "    r.close()\n"
+    )
+    cfg = cfg_for(source)
+    blockers = {node_at(cfg, 3)}
+    # shm semantics: the creating call failing creates nothing
+    assert not leaks_past(cfg, node_at(cfg, 2), blockers)
+    # staging-file semantics: a partial write still leaves the file
+    assert leaks_past(
+        cfg, node_at(cfg, 2), blockers, include_start_exceptions=True
+    )
+
+
+def test_raise_exit_is_reachable_from_uncaught_exception() -> None:
+    cfg = cfg_for("def f():\n    risky()\n")
+    node = node_at(cfg, 2)
+    assert RAISE in cfg.exc[node] or leaks_past(cfg, node, set())
+    assert EXIT in cfg.succ[node] or leaks_past(cfg, node, set())
+
+
+def test_while_loop_back_edge_terminates() -> None:
+    source = (
+        "def f():\n"
+        "    r = acquire()\n"
+        "    while cond():\n"
+        "        use(r)\n"
+        "    r.close()\n"
+    )
+    cfg = cfg_for(source)
+    # must terminate (visited-set) and still see the leak via use(r) raising
+    assert leaks_past(cfg, node_at(cfg, 2), {node_at(cfg, 5)})
+
+
+# ----------------------------------------------------------------------
+# dataflow helpers
+# ----------------------------------------------------------------------
+def stmt_of(source: str) -> ast.stmt:
+    return ast.parse(source).body[0]
+
+
+def test_method_calls_on_collects_method_names() -> None:
+    assert method_calls_on(stmt_of("r.close()"), "r") == {"close"}
+    assert method_calls_on(stmt_of("x = r.unlink()"), "r") == {"unlink"}
+    assert method_calls_on(stmt_of("other.close()"), "r") == set()
+
+
+def test_bare_name_args_sees_containers_but_not_attributes() -> None:
+    assert bare_name_args(stmt_of("f(r)"), "r")
+    assert bare_name_args(stmt_of("f(items=[r])"), "r")
+    assert not bare_name_args(stmt_of("f(r.buf)"), "r")
+    # a nested call receiving the bare name still transfers it
+    assert bare_name_args(stmt_of("f(g(r))"), "r")
+
+
+def test_stores_into_attribute_and_returns_name() -> None:
+    assert stores_into_attribute(stmt_of("obj.slot = r"), "r")
+    assert stores_into_attribute(stmt_of("table[0] = r"), "r")
+    assert not stores_into_attribute(stmt_of("local = r"), "r")
+    assert returns_name(stmt_of("def f():\n    return r\n").body[0], "r")  # type: ignore[attr-defined]
+    assert uses_name(stmt_of("if r is not None:\n    pass\n"), "r")

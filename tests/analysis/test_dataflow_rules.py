@@ -1,0 +1,593 @@
+"""R5xx/R6xx coverage: known-bad and known-good snippets per rule,
+plus the deliberately-buggy fixture files linted end to end.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import (
+    Violation,
+    default_rules,
+    lint_paths,
+    lint_source,
+    relaxed_rules,
+)
+from repro.analysis.lint.rules import RELAXED_RULE_IDS
+
+CORE = "src/repro/core/sample.py"
+GRAPH = "src/repro/graph/sample.py"
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run(source: str, rule_id: str, path: str = CORE) -> list[Violation]:
+    violations = lint_source(
+        textwrap.dedent(source), default_rules([rule_id]), path=path
+    )
+    return [v for v in violations if v.rule == rule_id]
+
+
+# ----------------------------------------------------------------------
+# R501 resource-lifecycle
+# ----------------------------------------------------------------------
+def test_r501_flags_shm_leak_on_exception_path() -> None:
+    bad = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def export(nbytes: int) -> str:
+        shm = SharedMemory(create=True, size=nbytes)
+        populate(shm.buf)
+        name = shm.name
+        shm.close()
+        return name
+    """
+    (violation,) = run(bad, "R501", path=GRAPH)
+    assert "SharedMemory" in violation.message
+    assert "exception" in violation.message
+
+
+def test_r501_accepts_handler_cleanup_with_reraise() -> None:
+    good = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def export(nbytes: int) -> str:
+        shm = SharedMemory(create=True, size=nbytes)
+        try:
+            populate(shm.buf)
+            name = shm.name
+            shm.close()
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return name
+    """
+    assert run(good, "R501", path=GRAPH) == []
+
+
+def test_r501_accepts_try_finally_release() -> None:
+    good = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def peek(name: str) -> int:
+        shm = SharedMemory(name=name)
+        try:
+            return int(shm.size)
+        finally:
+            shm.close()
+    """
+    assert run(good, "R501", path=GRAPH) == []
+
+
+def test_r501_ownership_transfer_is_a_release() -> None:
+    good = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def export(self, nbytes: int) -> None:
+        shm = SharedMemory(create=True, size=nbytes)
+        self._shm = shm
+    """
+    assert run(good, "R501", path=GRAPH) == []
+
+
+def test_r501_guarded_finally_release_idiom() -> None:
+    good = """
+    def round_trip(snapshot) -> list:
+        handle = None
+        try:
+            handle = snapshot.to_shared()
+            return dispatch(handle)
+        finally:
+            if handle is not None:
+                handle.unlink()
+    """
+    assert run(good, "R501", path=CORE) == []
+
+
+def test_r501_handle_leak_without_cleanup() -> None:
+    bad = """
+    def round_trip(snapshot) -> list:
+        handle = snapshot.to_shared()
+        out = dispatch_by_name(handle.shm_name)
+        return out
+    """
+    (violation,) = run(bad, "R501", path=CORE)
+    assert "handle" in violation.message
+
+
+def test_r501_staging_file_leak_and_fix() -> None:
+    bad = """
+    import os
+
+    def write(path, data) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    """
+    (violation,) = run(bad, "R501", path=CORE)
+    assert "staging" in violation.message
+    good = """
+    import os
+
+    def write(path, data) -> None:
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+    """
+    assert run(good, "R501", path=CORE) == []
+
+
+def test_r501_fd_requires_os_close() -> None:
+    bad = """
+    import os
+
+    def read_header(path: str) -> bytes:
+        fd = os.open(path, os.O_RDONLY)
+        header = os.read(fd, 16)
+        return header
+    """
+    (violation,) = run(bad, "R501", path=CORE)
+    assert "descriptor" in violation.message
+    good = """
+    import os
+
+    def read_header(path: str) -> bytes:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            return os.read(fd, 16)
+        finally:
+            os.close(fd)
+    """
+    assert run(good, "R501", path=CORE) == []
+
+
+# ----------------------------------------------------------------------
+# R502 pre-fork-concurrency
+# ----------------------------------------------------------------------
+def test_r502_flags_lock_before_pool_spawn() -> None:
+    bad = """
+    import threading
+    from multiprocessing import Pool
+
+    _LOCK = threading.Lock()
+
+    def run(pairs):
+        with _LOCK:
+            staged = list(pairs)
+        with Pool(2) as pool:
+            return list(pool.imap(str, staged))
+    """
+    (violation,) = run(bad, "R502")
+    assert "before spawning" in violation.message
+
+
+def test_r502_flags_thread_start_before_pool() -> None:
+    bad = """
+    import threading
+    from multiprocessing import Pool
+
+    def run(pairs):
+        worker = threading.Thread(target=print)
+        worker.start()
+        with Pool(2) as pool:
+            return list(pool.imap(str, pairs))
+    """
+    assert len(run(bad, "R502")) >= 1
+
+
+def test_r502_register_at_fork_exempts_module() -> None:
+    good = """
+    import os
+    import threading
+    from multiprocessing import Pool
+
+    _LOCK = threading.Lock()
+    os.register_at_fork(after_in_child=lambda: None)
+
+    def run(pairs):
+        with _LOCK:
+            staged = list(pairs)
+        with Pool(2) as pool:
+            return list(pool.imap(str, staged))
+    """
+    assert run(good, "R502") == []
+
+
+def test_r502_lock_after_spawn_is_fine() -> None:
+    good = """
+    import threading
+    from multiprocessing import Pool
+
+    _LOCK = threading.Lock()
+
+    def run(pairs):
+        with Pool(2) as pool:
+            out = list(pool.imap(str, pairs))
+        with _LOCK:
+            return out
+    """
+    assert run(good, "R502") == []
+
+
+def test_r502_callee_lock_before_spawn_reports_chain() -> None:
+    bad = """
+    import threading
+    from multiprocessing import Pool
+
+    _LOCK = threading.Lock()
+
+    def warm_up():
+        with _LOCK:
+            return 1
+
+    def run(pairs):
+        warm_up()
+        with Pool(2) as pool:
+            return list(pool.imap(str, pairs))
+    """
+    (violation,) = run(bad, "R502")
+    assert violation.chain  # resolved call chain surfaces in the report
+    assert "warm_up" in violation.chain
+
+
+# ----------------------------------------------------------------------
+# R503 worker-global-write
+# ----------------------------------------------------------------------
+def test_r503_flags_initializer_global_write() -> None:
+    bad = """
+    from multiprocessing import Pool
+
+    _STATE = None
+
+    def init(config):
+        global _STATE
+        _STATE = object()
+
+    def run(pairs):
+        with Pool(2, initializer=init) as pool:
+            return list(pool.imap(str, pairs))
+    """
+    (violation,) = run(bad, "R503")
+    assert "_STATE" in violation.message
+
+
+def test_r503_flags_worker_entry_callee_write() -> None:
+    bad = """
+    from multiprocessing import Pool
+
+    _COUNT = 0
+
+    def bump():
+        global _COUNT
+        _COUNT = _COUNT + 1
+
+    def work(pair):
+        bump()
+        return pair
+
+    def run(pairs):
+        with Pool(2) as pool:
+            return list(pool.imap(work, pairs))
+    """
+    (violation,) = run(bad, "R503")
+    assert "work" in violation.chain and "bump" in violation.chain
+
+
+def test_r503_sanctioned_obs_reset_closure_is_exempt() -> None:
+    good = """
+    from multiprocessing import Pool
+
+    _OBS = None
+
+    def apply_worker_obs_state(state):
+        reset(state)
+
+    def reset(state):
+        global _OBS
+        _OBS = state
+
+    def run(pairs, state):
+        with Pool(2, initializer=apply_worker_obs_state, initargs=(state,)) as pool:
+            return list(pool.imap(str, pairs))
+    """
+    assert run(good, "R503") == []
+
+
+def test_r503_container_mutation_is_fine() -> None:
+    good = """
+    from multiprocessing import Pool
+
+    class _State:
+        extractor = None
+
+    _WORKER = _State()
+
+    def init(config):
+        _WORKER.extractor = object()
+
+    def run(pairs):
+        with Pool(2, initializer=init) as pool:
+            return list(pool.imap(str, pairs))
+    """
+    assert run(good, "R503") == []
+
+
+# ----------------------------------------------------------------------
+# R504 arena-escape
+# ----------------------------------------------------------------------
+ARENA_PREFIX = """
+import numpy as np
+
+class BatchArena:
+    def __init__(self, cap: int) -> None:
+        self.visited = np.zeros(cap, dtype=np.int64)
+        self.scores = np.empty(cap, dtype=np.float64)
+
+class Engine:
+    def __init__(self, cap: int) -> None:
+        self._arena = BatchArena(cap)
+"""
+
+
+def test_r504_flags_returned_buffer_view() -> None:
+    bad = ARENA_PREFIX + (
+        "    def run(self, n: int):\n"
+        "        scores = self._arena.scores\n"
+        "        return scores[:n]\n"
+    )
+    (violation,) = run(bad, "R504")
+    assert "arena" in violation.message
+
+
+def test_r504_copy_sanitizes() -> None:
+    good = ARENA_PREFIX + (
+        "    def run(self, n: int):\n"
+        "        scores = self._arena.scores\n"
+        "        return scores[:n].copy()\n"
+    )
+    assert run(good, "R504") == []
+
+
+def test_r504_arena_methods_are_exempt() -> None:
+    source = ARENA_PREFIX.replace(
+        "class Engine:",
+        "class ArenaView:",
+    )
+    good = source + (
+        "    def own_buffer(self):\n"
+        "        return self._arena\n"
+    )
+    # methods *of* arena classes may hand out their buffers
+    arena_method = """
+    import numpy as np
+
+    class BatchArena:
+        def __init__(self, cap: int) -> None:
+            self.scores = np.empty(cap, dtype=np.float64)
+
+        def view(self, n: int):
+            return self.scores[:n]
+    """
+    assert run(arena_method, "R504") == []
+
+
+# ----------------------------------------------------------------------
+# R601 int32-widening
+# ----------------------------------------------------------------------
+def test_r601_flags_int32_multiply_and_cumsum() -> None:
+    bad = """
+    import numpy as np
+
+    def keys(owners, n_nodes):
+        owners32 = owners.astype(np.int32)
+        return owners32 * n_nodes
+    """
+    (violation,) = run(bad, "R601")
+    assert "int32" in violation.message
+    bad_cumsum = """
+    import numpy as np
+
+    def offsets(counts):
+        counts32 = counts.astype("int32")
+        return np.cumsum(counts32)
+    """
+    assert len(run(bad_cumsum, "R601")) == 1
+
+
+def test_r601_flags_csr_indices_attribute() -> None:
+    bad = """
+    def keys(snapshot, n_nodes):
+        return snapshot.indices * n_nodes
+    """
+    assert len(run(bad, "R601", path=GRAPH)) == 1
+
+
+def test_r601_widened_arithmetic_is_fine() -> None:
+    good = """
+    import numpy as np
+
+    def keys(owners, n_nodes):
+        owners64 = owners.astype(np.int64)
+        return owners64 * n_nodes
+
+    def offsets(counts):
+        counts32 = counts.astype(np.int32)
+        return np.cumsum(counts32, dtype=np.int64)
+    """
+    assert run(good, "R601") == []
+
+
+def test_r601_addition_does_not_flag() -> None:
+    good = """
+    import numpy as np
+
+    def shift(owners):
+        owners32 = owners.astype(np.int32)
+        return owners32 + 1
+    """
+    assert run(good, "R601") == []
+
+
+# ----------------------------------------------------------------------
+# R602 stable-sort
+# ----------------------------------------------------------------------
+def test_r602_flags_default_kind_sorts() -> None:
+    bad = "import numpy as np\n\ndef rank(x):\n    return np.argsort(x)\n"
+    (violation,) = run(bad, "R602")
+    assert "stable" in violation.message
+    assert len(run("def rank(x):\n    return x.argsort()\n", "R602")) == 1
+
+
+def test_r602_flags_unique_return_index() -> None:
+    bad = (
+        "import numpy as np\n\n"
+        "def first(x):\n"
+        "    return np.unique(x, return_index=True)\n"
+    )
+    (violation,) = run(bad, "R602")
+    assert "unique" in violation.message
+
+
+def test_r602_stable_kind_and_plain_unique_are_fine() -> None:
+    good = (
+        "import numpy as np\n\n"
+        "def rank(x):\n"
+        "    order = np.argsort(x, kind=\"stable\")\n"
+        "    merged = np.sort(x, kind=\"mergesort\")\n"
+        "    values = np.unique(x)\n"
+        "    return order, merged, values\n"
+    )
+    assert run(good, "R602") == []
+
+
+def test_r602_lexsort_is_exempt() -> None:
+    good = "import numpy as np\n\ndef rank(a, b):\n    return np.lexsort((a, b))\n"
+    assert run(good, "R602") == []
+
+
+# ----------------------------------------------------------------------
+# R603 accumulation-dtype-mix
+# ----------------------------------------------------------------------
+def test_r603_flags_float32_accumulator_in_loop() -> None:
+    bad = """
+    import numpy as np
+
+    def influence_sum(chunks):
+        total = np.zeros(16, dtype=np.float32)
+        for chunk in chunks:
+            total += chunk
+        return total
+    """
+    (violation,) = run(bad, "R603")
+    assert "float32" in violation.message
+
+
+def test_r603_flags_narrow_terms_into_wide_accumulator() -> None:
+    bad = """
+    import numpy as np
+
+    def influence_sum(chunks):
+        total = np.zeros(16, dtype=np.float64)
+        for chunk in chunks:
+            narrow = chunk.astype(np.float32)
+            total += narrow
+        return total
+    """
+    (violation,) = run(bad, "R603")
+    assert "mixes rounding" in violation.message
+
+
+def test_r603_float64_throughout_is_fine() -> None:
+    good = """
+    import numpy as np
+
+    def influence_sum(chunks):
+        total = np.zeros(16, dtype=np.float64)
+        for chunk in chunks:
+            total += chunk
+        return total
+    """
+    assert run(good, "R603") == []
+
+
+def test_r603_outside_loop_is_fine() -> None:
+    good = """
+    import numpy as np
+
+    def bump(x):
+        small = np.zeros(4, dtype=np.float32)
+        small += x
+        return small
+    """
+    assert run(good, "R603") == []
+
+
+# ----------------------------------------------------------------------
+# fixture files, end to end
+# ----------------------------------------------------------------------
+def test_fixture_files_each_caught() -> None:
+    report = lint_paths([FIXTURES], default_rules(), relative_to=FIXTURES)
+    by_file: dict[str, set[str]] = {}
+    for violation in report.violations:
+        by_file.setdefault(Path(violation.path).name, set()).add(violation.rule)
+    assert "R501" in by_file["bad_shm_leak.py"]
+    assert "R502" in by_file["bad_prefork_lock.py"]
+    assert "R503" in by_file["bad_worker_global.py"]
+    assert "R504" in by_file["bad_arena_escape.py"]
+    assert "R601" in by_file["bad_int32_overflow.py"]
+    assert {"R602", "R603"} <= by_file["bad_numeric_hygiene.py"]
+
+
+# ----------------------------------------------------------------------
+# relaxed profile
+# ----------------------------------------------------------------------
+def test_relaxed_rules_match_any_module_and_skip_style() -> None:
+    assert "R501" in RELAXED_RULE_IDS
+    assert "R305" not in RELAXED_RULE_IDS
+    bad = "for x in {1, 2, 3}:\n    print(x)\n"
+    violations = lint_source(bad, relaxed_rules(), path="scripts/tool.py")
+    assert [v.rule for v in violations] == ["R101"]
+
+
+def test_relaxed_r103_allows_seeded_generators() -> None:
+    good = (
+        "import random\n"
+        "import numpy as np\n"
+        "rng = np.random.default_rng(7)\n"
+        "local = random.Random(7)\n"
+    )
+    assert lint_source(good, relaxed_rules(), path="tests/x.py") == []
+
+
+def test_relaxed_r103_still_flags_module_state() -> None:
+    bad = "import random\nvalue = random.random()\n"
+    violations = lint_source(bad, relaxed_rules(), path="tests/x.py")
+    assert [v.rule for v in violations] == ["R103"]
+    bad_np = "import numpy as np\nvalue = np.random.rand(3)\n"
+    violations = lint_source(bad_np, relaxed_rules(), path="benchmarks/x.py")
+    assert [v.rule for v in violations] == ["R103"]

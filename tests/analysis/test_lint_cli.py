@@ -90,8 +90,8 @@ def test_baseline_workflow(bad_tree: Path) -> None:
     # 4. fixing baselined code leaves stale entries: lenient passes,
     #    strict (CI) demands the baseline be regenerated smaller
     bad.unlink()
-    fixed = bad_tree / "repro" / "core" / "bad_determinism.py"
-    fixed.write_text('"""Fixed."""\n\nVALUE: int = 1\n', encoding="utf-8")
+    for fixed in sorted(bad_tree.rglob("bad_*.py")):
+        fixed.write_text('"""Fixed."""\n\nVALUE: int = 1\n', encoding="utf-8")
     text, code = run_lint(["repro"])
     assert code == 0
     text, code = run_lint(["repro", "--check-baseline"])

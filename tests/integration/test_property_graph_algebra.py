@@ -67,7 +67,7 @@ def test_static_projection_commutes_with_subgraph(network):
     nodes = set(network.nodes[: max(1, len(network.nodes) // 2)])
     via_dynamic = network.subgraph(nodes).static_projection()
     full_static = network.static_projection()
-    for u in nodes:
+    for u in sorted(nodes):
         expected = {v for v in full_static.neighbor_view(u) if v in nodes}
         assert via_dynamic.neighbor_view(u) == expected
 
