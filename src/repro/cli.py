@@ -345,6 +345,79 @@ def build_parser() -> argparse.ArgumentParser:
     add_metrics_out(sub)
 
     sub = commands.add_parser(
+        "serve",
+        help="online serving layer: replay a stream through the async "
+        "recommender front-end (see docs/SERVING.md)",
+    )
+    add_dataset_args(sub)
+    sub.add_argument(
+        "--replay",
+        action="store_true",
+        help="hold out the network's tail as live edge events and replay "
+        "them while serving recommendation requests",
+    )
+    sub.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve over a synthetic N-node network instead of "
+        "--dataset/--file",
+    )
+    sub.add_argument("--queries", type=int, default=2000)
+    sub.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        help="in-flight request window during the replay",
+    )
+    sub.add_argument("--top", type=int, default=5, help="suggestions per request")
+    sub.add_argument("--k", type=int, default=10)
+    sub.add_argument("--model", choices=("linear", "neural"), default="linear")
+    sub.add_argument(
+        "--hot-users",
+        type=int,
+        default=32,
+        help="size of the head-heavy query pool",
+    )
+    sub.add_argument(
+        "--event-fraction",
+        type=float,
+        default=0.2,
+        help="fraction of distinct timestamps held out as the live stream",
+    )
+    sub.add_argument(
+        "--max-events",
+        type=int,
+        default=200,
+        help="cap on replayed tail events",
+    )
+    sub.add_argument(
+        "--events-per-batch",
+        type=int,
+        default=8,
+        help="edge events per ingest batch",
+    )
+    sub.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt request deadline (default: the robustness "
+        "layer's RetryPolicy, REPRO_CHUNK_TIMEOUT et al.)",
+    )
+    sub.add_argument(
+        "--out", metavar="PATH", help="write the replay result JSON there"
+    )
+    sub.add_argument(
+        "--history",
+        metavar="PATH",
+        help="append a stamped 'serving'-tagged record to this JSONL "
+        "trajectory (same schema as `repro bench --history`)",
+    )
+    add_metrics_out(sub)
+
+    sub = commands.add_parser(
         "lint", help="determinism/contract static analysis (see docs/STATIC_ANALYSIS.md)"
     )
     add_lint_arguments(sub)
@@ -644,9 +717,67 @@ def _cmd_bench(args: argparse.Namespace) -> "str | tuple[str, int]":
     return "\n\n".join(parts)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.core.feature import SSFConfig
+    from repro.obs.bench import append_history
+    from repro.robust.policy import RetryPolicy
+    from repro.serve import run_replay
+
+    if not args.replay:
+        raise SystemExit(
+            "error: `repro serve` currently requires --replay (the live "
+            "socket front-end is the replay harness's production twin)"
+        )
+    if args.nodes:
+        from repro.obs.bench import synthetic_network
+
+        network = synthetic_network(args.nodes, seed=args.seed)
+        name = f"synthetic-{args.nodes}"
+    else:
+        name, network = _load_network(args)
+    retry = (
+        RetryPolicy(chunk_timeout=args.timeout)
+        if args.timeout is not None
+        else None
+    )
+    result = run_replay(
+        network,
+        queries=args.queries,
+        concurrency=args.concurrency,
+        top_n=args.top,
+        model=args.model,
+        config=SSFConfig(k=args.k),
+        hot_users=args.hot_users,
+        event_fraction=args.event_fraction,
+        max_events=args.max_events,
+        events_per_batch=args.events_per_batch,
+        retry=retry,
+        seed=args.seed,
+    )
+    bench = result.to_bench_result()
+    if args.out:
+        obs.atomic_write_text(
+            args.out, json.dumps(bench, indent=1, sort_keys=True) + "\n"
+        )
+        _LOG.info("replay result written to %s", args.out)
+    if args.history:
+        append_history(args.history, bench)
+        _LOG.info("history record appended to %s", args.history)
+    return "\n\n".join(
+        [
+            f"serving replay over {name}",
+            result.summary(),
+            json.dumps(bench, indent=1, sort_keys=True),
+        ]
+    )
+
+
 _HANDLERS = {
     "lint": execute_lint,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
     "table1": _cmd_table1,
     "table2": _cmd_table2,

@@ -1253,6 +1253,7 @@ def batch_extract(
     present_time: "float | None" = None,
     modes: "tuple[str, ...] | None" = None,
     backend: str = "auto",
+    extractor: "object | None" = None,
 ) -> "np.ndarray | dict[str, np.ndarray]":
     """Extract SSF vectors for many pairs through the batched driver.
 
@@ -1263,8 +1264,37 @@ def batch_extract(
     batched engine, ``"dict"`` the untouched reference loop, ``"auto"``
     resolves by network size (see
     :func:`~repro.core.feature.resolve_backend`).
+
+    ``extractor`` is the serving fast path: pass a prebuilt
+    :class:`~repro.core.feature.SSFExtractor` to reuse its batched
+    engine (arena buffers, palette memos, slot-sum caches) across calls
+    instead of paying engine construction per batch.  The extractor's
+    own network/config/present_time govern the extraction; they must
+    agree with any also-given ``network``/``config``/``present_time``
+    (mismatches raise rather than silently extracting against the wrong
+    substrate).
     """
     from repro.core.feature import SSFConfig, SSFExtractor, resolve_backend
+
+    if extractor is not None:
+        assert isinstance(extractor, SSFExtractor)
+        if config is not None and extractor.config != config:
+            raise ValueError(
+                "extractor reuse: extractor config does not match the "
+                "config argument"
+            )
+        if (
+            present_time is not None
+            and float(present_time) != extractor.present_time
+        ):
+            raise ValueError(
+                f"extractor reuse: extractor present_time "
+                f"{extractor.present_time} != requested {present_time}"
+            )
+        pair_list = list(pairs) if pairs is not None else []
+        if modes is None:
+            return extractor.extract_batch(pair_list)
+        return extractor.extract_multi_batch(pair_list, modes)
 
     ssf_config = config if config is not None else SSFConfig()
     assert isinstance(ssf_config, SSFConfig)

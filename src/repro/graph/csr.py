@@ -33,13 +33,15 @@ refcount-touched), and under ``spawn`` the :meth:`CSRSnapshot.to_shared`
 
 from __future__ import annotations
 
+import os
 import pickle
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable
 
 import numpy as np
 
-from repro.obs import get_logger, observe, span
+from repro.obs import get_logger, incr, observe, span
 from repro.robust import faults
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -50,6 +52,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 Node = Hashable
 
 _LOG = get_logger("graph.csr")
+
+#: bound on cached ``(present_time, θ)`` influence tables per snapshot.
+#: Each distinct key pins a full ``|ts|``-sized float64 array, and a
+#: serving loop advances ``present_time`` with the stream — unbounded,
+#: the cache leaks one table per request batch.  Override with the
+#: ``REPRO_CSR_INFLUENCE_CACHE`` environment variable.
+INFLUENCE_TABLE_CACHE_SIZE = 8
+
+
+def _influence_cache_capacity() -> int:
+    raw = os.environ.get("REPRO_CSR_INFLUENCE_CACHE", "")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            _LOG.warning("ignoring non-integer REPRO_CSR_INFLUENCE_CACHE=%r", raw)
+    return INFLUENCE_TABLE_CACHE_SIZE
 
 
 class CSRSnapshot:
@@ -95,7 +114,9 @@ class CSRSnapshot:
         self.indices = indices
         self.ts_indptr = ts_indptr
         self.ts = ts
-        self._influence_tables: dict[tuple[float, float], np.ndarray] = {}
+        self._influence_tables: OrderedDict[tuple[float, float], np.ndarray] = (
+            OrderedDict()
+        )
         # keep the shared-memory block alive for as long as arrays view it
         self._shm = _shm
 
@@ -231,6 +252,11 @@ class CSRSnapshot:
         Built once per ``(present_time, theta)`` and cached; raises when
         any stored timestamp lies after ``present_time`` (the dict path's
         :func:`~repro.core.influence.normalized_influence` contract).
+        The cache is a small LRU bounded at
+        :data:`INFLUENCE_TABLE_CACHE_SIZE` keys (evictions counted by
+        ``csr.influence_cache_evictions``) so a serving loop that
+        advances ``present_time`` per request cannot leak one full
+        table per distinct key.
         """
         from repro.core.influence import influence_array
 
@@ -239,8 +265,24 @@ class CSRSnapshot:
         if table is None:
             with span("csr.influence_table"):
                 table = influence_array(self.ts, key[0], key[1])
-            self._influence_tables[key] = table
+            self._cache_influence_table(key, table)
+        else:
+            self._influence_tables.move_to_end(key)
         return table
+
+    def _cache_influence_table(
+        self, key: tuple[float, float], table: np.ndarray
+    ) -> None:
+        """Insert one influence table, evicting least-recently-used keys
+        past the cache bound.  Also the seeding hook the delta-ingestion
+        layer uses to carry patched tables across materialisations."""
+        tables = self._influence_tables
+        tables[key] = table
+        tables.move_to_end(key)
+        capacity = _influence_cache_capacity()
+        while len(tables) > capacity:
+            tables.popitem(last=False)
+            incr("csr.influence_cache_evictions")
 
     # ------------------------------------------------------------------
     # shared-memory transport (spawn-safe zero-copy worker hand-off)

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 import hashlib
 import time
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 from repro.graph.temporal import DynamicNetwork
 from repro.obs import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import CSRSnapshot
 
 _LOG = get_logger("graph.hashing")
 
@@ -48,3 +52,44 @@ def network_fingerprint(network: DynamicNetwork) -> str:
         fingerprint[:12],
     )
     return fingerprint
+
+
+def subgraph_fingerprint(
+    snapshot: "CSRSnapshot", node_ids: "Iterable[int]"
+) -> str:
+    """Fingerprint of the sub-multigraph a snapshot induces on ``node_ids``.
+
+    Same canonical form as :func:`network_fingerprint` — every kept link
+    as ``repr(u)|repr(v)|ts`` (endpoint reprs sorted within the link),
+    an ``isolated|repr(node)`` line per kept node with no kept neighbour,
+    all lines sorted — so it equals ``network_fingerprint`` of the
+    thawed induced subgraph.  The serving feature cache uses it as a
+    verification key: a cached entry is provably fresh iff the current
+    snapshot induces the same fingerprint on the entry's ball.
+    """
+    keep = sorted({int(n) for n in node_ids})
+    keep_set = set(keep)
+    lines: "list[str]" = []
+    for u_id in keep:
+        connected = False
+        row_lo, row_hi = int(snapshot.indptr[u_id]), int(snapshot.indptr[u_id + 1])
+        for slot in range(row_lo, row_hi):
+            v_id = int(snapshot.indices[slot])
+            if v_id not in keep_set:
+                continue
+            connected = True
+            if v_id < u_id:
+                continue  # each undirected pair has a slot per direction
+            a, b = sorted(
+                (repr(snapshot.labels[u_id]), repr(snapshot.labels[v_id]))
+            )
+            for ts in snapshot.slot_timestamps(slot).tolist():
+                lines.append(f"{a}|{b}|{ts!r}")
+        if not connected:
+            lines.append(f"isolated|{snapshot.labels[u_id]!r}")
+    lines.sort()
+    digest = hashlib.sha256()
+    for line in lines:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -343,3 +343,28 @@ def average_degree(network: DynamicNetwork) -> float:
     if n == 0:
         return 0.0
     return 2.0 * network.number_of_links() / n
+
+
+def median_timestamp_gap(stamps: "Iterable[Timestamp]") -> float:
+    """Median gap between consecutive distinct timestamps.
+
+    The characteristic inter-stamp spacing of a stream or history:
+    robust to a few irregular bursts, and exactly 1.0 on the unit-spaced
+    streams the synthetic catalog produces.  Falls back to 1.0 when
+    fewer than two distinct stamps exist (no gap to measure) or the
+    median gap is non-positive.
+
+    Shared by the streaming predictor's scoring clock
+    (:meth:`repro.streaming.prequential.StreamingSSFPredictor.scoring_time`)
+    and the recommender's serving ``present_time``
+    (:meth:`repro.recommend.LinkRecommender.fit`), so both advance the
+    ``exp(-θ·Δt)`` influence clock by one *real* step past the observed
+    history instead of a hard-coded ``+1.0``.
+    """
+    distinct = sorted({float(s) for s in stamps})
+    if len(distinct) < 2:
+        return 1.0
+    gaps = sorted(b - a for a, b in zip(distinct, distinct[1:]))
+    mid = len(gaps) // 2
+    step = gaps[mid] if len(gaps) % 2 else (gaps[mid - 1] + gaps[mid]) / 2.0
+    return step if step > 0.0 else 1.0

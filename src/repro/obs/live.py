@@ -480,7 +480,7 @@ def render_openmetrics(
     ``snapshot`` is the plain-data shape of
     :meth:`~repro.obs.metrics.MetricsRegistry.mergeable_snapshot` —
     counters/gauges as values, histograms as raw state — which lets the
-    renderer compute p50/p95 from the histogram's own deterministic
+    renderer compute p50/p95/p99 from the histogram's own deterministic
     reservoir instead of introducing a second estimator.  Counters
     become ``<name>_total`` counter families, gauges become gauges,
     histograms become summary families (``_count``/``_sum`` plus
@@ -534,7 +534,9 @@ def render_openmetrics(
         total = float(state.get("sum", 0.0))
         samples = [float(v) for v in state.get("samples", [])]
         lines.append(f"# TYPE {name} summary")
-        for q in (50.0, 95.0):
+        # p99 exists for the serving latency SLO; it is as meaningful
+        # for every other histogram, so all summaries expose it
+        for q in (50.0, 95.0, 99.0):
             if samples:
                 lines.append(
                     f'{name}{{quantile="{q / 100:g}"}} '

@@ -14,9 +14,9 @@ Semantics:
   ``>= 0``).
 * :class:`Gauge` — a point-in-time value, last write wins.
 * :class:`Histogram` — running count/sum/min/max over *all* observations
-  plus a bounded **reservoir sample** for quantiles (p50/p95 by
+  plus a bounded **reservoir sample** for quantiles (p50/p95/p99 by
   default).  The reservoir is filled by deterministic (seeded,
-  index-based) reservoir sampling, so p50/p95 estimate the distribution
+  index-based) reservoir sampling, so the quantiles estimate the distribution
   of *every* observation ever made — not just the most recent window —
   while the running aggregates stay exact.  Summaries carry an
   ``"estimator"`` key naming the quantile estimator.
@@ -193,13 +193,16 @@ class Histogram:
             window = list(self._samples)
         return percentile_of(window, q)
 
-    def summary(self, quantiles: Iterable[float] = (50.0, 95.0)) -> dict:
+    def summary(self, quantiles: Iterable[float] = (50.0, 95.0, 99.0)) -> dict:
         """Exportable aggregate view used by registry snapshots.
 
         ``estimator`` names how the quantiles were obtained:
         ``"exact"`` while every observation is still in the reservoir,
-        ``"reservoir"`` once the stream outgrew it and p50/p95 are
-        estimates over a deterministic uniform sample.
+        ``"reservoir"`` once the stream outgrew it and the quantiles are
+        estimates over a deterministic uniform sample.  The p99 exists
+        for the serving latency SLO (``serve.request_seconds``); it is
+        as meaningful for every other histogram, so all summaries
+        expose it.
         """
         with self._lock:
             sampled = len(self._samples)

@@ -2,7 +2,7 @@
 
 A :class:`span` marks one timed region — an extraction stage, a batch, a
 streaming window.  On exit it feeds its wall time into the default
-metrics registry as the histogram ``span.<name>`` (seconds), so p50/p95
+metrics registry as the histogram ``span.<name>`` (seconds), so p50/p95/p99
 per-stage timings fall out of the same export path as every other
 metric.  Spans nest: each span knows its slash-joined ``path`` from the
 outermost enclosing span and inherits (then may override) its parent's

@@ -25,7 +25,7 @@ from typing import Hashable
 import numpy as np
 
 from repro.core.feature import SSFConfig, SSFExtractor
-from repro.graph.temporal import DynamicNetwork
+from repro.graph.temporal import DynamicNetwork, median_timestamp_gap
 from repro.models.linear import LinearRegressionModel
 from repro.models.neural import NeuralMachine
 from repro.obs import get_logger, span
@@ -126,9 +126,16 @@ class LinkRecommender:
             ).fit(features, labels)
 
         # Serve recommendations from the FULL network (including the last
-        # timestamp): at serving time everything observed is history.
+        # timestamp): at serving time everything observed is history.  The
+        # serving clock sits one observed median inter-stamp gap past the
+        # newest link — the same step the streaming scorer uses — because
+        # a hard-coded +1.0 treats history as ~one step fresher than it
+        # is under exp(-θ·Δt) whenever stamps are not unit-spaced.
         serving_extractor = SSFExtractor(
-            network, config, present_time=network.last_timestamp() + 1.0
+            network,
+            config,
+            present_time=network.last_timestamp()
+            + median_timestamp_gap(network.timestamp_set()),
         )
         return cls(network, serving_extractor, fitted, seed=seed)
 

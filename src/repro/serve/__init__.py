@@ -1,0 +1,47 @@
+"""Online serving layer: incremental ingestion + async recommendation.
+
+The offline pipeline freezes one :class:`~repro.graph.csr.CSRSnapshot`
+per experiment; serving cannot afford that rebuild per edge event.  This
+package provides the serving-side substrate and surface:
+
+* :class:`DeltaCSRSnapshot` — append edge events, materialise snapshots
+  by vectorised delta merge, bit-identical to a full rebuild.
+* :class:`DecayedInfluenceIndex` — O(1)-per-event decayed activity
+  summaries for recency-aware candidate ranking.
+* :class:`FeatureCache` — LRU feature cache with locality-ball
+  invalidation keyed on :func:`~repro.serve.cache.pair_key`.
+* :class:`ServingRecommender` / :class:`AsyncScoringFrontend` — the
+  batched scoring core and its coalescing asyncio front-end.
+* :func:`run_replay` — the measured replay harness behind
+  ``repro serve --replay`` and the CI serving smoke step.
+
+See docs/SERVING.md for the architecture and the cache's (documented)
+approximations.
+"""
+
+from repro.serve.cache import DEFAULT_CACHE_ENTRIES, CacheEntry, FeatureCache, pair_key
+from repro.serve.delta import DecayedInfluenceIndex, DeltaCSRSnapshot, hop_ball
+from repro.serve.frontend import (
+    DEFAULT_MAX_BATCH,
+    AsyncScoringFrontend,
+    ServingRecommender,
+    ServingTimeout,
+)
+from repro.serve.replay import ReplayResult, run_replay, split_replay_stream
+
+__all__ = [
+    "AsyncScoringFrontend",
+    "CacheEntry",
+    "DecayedInfluenceIndex",
+    "DeltaCSRSnapshot",
+    "DEFAULT_CACHE_ENTRIES",
+    "DEFAULT_MAX_BATCH",
+    "FeatureCache",
+    "ReplayResult",
+    "ServingRecommender",
+    "ServingTimeout",
+    "hop_ball",
+    "pair_key",
+    "run_replay",
+    "split_replay_stream",
+]

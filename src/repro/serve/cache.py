@@ -1,0 +1,244 @@
+"""Serving feature cache with locality-ball invalidation.
+
+SSF features are expensive relative to a cache probe (a subgraph walk,
+Palette-WL ordering and a matrix unfold per pair), and a serving
+workload re-asks about the same hot users while the graph changes only
+locally between requests.  Sarkar/Chakrabarti/Jordan's analysis of
+dynamic-graph prediction (PAPERS.md) is the justification: link
+formation is overwhelmingly a *local* process, so a cached pair's
+feature can only change when an edge event lands near it.
+
+:class:`FeatureCache` stores one entry per scored pair, keyed by the
+canonical pair label, carrying the feature vector and the node-id ball
+the feature was extracted over.  An inverted node → pairs index makes
+invalidation O(affected entries): when an edge event touches node ``n``,
+every cached pair whose ball contains ``n`` is dropped
+(:meth:`invalidate_nodes`).  The ball is the 2-hop neighbourhood of the
+pair by default — the same friends-of-friends locality the candidate
+generator walks.
+
+**Approximation, stated honestly.**  Two ways a cached entry can be
+stale without a ball hit, both documented in docs/SERVING.md:
+
+* K-structure growth can exceed 2 hops on sparse graphs (the subgraph
+  keeps growing until it holds K structure nodes), so a far-away event
+  could in principle alter a feature.  Serve with ``invalidation_hops``
+  matching the observed growth radius, or enable fingerprint
+  verification below.
+* Influence decays as the serving clock advances even with no nearby
+  event.  Entries therefore record the ``present_time`` they were
+  extracted at; ``max_staleness`` bounds how far the clock may drift
+  before an entry is treated as a miss.
+
+For exactness audits, each entry can carry a
+:func:`~repro.graph.hashing.subgraph_fingerprint` of its ball; a probe
+then recomputes the fingerprint against the *current* snapshot and
+treats any mismatch as a miss (``verify=True`` — too expensive for the
+hot path, invaluable for tests and canaries).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.graph.csr import CSRSnapshot
+from repro.graph.hashing import subgraph_fingerprint
+from repro.obs import incr
+
+Node = Hashable
+PairKey = tuple[str, str]
+
+#: default bound on cached pair entries — at ~44 float64s per k=10
+#: feature plus the ball id array, 10k entries stay well under 10 MB
+DEFAULT_CACHE_ENTRIES = 10_000
+
+
+def pair_key(u: Node, v: Node) -> PairKey:
+    """Canonical (repr-sorted) cache key of an undirected pair."""
+    a, b = repr(u), repr(v)
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class CacheEntry:
+    """One cached pair: the feature row and the locality it depends on."""
+
+    features: np.ndarray
+    ball: "frozenset[int]"
+    present_time: float
+    fingerprint: "str | None" = None
+
+
+class FeatureCache:
+    """LRU feature cache with inverted-index ball invalidation.
+
+    Counters (gated behind ``obs.enable``): ``serve.cache.hits``,
+    ``serve.cache.misses``, ``serve.cache.evictions``,
+    ``serve.cache.invalidations``, ``serve.cache.stale_drops``,
+    ``serve.cache.verify_drops``.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_CACHE_ENTRIES,
+        *,
+        max_staleness: "float | None" = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_staleness is not None and max_staleness < 0:
+            raise ValueError(f"max_staleness must be >= 0, got {max_staleness}")
+        self.max_entries = max_entries
+        self.max_staleness = max_staleness
+        self._entries: OrderedDict[PairKey, CacheEntry] = OrderedDict()
+        self._node_index: dict[int, set[PairKey]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # probe / insert
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        key: PairKey,
+        *,
+        present_time: "float | None" = None,
+        snapshot: "CSRSnapshot | None" = None,
+        verify: bool = False,
+    ) -> "CacheEntry | None":
+        """The entry for ``key``, or ``None`` on a miss.
+
+        ``present_time`` applies the ``max_staleness`` bound;
+        ``verify=True`` (with ``snapshot``) recomputes the ball
+        fingerprint and drops the entry on mismatch.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            incr("serve.cache.misses")
+            return None
+        if (
+            self.max_staleness is not None
+            and present_time is not None
+            and abs(present_time - entry.present_time) > self.max_staleness
+        ):
+            self._drop(key)
+            self.misses += 1
+            incr("serve.cache.stale_drops")
+            incr("serve.cache.misses")
+            return None
+        if verify and snapshot is not None and entry.fingerprint is not None:
+            if subgraph_fingerprint(snapshot, entry.ball) != entry.fingerprint:
+                self._drop(key)
+                self.misses += 1
+                incr("serve.cache.verify_drops")
+                incr("serve.cache.misses")
+                return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        incr("serve.cache.hits")
+        return entry
+
+    def put(
+        self,
+        key: PairKey,
+        features: np.ndarray,
+        ball: "Iterable[int]",
+        present_time: float,
+        *,
+        snapshot: "CSRSnapshot | None" = None,
+        fingerprint: bool = False,
+    ) -> None:
+        """Insert/replace one entry; evicts LRU entries past the bound."""
+        if key in self._entries:
+            self._drop(key)
+        ball_ids = (
+            ball
+            if isinstance(ball, frozenset)
+            else frozenset(int(n) for n in ball)
+        )
+        digest = (
+            subgraph_fingerprint(snapshot, ball_ids)
+            if fingerprint and snapshot is not None
+            else None
+        )
+        self._entries[key] = CacheEntry(
+            features=features,
+            ball=ball_ids,
+            present_time=float(present_time),
+            fingerprint=digest,
+        )
+        for node_id in ball_ids:
+            self._node_index.setdefault(node_id, set()).add(key)
+        while len(self._entries) > self.max_entries:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._unindex(evicted_key, evicted)
+            self.evictions += 1
+            incr("serve.cache.evictions")
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate_nodes(self, node_ids: "Iterable[int]") -> list[PairKey]:
+        """Drop every entry whose ball contains any of ``node_ids``.
+
+        The serving loop calls this with the endpoints of each ingested
+        edge event: an event inside a cached pair's 2-hop ball lands on
+        a node the ball contains, so the inverted index finds exactly
+        the affected entries.  Returns the dropped keys (sorted) so
+        callers can cascade the invalidation to derived caches.
+        """
+        doomed: set[PairKey] = set()
+        for node_id in node_ids:
+            doomed.update(self._node_index.get(int(node_id), ()))
+        dropped = sorted(doomed)
+        for key in dropped:
+            self._drop(key)
+            self.invalidations += 1
+            incr("serve.cache.invalidations")
+        return dropped
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._node_index.clear()
+
+    def _drop(self, key: PairKey) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._unindex(key, entry)
+
+    def _unindex(self, key: PairKey, entry: CacheEntry) -> None:
+        # O(|ball|): the entry knows exactly which index rows hold it
+        for node_id in entry.ball:
+            keys = self._node_index.get(node_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._node_index[node_id]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+            "evictions": float(self.evictions),
+            "invalidations": float(self.invalidations),
+        }

@@ -1,0 +1,608 @@
+"""Serving front-end: batched scoring over the delta substrate.
+
+Two layers:
+
+* :class:`ServingRecommender` — the synchronous core.  Holds a
+  :class:`~repro.serve.delta.DeltaCSRSnapshot`, a trained model and a
+  :class:`~repro.serve.cache.FeatureCache`; ``ingest`` appends edge
+  events and invalidates exactly the cached pairs whose locality ball
+  the events touched; ``recommend_many`` scores several users' requests
+  through ONE :func:`repro.core.batch.batch_extract` call, probing the
+  cache per pair and extracting only the misses.
+* :class:`AsyncScoringFrontend` — the asyncio surface.  Concurrent
+  ``await frontend.recommend(user)`` calls are coalesced by a single
+  worker task into ``recommend_many`` batches (run in an executor so the
+  event loop stays responsive), with per-request deadlines and bounded
+  re-enqueue retries driven by the same
+  :class:`~repro.robust.policy.RetryPolicy` the offline pool uses.
+
+Ranking semantics match :class:`~repro.recommend.LinkRecommender` —
+friends-of-friends candidate ball plus global hubs, model decision
+scores, mergesort tie-stability — with one deliberate serving-side
+difference: hub candidates rank by *decayed* activity
+(:class:`~repro.serve.delta.DecayedInfluenceIndex`) instead of static
+degree, so recency matters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.batch import batch_extract
+from repro.core.feature import SSFConfig, SSFExtractor
+from repro.graph.csr import CSRSnapshot
+from repro.recommend import LinkRecommender, Suggestion
+from repro.robust.policy import RetryPolicy
+from repro.serve.cache import FeatureCache, PairKey, pair_key
+from repro.serve.delta import DeltaCSRSnapshot, hop_ball
+from repro.obs import get_logger, incr, observe, span
+
+Node = Hashable
+Event = "tuple[Node, Node, float]"
+
+_LOG = get_logger("serve.frontend")
+
+#: most recommend() calls a single worker wake-up folds into one
+#: scoring batch — bounds per-batch latency without starving throughput
+DEFAULT_MAX_BATCH = 64
+
+
+class ServingTimeout(TimeoutError):
+    """A recommend() request exhausted its deadline and retry budget."""
+
+
+class ServingRecommender:
+    """Synchronous serving core: delta substrate + feature cache + model.
+
+    Build with :meth:`from_recommender` to promote an offline
+    :class:`~repro.recommend.LinkRecommender` into a serving instance,
+    or :meth:`fit` to train and promote in one step.
+    """
+
+    def __init__(
+        self,
+        delta: DeltaCSRSnapshot,
+        model: "object",
+        config: "SSFConfig | None" = None,
+        *,
+        candidate_hops: int = 2,
+        global_candidates: int = 20,
+        invalidation_hops: int = 2,
+        cache: "FeatureCache | None" = None,
+        fingerprint: bool = False,
+        verify: bool = False,
+    ) -> None:
+        if candidate_hops < 1:
+            raise ValueError(f"candidate_hops must be >= 1, got {candidate_hops}")
+        if global_candidates < 0:
+            raise ValueError("global_candidates must be >= 0")
+        if invalidation_hops < 1:
+            raise ValueError(
+                f"invalidation_hops must be >= 1, got {invalidation_hops}"
+            )
+        self.delta = delta
+        self.model = model
+        self.config = config or SSFConfig()
+        self.candidate_hops = candidate_hops
+        self.global_candidates = global_candidates
+        self.invalidation_hops = invalidation_hops
+        self.cache = cache if cache is not None else FeatureCache()
+        self.fingerprint = fingerprint or verify
+        self.verify = verify
+        self._extractor: "SSFExtractor | None" = None
+        self._ball_memo: dict[int, frozenset[int]] = {}
+        # per-snapshot-generation memos: hub pool + candidate pools are
+        # pure functions of the substrate, so they survive until ingest.
+        # Each pool memo keeps the hop-ball ids it was generated from: a
+        # later event changes the pool only if an endpoint sits in that
+        # ball (a new edge cannot shorten any path, and cannot bring a
+        # node within reach unless one endpoint already was).
+        self._hubs_memo: "list[Node] | None" = None
+        self._pool_memo: dict[Node, tuple[list[Node], frozenset[int]]] = {}
+        # scored-result memo: between ingests the whole pipeline is a
+        # deterministic function of (user, substrate), so serving a
+        # memoised ranking is EXACT, not an approximation.  Each entry
+        # keeps its full ranked list (sliced per top_n), the pair keys
+        # it was scored from, and the present_time it was scored at.
+        self._result_memo: dict[
+            Node, tuple[list[Suggestion], frozenset[PairKey], float]
+        ] = {}
+        self.result_hits = 0
+        self.result_misses = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_recommender(
+        cls, recommender: LinkRecommender, **kwargs: "object"
+    ) -> "ServingRecommender":
+        """Promote a fitted offline recommender into a serving instance.
+
+        The offline network seeds the delta substrate (one full freeze;
+        everything after is incremental) and the trained model plus SSF
+        config carry over unchanged.
+        """
+        config = recommender.extractor.config
+        delta = DeltaCSRSnapshot.from_dynamic(
+            recommender.network, theta=config.theta
+        )
+        kwargs.setdefault("candidate_hops", recommender.candidate_hops)
+        kwargs.setdefault("global_candidates", recommender.global_candidates)
+        return cls(delta, recommender.model, config, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def fit(
+        cls,
+        network: "object",
+        *,
+        config: "SSFConfig | None" = None,
+        model: str = "linear",
+        seed: int = 0,
+        **kwargs: "object",
+    ) -> "ServingRecommender":
+        """Train an offline recommender, then promote it for serving."""
+        offline = LinkRecommender.fit(
+            network,  # type: ignore[arg-type]
+            config=config,
+            model=model,
+            seed=seed,
+        )
+        return cls.from_recommender(offline, **kwargs)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, events: "Iterable[Event]") -> int:
+        """Apply edge events; returns how many cached pairs they voided.
+
+        An event lands "inside" a cached pair's locality ball exactly
+        when one of its endpoints is a ball member, so invalidating by
+        endpoint id through the cache's inverted index drops precisely
+        the affected entries.
+        """
+        touched = self.delta.apply(events)
+        if not touched:
+            return 0
+        endpoints = {node_id for pair in touched for node_id in pair}
+        dropped_keys = set(self.cache.invalidate_nodes(endpoints))
+        # the substrate moved: rebuild the extractor lazily, and drop
+        # exactly the memoised balls/pools/results the events can have
+        # changed — a ball changes only if it reaches an event endpoint
+        # (a new edge cannot shorten paths, and cannot bring a node
+        # within reach unless an endpoint already was), a pool
+        # additionally whenever the hub ranking shifts, a ranked result
+        # whenever its pool or any feature it was scored from moved
+        self._extractor = None
+        old_hubs = self._hubs_memo
+        self._hubs_memo = None
+        for node_id in [
+            nid
+            for nid, ball in self._ball_memo.items()
+            if not endpoints.isdisjoint(ball)
+        ]:
+            del self._ball_memo[node_id]
+        if old_hubs is not None and self._hubs() == old_hubs:
+            pool_dropped = [
+                user
+                for user, (_, ball) in self._pool_memo.items()
+                if not endpoints.isdisjoint(ball)
+            ]
+            for user in pool_dropped:
+                del self._pool_memo[user]
+            for user in [
+                user
+                for user, (_, keys, _) in self._result_memo.items()
+                if user in pool_dropped or not dropped_keys.isdisjoint(keys)
+            ]:
+                del self._result_memo[user]
+        else:
+            self._pool_memo.clear()
+            self._result_memo.clear()
+        return len(dropped_keys)
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    @property
+    def extractor(self) -> SSFExtractor:
+        """The current-snapshot extractor (rebuilt after each ingest)."""
+        if self._extractor is None or self.delta.pending_events:
+            snapshot = self.delta.snapshot()
+            self._extractor = SSFExtractor(
+                snapshot,
+                self.config,
+                present_time=self.delta.scoring_time(),
+                backend="csr",
+            )
+        return self._extractor
+
+    def _snapshot(self) -> CSRSnapshot:
+        return self.extractor.snapshot  # type: ignore[return-value]
+
+    def _ball(self, node_id: int) -> frozenset[int]:
+        ball = self._ball_memo.get(node_id)
+        if ball is None:
+            ball = frozenset(
+                hop_ball(self._snapshot(), node_id, self.invalidation_hops).tolist()
+            )
+            self._ball_memo[node_id] = ball
+        return ball
+
+    def _hubs(self) -> list[Node]:
+        if self._hubs_memo is None:
+            self._hubs_memo = self.delta.most_active(self.global_candidates)
+        return self._hubs_memo
+
+    def candidates(self, user: Node) -> list[Node]:
+        """Candidate partners: friends-of-friends ball plus decayed hubs."""
+        memo = self._pool_memo.get(user)
+        if memo is not None:
+            return memo[0]
+        if not self.delta.has_node(user):
+            raise KeyError(f"user {user!r} not in network")
+        snapshot = self._snapshot()
+        user_id = self.delta.node_id(user)
+        row_lo = int(snapshot.indptr[user_id])
+        row_hi = int(snapshot.indptr[user_id + 1])
+        partners = {
+            self.delta.label_of(int(v)) for v in snapshot.indices[row_lo:row_hi]
+        }
+        ball_ids = hop_ball(snapshot, user_id, self.candidate_hops)
+        out = {self.delta.label_of(int(n)) for n in ball_ids}
+        out.update(self._hubs())
+        pool = sorted(out - partners - {user}, key=repr)
+        self._pool_memo[user] = (pool, frozenset(ball_ids.tolist()))
+        return pool
+
+    def recommend(self, user: Node, top_n: int = 10) -> list[Suggestion]:
+        """Single-user convenience wrapper over :meth:`recommend_many`."""
+        return self.recommend_many([(user, top_n)])[0]
+
+    def recommend_many(
+        self, queries: "Sequence[tuple[Node, int]]"
+    ) -> list[list[Suggestion]]:
+        """Score several users' requests through one extraction batch.
+
+        Per query the candidate pool is generated, each (user, candidate)
+        pair is probed against the feature cache, and every miss across
+        ALL queries lands in one :func:`batch_extract` call reusing the
+        serving extractor's batched engine.  Fresh rows are cached with
+        their locality ball before scoring.
+        """
+        if not queries:
+            return []
+        for _, top_n in queries:
+            if top_n < 1:
+                raise ValueError(f"top_n must be >= 1, got {top_n}")
+        extractor = self.extractor
+        snapshot = self._snapshot()
+        present = extractor.present_time
+
+        # serve memoised rankings where the substrate has not moved
+        final: "list[list[Suggestion] | None]" = [None] * len(queries)
+        compute: list[tuple[int, Node, int]] = []
+        for slot, (user, top_n) in enumerate(queries):
+            memo = self._result_memo.get(user)
+            if memo is not None:
+                ranked, _, scored_at = memo
+                drifted = (
+                    self.cache.max_staleness is not None
+                    and abs(present - scored_at) > self.cache.max_staleness
+                )
+                if not drifted:
+                    final[slot] = ranked[:top_n]
+                    self.result_hits += 1
+                    incr("serve.results.hits")
+                    continue
+                del self._result_memo[user]
+            self.result_misses += 1
+            incr("serve.results.misses")
+            compute.append((slot, user, top_n))
+        # coalesce duplicate users: one computation fills every slot
+        compute_map: "dict[Node, list[tuple[int, int]]]" = {}
+        for slot, user, top_n in compute:
+            compute_map.setdefault(user, []).append((slot, top_n))
+        if not compute:
+            incr("serve.queries", len(queries))
+            return [result if result is not None else [] for result in final]
+
+        pools: list[list[Node]] = []
+        keyed: list[list[PairKey]] = []
+        cached: dict[PairKey, np.ndarray] = {}
+        missed: dict[PairKey, tuple[Node, Node]] = {}
+        with span("serve.score", queries=len(compute_map)):
+            for user in compute_map:
+                pool = self.candidates(user)
+                pools.append(pool)
+                keys: list[PairKey] = []
+                for cand in pool:
+                    key = pair_key(user, cand)
+                    keys.append(key)
+                    if key in cached or key in missed:
+                        continue
+                    entry = self.cache.get(
+                        key,
+                        present_time=present,
+                        snapshot=snapshot,
+                        verify=self.verify,
+                    )
+                    if entry is not None:
+                        cached[key] = entry.features
+                    else:
+                        missed[key] = (user, cand)
+                keyed.append(keys)
+
+            if missed:
+                miss_pairs = list(missed.values())
+                fresh = batch_extract(
+                    snapshot,
+                    self.config,
+                    miss_pairs,
+                    present_time=present,
+                    extractor=extractor,
+                )
+                for row, (key, (user, cand)) in zip(fresh, missed.items()):
+                    ball = self._ball(self.delta.node_id(user)) | self._ball(
+                        self.delta.node_id(cand)
+                    )
+                    self.cache.put(
+                        key,
+                        row,
+                        ball,
+                        present,
+                        snapshot=snapshot,
+                        fingerprint=self.fingerprint,
+                    )
+                    cached[key] = row
+
+            # one model call for the whole batch, split back per query
+            offsets = [0]
+            rows: list[np.ndarray] = []
+            for keys in keyed:
+                rows.extend(cached[key] for key in keys)
+                offsets.append(len(rows))
+            scores = (
+                self.model.decision_scores(np.vstack(rows))  # type: ignore[attr-defined]
+                if rows
+                else np.zeros(0)
+            )
+            for query_index, (user, slots) in enumerate(compute_map.items()):
+                pool = pools[query_index]
+                if not pool:
+                    self._result_memo[user] = ([], frozenset(), present)
+                    for slot, _ in slots:
+                        final[slot] = []
+                    continue
+                lo, hi = offsets[query_index], offsets[query_index + 1]
+                query_scores = scores[lo:hi]
+                order = np.argsort(-query_scores, kind="mergesort")
+                ranked = [
+                    Suggestion(
+                        node=pool[int(i)], score=float(query_scores[int(i)])
+                    )
+                    for i in order
+                ]
+                self._result_memo[user] = (
+                    ranked,
+                    frozenset(keyed[query_index]),
+                    present,
+                )
+                for slot, top_n in slots:
+                    final[slot] = ranked[:top_n]
+        incr("serve.queries", len(queries))
+        observe("serve.extract_pairs", float(len(missed)))
+        return [result if result is not None else [] for result in final]
+
+
+# ----------------------------------------------------------------------
+# asyncio surface
+# ----------------------------------------------------------------------
+@dataclass
+class _ScoreJob:
+    user: Node
+    top_n: int
+    future: "asyncio.Future[list[Suggestion]]"
+    enqueued: float = field(default_factory=time.perf_counter)
+    cancelled: bool = False
+
+
+@dataclass
+class _IngestJob:
+    events: "list[tuple[Node, Node, float]]"
+    future: "asyncio.Future[int]"
+
+
+class AsyncScoringFrontend:
+    """Coalescing asyncio front-end over a :class:`ServingRecommender`.
+
+    Concurrent ``recommend`` awaits funnel into one queue; a single
+    worker task drains up to ``max_batch`` jobs per wake-up and scores
+    the contiguous run in ONE ``recommend_many`` call, executed in the
+    default executor so the event loop keeps accepting requests while
+    numpy works.  Ingest jobs flow through the same queue, which
+    serialises substrate mutation against scoring without locks.
+
+    Deadlines reuse :class:`~repro.robust.policy.RetryPolicy`:
+    ``chunk_timeout`` bounds each attempt and ``max_retries`` extra
+    re-enqueues are granted before :class:`ServingTimeout` is raised.
+    A timed-out or caller-cancelled request is flagged so the worker
+    drops it instead of scoring work nobody awaits.
+
+    Usage::
+
+        async with AsyncScoringFrontend(core) as frontend:
+            suggestions = await frontend.recommend("alice", top_n=5)
+    """
+
+    def __init__(
+        self,
+        recommender: ServingRecommender,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        retry: "RetryPolicy | None" = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.recommender = recommender
+        self.max_batch = max_batch
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        self._queue: "asyncio.Queue[_ScoreJob | _IngestJob] | None" = None
+        self._worker: "asyncio.Task[None] | None" = None
+
+    async def __aenter__(self) -> "AsyncScoringFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: "object") -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        if self._worker is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._worker = asyncio.create_task(self._run(), name="repro-serve-worker")
+
+    async def close(self) -> None:
+        worker, self._worker = self._worker, None
+        if worker is None:
+            return
+        worker.cancel()
+        try:
+            await worker
+        except asyncio.CancelledError:
+            pass
+        queue, self._queue = self._queue, None
+        if queue is not None:
+            while not queue.empty():
+                job = queue.get_nowait()
+                if not job.future.done():
+                    job.future.cancel()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    async def recommend(self, user: Node, top_n: int = 10) -> list[Suggestion]:
+        """Top-N suggestions for ``user``; batched behind the scenes.
+
+        Raises :class:`ServingTimeout` once the per-attempt deadline
+        (``retry.chunk_timeout``) has expired ``retry.max_retries + 1``
+        times.  ``KeyError`` for unknown users fails fast, before any
+        batch admission.
+        """
+        queue = self._require_started()
+        if not self.recommender.delta.has_node(user):
+            raise KeyError(f"user {user!r} not in network")
+        timeout = self.retry.chunk_timeout
+        attempts = self.retry.max_retries + 1
+        for attempt in range(attempts):
+            job = _ScoreJob(
+                user, top_n, asyncio.get_running_loop().create_future()
+            )
+            await queue.put(job)
+            try:
+                if timeout is None:
+                    return await job.future
+                return await asyncio.wait_for(job.future, timeout)
+            except asyncio.TimeoutError:
+                job.cancelled = True
+                incr("serve.request_timeouts")
+                _LOG.warning(
+                    "recommend(%r) attempt %d/%d timed out after %.1fs",
+                    user,
+                    attempt + 1,
+                    attempts,
+                    timeout,
+                )
+            except asyncio.CancelledError:
+                job.cancelled = True
+                raise
+        raise ServingTimeout(
+            f"recommend({user!r}) exceeded {timeout}s deadline "
+            f"{attempts} time(s)"
+        )
+
+    async def ingest(self, events: "Iterable[Event]") -> int:
+        """Apply edge events through the worker queue (ordered against
+        in-flight scoring); returns the cache invalidation count."""
+        queue = self._require_started()
+        job = _IngestJob(
+            [(u, v, float(ts)) for u, v, ts in events],
+            asyncio.get_running_loop().create_future(),
+        )
+        await queue.put(job)
+        return await job.future
+
+    def _require_started(self) -> "asyncio.Queue[_ScoreJob | _IngestJob]":
+        if self._queue is None or self._worker is None:
+            raise RuntimeError(
+                "frontend not started — use 'async with' or await start()"
+            )
+        return self._queue
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        queue = self._queue
+        assert queue is not None
+        while True:
+            jobs: list[_ScoreJob | _IngestJob] = [await queue.get()]
+            while len(jobs) < self.max_batch and not queue.empty():
+                jobs.append(queue.get_nowait())
+            # process in arrival order, folding contiguous score runs
+            # into single batches; ingest jobs act as barriers
+            start = 0
+            while start < len(jobs):
+                job = jobs[start]
+                if isinstance(job, _IngestJob):
+                    await self._do_ingest(job)
+                    start += 1
+                    continue
+                stop = start
+                while stop < len(jobs) and isinstance(jobs[stop], _ScoreJob):
+                    stop += 1
+                await self._do_score(
+                    [j for j in jobs[start:stop] if isinstance(j, _ScoreJob)]
+                )
+                start = stop
+
+    async def _do_ingest(self, job: _IngestJob) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            dropped = await loop.run_in_executor(
+                None, self.recommender.ingest, job.events
+            )
+        except Exception as exc:
+            if not job.future.done():
+                job.future.set_exception(exc)
+            return
+        if not job.future.done():
+            job.future.set_result(dropped)
+
+    async def _do_score(self, run: list[_ScoreJob]) -> None:
+        live = [job for job in run if not job.cancelled and not job.future.done()]
+        if not live:
+            return
+        observe("serve.batch_size", float(len(live)))
+        loop = asyncio.get_running_loop()
+        queries = [(job.user, job.top_n) for job in live]
+        try:
+            results = await loop.run_in_executor(
+                None, self.recommender.recommend_many, queries
+            )
+        except Exception as exc:
+            for job in live:
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            return
+        now = time.perf_counter()
+        for job, result in zip(live, results):
+            if not job.future.done():
+                job.future.set_result(result)
+                observe("serve.request_seconds", now - job.enqueued)

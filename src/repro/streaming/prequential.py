@@ -28,7 +28,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.core.feature import SSFConfig, SSFExtractor
-from repro.graph.temporal import DynamicNetwork
+from repro.graph.temporal import DynamicNetwork, median_timestamp_gap
 from repro.metrics.classification import roc_auc_score
 from repro.models.linear import LinearRegressionModel
 from repro.models.neural import NeuralMachine
@@ -121,8 +121,18 @@ class StreamingSSFPredictor:
             )
 
         # Harvest labelled pairs BEFORE updating the history, so their
-        # features reflect exactly the pre-stamp knowledge.
-        positives = self._new_positive_pairs(edges)
+        # features reflect exactly the pre-stamp knowledge.  Only pairs
+        # whose endpoints the history already knows qualify: a node
+        # arriving with this very stamp has the degenerate empty-history
+        # feature vector, and labelling it 1 while negatives are sampled
+        # from observed nodes would teach the model "degenerate ⇒
+        # positive" (the same filter prequential_evaluate applies before
+        # scoring a window).
+        positives = [
+            (u, v)
+            for u, v in self._new_positive_pairs(edges)
+            if self.history.has_node(u) and self.history.has_node(v)
+        ]
         if positives and self.history.number_of_links():
             negatives = self._sample_negatives(len(positives), positives)
             extractor = SSFExtractor(
@@ -213,16 +223,13 @@ class StreamingSSFPredictor:
     def _stream_step(self) -> float:
         """The stream's characteristic inter-stamp spacing.
 
-        The median gap between observed timestamps — robust to a few
-        irregular bursts, and exactly 1.0 on the unit-spaced streams the
-        synthetic catalog produces.  Falls back to 1.0 until two stamps
-        have been observed (a single stamp has no gap to measure).
+        Delegates to :func:`repro.graph.temporal.median_timestamp_gap`
+        (shared with the recommender's serving clock): the median gap
+        between observed timestamps, falling back to 1.0 until two
+        stamps have been observed (a single stamp has no gap to
+        measure).
         """
-        if len(self._observed_times) < 2:
-            return 1.0
-        gaps = np.diff(np.asarray(self._observed_times, dtype=np.float64))
-        step = float(np.median(gaps))
-        return step if step > 0.0 else 1.0
+        return median_timestamp_gap(self._observed_times)
 
     def scoring_time(self) -> float:
         """The ``present_time`` used by :meth:`score`.

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.graph.temporal import DynamicNetwork, median_timestamp_gap
 from repro.recommend import LinkRecommender, Suggestion, hit_rate_at_n
+from repro.utils.rng import ensure_rng
 
 
 @pytest.fixture(scope="module")
@@ -63,6 +65,40 @@ class TestRecommend:
     def test_model_validation(self, network):
         with pytest.raises(ValueError):
             LinkRecommender.fit(network, model="bogus")
+
+
+class TestServingClock:
+    """Regression: the serving extractor's present time must sit one
+    *observed median gap* past the last stamp, not a hard-coded +1.0 —
+    on decade-spaced stamps that off-by-nine makes exp(-θ·Δt) treat
+    every link as far fresher than it is."""
+
+    @staticmethod
+    def _spaced_network(step):
+        rng = ensure_rng(0)
+        events = []
+        for stamp in range(1, 9):
+            for _ in range(6):
+                u, v = rng.integers(0, 16, size=2)
+                if u != v:
+                    events.append((f"n{u}", f"n{v}", float(stamp * step)))
+        return DynamicNetwork(events)
+
+    def test_present_time_is_last_plus_median_gap(self):
+        network = self._spaced_network(step=10.0)
+        recommender = LinkRecommender.fit(network, max_positives=20, seed=0)
+        expected = network.last_timestamp() + median_timestamp_gap(
+            network.timestamp_set()
+        )
+        assert recommender.extractor.present_time == expected == 90.0
+
+    def test_hit_rate_on_wide_spacing(self):
+        """hit_rate_at_n on stamps spaced by 100: with the old +1.0
+        clock every influence entry collapsed toward exp(-θ·100)≈0; the
+        median-gap clock keeps the evaluation meaningful and bounded."""
+        wide = self._spaced_network(step=100.0)
+        rate = hit_rate_at_n(wide, top_n=5, n_users=8, seed=0)
+        assert 0.0 <= rate <= 1.0
 
 
 class TestHitRate:

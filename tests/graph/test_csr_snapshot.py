@@ -128,6 +128,44 @@ class TestInfluenceTable:
             influence_array(np.array([5.0]), present_time=4.0)
         assert influence_array(np.zeros(0), present_time=1.0).size == 0
 
+    def test_cache_bounded_lru(self, network):
+        """A serving loop advances present_time per batch; without the
+        LRU bound each distinct key pins one |ts|-sized table forever."""
+        import repro.obs as obs
+        from repro.graph.csr import INFLUENCE_TABLE_CACHE_SIZE
+        from repro.obs.metrics import get_registry
+
+        was_enabled = obs.enabled()
+        get_registry().reset()
+        obs.enable()
+        try:
+            snap = CSRSnapshot.from_dynamic(network)
+            for step in range(INFLUENCE_TABLE_CACHE_SIZE + 5):
+                snap.influence_table(10.0 + step, 0.5)
+            assert len(snap._influence_tables) == INFLUENCE_TABLE_CACHE_SIZE
+            counters = get_registry().snapshot()["counters"]
+            assert counters["csr.influence_cache_evictions"] == 5.0
+            # oldest key is gone, newest survives
+            assert (10.0, 0.5) not in snap._influence_tables
+            assert (
+                10.0 + INFLUENCE_TABLE_CACHE_SIZE + 4,
+                0.5,
+            ) in snap._influence_tables
+        finally:
+            get_registry().reset()
+            if not was_enabled:
+                obs.disable()
+
+    def test_cache_capacity_env_override(self, network, monkeypatch):
+        monkeypatch.setenv("REPRO_CSR_INFLUENCE_CACHE", "2")
+        snap = CSRSnapshot.from_dynamic(network)
+        for step in range(5):
+            snap.influence_table(10.0 + step, 0.5)
+        assert len(snap._influence_tables) == 2
+        monkeypatch.setenv("REPRO_CSR_INFLUENCE_CACHE", "not-a-number")
+        snap.influence_table(99.0, 0.5)  # falls back to the default bound
+        assert len(snap._influence_tables) == 3
+
 
 class TestNeighborConcatenation:
     def test_matches_per_row_concat(self, network):

@@ -140,6 +140,35 @@ def test_auto_backend_threshold(monkeypatch):
     assert SSFExtractor(network, SSFConfig(k=6), backend="auto").backend == "dict"
 
 
+@pytest.mark.parametrize("regime", REGIMES, ids=[r[0] for r in REGIMES])
+def test_delta_snapshot_matches_dict_bit_for_bit(regime):
+    """Three-way differential: features over a delta-ingested snapshot
+    must match both the full CSR rebuild and the dict reference."""
+    from repro.serve.delta import DeltaCSRSnapshot
+
+    _, n_nodes, n_edges, n_ts = regime
+    source = _random_network(17, n_nodes, n_edges, n_ts)
+    edges = sorted(source.edges(), key=lambda e: (e[2], repr(e[0]), repr(e[1])))
+    cut = len(edges) // 2
+    delta = DeltaCSRSnapshot.from_dynamic(DynamicNetwork(edges[:cut]))
+    delta.apply(edges[cut:])
+    # the dict reference replays the SAME event order the delta saw, so
+    # node insertion order (and with it id-based tie-breaks) agrees
+    network = DynamicNetwork(edges)
+    pairs = _sample_pairs(network, 17)
+    present = float(network.last_timestamp()) + 1.0
+    for mode in ENTRY_MODES:
+        config = SSFConfig(k=6, entry_mode=mode)
+        dict_ex = SSFExtractor(
+            network, config, backend="dict", present_time=present
+        )
+        delta_ex = SSFExtractor(delta.snapshot(), config, present_time=present)
+        for a, b in pairs:
+            assert np.array_equal(
+                dict_ex.extract(a, b), delta_ex.extract(a, b)
+            ), (mode, a, b)
+
+
 def test_dict_backend_rejects_snapshot():
     network = _random_network(0, 10, 20, 5)
     snapshot = CSRSnapshot.from_dynamic(network)

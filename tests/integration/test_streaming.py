@@ -29,6 +29,28 @@ class TestStreamingPredictor:
         with pytest.raises(ValueError, match="single timestamp"):
             predictor.observe([("a", "b", 1.0), ("b", "c", 2.0)])
 
+    def test_observe_skips_unknown_endpoint_positives(self):
+        """Regression: a link whose endpoint first appears with this very
+        stamp must not be harvested as a training positive — its features
+        are the degenerate empty-history vector, and labelling it 1 while
+        negatives come from observed nodes teaches 'degenerate ⇒ 1'."""
+        predictor = StreamingSSFPredictor(SSFConfig(k=4), seed=0)
+        predictor.observe([("a", "b", 1.0), ("b", "c", 1.0)])
+        predictor.observe([("a", "c", 2.0), ("x", "y", 2.0), ("c", "z", 2.0)])
+        positives = {
+            pair
+            for pair, label in zip(
+                predictor._window_pairs, predictor._window_labels
+            )
+            if label == 1
+        }
+        assert ("a", "c") in positives
+        assert ("x", "y") not in positives
+        assert ("c", "z") not in positives
+        # the new nodes still enter the history for future stamps
+        assert predictor.history.has_node("x")
+        assert predictor.history.has_node("z")
+
     def test_scores_zero_before_model_ready(self):
         predictor = StreamingSSFPredictor(SSFConfig(k=4))
         predictor.observe([("a", "b", 1.0)])

@@ -98,7 +98,7 @@ class TestHistogram:
         summary = h.summary()
         assert set(summary) == {
             "count", "sum", "min", "max", "mean", "estimator", "sampled",
-            "p50", "p95",
+            "p50", "p95", "p99",
         }
         assert summary["estimator"] == "exact"
         assert summary["sampled"] == 1

@@ -1,0 +1,234 @@
+"""Serving front-end: cache-path exactness, invalidation, async surface."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.feature import SSFConfig
+from repro.graph.temporal import DynamicNetwork
+from repro.recommend import LinkRecommender
+from repro.robust.policy import RetryPolicy
+from repro.serve import (
+    AsyncScoringFrontend,
+    ServingRecommender,
+    ServingTimeout,
+)
+from repro.utils.rng import ensure_rng
+
+
+def small_network(seed=0, n_nodes=24, n_events=80, n_ts=10):
+    rng = ensure_rng(seed)
+    events = []
+    # star spine keeps the graph connected (hop balls reach everything)
+    for i in range(1, n_nodes):
+        events.append((f"n{i - 1}", f"n{i}", float(rng.integers(1, n_ts))))
+    while len(events) < n_events:
+        u, v = rng.integers(0, n_nodes, size=2)
+        if u == v:
+            continue
+        events.append((f"n{u}", f"n{v}", float(rng.integers(1, n_ts + 1))))
+    return DynamicNetwork(events)
+
+
+@pytest.fixture(scope="module")
+def offline():
+    return LinkRecommender.fit(
+        small_network(), config=SSFConfig(k=5), seed=0
+    )
+
+
+class TestServingExactness:
+    def test_cached_path_equals_cold_recompute(self, offline):
+        """With the locality ball covering the whole (small, connected)
+        graph, invalidation is exact, so a warm cache must reproduce a
+        cold instance's recommendations after identical ingestion."""
+        warm = ServingRecommender.from_recommender(offline, invalidation_hops=8)
+        cold = ServingRecommender.from_recommender(offline, invalidation_hops=8)
+        users = ["n0", "n3", "n7", "n3"]
+        events = [("n1", "n9", 11.0), ("n20", "x", 11.0), ("n5", "n2", 12.0)]
+        for user in users:  # warm the caches
+            warm.recommend(user, top_n=5)
+        warm.ingest(events)
+        cold.ingest(events)
+        for user in users:
+            assert warm.recommend(user, top_n=5) == cold.recommend(user, top_n=5)
+        assert warm.cache.hits > 0 or warm.result_hits > 0
+
+    def test_repeat_query_hits_result_memo(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+        first = serving.recommend("n0", top_n=5)
+        again = serving.recommend("n0", top_n=5)
+        assert first == again
+        assert serving.result_hits == 1
+
+    def test_top_n_slices_shared_ranking(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+        ten = serving.recommend("n0", top_n=10)
+        three = serving.recommend("n0", top_n=3)
+        assert three == ten[:3]
+
+    def test_batch_equals_sequential(self, offline):
+        batched = ServingRecommender.from_recommender(offline)
+        sequential = ServingRecommender.from_recommender(offline)
+        queries = [("n0", 5), ("n4", 5), ("n11", 3)]
+        together = batched.recommend_many(queries)
+        one_by_one = [sequential.recommend(u, top_n=n) for u, n in queries]
+        assert together == one_by_one
+
+    def test_unknown_user_raises(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+        with pytest.raises(KeyError, match="ghost"):
+            serving.recommend("ghost")
+
+
+class TestIngestInvalidation:
+    def test_near_event_invalidates_far_event_does_not(self):
+        # a long path: the two ends are far apart (the final-stamp
+        # shortcuts give fit() the >= 2 positive pairs it needs while
+        # keeping p10/p11 more than 2 hops from p0's candidate balls)
+        path = DynamicNetwork(
+            [(f"p{i}", f"p{i + 1}", float(i + 1)) for i in range(12)]
+            + [("p0", "p5", 13.0), ("p3", "p8", 13.0)]
+        )
+        offline = LinkRecommender.fit(
+            path, config=SSFConfig(k=4), seed=0
+        )
+        serving = ServingRecommender.from_recommender(
+            offline, global_candidates=0, invalidation_hops=2
+        )
+        serving.recommend("p0", top_n=3)
+        baseline = len(serving.cache)
+        assert baseline > 0
+
+        # far event: both endpoints > 2 hops from everything p0 touched
+        serving.ingest([("p10", "p11", 20.0)])
+        assert serving.cache.invalidations == 0
+        assert len(serving.cache) == baseline
+        serving.recommend("p0", top_n=3)
+        assert serving.result_hits >= 1  # ranked result survived too
+
+        # near event: lands inside the cached pairs' locality balls
+        serving.ingest([("p0", "p2", 21.0)])
+        assert serving.cache.invalidations > 0
+
+    def test_ingest_reflects_new_partner(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+        candidate = serving.recommend("n0", top_n=1)[0].node
+        serving.ingest([("n0", candidate, 50.0)])
+        # the new partner must no longer be suggested
+        assert candidate not in {
+            s.node for s in serving.recommend("n0", top_n=10)
+        }
+
+    def test_new_node_served(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+        serving.ingest([("fresh", "n0", 60.0)])
+        suggestions = serving.recommend("fresh", top_n=3)
+        assert suggestions  # friends-of-friends of n0 exist
+        assert all(s.node != "n0" for s in suggestions)  # partner excluded
+
+
+class TestAsyncFrontend:
+    def test_concurrent_requests_coalesce(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+        batch_sizes = []
+        inner = serving.recommend_many
+
+        def spy(queries):
+            batch_sizes.append(len(queries))
+            return inner(queries)
+
+        serving.recommend_many = spy
+
+        async def scenario():
+            async with AsyncScoringFrontend(serving) as frontend:
+                # stall the worker briefly so requests pile up behind it
+                blocker = asyncio.create_task(
+                    frontend.ingest([("n0", "n23", 70.0)])
+                )
+                results = await asyncio.gather(
+                    blocker,
+                    *[frontend.recommend("n2", top_n=4) for _ in range(8)],
+                )
+                return results[1:]
+
+        results = asyncio.run(scenario())
+        assert all(result == results[0] for result in results)
+        assert max(batch_sizes) > 1  # at least one multi-request batch
+
+    def test_matches_sync_core(self, offline):
+        frontend_core = ServingRecommender.from_recommender(offline)
+        sync_core = ServingRecommender.from_recommender(offline)
+
+        async def scenario():
+            async with AsyncScoringFrontend(frontend_core) as frontend:
+                return await frontend.recommend("n5", top_n=5)
+
+        assert asyncio.run(scenario()) == sync_core.recommend("n5", top_n=5)
+
+    def test_timeout_raises_after_retries(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+        calls = []
+
+        def slow(queries):
+            calls.append(len(queries))
+            time.sleep(0.25)
+            return [[] for _ in queries]
+
+        serving.recommend_many = slow
+        retry = RetryPolicy(max_retries=1, chunk_timeout=0.05)
+
+        async def scenario():
+            async with AsyncScoringFrontend(serving, retry=retry) as frontend:
+                await frontend.recommend("n0")
+
+        with pytest.raises(ServingTimeout, match="deadline"):
+            asyncio.run(scenario())
+        assert len(calls) >= 1  # at least the first attempt was scored
+
+    def test_caller_cancellation_leaves_worker_alive(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+
+        async def scenario():
+            async with AsyncScoringFrontend(serving) as frontend:
+                task = asyncio.create_task(frontend.recommend("n1", top_n=4))
+                await asyncio.sleep(0)  # let it enqueue
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                # the worker must still serve subsequent requests
+                return await frontend.recommend("n2", top_n=4)
+
+        assert asyncio.run(scenario()) == serving.recommend("n2", top_n=4)
+
+    def test_unknown_user_fails_fast(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+
+        async def scenario():
+            async with AsyncScoringFrontend(serving) as frontend:
+                await frontend.recommend("ghost")
+
+        with pytest.raises(KeyError, match="ghost"):
+            asyncio.run(scenario())
+
+    def test_requires_start(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+        frontend = AsyncScoringFrontend(serving)
+
+        async def scenario():
+            await frontend.recommend("n0")
+
+        with pytest.raises(RuntimeError, match="not started"):
+            asyncio.run(scenario())
+
+    def test_ingest_through_frontend(self, offline):
+        serving = ServingRecommender.from_recommender(offline)
+
+        async def scenario():
+            async with AsyncScoringFrontend(serving) as frontend:
+                await frontend.recommend("n0", top_n=3)
+                return await frontend.ingest([("n0", "brand_new", 80.0)])
+
+        asyncio.run(scenario())
+        assert serving.delta.has_node("brand_new")
