@@ -1,0 +1,160 @@
+"""Paired overhead benchmark — tracing + SLO + profiler vs. metrics-only.
+
+The observability tentpole claims the request-scoped plane
+(trace-context propagation, span recording, SLO burn-rate accounting
+and the 101Hz continuous profiler) costs under 2% of serving
+throughput.  The **baseline arm is the production serving posture** —
+``obs.enable()`` with the metrics plane on, exactly how the CI serving
+smoke runs (``--telemetry-port``) — because that is what the new
+machinery is layered on top of; comparing against observability fully
+off would charge this PR for the pre-existing metrics instrumentation.
+The instrumented arm adds span recording, the default SLO objectives
+and the continuous profiler.
+
+Measurement is **paired, interleaved rounds** of the same replay
+workload, compared by *median*, so a single noisy round (GC pause, CPU
+migration) cannot fake a regression in either direction.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --nodes 400 --queries 400 --rounds 5 --out BENCH_obs_overhead.json
+
+Exit status is 0 unless ``--max-overhead`` is given and the measured
+median overhead exceeds it (the CI-gateable form).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+from repro import obs
+from repro.obs.bench import synthetic_network
+from repro.obs.contprof import ContinuousProfiler, supported
+from repro.obs.slo import DEFAULT_SERVING_OBJECTIVES, configure_slo
+from repro.serve.replay import run_replay
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _one_round(network, *, queries: int, seed: int, instrumented: bool) -> float:
+    """Drive one replay round, returning measured serving seconds.
+
+    Both arms run with the metrics plane enabled (the production
+    serving posture); the instrumented arm additionally records spans,
+    evaluates the default SLO objectives and samples the profiler.
+    """
+    profiler = None
+    obs.enable()
+    if instrumented:
+        obs.record_spans(True)
+        configure_slo(DEFAULT_SERVING_OBJECTIVES)
+        if supported():
+            profiler = ContinuousProfiler()
+            profiler.start()
+    else:
+        obs.record_spans(False)
+    try:
+        result = run_replay(
+            network,
+            queries=queries,
+            concurrency=8,
+            top_n=5,
+            max_events=40,
+            events_per_batch=8,
+            seed=seed,
+        )
+        return result.seconds
+    finally:
+        if profiler is not None:
+            profiler.stop()
+        configure_slo(None)
+        obs.record_spans(False)
+        obs.drain_span_records()
+        obs.get_registry().reset()
+        obs.disable()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=400)
+    parser.add_argument("--queries", type=int, default=400)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default="BENCH_obs_overhead.json", help="result JSON path"
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail when median overhead exceeds this (e.g. 0.02 for 2%%)",
+    )
+    args = parser.parse_args(argv)
+
+    network = synthetic_network(args.nodes, n_ts=20, seed=args.seed)
+    base_seconds: "list[float]" = []
+    instrumented_seconds: "list[float]" = []
+    # warm-up round (both paths) so allocator/cache state is comparable
+    _one_round(network, queries=args.queries, seed=args.seed, instrumented=False)
+    _one_round(network, queries=args.queries, seed=args.seed, instrumented=True)
+    for round_index in range(args.rounds):
+        # interleave A/B so slow drift (thermal, noisy neighbours) hits
+        # both arms equally instead of biasing whichever ran last
+        base_seconds.append(
+            _one_round(
+                network, queries=args.queries, seed=args.seed, instrumented=False
+            )
+        )
+        instrumented_seconds.append(
+            _one_round(
+                network, queries=args.queries, seed=args.seed, instrumented=True
+            )
+        )
+        print(
+            f"round {round_index + 1}/{args.rounds}: "
+            f"base {base_seconds[-1]:.3f}s, "
+            f"instrumented {instrumented_seconds[-1]:.3f}s"
+        )
+
+    base_median = statistics.median(base_seconds)
+    instrumented_median = statistics.median(instrumented_seconds)
+    overhead = (
+        (instrumented_median - base_median) / base_median if base_median else 0.0
+    )
+    result = {
+        "nodes": args.nodes,
+        "queries": args.queries,
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "profiler_supported": supported(),
+        "base_seconds": base_seconds,
+        "instrumented_seconds": instrumented_seconds,
+        "base_median_seconds": base_median,
+        "instrumented_median_seconds": instrumented_median,
+        "median_overhead": overhead,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(result, indent=1, sort_keys=True) + "\n")
+    print(
+        f"median overhead of tracing+SLO+profiler: {overhead:+.2%} "
+        f"({base_median:.3f}s -> {instrumented_median:.3f}s), "
+        f"written to {out_path}"
+    )
+    if args.max_overhead is not None and overhead > args.max_overhead:
+        print(
+            f"FAIL: overhead {overhead:.2%} exceeds the "
+            f"{args.max_overhead:.2%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

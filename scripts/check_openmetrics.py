@@ -15,7 +15,10 @@ the text-exposition grammar the scrapers rely on (and contains every
 
 Checked: metric-name grammar, numeric sample values, TYPE lines naming
 known types, counter samples using the `_total` suffix, no family
-declared twice, label syntax balance, and the terminating `# EOF`.
+declared twice, label syntax balance, exemplar grammar
+(`# {trace_id="..."} value ts` after a sample value), and the
+terminating `# EOF`.  `--require-exemplar METRIC` additionally fails
+unless at least one sample of that family carries a valid exemplar.
 """
 
 from __future__ import annotations
@@ -30,6 +33,57 @@ import urllib.request
 NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 TYPES = ("counter", "gauge", "histogram", "summary", "info", "untyped", "stateset")
 VALUE_RE = re.compile(r"^[+-]?(\d+\.?\d*([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?|Inf|NaN)$")
+LABELSET_RE = re.compile(
+    r'^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$'
+)
+
+
+def validate_exemplar(exemplar: str) -> "str | None":
+    """A grammar problem with an exemplar clause, or None when valid.
+
+    ``exemplar`` is the text after ``# `` on a sample line, e.g.
+    ``{trace_id="tr-1f-000001"} 0.187 1723111111.5`` — a labelset,
+    a numeric value, and an optional numeric timestamp.
+    """
+    fields = exemplar.split()
+    if not fields or not fields[0].startswith("{"):
+        return "exemplar must start with a labelset"
+    # the labelset may itself contain spaces inside quoted values;
+    # re-join until braces balance on a quote-aware scan
+    closing = _labelset_end(exemplar)
+    if closing < 0:
+        return "exemplar labelset has unbalanced braces"
+    labelset = exemplar[: closing + 1]
+    if not LABELSET_RE.fullmatch(labelset):
+        return f"malformed exemplar labelset {labelset!r}"
+    tail = exemplar[closing + 1 :].split()
+    if not tail:
+        return "exemplar is missing a value"
+    if not VALUE_RE.fullmatch(tail[0]):
+        return f"non-numeric exemplar value {tail[0]!r}"
+    if len(tail) > 1 and not VALUE_RE.fullmatch(tail[1]):
+        return f"non-numeric exemplar timestamp {tail[1]!r}"
+    if len(tail) > 2:
+        return f"trailing garbage after exemplar: {' '.join(tail[2:])!r}"
+    return None
+
+
+def _labelset_end(text: str) -> int:
+    """Index of the ``}`` closing the labelset at text[0], or -1."""
+    in_quotes = False
+    escaped = False
+    for index, char in enumerate(text):
+        if escaped:
+            escaped = False
+            continue
+        if char == "\\":
+            escaped = True
+        elif char == '"':
+            in_quotes = not in_quotes
+        elif char == "}" and not in_quotes:
+            return index
+    return -1
 
 
 def fetch(url: str, retries: int, retry_delay: float) -> str:
@@ -60,11 +114,16 @@ def family_of(sample_name: str) -> str:
     return sample_name
 
 
-def validate(text: str, required: "list[str]") -> "list[str]":
+def validate(
+    text: str,
+    required: "list[str]",
+    required_exemplars: "list[str] | None" = None,
+) -> "list[str]":
     """All grammar problems in the exposition (empty list = valid)."""
     problems: "list[str]" = []
     families: "dict[str, str]" = {}
     seen_samples: "set[str]" = set()
+    exemplar_families: "set[str]" = set()
     lines = text.splitlines()
     if not lines or lines[-1].strip() != "# EOF":
         problems.append("document must end with '# EOF'")
@@ -103,6 +162,9 @@ def validate(text: str, required: "list[str]") -> "list[str]":
                 problems.append(f"{where}: unbalanced label braces")
                 continue
             rest = rest[closing + 1:]
+        exemplar_text: "str | None" = None
+        if " # " in rest:
+            rest, _, exemplar_text = rest.partition(" # ")
         fields = rest.split()
         if not fields:
             problems.append(f"{where}: sample {name!r} has no value")
@@ -110,6 +172,13 @@ def validate(text: str, required: "list[str]") -> "list[str]":
         if not VALUE_RE.fullmatch(fields[0]):
             problems.append(f"{where}: non-numeric value {fields[0]!r} for {name!r}")
         family = family_of(name)
+        if exemplar_text is not None:
+            exemplar_problem = validate_exemplar(exemplar_text.strip())
+            if exemplar_problem is None:
+                exemplar_families.add(family)
+                exemplar_families.add(name)
+            else:
+                problems.append(f"{where}: {exemplar_problem}")
         declared = families.get(family) or families.get(name)
         if declared == "counter" and not name.endswith(
             ("_total", "_created")
@@ -122,6 +191,11 @@ def validate(text: str, required: "list[str]") -> "list[str]":
     for name in required:
         if name not in seen_samples and name not in families:
             problems.append(f"required metric {name!r} not present")
+    for name in required_exemplars or []:
+        if name not in exemplar_families:
+            problems.append(
+                f"required metric {name!r} carries no valid exemplar"
+            )
     return problems
 
 
@@ -142,6 +216,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="fail unless this metric family/sample is present (repeatable)",
     )
     parser.add_argument(
+        "--require-exemplar", action="append", default=[], metavar="NAME",
+        help=(
+            "fail unless a sample of this family carries a valid exemplar "
+            "(repeatable)"
+        ),
+    )
+    parser.add_argument(
         "--save", metavar="PATH", help="also write the scraped document there"
     )
     args = parser.parse_args(argv)
@@ -155,7 +236,7 @@ def main(argv: "list[str] | None" = None) -> int:
         with open(args.save, "w", encoding="utf-8") as fh:
             fh.write(text)
 
-    problems = validate(text, args.require)
+    problems = validate(text, args.require, args.require_exemplar)
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)

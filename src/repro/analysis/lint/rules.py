@@ -755,6 +755,79 @@ class SpanContextRule(Rule):
             )
 
 
+class TraceContextKwargRule(Rule):
+    """R304: serving entry points accept and forward ``rctx=``.
+
+    Request-scoped trace context does not survive queue hand-offs or
+    executor hops on its own (contextvars are task-local), so the
+    serving entry functions — ``recommend``, ``recommend_many`` and
+    ``ingest`` — carry it explicitly as an ``rctx`` keyword.  An entry
+    point that drops the parameter silently severs every span below it
+    from its request trace; one that accepts but never reads it does
+    the same thing while looking wired up.
+    """
+
+    id = "R304"
+    name = "trace-context-kwarg"
+    summary = "serving entry point missing/ignoring the rctx parameter"
+    scope = ("repro.serve",)
+
+    _ENTRY_FUNCTIONS = frozenset({"recommend", "recommend_many", "ingest"})
+
+    @staticmethod
+    def _param_names(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> set[str]:
+        args = node.args
+        names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        return names
+
+    @staticmethod
+    def _reads_rctx(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> bool:
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Name)
+                    and sub.id == "rctx"
+                    and isinstance(sub.ctx, ast.Load)
+                ):
+                    return True
+        return False
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> None:
+        if "rctx" not in self._param_names(node):
+            ctx.report(
+                self,
+                node,
+                f"{node.name}() must accept an rctx= trace-context parameter; "
+                "contextvars do not cross the batching queue, so spans below "
+                "this entry point lose their request trace",
+            )
+        elif not self._reads_rctx(node):
+            ctx.report(
+                self,
+                node,
+                f"{node.name}() accepts rctx= but never reads it; forward it "
+                "into the spans/jobs this entry point creates",
+            )
+
+    def visit_FunctionDef(self, ctx: ModuleContext, node: ast.FunctionDef) -> None:
+        if node.name in self._ENTRY_FUNCTIONS:
+            self._check_function(ctx, node)
+
+    def visit_AsyncFunctionDef(
+        self, ctx: ModuleContext, node: ast.AsyncFunctionDef
+    ) -> None:
+        if node.name in self._ENTRY_FUNCTIONS:
+            self._check_function(ctx, node)
+
+
 class AnnotationCoverageRule(Rule):
     """R305: full annotation coverage in the strict-typed packages.
 
@@ -778,6 +851,9 @@ class AnnotationCoverageRule(Rule):
         "repro.obs.bench",
         "repro.obs.report",
         "repro.obs.live",
+        "repro.obs.rtrace",
+        "repro.obs.slo",
+        "repro.obs.contprof",
     )
 
     def _check(
@@ -1830,6 +1906,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     MutableDefaultRule,
     BareExceptRule,
     SpanContextRule,
+    TraceContextKwargRule,
     AnnotationCoverageRule,
     FloatEqualityRule,
     ResourceLifecycleRule,

@@ -150,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
             "after the command completes, so a scraper racing a short "
             "run (e.g. CI) still observes the final exposition",
         )
+        sub.add_argument(
+            "--continuous-profile",
+            metavar="PATH",
+            help="sample all threads at 101Hz of CPU time (setitimer/"
+            "SIGPROF) for the whole command and write collapsed-stack "
+            "flamegraph output to PATH (flamegraph.pl / speedscope)",
+        )
 
     sub = commands.add_parser("stats", help="network statistics report")
     add_dataset_args(sub)
@@ -232,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-history",
         metavar="PATH",
         help="run-report mode: BENCH_history.jsonl trajectory",
+    )
+    sub.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="run-report mode: collapsed-stack profile (from "
+        "--continuous-profile) to render as a top-frames table",
     )
     sub.add_argument(
         "--json-out",
@@ -577,7 +590,13 @@ def _cmd_report(args: argparse.Namespace) -> str:
 
     # run-report mode: any observability artefact flag switches the
     # command from the dataset walkthrough to the artefact joiner
-    if args.metrics or args.checkpoint or args.bench or args.bench_history:
+    if (
+        args.metrics
+        or args.checkpoint
+        or args.bench
+        or args.bench_history
+        or args.profile
+    ):
         from repro.obs.report import run_report
 
         report = run_report(
@@ -585,6 +604,7 @@ def _cmd_report(args: argparse.Namespace) -> str:
             checkpoint_dir=args.checkpoint,
             bench_path=args.bench,
             history_path=args.bench_history,
+            profile_path=args.profile,
             json_out=args.json_out,
         )
         if args.output:
@@ -794,12 +814,15 @@ _HANDLERS = {
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
+    import json as _json
+
     args = build_parser().parse_args(argv)
     obs.configure_logging(level=args.log_level, json_lines=args.log_json)
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)
     telemetry_port = getattr(args, "telemetry_port", None)
     heartbeat_path = getattr(args, "heartbeat", None)
+    profile_out = getattr(args, "continuous_profile", None)
     # observability records only when something will consume it: a
     # metrics/trace dump was requested, a live consumer (telemetry
     # endpoint / heartbeat file) is attached, or the command *is* the
@@ -819,6 +842,17 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         obs.drain_span_records()  # stale records must not leak into the file
         obs.record_spans(True)
     obs.set_phase(args.command)
+    slo_engine = None
+    if args.command == "serve":
+        # the serving path's standing objectives: burn-rate alerts on
+        # the obs.alert channel, repro_slo_* gauges, latency exemplars
+        from repro.obs.slo import DEFAULT_SERVING_OBJECTIVES, configure_slo
+
+        slo_engine = configure_slo(DEFAULT_SERVING_OBJECTIVES)
+    profiler = None
+    if profile_out:
+        profiler = obs.ContinuousProfiler()
+        profiler.start()
     publisher = None
     if telemetry_port is not None:
         publisher = obs.TelemetryPublisher(telemetry_port).start()
@@ -835,13 +869,30 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             result, exit_code = result
         print(result)
         if metrics_out:
-            obs.atomic_write_text(metrics_out, obs.get_registry().to_json() + "\n")
+            if slo_engine is not None:
+                # gauges land in the snapshot, the full objective status
+                # rides the JSON under "slo" for `repro report`
+                slo_engine.publish()
+                snapshot = _json.loads(obs.get_registry().to_json())
+                snapshot["slo"] = slo_engine.status_dict()
+                text = _json.dumps(snapshot, indent=1, sort_keys=True)
+            else:
+                text = obs.get_registry().to_json()
+            obs.atomic_write_text(metrics_out, text + "\n")
             _LOG.info("metrics snapshot written to %s", metrics_out)
         if trace_out:
             written = obs.write_trace(trace_out)
             _LOG.info("%d trace events written to %s", written, trace_out)
     finally:
         obs.set_phase(f"{args.command}:done")
+        if profiler is not None:
+            profiler.stop()
+            profiler.write_collapsed(profile_out)
+            _LOG.info(
+                "continuous profile (%d stacks) written to %s",
+                sum(profiler.samples.values()),
+                profile_out,
+            )
         if heartbeat_path:
             obs.heartbeat_tick(f"{args.command}:done", force=True)
             obs.configure_heartbeat(None)
@@ -855,6 +906,10 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                 )
                 time.sleep(linger)
             publisher.stop()
+        if slo_engine is not None:
+            from repro.obs.slo import configure_slo
+
+            configure_slo(None)
         if trace_out:
             obs.record_spans(was_recording)
         if activate and not was_enabled:

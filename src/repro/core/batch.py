@@ -63,7 +63,7 @@ from repro.graph.csr import (
     concatenate_neighbor_slices,
     concatenate_neighbor_slices_with_slots,
 )
-from repro.obs import enabled as obs_enabled, incr, observe, span
+from repro.obs import enabled as obs_enabled, incr, observe, observe_many, span
 
 Node = Hashable
 Pair = "tuple[Node, Node]"
@@ -765,12 +765,12 @@ class BatchExtractionEngine:
         h = 1
         while active:
             if obs_enabled():
-                for growth in active:
-                    observe("subgraph.ball_size", int(growth.union.size))
-                    observe(
-                        "subgraph.frontier_size",
-                        int(growth.union.size) - growth.prev_size,
-                    )
+                sizes = [int(g.union.size) for g in active]
+                observe_many("subgraph.ball_size", sizes)
+                observe_many(
+                    "subgraph.frontier_size",
+                    [size - g.prev_size for size, g in zip(sizes, active)],
+                )
             candidates = [g for g in active if g.union.size >= k]
             state = self._combine_many(candidates) if candidates else None
             done_segments: "list[tuple[_Growth, int]]" = []
@@ -845,10 +845,9 @@ class BatchExtractionEngine:
                         [(g.row, i) for i, g in enumerate(small)],
                     )
                 )
-            for _growth, _segment in done_segments:
-                observe("subgraph.growth_h", h)
-            for _growth, _segment in forced:
-                observe("subgraph.growth_h", h)
+            observe_many(
+                "subgraph.growth_h", [h] * (len(done_segments) + len(forced))
+            )
             active = growing
             h += 1
         jobs.sort(key=lambda job: job.row)
@@ -1049,16 +1048,19 @@ class BatchExtractionEngine:
             group_counts = new_counts
             group_offsets = new_offsets
 
-        gate = obs_enabled()
-        for segment in range(n_segments):
-            observe("structure.merge_rounds", int(rounds_of[segment]))
-            if gate:
-                observe("structure.nodes_in", int(ball_sizes[segment]))
-                observe("structure.nodes_out", int(group_counts[segment]))
-                observe(
-                    "structure.compression_ratio",
-                    int(ball_sizes[segment]) / int(group_counts[segment]),
-                )
+        if obs_enabled():
+            observe_many(
+                "structure.merge_rounds",
+                [int(rounds_of[s]) for s in range(n_segments)],
+            )
+            nodes_in = [int(ball_sizes[s]) for s in range(n_segments)]
+            nodes_out = [int(group_counts[s]) for s in range(n_segments)]
+            observe_many("structure.nodes_in", nodes_in)
+            observe_many("structure.nodes_out", nodes_out)
+            observe_many(
+                "structure.compression_ratio",
+                [i / o for i, o in zip(nodes_in, nodes_out)],
+            )
         return _PassState(
             node_of_row,
             seg_of_row,

@@ -37,7 +37,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.structure import StructureSubgraph
-from repro.obs import enabled as obs_enabled, incr, observe, span
+from repro.obs import enabled as obs_enabled, incr, observe, observe_many, span
 from repro.utils.primes import nth_prime
 
 _MAX_ITERATIONS = 100
@@ -421,12 +421,12 @@ def _refine_many(
             break
     capped = iterations == 0
     if obs_enabled():
-        for count in iterations.tolist():
-            observe(
-                "palette_wl.iterations", count if count else _MAX_ITERATIONS
-            )
-        for _ in range(int(capped.sum())):
-            incr("palette_wl.max_iterations_hit")
+        observe_many(
+            "palette_wl.iterations",
+            [count if count else _MAX_ITERATIONS for count in iterations.tolist()],
+        )
+        if bool(capped.any()):
+            incr("palette_wl.max_iterations_hit", int(capped.sum()))
     return colors
 
 

@@ -75,6 +75,7 @@ from repro.obs import (
     set_gauge,
     span,
 )
+from repro.obs.rtrace import TraceContext, activate, current_wire, rspan
 from repro.obs.aggregate import (
     ObsState,
     apply_worker_obs_state,
@@ -88,8 +89,11 @@ from repro.robust import faults
 Node = Hashable
 Pair = tuple[Node, Node]
 
-#: (chunk index, offset of the chunk's first pair in the batch, pairs)
-ChunkTask = tuple[int, int, list[Pair]]
+#: (chunk index, offset of the chunk's first pair in the batch, pairs,
+#: requesting trace context as a :data:`repro.obs.rtrace.TraceWire` —
+#: contextvars do not cross the process boundary, so the wire rides the
+#: task payload and the worker re-activates it around its chunk span)
+ChunkTask = tuple[int, int, list[Pair], "tuple[str, str, str | None] | None"]
 
 _LOG = get_logger("core.parallel")
 
@@ -238,21 +242,22 @@ def _extract_chunk(
     chunk (``None`` when observability is off), merged parent-side by
     :func:`repro.obs.aggregate.merge_worker_payload`.
     """
-    index, offset, pairs = task
+    index, offset, pairs, wire = task
     if _WORKER.init_error is not None:
         raise _WorkerInitError(*_WORKER.init_error)
     faults.maybe_slow_chunk(index)
     rows: "list[np.ndarray | dict[str, np.ndarray]]" = []
-    with span("parallel.worker_chunk", chunk=index, pairs=len(pairs)):
-        # Crash probes are hoisted ahead of the extraction: a crash loses
-        # the whole chunk either way (it is re-dispatched as a unit), so
-        # probing every pair position up front preserves the injected
-        # fault budgets while the chunk runs as ONE batched-driver call.
-        for position in range(len(pairs)):
-            faults.maybe_crash_worker(offset + position)
-        assert _WORKER.extractor is not None
-        rows = _extract_rows(_WORKER.extractor, pairs, _WORKER.modes)
-        incr("parallel.pairs_extracted", len(pairs))
+    with activate(TraceContext.from_wire(wire)):
+        with rspan("parallel.worker_chunk", chunk=index, pairs=len(pairs)):
+            # Crash probes are hoisted ahead of the extraction: a crash loses
+            # the whole chunk either way (it is re-dispatched as a unit), so
+            # probing every pair position up front preserves the injected
+            # fault budgets while the chunk runs as ONE batched-driver call.
+            for position in range(len(pairs)):
+                faults.maybe_crash_worker(offset + position)
+            assert _WORKER.extractor is not None
+            rows = _extract_rows(_WORKER.extractor, pairs, _WORKER.modes)
+            incr("parallel.pairs_extracted", len(pairs))
     return index, rows, collect_worker_payload()
 
 
@@ -367,8 +372,13 @@ def parallel_extract_batch(
         chunk = max(1, len(pair_list) // (workers * 4))
     set_gauge("parallel.chunksize", chunk)
 
+    # capture the dispatching request's trace context once: every chunk
+    # of this batch belongs to the same request (serving path) or to no
+    # request at all (offline batch), and the wire is what survives
+    # pickling into fork/spawn workers
+    wire = current_wire()
     tasks: list[ChunkTask] = [
-        (index, start, pair_list[start : start + chunk])
+        (index, start, pair_list[start : start + chunk], wire)
         for index, start in enumerate(range(0, len(pair_list), chunk))
     ]
 
@@ -477,8 +487,18 @@ def parallel_extract_batch(
                     len(tasks),
                     sum(len(task[2]) for task in tasks),
                 )
-                for index, _offset, chunk_pairs in tasks:
-                    results[index] = _extract_rows(reference, chunk_pairs, modes)
+                # runs in the dispatching thread, where the request's
+                # context (if any) is still live — fallback spans parent
+                # to the ORIGINAL request, not to a dead worker
+                for index, _offset, chunk_pairs, _wire in tasks:
+                    with rspan(
+                        "parallel.fallback_chunk",
+                        chunk=index,
+                        pairs=len(chunk_pairs),
+                    ):
+                        results[index] = _extract_rows(
+                            reference, chunk_pairs, modes
+                        )
                     incr("parallel.pairs_extracted", len(chunk_pairs))
                     _on_chunk(len(chunk_pairs))
             rows = [row for index in sorted(results) for row in results[index]]

@@ -10,6 +10,14 @@ measures itself against the numbers this package exports.
 * :mod:`repro.obs.trace` — ``span`` context-manager/decorator tracing
   with a guaranteed no-op fast path when disabled, plus an optional
   bounded buffer of completed-span records (``record_spans``).
+* :mod:`repro.obs.rtrace` — request-scoped tracing: ``TraceContext``
+  identity carried in contextvars, ``rspan`` request spans, and wire
+  hand-off across queue/executor/process boundaries.
+* :mod:`repro.obs.slo` — declarative SLOs with sliding windows,
+  multi-window burn-rate alerts and OpenMetrics exemplars.
+* :mod:`repro.obs.contprof` — ``setitimer``-based continuous sampling
+  profiler emitting collapsed-stack flamegraph files
+  (``--continuous-profile``).
 * :mod:`repro.obs.live` — the live telemetry plane: an OpenMetrics
   HTTP endpoint (``--telemetry-port``), atomic JSON heartbeat files
   (``--heartbeat``), resource-sampling gauges and structured alerts.
@@ -57,6 +65,7 @@ from repro.obs.trace import (
     enabled,
     incr,
     observe,
+    observe_many,
     record_spans,
     recording,
     set_gauge,
@@ -88,9 +97,31 @@ from repro.obs.aggregate import (
     merge_worker_payload,
     parent_obs_state,
 )
-from repro.obs.export import trace_events, validate_trace, write_trace
+from repro.obs.export import (
+    trace_events,
+    validate_flow_events,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.rtrace import (
+    TraceContext,
+    activate,
+    current_context,
+    current_wire,
+    new_trace,
+    rspan,
+)
+from repro.obs.slo import (
+    Objective,
+    SLOEngine,
+    configure_slo,
+    get_slo_engine,
+    slo_observe,
+)
+from repro.obs.contprof import ContinuousProfiler
 
 __all__ = [
+    "ContinuousProfiler",
     "Counter",
     "Gauge",
     "Heartbeat",
@@ -98,14 +129,21 @@ __all__ = [
     "JsonLinesFormatter",
     "LEVELS",
     "MetricsRegistry",
+    "Objective",
+    "SLOEngine",
     "TelemetryPublisher",
+    "TraceContext",
+    "activate",
     "apply_worker_obs_state",
     "atomic_write_text",
     "collect_worker_payload",
     "configure_heartbeat",
     "configure_logging",
+    "configure_slo",
+    "current_context",
     "current_phase",
     "current_span",
+    "current_wire",
     "disable",
     "drain_span_records",
     "emit_alert",
@@ -114,10 +152,13 @@ __all__ = [
     "get_heartbeat",
     "get_logger",
     "get_registry",
+    "get_slo_engine",
     "heartbeat_tick",
     "incr",
     "merge_worker_payload",
+    "new_trace",
     "observe",
+    "observe_many",
     "parent_obs_state",
     "peak_rss_bytes",
     "read_open_fds",
@@ -125,15 +166,18 @@ __all__ = [
     "record_spans",
     "recording",
     "render_openmetrics",
+    "rspan",
     "run_id",
     "sample_process_resources",
     "set_gauge",
     "set_phase",
     "set_tracemalloc",
+    "slo_observe",
     "span",
     "span_records",
     "trace_events",
     "tracemalloc_stage",
+    "validate_flow_events",
     "validate_trace",
     "write_trace",
 ]

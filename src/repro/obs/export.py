@@ -31,10 +31,27 @@ from typing import Any, Mapping, Sequence
 from repro.obs import trace
 from repro.obs.live import atomic_write_text
 
-__all__ = ["trace_events", "validate_trace", "write_trace"]
+__all__ = ["trace_events", "validate_flow_events", "validate_trace", "write_trace"]
 
 #: event category stamped on every span event
 CATEGORY = "repro"
+
+#: category of the per-trace flow events (request arrows in Perfetto)
+FLOW_CATEGORY = "repro.flow"
+
+
+def _record_trace_ids(record: "Mapping[str, Any]") -> "list[str]":
+    """Every trace a span record belongs to: its own ``trace_id`` plus
+    any fan-in memberships (a batch span records the trace ids of all
+    the requests it served under ``trace_ids``)."""
+    out: "list[str]" = []
+    own = record.get("trace_id")
+    if own is not None:
+        out.append(str(own))
+    for tid in record.get("trace_ids", ()):
+        if str(tid) not in out:
+            out.append(str(tid))
+    return out
 
 
 def _tid_alias(pid: int, tid: int, aliases: "dict[tuple[int, int], int]") -> int:
@@ -68,6 +85,7 @@ def trace_events(
     events: "list[dict[str, Any]]" = []
     seen_pids: "list[int]" = []
     aliases: "dict[tuple[int, int], int]" = {}
+    flows: "dict[str, list[tuple[float, int, int]]]" = {}
     for record in ordered:
         pid = int(record["pid"])
         if pid not in seen_pids:
@@ -85,18 +103,65 @@ def trace_events(
         args: "dict[str, Any]" = {"path": str(record.get("path", record["name"]))}
         for key, value in sorted(dict(record.get("tags", {})).items()):
             args[key] = value if isinstance(value, (int, float, bool)) else str(value)
+        for key in ("trace_id", "span_id", "parent_span_id"):
+            if record.get(key) is not None:
+                args[key] = str(record[key])
+        ts_us = (float(record["ts"]) - origin) * 1e6
+        tid_alias = _tid_alias(pid, int(record["tid"]), aliases)
         events.append(
             {
                 "name": str(record["name"]),
                 "cat": CATEGORY,
                 "ph": "X",
-                "ts": (float(record["ts"]) - origin) * 1e6,
+                "ts": ts_us,
                 "dur": float(record["dur"]) * 1e6,
                 "pid": pid,
-                "tid": _tid_alias(pid, int(record["tid"]), aliases),
+                "tid": tid_alias,
                 "args": args,
             }
         )
+        for trace_id in _record_trace_ids(record):
+            flows.setdefault(trace_id, []).append((ts_us, pid, tid_alias))
+    events.extend(_flow_events(flows))
+    return events
+
+
+def _flow_events(
+    flows: "Mapping[str, list[tuple[float, int, int]]]",
+) -> "list[dict[str, Any]]":
+    """Per-trace flow arrows: one ``s`` (start) at the trace's first
+    span, ``t`` (step) at each intermediate span, ``f`` (finish, binding
+    enclosing — ``bp: "e"``) at the last.  Each flow event's
+    ``pid``/``tid``/``ts`` coincide with a member Complete event, which
+    is how the viewer binds the arrow to that slice; the ``id`` is the
+    trace id, so selecting any slice of a request highlights the whole
+    frontend→batch→extract→worker chain.  Single-span traces get no
+    arrow (nothing to connect).
+    """
+    events: "list[dict[str, Any]]" = []
+    for trace_id in sorted(flows):
+        points = sorted(flows[trace_id])
+        if len(points) < 2:
+            continue
+        for index, (ts_us, pid, tid) in enumerate(points):
+            if index == 0:
+                phase = "s"
+            elif index == len(points) - 1:
+                phase = "f"
+            else:
+                phase = "t"
+            event: "dict[str, Any]" = {
+                "name": trace_id,
+                "cat": FLOW_CATEGORY,
+                "ph": phase,
+                "id": trace_id,
+                "ts": ts_us,
+                "pid": pid,
+                "tid": tid,
+            }
+            if phase == "f":
+                event["bp"] = "e"
+            events.append(event)
     return events
 
 
@@ -131,7 +196,8 @@ def validate_trace(payload: Mapping[str, Any]) -> "list[str]":
 
     Checks the Trace Event contract the viewers actually rely on:
     a ``traceEvents`` list whose members carry ``name``/``ph``/``pid``/
-    ``tid``, numeric non-negative ``ts``+``dur`` on Complete events, and
+    ``tid``, numeric non-negative ``ts``+``dur`` on Complete events,
+    ``ts`` + ``id`` on flow events (``s``/``t``/``f``), and
     JSON-serialisable ``args``.
     """
     problems: "list[str]" = []
@@ -152,10 +218,79 @@ def validate_trace(payload: Mapping[str, Any]) -> "list[str]":
                 value = event.get(key)
                 if not isinstance(value, (int, float)) or value < 0:
                     problems.append(f"{where}: {key!r} must be a number >= 0")
+        elif phase in ("s", "t", "f"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: 'ts' must be a number >= 0")
+            if not event.get("id"):
+                problems.append(f"{where}: flow event missing 'id'")
         elif phase != "M":
             problems.append(f"{where}: unexpected phase {phase!r}")
         try:
             json.dumps(event.get("args", {}))
         except (TypeError, ValueError):
             problems.append(f"{where}: args not JSON-serialisable")
+    return problems
+
+
+def validate_flow_events(payload: "Mapping[str, Any]") -> "list[str]":
+    """Problems with the per-trace flow structure (empty list = valid).
+
+    For every flow ``id``: exactly one start (``s``) and one finish
+    (``f``), the start at or before every step and the finish at or
+    after, and every flow event anchored to a Complete event — same
+    pid/tid, ``ts`` inside the slice — because an unanchored arrow
+    silently renders nowhere in the viewer.
+    """
+    problems: "list[str]" = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    slices: "dict[tuple[int, int], list[tuple[float, float]]]" = {}
+    for event in events:
+        if isinstance(event, dict) and event.get("ph") == "X":
+            key = (int(event["pid"]), int(event["tid"]))
+            start = float(event["ts"])
+            slices.setdefault(key, []).append((start, start + float(event["dur"])))
+    flows: "dict[str, dict[str, list[float]]]" = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or event.get("ph") not in ("s", "t", "f"):
+            continue
+        flow_id = str(event.get("id"))
+        ts = float(event.get("ts", -1.0))
+        flows.setdefault(flow_id, {"s": [], "t": [], "f": []})[
+            str(event["ph"])
+        ].append(ts)
+        key = (int(event["pid"]), int(event["tid"]))
+        anchored = any(
+            start <= ts <= end for start, end in slices.get(key, ())
+        )
+        if not anchored:
+            problems.append(
+                f"event {index}: flow {flow_id!r} not anchored to any "
+                f"complete event on pid/tid {key}"
+            )
+    for flow_id, phases in sorted(flows.items()):
+        if len(phases["s"]) != 1:
+            problems.append(
+                f"flow {flow_id!r}: expected exactly one start, got "
+                f"{len(phases['s'])}"
+            )
+        if len(phases["f"]) != 1:
+            problems.append(
+                f"flow {flow_id!r}: expected exactly one finish, got "
+                f"{len(phases['f'])}"
+            )
+        if phases["s"] and phases["f"]:
+            start, finish = phases["s"][0], phases["f"][0]
+            if start > finish:
+                problems.append(
+                    f"flow {flow_id!r}: start ts {start} after finish ts {finish}"
+                )
+            for step in phases["t"]:
+                if not start <= step <= finish:
+                    problems.append(
+                        f"flow {flow_id!r}: step ts {step} outside "
+                        f"[{start}, {finish}]"
+                    )
     return problems

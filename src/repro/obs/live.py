@@ -48,7 +48,7 @@ import time
 import tracemalloc
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from contextlib import contextmanager
 
@@ -62,6 +62,7 @@ __all__ = [
     "TelemetryPublisher",
     "atomic_write_text",
     "configure_heartbeat",
+    "current_exemplars",
     "current_phase",
     "emit_alert",
     "get_heartbeat",
@@ -72,6 +73,7 @@ __all__ = [
     "render_openmetrics",
     "run_id",
     "sample_process_resources",
+    "set_exemplar_provider",
     "set_phase",
     "set_tracemalloc",
     "tracemalloc_enabled",
@@ -422,12 +424,15 @@ def heartbeat_tick(
     total: "float | None" = None,
     pairs_per_second: "float | None" = None,
     force: bool = False,
+    extra: "Mapping[str, Any] | None" = None,
 ) -> None:
     """Beat the configured heartbeat; a single ``None`` check otherwise.
 
-    This is the hook the runner, the parallel dispatch loop and the
-    streaming loop call — hot-path-safe because the unconfigured case
-    returns immediately.
+    This is the hook the runner, the parallel dispatch loop, the
+    streaming loop and the serve replay driver call — hot-path-safe
+    because the unconfigured case returns immediately.  ``extra`` items
+    land as top-level keys in the heartbeat document (the replay driver
+    uses it for ``queue_depth``).
     """
     if _HEARTBEAT is None:
         return
@@ -437,12 +442,36 @@ def heartbeat_tick(
         total=total,
         pairs_per_second=pairs_per_second,
         force=force,
+        extra=extra,
     )
 
 
 # ----------------------------------------------------------------------
 # OpenMetrics rendering
 # ----------------------------------------------------------------------
+#: optional exemplar source: a callable returning raw-histogram-name ->
+#: (trace_id, value, ts).  Installed by :mod:`repro.obs.slo` (which
+#: already imports this module for :func:`emit_alert`; the hook keeps
+#: the dependency one-directional).
+_EXEMPLAR_PROVIDER: "Callable[[], Mapping[str, tuple[str, float, float]]] | None" = None
+
+
+def set_exemplar_provider(
+    provider: "Callable[[], Mapping[str, tuple[str, float, float]]] | None",
+) -> None:
+    """Install (or clear) the exemplar source consulted on each
+    exposition refresh; see :func:`render_openmetrics`."""
+    global _EXEMPLAR_PROVIDER
+    _EXEMPLAR_PROVIDER = provider
+
+
+def current_exemplars() -> "Mapping[str, tuple[str, float, float]] | None":
+    """The provider's current exemplars, or ``None`` when unset."""
+    if _EXEMPLAR_PROVIDER is None:
+        return None
+    return _EXEMPLAR_PROVIDER()
+
+
 _NAME_OK = frozenset(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
 )
@@ -474,6 +503,7 @@ def render_openmetrics(
     *,
     phase: "str | None" = None,
     uptime_seconds: "float | None" = None,
+    exemplars: "Mapping[str, tuple[str, float, float]] | None" = None,
 ) -> str:
     """Render a mergeable registry snapshot as OpenMetrics text.
 
@@ -486,6 +516,12 @@ def render_openmetrics(
     histograms become summary families (``_count``/``_sum`` plus
     ``quantile``-labelled samples).  ``phase`` adds a ``repro_run_info``
     info family; the document always ends with ``# EOF``.
+
+    ``exemplars`` maps a *raw* histogram name (e.g. ``serve.request_seconds``)
+    to ``(trace_id, value, ts)``; the exemplar is attached to that
+    family's ``_count`` sample in OpenMetrics exemplar syntax —
+    ``# {trace_id="..."} value ts`` — so an operator can jump from the
+    latency metric straight to the slowest request's trace.
     """
     lines: "list[str]" = []
     seen: "set[str]" = set()
@@ -542,7 +578,16 @@ def render_openmetrics(
                     f'{name}{{quantile="{q / 100:g}"}} '
                     f"{_fmt(percentile_of(samples, q))}"
                 )
-        lines.append(f"{name}_count {count}")
+        exemplar = exemplars.get(str(raw)) if exemplars else None
+        if exemplar is not None:
+            trace_id, ex_value, ex_ts = exemplar
+            lines.append(
+                f"{name}_count {count} "
+                f'# {{trace_id="{_escape_label(trace_id)}"}} '
+                f"{_fmt(ex_value)} {_fmt(ex_ts)}"
+            )
+        else:
+            lines.append(f"{name}_count {count}")
         lines.append(f"{name}_sum {_fmt(total)}")
 
     lines.append("# EOF")
@@ -664,6 +709,7 @@ class TelemetryPublisher:
             self.registry.mergeable_snapshot(),
             phase=current_phase(),
             uptime_seconds=round(time.time() - self.started_at, 3),
+            exemplars=current_exemplars(),
         )
         with self._exposition_lock:
             self._exposition = text

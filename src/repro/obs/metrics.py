@@ -167,6 +167,32 @@ class Histogram:
                 if slot < self.max_samples:
                     self._samples[slot] = value
 
+    def observe_many(self, values: "Iterable[float]") -> None:
+        """Record a batch of observations under one lock acquisition.
+
+        State after the call is bit-identical to calling :meth:`observe`
+        once per value in order (same counts, same reservoir slots), so
+        hot loops can batch without changing any exported number.
+        """
+        with self._lock:
+            samples = self._samples
+            max_samples = self.max_samples
+            for value in values:
+                value = float(value)
+                index = self._count
+                self._count += 1
+                self._sum += value
+                if value < self._min:
+                    self._min = value
+                if value > self._max:
+                    self._max = value
+                if len(samples) < max_samples:
+                    samples.append(value)
+                else:
+                    slot = _index_hash(index) % (index + 1)
+                    if slot < max_samples:
+                        samples[slot] = value
+
     @property
     def count(self) -> int:
         return self._count

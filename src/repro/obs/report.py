@@ -20,6 +20,12 @@ humans and (``--json-out``) as JSON for dashboards:
   tracemalloc peaks,
 * **drift** — streaming quality: per-window AUC stats, the drift
   gauges and how many ``auc_drift`` alerts fired,
+* **SLO** — each serving objective's window, burn rate and budget
+  remaining, the burn alerts that fired, and the worst-request exemplar
+  trace ids (present when the metrics snapshot embeds the ``slo`` key a
+  ``repro serve --metrics-out`` run writes),
+* **profile** — the top-10 hottest frames of a ``--continuous-profile``
+  collapsed-stack file,
 * **checkpoint** — manifest settings plus completed cells,
 * **benchmark** — latest backend comparison and the history trajectory.
 
@@ -293,12 +299,60 @@ def _bench_section(
     return section
 
 
+def _slo_section(metrics: Mapping[str, Any]) -> dict[str, Any]:
+    """The embedded ``slo`` status a serve run writes into its snapshot.
+
+    Empty dict when the run carried no SLO engine.
+    """
+    slo = metrics.get("slo")
+    if not isinstance(slo, dict) or not slo.get("objectives"):
+        return {}
+    objectives = []
+    for status in slo["objectives"]:
+        if not isinstance(status, dict):
+            continue
+        objectives.append(
+            {
+                "objective": status.get("objective"),
+                "window_seconds": _num(status.get("window_seconds")),
+                "events": int(_num(status.get("events"))),
+                "bad_events": int(_num(status.get("bad_events"))),
+                "burn_rate": _num(status.get("burn_rate")),
+                "budget_remaining": _num(status.get("budget_remaining")),
+                "worst_value": _num(status.get("worst_value")),
+                "worst_trace_id": status.get("worst_trace_id"),
+            }
+        )
+    return {
+        "objectives": objectives,
+        "alerts_fired": [
+            alert for alert in slo.get("alerts_fired", []) if isinstance(alert, dict)
+        ],
+    }
+
+
+def profile_section(text: str, top_n: int = 10) -> list[dict[str, Any]]:
+    """Top leaf frames of a collapsed-stack profile, with sample shares."""
+    from repro.obs.contprof import parse_collapsed, top_frames
+
+    total = sum(parse_collapsed(text).values())
+    return [
+        {
+            "frame": frame,
+            "samples": count,
+            "share": count / total if total > 0 else 0.0,
+        }
+        for frame, count in top_frames(text, top_n)
+    ]
+
+
 def build_report(
     *,
     metrics: "Mapping[str, Any] | None" = None,
     checkpoint: "Mapping[str, Any] | None" = None,
     bench: "Mapping[str, Any] | None" = None,
     history: "list[dict[str, Any]] | None" = None,
+    profile_text: "str | None" = None,
 ) -> dict[str, Any]:
     """Join the loaded artefacts into the JSON run report."""
     report: dict[str, Any] = {"sections": []}
@@ -315,6 +369,13 @@ def build_report(
         if drift:
             report["drift"] = drift
             report["sections"].append("drift")
+        slo = _slo_section(metrics)
+        if slo:
+            report["slo"] = slo
+            report["sections"].append("slo")
+    if profile_text is not None:
+        report["profile"] = profile_section(profile_text)
+        report["sections"].append("profile")
     if checkpoint is not None:
         report["checkpoint"] = dict(checkpoint)
         report["sections"].append("checkpoint")
@@ -338,7 +399,7 @@ def format_report(report: Mapping[str, Any]) -> str:
         if not report.get("notes"):
             lines.append(
                 "No artefacts supplied — pass --metrics / --checkpoint / "
-                "--bench / --bench-history."
+                "--bench / --bench-history / --profile."
             )
         return "\n".join(lines).rstrip() + "\n"
 
@@ -448,6 +509,59 @@ def format_report(report: Mapping[str, Any]) -> str:
             lines.append("- no drift alerts")
         lines.append("")
 
+    if "slo" in report:
+        slo = report["slo"]
+        lines += [
+            "## SLO",
+            "",
+            "| objective | window | events | bad | burn rate | budget left "
+            "| worst trace |",
+            "|---|---:|---:|---:|---:|---:|---|",
+        ]
+        for status in slo["objectives"]:
+            window_s = status["window_seconds"]
+            window = (
+                f"{window_s / 60.0:g}m" if window_s < 3600 else f"{window_s / 3600.0:g}h"
+            )
+            worst = status.get("worst_trace_id") or "-"
+            lines.append(
+                f"| {status['objective']} | {window} | {status['events']} "
+                f"| {status['bad_events']} | {status['burn_rate']:.2f}x "
+                f"| {status['budget_remaining']:.1%} | `{worst}` |"
+            )
+        lines.append("")
+        alerts = slo.get("alerts_fired", [])
+        if alerts:
+            lines.append(f"- ALERTS: {len(alerts)} burn-rate page(s) fired:")
+            for alert in alerts:
+                lines.append(
+                    f"  - {alert.get('kind')}: {alert.get('objective')} "
+                    f"(short {_num(alert.get('short_burn_rate')):.1f}x / "
+                    f"long {_num(alert.get('long_burn_rate')):.1f}x, "
+                    f"threshold {_num(alert.get('threshold')):.1f}x)"
+                )
+        else:
+            lines.append("- no burn-rate alerts fired")
+        lines.append("")
+
+    if "profile" in report:
+        lines += [
+            "## Continuous profile — top frames",
+            "",
+            "| frame | samples | share |",
+            "|---|---:|---:|",
+        ]
+        for row in report["profile"]:
+            lines.append(
+                f"| `{row['frame']}` | {row['samples']} | {row['share']:.1%} |"
+            )
+        lines += [
+            "",
+            "Shares are of all collapsed-stack samples (leaf-frame "
+            "self time at 101Hz of CPU time).",
+            "",
+        ]
+
     if "checkpoint" in report:
         ckpt = report["checkpoint"]
         cells = ckpt.get("completed_cells", [])
@@ -510,6 +624,7 @@ def run_report(
     checkpoint_dir: "str | None" = None,
     bench_path: "str | None" = None,
     history_path: "str | None" = None,
+    profile_path: "str | None" = None,
     json_out: "str | None" = None,
 ) -> str:
     """Load the named artefacts, render Markdown, optionally dump JSON.
@@ -525,8 +640,18 @@ def run_report(
     checkpoint = checkpoint_summary(checkpoint_dir) if checkpoint_dir else None
     bench = _load_json_or_none(bench_path, notes, "bench") if bench_path else None
     history = load_history(history_path) if history_path else None
+    profile_text: "str | None" = None
+    if profile_path:
+        try:
+            profile_text = Path(profile_path).read_text(encoding="utf-8")
+        except OSError as exc:
+            notes.append(f"profile unreadable ({profile_path}): {exc}")
     report = build_report(
-        metrics=metrics, checkpoint=checkpoint, bench=bench, history=history
+        metrics=metrics,
+        checkpoint=checkpoint,
+        bench=bench,
+        history=history,
+        profile_text=profile_text,
     )
     if notes:
         report["notes"] = notes

@@ -1,0 +1,275 @@
+"""Request-scoped tracing: causal trace identity over the span substrate.
+
+:mod:`repro.obs.trace` answers "how long did stage X take, in aggregate";
+it cannot answer "where did THIS request's 300 ms go".  This module adds
+the missing identity layer: a :class:`TraceContext` — ``trace_id`` /
+``span_id`` / ``parent_id`` — carried in a :mod:`contextvars` variable so
+it survives asyncio task switches, and an :class:`rspan` context manager
+that opens a regular :class:`~repro.obs.trace.span` *and* stamps the
+resulting record with the request's identity.
+
+Three propagation boundaries matter in the serving path, and each needs
+an explicit hand-off because Python only copies context automatically at
+``asyncio.create_task`` time:
+
+* **queue hand-off** — the front-end worker task drains jobs enqueued by
+  other tasks; each job carries its requester's context as a field and
+  the batch adopts the first live member's context (recording every
+  member's trace id, so the exporter can fan the batch back out into
+  per-request flows);
+* **executor boundary** — ``loop.run_in_executor`` does NOT propagate
+  contextvars, so the synchronous scoring core accepts the context as an
+  explicit ``rctx`` keyword (policed by lint rule R304);
+* **process boundary** — pool chunk tasks carry :meth:`TraceContext.to_wire`
+  tuples; the worker adopts them (:func:`activate`) so its spans ship
+  home already stamped with the requesting trace's identity.
+
+Identity generation is deterministic (pid + a locked counter — no RNG,
+per lint R103): ids are unique per process and collision-free across the
+pool because the pid is part of the id.
+
+Everything here shares the trace module's no-op discipline: with span
+recording off, :class:`rspan` degrades to a plain :class:`span` and the
+record-enrichment provider is never consulted.
+
+Usage::
+
+    with rspan("serve.request", root=True) as rs:
+        ...                      # every span below carries this trace_id
+        ctx = current_context()  # ship across an explicit boundary
+    # elsewhere (another thread/process):
+    with rspan("serve.score", ctx=ctx):
+        ...
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Any, Iterator, Optional
+
+from contextlib import contextmanager
+
+from repro.obs import trace
+
+__all__ = [
+    "TraceContext",
+    "TraceWire",
+    "activate",
+    "current_context",
+    "current_wire",
+    "new_trace",
+    "rspan",
+]
+
+#: the picklable cross-boundary form: (trace_id, span_id, parent_id)
+TraceWire = "tuple[str, str, str | None]"
+
+_IDS = itertools.count(1)
+_IDS_LOCK = threading.Lock()
+
+
+def _next_id(prefix: str) -> str:
+    """A process-unique identifier; pid-qualified so pool workers never
+    collide with the parent (deterministic: no RNG, per lint R103)."""
+    with _IDS_LOCK:
+        serial = next(_IDS)
+    return f"{prefix}{os.getpid():x}-{serial:06x}"
+
+
+def _reinit_after_fork() -> None:
+    """Forked children take a fresh lock (parent's may be mid-acquire);
+    the counter itself is safe — child ids embed the child pid."""
+    global _IDS_LOCK
+    _IDS_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # absent on some platforms (Windows)
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's position in its trace: ids only, no timing.
+
+    ``trace_id`` names the whole request; ``span_id`` this node in the
+    request's span tree; ``parent_id`` the enclosing node (``None`` at
+    the root).  Frozen so a context captured at a boundary can never be
+    mutated behind the captor's back.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: "str | None" = None
+
+    def child(self) -> "TraceContext":
+        """A fresh child node under this one (same trace)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_next_id("s"),
+            parent_id=self.span_id,
+        )
+
+    def to_wire(self) -> "tuple[str, str, str | None]":
+        """The picklable tuple form for queue/executor/process hand-off."""
+        return (self.trace_id, self.span_id, self.parent_id)
+
+    @classmethod
+    def from_wire(
+        cls, wire: "tuple[str, str, str | None] | None"
+    ) -> "TraceContext | None":
+        """Rebuild a context from :meth:`to_wire` output (None-safe)."""
+        if wire is None:
+            return None
+        trace_id, span_id, parent_id = wire
+        return cls(trace_id=trace_id, span_id=span_id, parent_id=parent_id)
+
+
+def new_trace() -> TraceContext:
+    """A fresh root context (new trace_id, root span node)."""
+    return TraceContext(trace_id=_next_id("t"), span_id=_next_id("s"))
+
+
+_CURRENT: "contextvars.ContextVar[TraceContext | None]" = contextvars.ContextVar(
+    "repro_rtrace_context", default=None
+)
+
+
+def current_context() -> "TraceContext | None":
+    """The active request context of this task/thread, or ``None``."""
+    return _CURRENT.get()
+
+
+def current_wire() -> "tuple[str, str, str | None] | None":
+    """:meth:`TraceContext.to_wire` of the active context (None-safe)."""
+    ctx = _CURRENT.get()
+    return ctx.to_wire() if ctx is not None else None
+
+
+@contextmanager
+def activate(ctx: "TraceContext | None") -> Iterator[None]:
+    """Adopt ``ctx`` as the active context for the ``with`` body.
+
+    The explicit hand-off for boundaries contextvars do not cross on
+    their own (executor threads, pool workers).  ``None`` is a no-op, so
+    call sites can pass an optional context through unconditionally.
+    """
+    if ctx is None:
+        yield
+        return
+    token = _CURRENT.set(ctx)
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)
+
+
+def _provide_record_context() -> "dict[str, Any] | None":
+    """The trace-module enrichment hook: stamp plain spans with the
+    active request identity (they become leaves under the enclosing
+    request span; only :class:`rspan` nodes mint span ids of their own).
+    """
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return None
+    return {"trace_id": ctx.trace_id, "parent_span_id": ctx.span_id}
+
+
+trace.set_context_provider(_provide_record_context)
+
+
+class rspan:
+    """A :class:`~repro.obs.trace.span` that is a node in a trace.
+
+    On enter it resolves its context — an explicit ``ctx``, a fresh root
+    (``root=True``), or a child of the caller's current context — makes
+    that context current for the body (so nested plain spans and
+    contextvar readers see it), and opens the underlying span whose
+    record carries ``trace_id``/``span_id``/``parent_span_id`` as
+    top-level keys.  With no resolvable context (and ``root=False``) it
+    degrades to the plain span: offline paths stay identity-free.
+
+    ``members`` records a list of *other* trace ids this span serves
+    (the batch fan-in case) under the record key ``trace_ids``; the
+    exporter treats the span as part of each member trace when emitting
+    flow events.
+    """
+
+    __slots__ = ("_name", "_tags", "_ctx_arg", "_root", "_members", "_span", "_token", "ctx")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        ctx: "TraceContext | None" = None,
+        root: bool = False,
+        members: "list[str] | None" = None,
+        **tags: Any,
+    ) -> None:
+        self._name = name
+        self._tags = tags
+        self._ctx_arg = ctx
+        self._root = root
+        self._members = members
+        self._span: "trace.span | None" = None
+        self._token: "contextvars.Token[TraceContext | None] | None" = None
+        #: the resolved context (set on enter; None when identity-free)
+        self.ctx: "TraceContext | None" = None
+
+    def __enter__(self) -> "rspan":
+        inner = trace.span(self._name, **self._tags)
+        if trace.enabled():
+            parent = self._ctx_arg if self._ctx_arg is not None else _CURRENT.get()
+            if parent is not None:
+                self.ctx = parent.child()
+            elif self._root:
+                self.ctx = new_trace()
+            if self.ctx is not None:
+                self._token = _CURRENT.set(self.ctx)
+                extra: "dict[str, Any]" = {
+                    "trace_id": self.ctx.trace_id,
+                    "span_id": self.ctx.span_id,
+                    "parent_span_id": self.ctx.parent_id,
+                }
+                if self._members:
+                    extra["trace_ids"] = list(self._members)
+                inner.record_extra = extra
+        self._span = inner
+        inner.__enter__()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> bool:
+        span_obj, self._span = self._span, None
+        if span_obj is not None:
+            span_obj.__exit__(exc_type, exc, tb)
+        token, self._token = self._token, None
+        if token is not None:
+            _CURRENT.reset(token)
+        return False
+
+    def annotate(self, **tags: Any) -> None:
+        """Add tags discovered mid-span (hit counts, batch sizes, ...)."""
+        span_obj = self._span
+        if span_obj is not None and trace.enabled():
+            span_obj.tags.update(tags)
+
+    @property
+    def trace_id(self) -> "str | None":
+        """The resolved trace id (None when running identity-free)."""
+        return self.ctx.trace_id if self.ctx is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"rspan({self._name!r}, ctx={self.ctx!r})"
+
+
+# mypy-friendly alias used in signatures elsewhere
+OptionalContext = Optional[TraceContext]

@@ -1,0 +1,465 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`Objective` is parsed from the one-line form operators write::
+
+    serve.request p99 < 250ms over 5m
+    serve.request availability 99.9% over 1h
+
+Both forms reduce to the same error-budget arithmetic: a **latency**
+objective declares that ``percentile/100`` of events must be faster than
+the threshold (``p99 < 250ms`` ⇒ target 0.99, an event is *bad* when it
+is slower), an **availability** objective declares the target fraction
+of *ok* events directly.  The error budget is ``1 - target`` and the
+**burn rate** of a window is ``bad_fraction / (1 - target)`` — burn 1.0
+spends the budget exactly at the sustainable pace, burn 14.4 exhausts a
+30-day budget in ~2 days.
+
+Alerting follows the Google SRE-workbook multi-window multi-burn-rate
+recipe: a **fast** page when both the 5-minute and 1-hour windows burn
+at ≥ 14.4×, a **slow** page when both the 30-minute and 6-hour windows
+burn at ≥ 6×.  The short window de-flaps the long one (no page for a
+blip that already recovered); pairing two horizons catches both sudden
+outages and slow leaks.  Alerts are *edge-triggered*: each (objective,
+speed) pair latches after firing and re-arms only after a clean
+evaluation, so a sustained breach pages exactly once.  Pages go through
+:func:`repro.obs.live.emit_alert` (kind ``slo_fast_burn`` /
+``slo_slow_burn``), the same structured-warning channel the streaming
+drift monitors use.
+
+The engine also tracks, per metric, the **slowest observation and its
+trace id** — the exemplar the OpenMetrics endpoint attaches to the
+latency histogram so an operator can jump metric → trace (see
+:func:`repro.obs.live.render_openmetrics` and
+:func:`set_exemplar_provider`).
+
+Everything is injectable-clock and pure-data for determinism: tests
+drive a scripted stream through :meth:`SLOEngine.observe` with a fake
+clock and assert the page count exactly.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Iterable, Sequence
+
+from repro.obs.live import emit_alert, set_exemplar_provider
+from repro.obs.metrics import MetricsRegistry, get_registry, percentile_of
+
+__all__ = [
+    "BURN_WINDOWS",
+    "DEFAULT_SERVING_OBJECTIVES",
+    "Objective",
+    "SLOEngine",
+    "configure_slo",
+    "get_slo_engine",
+    "slo_observe",
+]
+
+#: (speed, short window s, long window s, burn threshold) — SRE workbook
+BURN_WINDOWS: "tuple[tuple[str, float, float, float], ...]" = (
+    ("fast", 300.0, 3600.0, 14.4),
+    ("slow", 1800.0, 21600.0, 6.0),
+)
+
+#: the serving path's default objectives (`repro serve --replay`)
+DEFAULT_SERVING_OBJECTIVES: "tuple[str, ...]" = (
+    "serve.request p99 < 250ms over 5m",
+    "serve.request availability 99.9% over 1h",
+)
+
+_DURATION_RE = re.compile(r"^(\d+(?:\.\d+)?)(ms|s|m|h)$")
+_DURATION_SCALE = {"ms": 1e-3, "s": 1.0, "m": 60.0, "h": 3600.0}
+
+_LATENCY_RE = re.compile(
+    r"^(?P<metric>[A-Za-z0-9_.]+)\s+p(?P<pct>\d+(?:\.\d+)?)\s*<\s*"
+    r"(?P<threshold>\d+(?:\.\d+)?(?:ms|s|m|h))\s+over\s+(?P<window>\S+)$"
+)
+_AVAILABILITY_RE = re.compile(
+    r"^(?P<metric>[A-Za-z0-9_.]+)\s+availability\s+"
+    r"(?P<target>\d+(?:\.\d+)?)%\s+over\s+(?P<window>\S+)$"
+)
+
+
+def _parse_duration(text: str) -> float:
+    match = _DURATION_RE.match(text)
+    if not match:
+        raise ValueError(
+            f"unparseable duration {text!r} (expected e.g. 250ms, 5m, 1h)"
+        )
+    return float(match.group(1)) * _DURATION_SCALE[match.group(2)]
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds < 1.0:
+        return f"{seconds * 1e3:g}ms"
+    if seconds < 60.0:
+        return f"{seconds:g}s"
+    if seconds < 3600.0:
+        return f"{seconds / 60.0:g}m"
+    return f"{seconds / 3600.0:g}h"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative SLO, normalised to error-budget form.
+
+    Attributes:
+        metric: the observed stream, e.g. ``serve.request``.
+        kind: ``"latency"`` or ``"availability"``.
+        target: required good-event fraction, e.g. 0.99 / 0.999.
+        threshold_seconds: latency cut-off (0.0 for availability).
+        window_seconds: the declared evaluation window.
+    """
+
+    metric: str
+    kind: str
+    target: float
+    threshold_seconds: float
+    window_seconds: float
+
+    @classmethod
+    def parse(cls, spec: str) -> "Objective":
+        """Parse the one-line declarative form (see module docstring)."""
+        text = " ".join(spec.split())
+        match = _LATENCY_RE.match(text)
+        if match:
+            pct = float(match.group("pct"))
+            if not 0.0 < pct < 100.0:
+                raise ValueError(f"percentile must be in (0, 100), got p{pct:g}")
+            return cls(
+                metric=match.group("metric"),
+                kind="latency",
+                target=pct / 100.0,
+                threshold_seconds=_parse_duration(match.group("threshold")),
+                window_seconds=_parse_duration(match.group("window")),
+            )
+        match = _AVAILABILITY_RE.match(text)
+        if match:
+            target = float(match.group("target")) / 100.0
+            if not 0.0 < target < 1.0:
+                raise ValueError(
+                    f"availability target must be in (0, 100)%, got {target:%}"
+                )
+            return cls(
+                metric=match.group("metric"),
+                kind="availability",
+                target=target,
+                threshold_seconds=0.0,
+                window_seconds=_parse_duration(match.group("window")),
+            )
+        raise ValueError(
+            f"unparseable objective {spec!r}; expected "
+            "'<metric> pN < <duration> over <window>' or "
+            "'<metric> availability N% over <window>'"
+        )
+
+    def format(self) -> str:
+        """The canonical one-line form (round-trips through parse)."""
+        window = _format_duration(self.window_seconds)
+        if self.kind == "latency":
+            pct = self.target * 100.0
+            return (
+                f"{self.metric} p{pct:g} < "
+                f"{_format_duration(self.threshold_seconds)} over {window}"
+            )
+        return f"{self.metric} availability {self.target * 100.0:g}% over {window}"
+
+    def is_bad(self, value: float, ok: bool) -> bool:
+        """Whether one observation spends error budget."""
+        if self.kind == "latency":
+            return (not ok) or value >= self.threshold_seconds
+        return not ok
+
+    @property
+    def slug(self) -> str:
+        """Gauge-name stem, e.g. ``serve.request`` + latency -> that pair."""
+        return f"{self.metric}.{self.kind}"
+
+
+#: one observation: (timestamp, value, ok, trace_id)
+_Sample = "tuple[float, float, bool, str | None]"
+
+#: per-metric window cap — at serving rates this spans hours; the cap
+#: only bounds pathological streams (the oldest samples age out anyway)
+MAX_WINDOW_SAMPLES = 100_000
+
+
+class SLOEngine:
+    """Sliding-window evaluation + burn-rate alerting for objectives.
+
+    Thread-safe (the serving path observes from executor threads while
+    the telemetry publisher evaluates from its ticker thread).  The
+    clock is injectable so tests are deterministic; production uses
+    ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        objectives: "Iterable[Objective | str]",
+        *,
+        clock: "Callable[[], float] | None" = None,
+        check_interval: float = 1.0,
+    ) -> None:
+        self.objectives: "list[Objective]" = [
+            obj if isinstance(obj, Objective) else Objective.parse(obj)
+            for obj in objectives
+        ]
+        if not self.objectives:
+            raise ValueError("need at least one objective")
+        if check_interval < 0:
+            raise ValueError(f"check_interval must be >= 0, got {check_interval}")
+        self._clock: "Callable[[], float]" = (
+            clock if clock is not None else time.monotonic
+        )
+        self._check_interval = check_interval
+        self._lock = threading.Lock()
+        self._windows: "dict[str, Deque[tuple[float, float, bool, str | None]]]" = {}
+        self._worst: "dict[str, tuple[float, str | None, float]]" = {}
+        self._latched: "dict[tuple[str, str], bool]" = {}
+        self._alerts_fired: "list[dict[str, Any]]" = []
+        self._last_check = float("-inf")
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        metric: str,
+        value: float,
+        *,
+        ok: bool = True,
+        trace_id: "str | None" = None,
+    ) -> None:
+        """Record one event; periodically re-check burn-rate alerts."""
+        now = self._clock()
+        with self._lock:
+            window = self._windows.get(metric)
+            if window is None:
+                window = self._windows[metric] = deque(maxlen=MAX_WINDOW_SAMPLES)
+            window.append((now, value, ok, trace_id))
+            worst = self._worst.get(metric)
+            if worst is None or value > worst[0]:
+                self._worst[metric] = (value, trace_id, now)
+            due = now - self._last_check >= self._check_interval
+            if due:
+                self._last_check = now
+        if due:
+            self.check_alerts(now=now)
+            # gauges ride the same throttle, so the live endpoint sees
+            # repro_slo_* burn state without a dedicated publisher hook
+            self.publish()
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _window_stats(
+        self,
+        objective: Objective,
+        horizon: float,
+        now: float,
+    ) -> "tuple[int, int]":
+        """(events, bad events) within ``horizon`` seconds of ``now``."""
+        window = self._windows.get(objective.metric)
+        if not window:
+            return 0, 0
+        cutoff = now - horizon
+        total = bad = 0
+        for ts, value, ok, _trace in reversed(window):
+            if ts < cutoff:
+                break
+            total += 1
+            if objective.is_bad(value, ok):
+                bad += 1
+        return total, bad
+
+    def _burn_rate(self, objective: Objective, horizon: float, now: float) -> float:
+        total, bad = self._window_stats(objective, horizon, now)
+        if total == 0:
+            return 0.0
+        budget = 1.0 - objective.target
+        return (bad / total) / budget if budget > 0 else float("inf")
+
+    def evaluate(self, now: "float | None" = None) -> "list[dict[str, Any]]":
+        """Per-objective status over the declared window (plain data)."""
+        ts = self._clock() if now is None else now
+        statuses: "list[dict[str, Any]]" = []
+        with self._lock:
+            for objective in self.objectives:
+                total, bad = self._window_stats(objective, objective.window_seconds, ts)
+                budget = 1.0 - objective.target
+                bad_fraction = bad / total if total else 0.0
+                burn = bad_fraction / budget if budget > 0 else 0.0
+                status: "dict[str, Any]" = {
+                    "objective": objective.format(),
+                    "metric": objective.metric,
+                    "kind": objective.kind,
+                    "window_seconds": objective.window_seconds,
+                    "events": total,
+                    "bad_events": bad,
+                    "burn_rate": burn,
+                    "budget_remaining": max(0.0, 1.0 - burn)
+                    if budget > 0
+                    else 0.0,
+                }
+                if objective.kind == "latency":
+                    window = self._windows.get(objective.metric)
+                    cutoff = ts - objective.window_seconds
+                    values = (
+                        [v for t, v, _ok, _tr in window if t >= cutoff]
+                        if window
+                        else []
+                    )
+                    status["percentile_seconds"] = (
+                        percentile_of(values, objective.target * 100.0)
+                        if values
+                        else 0.0
+                    )
+                worst = self._worst.get(objective.metric)
+                if worst is not None:
+                    status["worst_value"] = worst[0]
+                    status["worst_trace_id"] = worst[1]
+                statuses.append(status)
+        return statuses
+
+    def check_alerts(self, now: "float | None" = None) -> "list[dict[str, Any]]":
+        """Edge-triggered multi-window burn pages (fired this call)."""
+        ts = self._clock() if now is None else now
+        fired: "list[dict[str, Any]]" = []
+        with self._lock:
+            for objective in self.objectives:
+                for speed, short_s, long_s, threshold in BURN_WINDOWS:
+                    short_burn = self._burn_rate(objective, short_s, ts)
+                    long_burn = self._burn_rate(objective, long_s, ts)
+                    breaching = short_burn >= threshold and long_burn >= threshold
+                    key = (objective.slug, speed)
+                    if breaching and not self._latched.get(key, False):
+                        self._latched[key] = True
+                        record = {
+                            "kind": f"slo_{speed}_burn",
+                            "objective": objective.format(),
+                            "speed": speed,
+                            "short_window_seconds": short_s,
+                            "long_window_seconds": long_s,
+                            "short_burn_rate": short_burn,
+                            "long_burn_rate": long_burn,
+                            "threshold": threshold,
+                        }
+                        fired.append(record)
+                        self._alerts_fired.append(record)
+                    elif not breaching:
+                        self._latched[key] = False
+        for record in fired:
+            emit_alert(
+                str(record["kind"]),
+                "%s burning %.1fx/%.1fx (threshold %.1fx)"
+                % (
+                    record["objective"],
+                    record["short_burn_rate"],
+                    record["long_burn_rate"],
+                    record["threshold"],
+                ),
+                objective=str(record["objective"]),
+                short_burn_rate=float(record["short_burn_rate"]),
+                long_burn_rate=float(record["long_burn_rate"]),
+                threshold=float(record["threshold"]),
+            )
+        return fired
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+    def publish(self, registry: "MetricsRegistry | None" = None) -> None:
+        """Set ``slo.*`` gauges (rendered as ``repro_slo_*``) from the
+        current evaluation, so the live endpoint exposes burn state."""
+        reg = registry if registry is not None else get_registry()
+        for status in self.evaluate():
+            stem = f"slo.{status['metric']}.{status['kind']}"
+            reg.gauge(f"{stem}.burn_rate").set(float(status["burn_rate"]))
+            reg.gauge(f"{stem}.budget_remaining").set(
+                float(status["budget_remaining"])
+            )
+            reg.gauge(f"{stem}.events").set(float(status["events"]))
+            reg.gauge(f"{stem}.bad_events").set(float(status["bad_events"]))
+
+    def exemplars(self) -> "dict[str, tuple[str, float, float]]":
+        """Slowest-event exemplars: raw histogram name -> (trace_id,
+        value, ts); only metrics whose worst event carried a trace id."""
+        out: "dict[str, tuple[str, float, float]]" = {}
+        with self._lock:
+            for metric, (value, trace_id, ts) in self._worst.items():
+                if trace_id is not None:
+                    out[f"{metric}_seconds"] = (trace_id, value, ts)
+        return out
+
+    def status_dict(self) -> "dict[str, Any]":
+        """The report-embeddable shape (``repro report`` SLO section)."""
+        with self._lock:
+            alerts = list(self._alerts_fired)
+        return {
+            "objectives": self.evaluate(),
+            "alerts_fired": alerts,
+            "burn_windows": [
+                {
+                    "speed": speed,
+                    "short_seconds": short_s,
+                    "long_seconds": long_s,
+                    "threshold": threshold,
+                }
+                for speed, short_s, long_s, threshold in BURN_WINDOWS
+            ],
+        }
+
+    @property
+    def alerts_fired(self) -> "list[dict[str, Any]]":
+        with self._lock:
+            return list(self._alerts_fired)
+
+
+# ----------------------------------------------------------------------
+# module-level engine (the serving path's single None-check hook)
+# ----------------------------------------------------------------------
+_ENGINE: "SLOEngine | None" = None
+
+
+def configure_slo(
+    objectives: "Sequence[Objective | str] | None",
+    *,
+    clock: "Callable[[], float] | None" = None,
+    check_interval: float = 1.0,
+) -> "SLOEngine | None":
+    """Install (or, with ``None``, remove) the process SLO engine.
+
+    When installed, its exemplars feed the OpenMetrics endpoint through
+    :func:`repro.obs.live.set_exemplar_provider`.
+    """
+    global _ENGINE
+    if objectives is None:
+        _ENGINE = None
+        set_exemplar_provider(None)
+        return None
+    _ENGINE = SLOEngine(objectives, clock=clock, check_interval=check_interval)
+    set_exemplar_provider(_ENGINE.exemplars)
+    return _ENGINE
+
+
+def get_slo_engine() -> "SLOEngine | None":
+    """The configured process engine, or ``None``."""
+    return _ENGINE
+
+
+def slo_observe(
+    metric: str,
+    value: float,
+    *,
+    ok: bool = True,
+    trace_id: "str | None" = None,
+) -> None:
+    """Feed one event to the configured engine; a single ``None`` check
+    when no engine is configured (hot-path-safe, like heartbeat_tick)."""
+    if _ENGINE is None:
+        return
+    _ENGINE.observe(metric, value, ok=ok, trace_id=trace_id)

@@ -46,10 +46,12 @@ Usage::
 
 from __future__ import annotations
 
+import contextvars
 import functools
 import os
 import threading
 import time
+from typing import Callable
 
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_registry
@@ -69,7 +71,13 @@ _records_dropped = 0
 _records_lock = threading.Lock()
 _drop_warned = False
 
-_local = threading.local()
+#: the active span stack, a ContextVar so concurrent asyncio tasks on
+#: one thread (the serving frontend) each see their own lineage — a
+#: thread-local list would interleave enter/exit across tasks and leak
+#: whichever span was not on top when it exited
+_SPAN_STACK: "contextvars.ContextVar[tuple]" = contextvars.ContextVar(
+    "repro_obs_span_stack", default=()
+)
 
 
 def _reinit_lock_after_fork() -> None:
@@ -176,16 +184,30 @@ def dropped_span_records() -> int:
     return _records_dropped
 
 
-def _stack() -> list:
-    stack = getattr(_local, "stack", None)
-    if stack is None:
-        stack = _local.stack = []
-    return stack
+#: optional record-enrichment hook: a callable returning extra top-level
+#: keys for every recorded span (installed by :mod:`repro.obs.rtrace` to
+#: stamp the active request's trace identity onto plain spans).  Only
+#: consulted when span recording is on, so the disabled fast path is
+#: untouched.
+_CONTEXT_PROVIDER: "Callable[[], dict | None] | None" = None
+
+
+def set_context_provider(provider: "Callable[[], dict | None] | None") -> None:
+    """Install (or clear) the span-record enrichment hook.
+
+    ``provider()`` is called once per *recorded* span; any dict it
+    returns is merged into the record as top-level keys (it must not use
+    the reserved keys ``name``/``path``/``ts``/``dur``/``pid``/``tid``/
+    ``tags``).  :mod:`repro.obs.rtrace` uses this to give every span
+    completed under an active request context that request's trace id.
+    """
+    global _CONTEXT_PROVIDER
+    _CONTEXT_PROVIDER = provider
 
 
 def current_span() -> "span | None":
-    """The innermost active span on this thread, or ``None``."""
-    stack = _stack()
+    """The innermost active span in this task/thread, or ``None``."""
+    stack = _SPAN_STACK.get()
     return stack[-1] if stack else None
 
 
@@ -200,7 +222,10 @@ class span:
         duration: wall seconds, set on exit.
     """
 
-    __slots__ = ("name", "_own_tags", "tags", "path", "duration", "_start", "_active")
+    __slots__ = (
+        "name", "_own_tags", "tags", "path", "duration", "_start", "_active",
+        "record_extra", "_token",
+    )
 
     def __init__(self, name: str, **tags) -> None:
         self.name = name
@@ -210,11 +235,16 @@ class span:
         self.duration: "float | None" = None
         self._start = 0.0
         self._active = False
+        #: extra top-level record keys, applied AFTER the context
+        #: provider so an owner (rtrace's request spans) can override
+        #: the inherited identity with its own span/parent ids
+        self.record_extra: "dict | None" = None
+        self._token: "contextvars.Token | None" = None
 
     def __enter__(self) -> "span":
         if not _ENABLED:
             return self
-        stack = _stack()
+        stack = _SPAN_STACK.get()
         parent = stack[-1] if stack else None
         if parent is not None:
             self.path = f"{parent.path}/{self.name}"
@@ -222,7 +252,7 @@ class span:
         else:
             self.path = self.name
             self.tags = dict(self._own_tags)
-        stack.append(self)
+        self._token = _SPAN_STACK.set(stack + (self,))
         self._active = True
         self._start = time.perf_counter()
         return self
@@ -232,22 +262,34 @@ class span:
             return False
         self.duration = time.perf_counter() - self._start
         self._active = False
-        stack = _stack()
-        if stack and stack[-1] is self:
-            stack.pop()
+        token, self._token = self._token, None
+        if token is not None:
+            try:
+                _SPAN_STACK.reset(token)
+            except ValueError:
+                # exited in a different context than it entered (rare:
+                # generator-held spans); best-effort unwind instead
+                stack = _SPAN_STACK.get()
+                if stack and stack[-1] is self:
+                    _SPAN_STACK.set(stack[:-1])
         get_registry().histogram(f"span.{self.name}").observe(self.duration)
         if _RECORDING:
-            add_span_record(
-                {
-                    "name": self.name,
-                    "path": self.path,
-                    "ts": self._start,
-                    "dur": self.duration,
-                    "pid": os.getpid(),
-                    "tid": threading.get_ident(),
-                    "tags": dict(self.tags),
-                }
-            )
+            record = {
+                "name": self.name,
+                "path": self.path,
+                "ts": self._start,
+                "dur": self.duration,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "tags": dict(self.tags),
+            }
+            if _CONTEXT_PROVIDER is not None:
+                extra = _CONTEXT_PROVIDER()
+                if extra:
+                    record.update(extra)
+            if self.record_extra:
+                record.update(self.record_extra)
+            add_span_record(record)
         return False
 
     def __call__(self, func):
@@ -272,6 +314,15 @@ def observe(name: str, value: float) -> None:
     """Record a histogram observation — only when observability is on."""
     if _ENABLED:
         get_registry().histogram(name).observe(value)
+
+
+def observe_many(name: str, values) -> None:
+    """Record a batch of histogram observations — only when observability
+    is on.  One registry lookup and one lock acquisition for the whole
+    sequence, so per-element instrumentation in hot loops can accumulate
+    locally and flush once (state identical to per-value :func:`observe`)."""
+    if _ENABLED and values:
+        get_registry().histogram(name).observe_many(values)
 
 
 def incr(name: str, amount: float = 1.0) -> None:

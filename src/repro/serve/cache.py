@@ -47,7 +47,7 @@ import numpy as np
 
 from repro.graph.csr import CSRSnapshot
 from repro.graph.hashing import subgraph_fingerprint
-from repro.obs import incr
+from repro.obs import incr, span
 
 Node = Hashable
 PairKey = tuple[str, str]
@@ -197,14 +197,18 @@ class FeatureCache:
         the affected entries.  Returns the dropped keys (sorted) so
         callers can cascade the invalidation to derived caches.
         """
-        doomed: set[PairKey] = set()
-        for node_id in node_ids:
-            doomed.update(self._node_index.get(int(node_id), ()))
-        dropped = sorted(doomed)
-        for key in dropped:
-            self._drop(key)
-            self.invalidations += 1
-            incr("serve.cache.invalidations")
+        # under an active request context (rtrace) this span inherits
+        # the ingesting request's trace id via the record provider
+        with span("serve.cache_invalidate") as inv_span:
+            doomed: set[PairKey] = set()
+            for node_id in node_ids:
+                doomed.update(self._node_index.get(int(node_id), ()))
+            dropped = sorted(doomed)
+            for key in dropped:
+                self._drop(key)
+                self.invalidations += 1
+                incr("serve.cache.invalidations")
+            inv_span.tags.update(dropped=len(dropped))
         return dropped
 
     def clear(self) -> None:

@@ -240,22 +240,26 @@ class DeltaCSRSnapshot:
         tie-break) bit-identical to a full rebuild.
         """
         touched: list[tuple[int, int]] = []
-        for u, v, stamp in events:
-            if u == v:
-                raise ValueError(f"self-loops are not allowed (node {u!r})")
-            ts = float(stamp)
-            if not math.isfinite(ts):
-                raise ValueError(f"timestamp must be finite, got {stamp!r}")
-            u_id = self.ensure_node(u)
-            v_id = self.ensure_node(v)
-            self._pending.append((u_id, v_id, ts))
-            self.influence.observe(u_id, v_id, ts)
-            self._distinct_stamps.add(ts)
-            if self._last_ts is None or ts > self._last_ts:
-                self._last_ts = ts
-            self._num_links += 1
-            self._events_applied += 1
-            touched.append((u_id, v_id))
+        # under an active request context (rtrace) this span inherits
+        # the ingesting request's trace id via the record provider
+        with span("serve.delta_apply") as apply_span:
+            for u, v, stamp in events:
+                if u == v:
+                    raise ValueError(f"self-loops are not allowed (node {u!r})")
+                ts = float(stamp)
+                if not math.isfinite(ts):
+                    raise ValueError(f"timestamp must be finite, got {stamp!r}")
+                u_id = self.ensure_node(u)
+                v_id = self.ensure_node(v)
+                self._pending.append((u_id, v_id, ts))
+                self.influence.observe(u_id, v_id, ts)
+                self._distinct_stamps.add(ts)
+                if self._last_ts is None or ts > self._last_ts:
+                    self._last_ts = ts
+                self._num_links += 1
+                self._events_applied += 1
+                touched.append((u_id, v_id))
+            apply_span.tags.update(events=len(touched))
         incr("serve.delta.events", len(touched))
         return touched
 

@@ -27,8 +27,11 @@ degree, so recency matters.
 from __future__ import annotations
 
 import asyncio
+import os
+import threading
 import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Hashable, Iterable, Sequence
 
 import numpy as np
@@ -41,6 +44,11 @@ from repro.robust.policy import RetryPolicy
 from repro.serve.cache import FeatureCache, PairKey, pair_key
 from repro.serve.delta import DeltaCSRSnapshot, hop_ball
 from repro.obs import get_logger, incr, observe, span
+from repro.obs.rtrace import TraceContext, new_trace, rspan
+from repro.obs.slo import slo_observe
+from repro.obs.trace import add_span_record
+from repro.obs.trace import enabled as obs_enabled
+from repro.obs.trace import recording as obs_recording
 
 Node = Hashable
 Event = "tuple[Node, Node, float]"
@@ -158,19 +166,31 @@ class ServingRecommender:
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
-    def ingest(self, events: "Iterable[Event]") -> int:
+    def ingest(
+        self,
+        events: "Iterable[Event]",
+        *,
+        rctx: "TraceContext | None" = None,
+    ) -> int:
         """Apply edge events; returns how many cached pairs they voided.
 
         An event lands "inside" a cached pair's locality ball exactly
         when one of its endpoints is a ball member, so invalidating by
         endpoint id through the cache's inverted index drops precisely
-        the affected entries.
+        the affected entries.  ``rctx`` (lint R304) threads the
+        requesting trace across the executor boundary so the ingest
+        span — and the invalidation spans under it — carry the
+        request's trace id.
         """
-        touched = self.delta.apply(events)
-        if not touched:
-            return 0
-        endpoints = {node_id for pair in touched for node_id in pair}
-        dropped_keys = set(self.cache.invalidate_nodes(endpoints))
+        with rspan("serve.ingest", ctx=rctx) as ingest_span:
+            touched = self.delta.apply(events)
+            if not touched:
+                return 0
+            endpoints = {node_id for pair in touched for node_id in pair}
+            dropped_keys = set(self.cache.invalidate_nodes(endpoints))
+            ingest_span.annotate(
+                touched=len(touched), invalidated=len(dropped_keys)
+            )
         # the substrate moved: rebuild the extractor lazily, and drop
         # exactly the memoised balls/pools/results the events can have
         # changed — a ball changes only if it reaches an event endpoint
@@ -260,12 +280,22 @@ class ServingRecommender:
         self._pool_memo[user] = (pool, frozenset(ball_ids.tolist()))
         return pool
 
-    def recommend(self, user: Node, top_n: int = 10) -> list[Suggestion]:
+    def recommend(
+        self,
+        user: Node,
+        top_n: int = 10,
+        *,
+        rctx: "TraceContext | None" = None,
+    ) -> list[Suggestion]:
         """Single-user convenience wrapper over :meth:`recommend_many`."""
-        return self.recommend_many([(user, top_n)])[0]
+        return self.recommend_many([(user, top_n)], rctx=rctx)[0]
 
     def recommend_many(
-        self, queries: "Sequence[tuple[Node, int]]"
+        self,
+        queries: "Sequence[tuple[Node, int]]",
+        *,
+        rctx: "TraceContext | None" = None,
+        members: "list[str] | None" = None,
     ) -> list[list[Suggestion]]:
         """Score several users' requests through one extraction batch.
 
@@ -274,6 +304,11 @@ class ServingRecommender:
         ALL queries lands in one :func:`batch_extract` call reusing the
         serving extractor's batched engine.  Fresh rows are cached with
         their locality ball before scoring.
+
+        ``rctx`` (lint R304) is the batch's primary trace context —
+        normally the first live member request — and ``members`` the
+        trace ids of every request folded into this batch: the batch
+        span fans back out into per-request flows at export time.
         """
         if not queries:
             return []
@@ -316,27 +351,31 @@ class ServingRecommender:
         keyed: list[list[PairKey]] = []
         cached: dict[PairKey, np.ndarray] = {}
         missed: dict[PairKey, tuple[Node, Node]] = {}
-        with span("serve.score", queries=len(compute_map)):
-            for user in compute_map:
-                pool = self.candidates(user)
-                pools.append(pool)
-                keys: list[PairKey] = []
-                for cand in pool:
-                    key = pair_key(user, cand)
-                    keys.append(key)
-                    if key in cached or key in missed:
-                        continue
-                    entry = self.cache.get(
-                        key,
-                        present_time=present,
-                        snapshot=snapshot,
-                        verify=self.verify,
-                    )
-                    if entry is not None:
-                        cached[key] = entry.features
-                    else:
-                        missed[key] = (user, cand)
-                keyed.append(keys)
+        with rspan(
+            "serve.score", ctx=rctx, members=members, queries=len(compute_map)
+        ):
+            with span("serve.cache_probe") as probe:
+                for user in compute_map:
+                    pool = self.candidates(user)
+                    pools.append(pool)
+                    keys: list[PairKey] = []
+                    for cand in pool:
+                        key = pair_key(user, cand)
+                        keys.append(key)
+                        if key in cached or key in missed:
+                            continue
+                        entry = self.cache.get(
+                            key,
+                            present_time=present,
+                            snapshot=snapshot,
+                            verify=self.verify,
+                        )
+                        if entry is not None:
+                            cached[key] = entry.features
+                        else:
+                            missed[key] = (user, cand)
+                    keyed.append(keys)
+                probe.tags.update(hits=len(cached), misses=len(missed))
 
             if missed:
                 miss_pairs = list(missed.values())
@@ -410,12 +449,50 @@ class _ScoreJob:
     future: "asyncio.Future[list[Suggestion]]"
     enqueued: float = field(default_factory=time.perf_counter)
     cancelled: bool = False
+    #: requester's trace context — carried as a field because the queue
+    #: hand-off to the worker task does not propagate contextvars
+    ctx: "TraceContext | None" = None
 
 
 @dataclass
 class _IngestJob:
     events: "list[tuple[Node, Node, float]]"
     future: "asyncio.Future[int]"
+    ctx: "TraceContext | None" = None
+
+
+def _record_request_span(
+    ctx: "TraceContext | None",
+    started: float,
+    duration: float,
+    *,
+    user: Node,
+    outcome: str,
+) -> None:
+    """Record the frontend-level ``serve.request`` span for one request.
+
+    Emitted directly as a record (not a ``with`` block) because the
+    request's lifetime spans awaits on the shared event-loop thread —
+    holding a thread-local span open across an await would interleave
+    with every other task's spans.  The record parents the whole
+    request: the batch spans it was served by point back via trace id.
+    """
+    if ctx is None or not obs_recording():
+        return
+    add_span_record(
+        {
+            "name": "serve.request",
+            "path": "serve.request",
+            "ts": started,
+            "dur": duration,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "tags": {"user": str(user), "outcome": outcome},
+            "trace_id": ctx.trace_id,
+            "span_id": ctx.span_id,
+            "parent_span_id": ctx.parent_id,
+        }
+    )
 
 
 class AsyncScoringFrontend:
@@ -487,28 +564,44 @@ class AsyncScoringFrontend:
     # ------------------------------------------------------------------
     # client API
     # ------------------------------------------------------------------
-    async def recommend(self, user: Node, top_n: int = 10) -> list[Suggestion]:
+    async def recommend(
+        self,
+        user: Node,
+        top_n: int = 10,
+        *,
+        rctx: "TraceContext | None" = None,
+    ) -> list[Suggestion]:
         """Top-N suggestions for ``user``; batched behind the scenes.
 
         Raises :class:`ServingTimeout` once the per-attempt deadline
         (``retry.chunk_timeout``) has expired ``retry.max_retries + 1``
         times.  ``KeyError`` for unknown users fails fast, before any
         batch admission.
+
+        ``rctx`` (lint R304) lets a caller attach the request to an
+        existing trace; by default each request roots a fresh one.  The
+        context is created ONCE — retries and the in-parent fallback all
+        parent to the original request, never to a dead attempt.
         """
         queue = self._require_started()
         if not self.recommender.delta.has_node(user):
             raise KeyError(f"user {user!r} not in network")
+        ctx = rctx
+        if ctx is None and obs_enabled():
+            ctx = new_trace()
+        started = time.perf_counter()
         timeout = self.retry.chunk_timeout
         attempts = self.retry.max_retries + 1
         for attempt in range(attempts):
             job = _ScoreJob(
-                user, top_n, asyncio.get_running_loop().create_future()
+                user, top_n, asyncio.get_running_loop().create_future(), ctx=ctx
             )
             await queue.put(job)
             try:
                 if timeout is None:
-                    return await job.future
-                return await asyncio.wait_for(job.future, timeout)
+                    result = await job.future
+                else:
+                    result = await asyncio.wait_for(job.future, timeout)
             except asyncio.TimeoutError:
                 job.cancelled = True
                 incr("serve.request_timeouts")
@@ -522,18 +615,46 @@ class AsyncScoringFrontend:
             except asyncio.CancelledError:
                 job.cancelled = True
                 raise
+            else:
+                _record_request_span(
+                    ctx,
+                    started,
+                    time.perf_counter() - started,
+                    user=user,
+                    outcome="ok",
+                )
+                return result
+        elapsed = time.perf_counter() - started
+        _record_request_span(ctx, started, elapsed, user=user, outcome="timeout")
+        slo_observe(
+            "serve.request",
+            elapsed,
+            ok=False,
+            trace_id=ctx.trace_id if ctx is not None else None,
+        )
         raise ServingTimeout(
             f"recommend({user!r}) exceeded {timeout}s deadline "
             f"{attempts} time(s)"
         )
 
-    async def ingest(self, events: "Iterable[Event]") -> int:
+    async def ingest(
+        self,
+        events: "Iterable[Event]",
+        *,
+        rctx: "TraceContext | None" = None,
+    ) -> int:
         """Apply edge events through the worker queue (ordered against
-        in-flight scoring); returns the cache invalidation count."""
+        in-flight scoring); returns the cache invalidation count.
+        ``rctx`` (lint R304) attaches the ingest to an existing trace;
+        by default it roots its own."""
         queue = self._require_started()
+        ctx = rctx
+        if ctx is None and obs_enabled():
+            ctx = new_trace()
         job = _IngestJob(
             [(u, v, float(ts)) for u, v, ts in events],
             asyncio.get_running_loop().create_future(),
+            ctx=ctx,
         )
         await queue.put(job)
         return await job.future
@@ -574,10 +695,15 @@ class AsyncScoringFrontend:
 
     async def _do_ingest(self, job: _IngestJob) -> None:
         loop = asyncio.get_running_loop()
+        # run_in_executor does not propagate contextvars, so the trace
+        # context crosses as an explicit kwarg (lint R304); identity-free
+        # jobs keep the bare call shape (duck-typed cores need not know)
+        if job.ctx is not None:
+            call = partial(self.recommender.ingest, job.events, rctx=job.ctx)
+        else:
+            call = partial(self.recommender.ingest, job.events)
         try:
-            dropped = await loop.run_in_executor(
-                None, self.recommender.ingest, job.events
-            )
+            dropped = await loop.run_in_executor(None, call)
         except Exception as exc:
             if not job.future.done():
                 job.future.set_exception(exc)
@@ -592,10 +718,23 @@ class AsyncScoringFrontend:
         observe("serve.batch_size", float(len(live)))
         loop = asyncio.get_running_loop()
         queries = [(job.user, job.top_n) for job in live]
-        try:
-            results = await loop.run_in_executor(
-                None, self.recommender.recommend_many, queries
+        # the batch adopts the first live member's context as its parent
+        # (so one trace id reads frontend→batch→extract→worker end to
+        # end) and records every member's trace id for flow fan-out
+        primary = next((job.ctx for job in live if job.ctx is not None), None)
+        member_ids = [job.ctx.trace_id for job in live if job.ctx is not None]
+        if primary is not None:
+            call = partial(
+                self.recommender.recommend_many,
+                queries,
+                rctx=primary,
+                members=member_ids or None,
             )
+        else:
+            # identity-free batch (tracing off): keep the bare call shape
+            call = partial(self.recommender.recommend_many, queries)
+        try:
+            results = await loop.run_in_executor(None, call)
         except Exception as exc:
             for job in live:
                 if not job.future.done():
@@ -605,4 +744,11 @@ class AsyncScoringFrontend:
         for job, result in zip(live, results):
             if not job.future.done():
                 job.future.set_result(result)
-                observe("serve.request_seconds", now - job.enqueued)
+                latency = now - job.enqueued
+                observe("serve.request_seconds", latency)
+                slo_observe(
+                    "serve.request",
+                    latency,
+                    ok=True,
+                    trace_id=job.ctx.trace_id if job.ctx is not None else None,
+                )

@@ -224,10 +224,20 @@ def run_replay(
                 batch = ingest_at.get(index)
                 if batch:
                     pending.add(asyncio.create_task(frontend.ingest(batch)))
-                    heartbeat_tick(
-                        "serve:replay", done=float(index), total=float(queries)
-                    )
                 pending.add(asyncio.create_task(_one(frontend, user)))
+                # one beat per admitted query — rec/s over completed
+                # requests plus the live queue depth; the Heartbeat's own
+                # min_interval throttles actual file writes
+                elapsed = time.perf_counter() - started
+                heartbeat_tick(
+                    "serve:replay",
+                    done=float(index + 1),
+                    total=float(queries),
+                    pairs_per_second=(
+                        len(latencies) / elapsed if elapsed > 0 else None
+                    ),
+                    extra={"queue_depth": len(pending)},
+                )
                 if len(pending) >= concurrency:
                     done, pending = await asyncio.wait(
                         pending, return_when=asyncio.FIRST_COMPLETED

@@ -312,6 +312,42 @@ def test_r303_exempts_obs_package() -> None:
 
 
 # ----------------------------------------------------------------------
+# R304 trace-context-kwarg
+# ----------------------------------------------------------------------
+SERVE = "src/repro/serve/sample.py"
+
+
+def test_r304_flags_missing_rctx_parameter() -> None:
+    bad = "def recommend(self, user, top_n=10):\n    return []\n"
+    (violation,) = run(bad, "R304", path=SERVE)
+    assert "rctx" in violation.message
+
+
+def test_r304_flags_accepted_but_unread_rctx() -> None:
+    bad = (
+        "def recommend_many(self, queries, *, rctx=None):\n"
+        "    return [self.score(q) for q in queries]\n"
+    )
+    (violation,) = run(bad, "R304", path=SERVE)
+    assert "never reads" in violation.message
+
+
+def test_r304_allows_forwarding_entry_points() -> None:
+    good = (
+        "async def ingest(self, events, *, rctx=None):\n"
+        "    with rspan('serve.ingest', ctx=rctx):\n"
+        "        return self.core.apply(events)\n"
+    )
+    assert run(good, "R304", path=SERVE) == []
+
+
+def test_r304_only_polices_the_serving_package() -> None:
+    elsewhere = "def recommend(self, user, top_n=10):\n    return []\n"
+    assert run(elsewhere, "R304", path=CORE) == []
+    assert run(elsewhere, "R304", path=EXPERIMENTS) == []
+
+
+# ----------------------------------------------------------------------
 # R305 annotation-coverage
 # ----------------------------------------------------------------------
 def test_r305_flags_missing_annotations() -> None:

@@ -1,0 +1,121 @@
+"""Continuous profiler: sampling, collapsed-stack format, top frames."""
+
+import pytest
+
+from repro.obs import contprof
+from repro.obs.contprof import (
+    ContinuousProfiler,
+    parse_collapsed,
+    supported,
+    top_frames,
+)
+
+
+def _burn_cpu(iterations=4_000_000):
+    total = 0
+    for index in range(iterations):
+        total += index * index
+    return total
+
+
+class TestSupportGate:
+    def test_supported_on_posix_main_thread(self):
+        # the suite runs on the main thread of a POSIX interpreter
+        assert supported() is True
+
+    def test_unsupported_off_main_thread(self):
+        import threading
+
+        seen = []
+        worker = threading.Thread(target=lambda: seen.append(supported()))
+        worker.start()
+        worker.join()
+        assert seen == [False]
+
+    def test_start_raises_when_unsupported(self, monkeypatch):
+        monkeypatch.setattr(contprof, "supported", lambda: False)
+        with pytest.raises(RuntimeError, match="setitimer"):
+            ContinuousProfiler().start()
+
+
+@pytest.mark.skipif(not supported(), reason="needs setitimer + main thread")
+class TestSampling:
+    def test_cpu_work_produces_samples(self):
+        profiler = ContinuousProfiler(hz=211)
+        with profiler:
+            _burn_cpu()
+        assert profiler.sample_count > 0
+        assert sum(profiler.samples.values()) == profiler.sample_count
+        # every collapsed key: phase;thread;frame[;frame...]
+        for key in profiler.samples:
+            parts = key.split(";")
+            assert len(parts) >= 3
+            assert ":" in parts[-1]  # leaf frame is basename:func
+
+    def test_double_start_rejected(self):
+        profiler = ContinuousProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                profiler.start()
+            with pytest.raises(RuntimeError, match="active in this process"):
+                ContinuousProfiler().start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent_and_releases_the_slot(self):
+        profiler = ContinuousProfiler()
+        profiler.start()
+        profiler.stop()
+        profiler.stop()  # no-op
+        other = ContinuousProfiler()
+        other.start()  # the slot is free again
+        other.stop()
+
+    def test_invalid_hz_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousProfiler(hz=0)
+
+    def test_write_collapsed_round_trips(self, tmp_path):
+        profiler = ContinuousProfiler(hz=211)
+        with profiler:
+            _burn_cpu()
+        path = tmp_path / "profile.collapsed"
+        profiler.write_collapsed(str(path))
+        text = path.read_text()
+        assert text.startswith("#")
+        parsed = parse_collapsed(text)
+        assert parsed == dict(profiler.samples)
+
+
+class TestCollapsedFormat:
+    def test_parse_tolerates_headers_and_noise(self):
+        text = "\n".join(
+            [
+                "# collapsed stacks, 101Hz",
+                "",
+                "idle;MainThread;mod.py:f;mod.py:g 7",
+                "serve:replay;MainThread;mod.py:f 3",
+                "not a stack line",
+            ]
+        )
+        parsed = parse_collapsed(text)
+        assert parsed == {
+            "idle;MainThread;mod.py:f;mod.py:g": 7,
+            "serve:replay;MainThread;mod.py:f": 3,
+        }
+
+    def test_top_frames_ranks_by_leaf_self_time(self):
+        text = "\n".join(
+            [
+                "p;t;a.py:outer;a.py:hot 10",
+                "p;t;a.py:outer;a.py:warm 4",
+                "p;t;b.py:other;a.py:hot 5",
+            ]
+        )
+        ranked = top_frames(text, n=2)
+        assert ranked[0] == ("a.py:hot", 15)
+        assert ranked[1] == ("a.py:warm", 4)
+
+    def test_top_frames_empty_input(self):
+        assert top_frames("", n=5) == []

@@ -6,7 +6,14 @@ import os
 import pytest
 
 from repro import obs
-from repro.obs.export import trace_events, validate_trace, write_trace
+from repro.obs.export import (
+    FLOW_CATEGORY,
+    trace_events,
+    validate_flow_events,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.rtrace import new_trace
 
 
 @pytest.fixture(autouse=True)
@@ -127,3 +134,123 @@ class TestWriteAndValidate:
         assert validate_trace({"traceEvents": "nope"}) == [
             "traceEvents must be a list"
         ]
+
+
+def _traced_record(name, ts, ctx, *, pid=1000, tid=1, dur=0.5, members=None):
+    record = _record(name, ts, pid=pid, tid=tid, dur=dur)
+    record["trace_id"] = ctx.trace_id
+    record["span_id"] = ctx.span_id
+    record["parent_span_id"] = ctx.parent_id
+    if members is not None:
+        record["trace_ids"] = list(members)
+    return record
+
+
+class TestFlowEvents:
+    def test_single_span_trace_gets_no_arrow(self):
+        ctx = new_trace()
+        events = trace_events([_traced_record("only", 1.0, ctx)])
+        assert [e for e in events if e.get("cat") == FLOW_CATEGORY] == []
+
+    def test_multi_span_trace_emits_start_step_finish(self):
+        root = new_trace()
+        records = [
+            _traced_record("request", 1.0, root),
+            _traced_record("batch", 2.0, root.child(), tid=2),
+            _traced_record("worker", 3.0, root.child().child(), pid=4242),
+        ]
+        events = trace_events(records)
+        flows = [e for e in events if e.get("cat") == FLOW_CATEGORY]
+        phases = [e["ph"] for e in sorted(flows, key=lambda e: e["ts"])]
+        assert phases == ["s", "t", "f"]
+        assert {e["id"] for e in flows} == {root.trace_id}
+        finish = [e for e in flows if e["ph"] == "f"][0]
+        assert finish["bp"] == "e"
+        assert validate_trace({"traceEvents": events}) == []
+        assert validate_flow_events({"traceEvents": events}) == []
+
+    def test_trace_identity_copied_into_args(self):
+        ctx = new_trace()
+        events = trace_events([_traced_record("request", 1.0, ctx)])
+        (complete,) = [e for e in events if e["ph"] == "X"]
+        assert complete["args"]["trace_id"] == ctx.trace_id
+        assert complete["args"]["span_id"] == ctx.span_id
+
+    def test_batch_membership_joins_fanned_in_traces(self):
+        a, b = new_trace(), new_trace()
+        records = [
+            _traced_record("request_a", 1.0, a),
+            _traced_record("request_b", 1.1, b),
+            _traced_record(
+                "batch", 2.0, a.child(), tid=2, members=[a.trace_id, b.trace_id]
+            ),
+        ]
+        events = trace_events(records)
+        flows = [e for e in events if e.get("cat") == FLOW_CATEGORY]
+        # both request traces thread through the shared batch span
+        assert {e["id"] for e in flows} == {a.trace_id, b.trace_id}
+        assert validate_flow_events({"traceEvents": events}) == []
+
+    def test_validate_flow_events_catches_unanchored_arrows(self):
+        payload = {
+            "traceEvents": [
+                {
+                    "name": "x", "ph": "X", "pid": 1, "tid": 1,
+                    "ts": 0.0, "dur": 10.0, "args": {},
+                },
+                {
+                    "name": "t1", "ph": "s", "cat": FLOW_CATEGORY,
+                    "id": "t1", "pid": 1, "tid": 1, "ts": 50.0,
+                },
+                {
+                    "name": "t1", "ph": "f", "bp": "e", "cat": FLOW_CATEGORY,
+                    "id": "t1", "pid": 1, "tid": 1, "ts": 60.0,
+                },
+            ]
+        }
+        problems = validate_flow_events(payload)
+        assert any("anchor" in p or "no enclosing" in p for p in problems)
+
+    def test_validate_flow_events_requires_one_start_one_finish(self):
+        payload = {
+            "traceEvents": [
+                {
+                    "name": "x", "ph": "X", "pid": 1, "tid": 1,
+                    "ts": 0.0, "dur": 100.0, "args": {},
+                },
+                {
+                    "name": "t1", "ph": "s", "cat": FLOW_CATEGORY,
+                    "id": "t1", "pid": 1, "tid": 1, "ts": 1.0,
+                },
+                {
+                    "name": "t1", "ph": "s", "cat": FLOW_CATEGORY,
+                    "id": "t1", "pid": 1, "tid": 1, "ts": 2.0,
+                },
+            ]
+        }
+        problems = validate_flow_events(payload)
+        assert any("start" in p for p in problems)
+        assert any("finish" in p for p in problems)
+
+    def test_end_to_end_rspan_chain_exports_valid_flows(self, tmp_path):
+        from repro.obs.rtrace import TraceContext, activate, current_wire, rspan
+
+        obs.enable()
+        obs.record_spans(True)
+        with rspan("serve.request", root=True) as request:
+            trace_id = request.trace_id
+            wire = current_wire()
+            with rspan("serve.score"):
+                pass
+        with activate(TraceContext.from_wire(wire)):
+            with rspan("parallel.worker_chunk"):
+                pass
+        path = tmp_path / "trace.json"
+        write_trace(str(path))
+        payload = json.loads(path.read_text())
+        assert validate_trace(payload) == []
+        assert validate_flow_events(payload) == []
+        flows = [
+            e for e in payload["traceEvents"] if e.get("cat") == FLOW_CATEGORY
+        ]
+        assert {e["id"] for e in flows} == {trace_id}

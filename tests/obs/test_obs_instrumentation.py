@@ -6,6 +6,7 @@ to extraction with tracing disabled (the seed behaviour).
 """
 
 import json
+import logging
 
 import numpy as np
 import pytest
@@ -26,11 +27,19 @@ from repro.obs.profile import (
 
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
+    # main() calls configure_logging, which installs a handler on the
+    # repro root logger and disables propagation; restore the logger so
+    # later caplog-based tests still see repro.* records
+    root = logging.getLogger("repro")
+    saved = (list(root.handlers), root.level, root.propagate)
     obs.disable()
     get_registry().reset()
     yield
     obs.disable()
     get_registry().reset()
+    root.handlers[:] = saved[0]
+    root.setLevel(saved[1])
+    root.propagate = saved[2]
 
 
 @pytest.fixture(scope="module")

@@ -387,6 +387,97 @@ class TestRenderOpenmetrics:
         )
 
 
+class TestExemplars:
+    def _latency_snapshot(self):
+        obs.enable()
+        registry = get_registry()
+        hist = registry.histogram("serve.request_seconds")
+        for value in (0.1, 0.5, 0.9):
+            hist.observe(value)
+        return registry.mergeable_snapshot()
+
+    def test_count_line_carries_the_exemplar(self):
+        from repro.obs.live import render_openmetrics as render
+
+        text = render(
+            self._latency_snapshot(),
+            exemplars={"serve.request_seconds": ("tr-1f-000001", 0.9, 1723111111.5)},
+        )
+        line = next(
+            l
+            for l in text.splitlines()
+            if l.startswith("repro_serve_request_seconds_count")
+        )
+        assert '# {trace_id="tr-1f-000001"} 0.9' in line
+
+    def test_unmatched_exemplar_keys_are_ignored(self):
+        from repro.obs.live import render_openmetrics as render
+
+        text = render(
+            self._latency_snapshot(),
+            exemplars={"other.metric_seconds": ("tr-x", 1.0, 2.0)},
+        )
+        assert "tr-x" not in text
+        assert "repro_serve_request_seconds_count 3" in text
+
+    def test_provider_hook_feeds_the_publisher_path(self):
+        from repro.obs.live import current_exemplars, set_exemplar_provider
+
+        try:
+            set_exemplar_provider(
+                lambda: {"serve.request_seconds": ("tr-hook", 0.5, 1.0)}
+            )
+            assert current_exemplars() == {
+                "serve.request_seconds": ("tr-hook", 0.5, 1.0)
+            }
+        finally:
+            set_exemplar_provider(None)
+        assert current_exemplars() is None
+
+    def test_checker_accepts_exemplars_and_enforces_requirement(self):
+        from repro.obs.live import render_openmetrics as render
+
+        checker = _checker()
+        with_exemplar = render(
+            self._latency_snapshot(),
+            exemplars={"serve.request_seconds": ("tr-1", 0.9, 1.0)},
+        )
+        assert checker.validate(
+            with_exemplar, [], ["repro_serve_request_seconds"]
+        ) == []
+        without = render(self._latency_snapshot())
+        problems = checker.validate(without, [], ["repro_serve_request_seconds"])
+        assert any("no valid exemplar" in p for p in problems)
+
+    def test_checker_rejects_malformed_exemplars(self):
+        checker = _checker()
+        doc = (
+            "# TYPE repro_x summary\n"
+            'repro_x_count 3 # {trace_id=unquoted} 0.5\n'
+            "# EOF\n"
+        )
+        assert any(
+            "labelset" in p for p in checker.validate(doc, [], [])
+        )
+
+
+class TestHeartbeatExtra:
+    def test_tick_passes_extra_fields_through(self, tmp_path):
+        path = tmp_path / "hb.json"
+        configure_heartbeat(path)
+        heartbeat_tick(
+            "serve:replay",
+            done=3.0,
+            total=10.0,
+            pairs_per_second=120.0,
+            force=True,
+            extra={"queue_depth": 7},
+        )
+        doc = json.loads(path.read_text())
+        assert doc["stage"] == "serve:replay"
+        assert doc["queue_depth"] == 7
+
+
 class TestTelemetryPublisher:
     def _get(self, url):
         with urllib.request.urlopen(url, timeout=10) as response:

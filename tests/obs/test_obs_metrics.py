@@ -92,6 +92,19 @@ class TestHistogram:
             b.observe(float(v))
         assert a.state()["samples"] == b.state()["samples"]
 
+    def test_observe_many_is_bit_identical_to_sequential(self):
+        # hot loops batch through observe_many; the reservoir slots and
+        # aggregates must match per-value observe exactly, including
+        # past the sampling cap and across split batches
+        a, b = Histogram(max_samples=32), Histogram(max_samples=32)
+        values = [float(v % 97) for v in range(1000)]
+        for v in values:
+            a.observe(v)
+        b.observe_many(values[:500])
+        b.observe_many([])
+        b.observe_many(values[500:])
+        assert a.state() == b.state()
+
     def test_summary_shape(self):
         h = Histogram()
         h.observe(1.0)

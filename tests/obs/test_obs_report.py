@@ -365,3 +365,102 @@ class TestPartialJoins:
         )
         assert "# Run report" in text
         assert text.count("WARNING:") == 2
+
+
+def _metrics_with_slo():
+    metrics = _metrics()
+    metrics["slo"] = {
+        "objectives": [
+            {
+                "objective": "serve.request p99 < 250ms over 5m",
+                "metric": "serve.request",
+                "kind": "latency",
+                "window_seconds": 300.0,
+                "events": 800,
+                "bad_events": 4,
+                "burn_rate": 0.5,
+                "budget_remaining": 0.5,
+                "worst_value": 0.31,
+                "worst_trace_id": "tr-1f-000007",
+            }
+        ],
+        "alerts_fired": [
+            {
+                "kind": "slo_fast_burn",
+                "objective": "serve.request p99 < 250ms over 5m",
+                "short_burn_rate": 20.0,
+                "long_burn_rate": 15.0,
+                "threshold": 14.4,
+            }
+        ],
+        "burn_windows": [],
+    }
+    return metrics
+
+
+_COLLAPSED = "\n".join(
+    [
+        "# collapsed stacks",
+        "serve:replay;MainThread;frontend.py:recommend;parallel.py:_extract_rows 30",
+        "serve:replay;MainThread;frontend.py:recommend 10",
+        "idle;MainThread;cli.py:main 5",
+    ]
+)
+
+
+class TestSLOSection:
+    def test_slo_section_normalises_the_snapshot(self):
+        report = build_report(metrics=_metrics_with_slo())
+        assert "slo" in report["sections"]
+        (status,) = report["slo"]["objectives"]
+        assert status["objective"] == "serve.request p99 < 250ms over 5m"
+        assert status["events"] == 800
+        assert status["worst_trace_id"] == "tr-1f-000007"
+        assert len(report["slo"]["alerts_fired"]) == 1
+
+    def test_no_slo_key_no_section(self):
+        report = build_report(metrics=_metrics())
+        assert "slo" not in report["sections"]
+
+    def test_markdown_table_and_alert_lines(self):
+        text = format_report(build_report(metrics=_metrics_with_slo()))
+        assert "## SLO" in text
+        assert "| serve.request p99 < 250ms over 5m | 5m | 800 | 4 " in text
+        assert "`tr-1f-000007`" in text
+        assert "1 burn-rate page(s) fired" in text
+        assert "slo_fast_burn" in text
+
+    def test_markdown_quiet_run_says_no_alerts(self):
+        metrics = _metrics_with_slo()
+        metrics["slo"]["alerts_fired"] = []
+        text = format_report(build_report(metrics=metrics))
+        assert "no burn-rate alerts fired" in text
+
+
+class TestProfileSection:
+    def test_top_frames_table(self):
+        report = build_report(profile_text=_COLLAPSED)
+        assert report["sections"] == ["profile"]
+        rows = report["profile"]
+        assert rows[0]["frame"] == "parallel.py:_extract_rows"
+        assert rows[0]["samples"] == 30
+        assert rows[0]["share"] == pytest.approx(30 / 45)
+        text = format_report(report)
+        assert "## Continuous profile — top frames" in text
+        assert "`parallel.py:_extract_rows`" in text
+
+    def test_run_report_reads_profile_file(self, tmp_path):
+        path = tmp_path / "profile.collapsed"
+        path.write_text(_COLLAPSED)
+        text = run_report(profile_path=str(path))
+        assert "## Continuous profile — top frames" in text
+
+    def test_unreadable_profile_becomes_a_warning_note(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(json.dumps(_metrics()))
+        text = run_report(
+            metrics_path=str(metrics_path),
+            profile_path=str(tmp_path / "gone.collapsed"),
+        )
+        assert "WARNING: profile unreadable" in text
+        assert "## Stage breakdown" in text  # partial join preserved

@@ -1,0 +1,256 @@
+"""SLO engine: objective grammar, burn-rate paging, gauges, exemplars."""
+
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    BURN_WINDOWS,
+    Objective,
+    SLOEngine,
+    configure_slo,
+    get_slo_engine,
+    slo_observe,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    # caplog captures at the root logger; if an earlier test configured
+    # the repro logger (propagate=False + own handler), alert records
+    # would never reach it — force propagation for the test's duration
+    root = logging.getLogger("repro")
+    saved_propagate = root.propagate
+    root.propagate = True
+    obs.disable()
+    obs.get_registry().reset()
+    configure_slo(None)
+    yield
+    obs.disable()
+    obs.get_registry().reset()
+    configure_slo(None)
+    root.propagate = saved_propagate
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestObjective:
+    def test_latency_parse(self):
+        obj = Objective.parse("serve.request p99 < 250ms over 5m")
+        assert obj.metric == "serve.request"
+        assert obj.kind == "latency"
+        assert obj.target == pytest.approx(0.99)
+        assert obj.threshold_seconds == pytest.approx(0.25)
+        assert obj.window_seconds == pytest.approx(300.0)
+
+    def test_availability_parse(self):
+        obj = Objective.parse("serve.request availability 99.9% over 1h")
+        assert obj.kind == "availability"
+        assert obj.target == pytest.approx(0.999)
+        assert obj.window_seconds == pytest.approx(3600.0)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "serve.request p99 < 250ms over 5m",
+            "serve.request availability 99.9% over 1h",
+            "extract.batch p95 < 2s over 30m",
+        ],
+    )
+    def test_format_round_trips(self, spec):
+        obj = Objective.parse(spec)
+        assert Objective.parse(obj.format()) == obj
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "garbage",
+            "serve.request p0 < 250ms over 5m",  # percentile out of range
+            "serve.request p99 < 250parsecs over 5m",  # bad unit
+            "serve.request availability 150% over 1h",  # target out of range
+        ],
+    )
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(ValueError):
+            Objective.parse(spec)
+
+    def test_is_bad_latency(self):
+        obj = Objective.parse("m p99 < 250ms over 5m")
+        assert not obj.is_bad(0.1, True)
+        assert obj.is_bad(0.3, True)  # slower than threshold
+        assert obj.is_bad(0.1, False)  # errors always spend budget
+
+    def test_is_bad_availability(self):
+        obj = Objective.parse("m availability 99% over 5m")
+        assert not obj.is_bad(10.0, True)  # value irrelevant
+        assert obj.is_bad(0.0, False)
+
+
+class TestSLOEngine:
+    def test_requires_an_objective(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SLOEngine([])
+
+    def test_healthy_stream_never_pages(self):
+        clock = FakeClock()
+        engine = SLOEngine(
+            ["serve.request p99 < 250ms over 5m"], clock=clock, check_interval=0.0
+        )
+        for _ in range(200):
+            engine.observe("serve.request", 0.01)
+            clock.advance(1.0)
+        assert engine.alerts_fired == []
+        (status,) = engine.evaluate()
+        assert status["bad_events"] == 0
+        assert status["burn_rate"] == 0.0
+        assert status["budget_remaining"] == 1.0
+
+    def test_scripted_slow_stream_fires_fast_burn_exactly_once(self):
+        clock = FakeClock()
+        engine = SLOEngine(
+            ["serve.request p99 < 250ms over 5m"], clock=clock, check_interval=0.0
+        )
+        # every request breaches the threshold: burn = 1.0 / 0.01 = 100x
+        # in BOTH the 5m and 1h windows -> fast page; sustained breach
+        # must stay latched and page exactly once.
+        for _ in range(600):
+            engine.observe("serve.request", 0.5, trace_id="tr-slow")
+            clock.advance(1.0)
+        fast = [a for a in engine.alerts_fired if a["kind"] == "slo_fast_burn"]
+        assert len(fast) == 1
+        assert fast[0]["short_burn_rate"] >= fast[0]["threshold"]
+        assert fast[0]["long_burn_rate"] >= fast[0]["threshold"]
+
+    def test_alert_rearms_after_recovery(self):
+        clock = FakeClock()
+        engine = SLOEngine(
+            ["serve.request p99 < 250ms over 5m"], clock=clock, check_interval=0.0
+        )
+        for _ in range(60):
+            engine.observe("serve.request", 0.5)
+            clock.advance(1.0)
+        assert len(engine.alerts_fired) >= 1
+        before = len(engine.alerts_fired)
+        # a long healthy stretch ages the bad samples out of every window
+        clock.advance(22000.0)
+        for _ in range(120):
+            engine.observe("serve.request", 0.01)
+            clock.advance(1.0)
+        assert len(engine.alerts_fired) == before  # re-armed, not re-fired
+        for _ in range(60):
+            engine.observe("serve.request", 0.5)
+            clock.advance(1.0)
+        assert len(engine.alerts_fired) > before  # second incident pages again
+
+    def test_fast_page_goes_through_the_alert_channel(self, caplog):
+        obs.enable()
+        clock = FakeClock()
+        engine = SLOEngine(
+            ["serve.request p99 < 250ms over 5m"], clock=clock, check_interval=0.0
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.obs.alert"):
+            for _ in range(60):
+                engine.observe("serve.request", 0.5)
+                clock.advance(1.0)
+        burn_warnings = [
+            r for r in caplog.records if "slo_fast_burn" in r.getMessage()
+        ]
+        assert len(burn_warnings) == 1
+
+    def test_availability_objective_counts_failures(self):
+        clock = FakeClock()
+        engine = SLOEngine(
+            ["serve.request availability 99% over 5m"],
+            clock=clock,
+            check_interval=0.0,
+        )
+        for index in range(100):
+            engine.observe("serve.request", 0.01, ok=index % 2 == 0)
+            clock.advance(1.0)
+        (status,) = engine.evaluate()
+        assert status["bad_events"] == 50
+        assert status["burn_rate"] == pytest.approx(50.0, rel=0.1)
+
+    def test_publish_sets_repro_slo_gauges(self):
+        clock = FakeClock()
+        engine = SLOEngine(
+            ["serve.request p99 < 250ms over 5m"], clock=clock, check_interval=0.0
+        )
+        registry = MetricsRegistry()
+        engine.observe("serve.request", 0.5)
+        engine.publish(registry)
+        snapshot = registry.snapshot()
+        gauges = snapshot["gauges"]
+        assert gauges["slo.serve.request.latency.burn_rate"] > 0.0
+        assert gauges["slo.serve.request.latency.events"] == 1.0
+        assert "slo.serve.request.latency.budget_remaining" in gauges
+
+    def test_exemplars_expose_slowest_trace(self):
+        clock = FakeClock()
+        engine = SLOEngine(
+            ["serve.request p99 < 250ms over 5m"], clock=clock, check_interval=0.0
+        )
+        engine.observe("serve.request", 0.1, trace_id="tr-a")
+        engine.observe("serve.request", 0.9, trace_id="tr-worst")
+        engine.observe("serve.request", 0.2, trace_id="tr-b")
+        exemplars = engine.exemplars()
+        trace_id, value, _ts = exemplars["serve.request_seconds"]
+        assert trace_id == "tr-worst"
+        assert value == pytest.approx(0.9)
+
+    def test_exemplars_skip_traceless_metrics(self):
+        engine = SLOEngine(
+            ["serve.request p99 < 250ms over 5m"],
+            clock=FakeClock(),
+            check_interval=0.0,
+        )
+        engine.observe("serve.request", 0.9)
+        assert engine.exemplars() == {}
+
+    def test_status_dict_shape(self):
+        engine = SLOEngine(
+            ["serve.request p99 < 250ms over 5m"],
+            clock=FakeClock(),
+            check_interval=0.0,
+        )
+        engine.observe("serve.request", 0.01)
+        status = engine.status_dict()
+        assert len(status["objectives"]) == 1
+        assert status["alerts_fired"] == []
+        assert [w["speed"] for w in status["burn_windows"]] == [
+            speed for speed, *_ in BURN_WINDOWS
+        ]
+
+
+class TestModuleHook:
+    def test_slo_observe_without_engine_is_a_no_op(self):
+        slo_observe("serve.request", 0.5)  # must not raise
+        assert get_slo_engine() is None
+
+    def test_configure_install_and_remove(self):
+        engine = configure_slo(
+            ["serve.request p99 < 250ms over 5m"],
+            clock=FakeClock(),
+            check_interval=0.0,
+        )
+        assert get_slo_engine() is engine
+        slo_observe("serve.request", 0.4, trace_id="tr-1")
+        assert engine.exemplars()["serve.request_seconds"][0] == "tr-1"
+        # the installed engine feeds the live exemplar provider
+        from repro.obs.live import current_exemplars
+
+        assert current_exemplars() == engine.exemplars()
+        configure_slo(None)
+        assert get_slo_engine() is None
+        assert current_exemplars() is None
